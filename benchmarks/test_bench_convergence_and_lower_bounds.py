@@ -1,0 +1,87 @@
+"""Benchmarks for the convergence summary (Section 5.4) and the lower-bound
+construction certificates (the computational counterpart of the theory).
+
+Paper claims being checked:
+
+* best-response cycles are extremely rare (5 out of ~36 000 runs) and more
+  than 95 % of the runs converge within 7 rounds;
+* the cycle (Lemma 3.1), the stretched torus (Theorem 3.12) and the SumNCG
+  torus (Lemma 4.1) are equilibria of the local-knowledge games in their
+  stated (α, k) ranges, with a PoA ratio that grows with n while the social
+  optimum stays Θ(αn + n) / Θ(αn + n²).
+"""
+
+from conftest import run_once
+
+from repro.analysis.certificates import (
+    certify_cycle_lemma_3_1,
+    certify_high_girth_lemma_3_2,
+    certify_sum_torus_lemma_4_1,
+    certify_torus_theorem_3_12,
+)
+from repro.experiments.figures import ConvergenceConfig, generate_convergence_summary
+
+
+def test_bench_convergence_summary(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_convergence_summary, ConvergenceConfig.smoke())
+    emit_rows(rows, "convergence", title="Section 5.4: convergence / cycling summary")
+    stats = {row["statistic"]: row["value"] for row in rows}
+    assert stats["fraction_converged"] >= 0.9
+    assert stats["fraction_cycled"] <= 0.1
+    assert stats["fraction_converged_within_7_rounds"] >= 0.9
+
+
+def test_bench_lower_bound_cycle_lemma_3_1(benchmark, emit_rows):
+    def harness():
+        results = [
+            certify_cycle_lemma_3_1(n=n, alpha=4.0, k=4, max_players=12, solver="milp")
+            for n in (20, 40, 80)
+        ]
+        return [result.as_dict() for result in results]
+
+    rows = run_once(benchmark, harness)
+    emit_rows(rows, "lower_bound_cycle", title="Lemma 3.1: cycle certificates")
+    assert all(row["is_equilibrium"] for row in rows)
+    ratios = [row["poa_ratio"] for row in rows]
+    assert ratios == sorted(ratios)  # PoA ratio grows with n
+
+
+def test_bench_lower_bound_torus_theorem_3_12(benchmark, emit_rows):
+    def harness():
+        results = [
+            certify_torus_theorem_3_12(alpha=2.0, k=2, n_target=n, max_players=10)
+            for n in (150, 300)
+        ]
+        return [result.as_dict() for result in results]
+
+    rows = run_once(benchmark, harness)
+    emit_rows(rows, "lower_bound_torus", title="Theorem 3.12: stretched torus certificates")
+    assert all(row["is_equilibrium"] for row in rows)
+    assert rows[1]["diameter"] > rows[0]["diameter"]
+    assert rows[1]["poa_ratio"] > rows[0]["poa_ratio"]
+
+
+def test_bench_lower_bound_sum_torus_lemma_4_1(benchmark, emit_rows):
+    def harness():
+        results = [
+            certify_sum_torus_lemma_4_1(alpha=40.0, k=2, n_target=n, max_players=8)
+            for n in (100, 200)
+        ]
+        return [result.as_dict() for result in results]
+
+    rows = run_once(benchmark, harness)
+    emit_rows(rows, "lower_bound_sum_torus", title="Lemma 4.1: SumNCG torus certificates")
+    assert all(row["is_equilibrium"] for row in rows)
+    assert rows[1]["poa_ratio"] > rows[0]["poa_ratio"]
+
+
+def test_bench_lower_bound_high_girth_lemma_3_2(benchmark, emit_rows):
+    def harness():
+        result = certify_high_girth_lemma_3_2(
+            n=60, degree=3, alpha=1.0, k=2, seed=0, max_players=12
+        )
+        return [result.as_dict()]
+
+    rows = run_once(benchmark, harness)
+    emit_rows(rows, "lower_bound_high_girth", title="Lemma 3.2: high-girth certificate")
+    assert rows[0]["n"] == 60

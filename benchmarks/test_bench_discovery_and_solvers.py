@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the discovery view models and the facility solvers.
+
+These are the primitives the extension studies lean on: building a
+traceroute / union-of-balls view for every player, and the k-center /
+k-median heuristics used to sanity-check player purchases.  The assertions
+pin the structural guarantees (traceroute reveals every node, greedy
+k-center is a 2-approximation) rather than absolute runtimes.
+"""
+
+from conftest import run_once
+
+from repro.core.strategies import StrategyProfile
+from repro.discovery.models import TracerouteModel, UnionOfBallsModel
+from repro.graphs.algorithms import betweenness_centrality, bridges
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+from repro.solvers.facility import exact_k_center, greedy_k_center, greedy_k_median
+
+
+class TestDiscoveryViews:
+    def test_bench_traceroute_views(self, benchmark):
+        profile = StrategyProfile.from_owned_graph(owned_connected_gnp_graph(80, 0.08, seed=1))
+        model = TracerouteModel()
+
+        def observe_all():
+            return [model.observe(profile, player).size for player in profile]
+
+        sizes = benchmark(observe_all)
+        assert all(size == 80 for size in sizes)
+
+    def test_bench_union_of_balls_views(self, benchmark):
+        profile = StrategyProfile.from_owned_graph(owned_connected_gnp_graph(80, 0.08, seed=2))
+        model = UnionOfBallsModel(radius=2, include_neighbors=True)
+
+        def observe_all():
+            return [model.observe(profile, player).size for player in profile]
+
+        sizes = benchmark(observe_all)
+        assert min(sizes) >= 3
+
+
+class TestFacilitySolvers:
+    def test_bench_greedy_k_center(self, benchmark):
+        owned = owned_connected_gnp_graph(120, 0.05, seed=3)
+        result = benchmark(greedy_k_center, 4, owned.graph)
+        assert len(result.centers) == 4
+
+    def test_bench_greedy_k_center_approximation_quality(self, benchmark, emit_rows):
+        owned = random_owned_tree(18, seed=4)
+
+        def compare():
+            greedy = greedy_k_center(2, graph=owned.graph)
+            exact = exact_k_center(2, graph=owned.graph)
+            return {"greedy": greedy.objective, "exact": exact.objective}
+
+        row = run_once(benchmark, compare)
+        emit_rows([row], "facility_k_center", title="Greedy vs exact 2-center on a random tree")
+        assert row["greedy"] <= 2 * row["exact"] + 1e-9
+
+    def test_bench_greedy_k_median(self, benchmark):
+        owned = owned_connected_gnp_graph(120, 0.05, seed=5)
+        result = benchmark(greedy_k_median, 4, owned.graph)
+        assert len(result.centers) == 4
+
+
+class TestGraphPrimitives:
+    def test_bench_bridges(self, benchmark):
+        owned = random_owned_tree(400, seed=6)
+        found = benchmark(bridges, owned.graph)
+        assert len(found) == owned.graph.number_of_edges()
+
+    def test_bench_betweenness(self, benchmark):
+        owned = owned_connected_gnp_graph(100, 0.06, seed=7)
+        centrality = benchmark(betweenness_centrality, owned.graph)
+        assert len(centrality) == 100

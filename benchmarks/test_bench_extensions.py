@@ -1,0 +1,133 @@
+"""Benchmarks for the extension studies (DESIGN.md §5, EXPERIMENTS.md).
+
+Each benchmark regenerates one extension study on its smoke grid and asserts
+the qualitative shape the corresponding full-grid study is meant to show:
+
+* SumNCG players with small k are more conservative than full-knowledge
+  players (fewer strategy changes);
+* the paper's qualitative findings survive on other instance families
+  (convergence, quality >= 1, hub formation);
+* richer move sets restructure the network more than swap-only moves;
+* discovery view models reveal at least as much as the radius-k ball, and
+  the k-neighbourhood baseline remains stable by construction;
+* MaxNCG equilibria survive the empty-world belief while heavy pessimism
+  destabilises SumNCG equilibria.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
+from repro.experiments.extensions import (
+    AnatomyStudyConfig,
+    BeliefStudyConfig,
+    FamilyStudyConfig,
+    MoveSetStudyConfig,
+    SumDynamicsConfig,
+    ViewModelStudyConfig,
+    generate_anatomy_study,
+    generate_belief_study,
+    generate_family_study,
+    generate_move_set_study,
+    generate_sum_dynamics,
+    generate_view_model_study,
+)
+
+
+def test_bench_sum_dynamics_study(benchmark, emit_rows):
+    cfg = SumDynamicsConfig(
+        sizes=(10,),
+        alphas=(1.5,),
+        ks=(2, FULL_KNOWLEDGE_K),
+        settings=SweepSettings.smoke(),
+    )
+    rows = run_once(benchmark, generate_sum_dynamics, cfg)
+    emit_rows(rows, "ext_sum_dynamics", title="Extension: SumNCG dynamics (smoke grid)")
+    by_k = {row["k"]: row for row in rows}
+    # Quality is well-defined and the local players change at most as much as
+    # the full-knowledge ones (Proposition 2.2 conservativeness).
+    for row in rows:
+        assert row["quality_mean"] >= 1.0 - 1e-9
+    assert by_k[2]["total_changes_mean"] <= by_k[FULL_KNOWLEDGE_K]["total_changes_mean"] + 1e-9
+
+
+def test_bench_family_robustness_study(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_family_study, FamilyStudyConfig.smoke())
+    emit_rows(rows, "ext_families", title="Extension: instance-family robustness (smoke grid)")
+    families = {row["family"] for row in rows}
+    assert len(families) >= 3
+    for row in rows:
+        # The paper's headline findings hold on every family: the dynamics
+        # converge, the stable network costs at least the optimum, and
+        # players never buy more edges than the busiest hub's degree.
+        assert row["converged_fraction"] == 1.0
+        assert row["quality_mean"] >= 1.0 - 1e-9
+        assert row["max_bought_edges_mean"] <= row["max_degree_mean"] + 1e-9
+
+
+def test_bench_move_set_study(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_move_set_study, MoveSetStudyConfig.smoke())
+    emit_rows(rows, "ext_move_sets", title="Extension: move-set ablation (smoke grid)")
+    by_move_set: dict[str, list[dict]] = {}
+    for row in rows:
+        by_move_set.setdefault(row["move_set"], []).append(row)
+    assert set(by_move_set) == {"best_response", "greedy", "swap"}
+    # Swap-only dynamics cannot change how many edges each player owns, so a
+    # tree stays a tree: the number of edges (hence the mean degree) is fixed,
+    # and the stable networks keep quality >= 1 like every other variant.
+    for bucket in by_move_set.values():
+        for row in bucket:
+            assert row["quality_mean"] >= 1.0 - 1e-9
+            assert row["converged_fraction"] == 1.0
+
+
+def test_bench_view_model_study(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_view_model_study, ViewModelStudyConfig.smoke())
+    emit_rows(rows, "ext_view_models", title="Extension: discovery view models (smoke grid)")
+    k_rows = [row for row in rows if row["model"].startswith("k-neighborhood")]
+    trace_rows = [row for row in rows if row["model"].startswith("traceroute")]
+    assert k_rows and trace_rows
+    # The baseline model is stable by construction; traceroute reveals the
+    # whole network, i.e. strictly more than the radius-k ball.
+    for row in k_rows:
+        assert row["stable_fraction"] == 1.0
+    for trace_row in trace_rows:
+        matching_k = [r for r in k_rows if r["alpha"] == trace_row["alpha"] and r["k"] == trace_row["k"]]
+        assert matching_k
+        assert trace_row["mean_view_size_mean"] >= matching_k[0]["mean_view_size_mean"] - 1e-9
+
+
+def test_bench_anatomy_study(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_anatomy_study, AnatomyStudyConfig.smoke())
+    emit_rows(rows, "ext_anatomy", title="Extension: equilibrium anatomy (smoke grid)")
+    by_k = {row["k"]: row for row in rows}
+    # Equilibria on trees stay mostly tree-like (bridge-rich) at small k, and
+    # hub concentration does not decrease when players gain full knowledge.
+    assert by_k[2]["bridge_fraction_mean"] >= 0.8
+    assert by_k[FULL_KNOWLEDGE_K]["degree_gini_mean"] >= by_k[2]["degree_gini_mean"] - 1e-9
+    for row in rows:
+        assert row["converged_fraction"] == 1.0
+
+
+def test_bench_belief_study(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_belief_study, BeliefStudyConfig.smoke())
+    emit_rows(rows, "ext_beliefs", title="Extension: Bayesian deviation rule (smoke grid)")
+    # Sanity row: MaxNCG equilibria always survive the empty-world belief.
+    sanity = [row for row in rows if row["belief"] == "empty-world" and row["usage"] == "max"]
+    assert sanity
+    for row in sanity:
+        assert row["survives_fraction"] == 1.0
+    # Heavy pessimism can only lower the survival fraction relative to the
+    # empty world, for the same game and cell.
+    for usage in ("max", "sum"):
+        empty = {
+            (row["alpha"], row["k"]): row["survives_fraction"]
+            for row in rows
+            if row["belief"] == "empty-world" and row["usage"] == usage
+        }
+        heavy = {
+            (row["alpha"], row["k"]): row["survives_fraction"]
+            for row in rows
+            if row["belief"] == "pessimistic-heavy" and row["usage"] == usage
+        }
+        for cell, fraction in heavy.items():
+            assert fraction <= empty[cell] + 1e-9

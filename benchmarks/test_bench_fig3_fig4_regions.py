@@ -1,0 +1,44 @@
+"""Benchmarks regenerating the theoretical bound maps of Figures 3 and 4.
+
+These are purely analytical (no simulation): the benchmark evaluates every
+closed-form lower/upper bound of Sections 3-4 over an (α, k) grid and checks
+the structural facts the figures encode — upper bounds dominate lower bounds,
+the grey NE≡LKE region appears for large k, and the bounds weaken as k grows.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import (
+    Figure3Config,
+    Figure4Config,
+    generate_figure3,
+    generate_figure4,
+)
+
+
+def test_bench_fig3_maxncg_region_map(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure3, Figure3Config(n=10_000, alpha_points=10, k_points=10))
+    emit_rows(rows, "fig3_regions", title="Figure 3: MaxNCG (α, k) bound map")
+    assert any(row["region"] == "NE≡LKE" for row in rows)
+    for row in rows:
+        assert row["upper_bound"] >= row["lower_bound"] * 0.999
+        assert row["lower_bound"] >= 1.0
+    # For fixed α the lower bound is (weakly) non-increasing once k passes α.
+    alphas = sorted({row["alpha"] for row in rows})
+    target_alpha = alphas[len(alphas) // 2]
+    series = sorted(
+        (row["k"], row["lower_bound"]) for row in rows if row["alpha"] == target_alpha
+    )
+    large_k = [value for k, value in series if k >= target_alpha]
+    assert all(b <= a * 1.001 for a, b in zip(large_k, large_k[1:]))
+
+
+def test_bench_fig4_sumncg_region_map(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure4, Figure4Config(n=10_000, alpha_points=10, k_points=10))
+    emit_rows(rows, "fig4_regions", title="Figure 4: SumNCG (α, k) lower-bound map")
+    regions = {row["region"] for row in rows}
+    assert "NE≡LKE" in regions
+    assert any("n/k" in region for region in regions)
+    # The strongest bound on the grid must be at least Ω(n^{2/3}) ~ 464 for
+    # n = 10 000 (the paper notes the torus bound is at least Ω(n^{2/3})).
+    assert max(row["lower_bound"] for row in rows) >= 10_000 ** (2 / 3) * 0.5

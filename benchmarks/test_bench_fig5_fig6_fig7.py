@@ -1,0 +1,74 @@
+"""Benchmarks regenerating Figures 5-7 (view sizes and quality of equilibria).
+
+Paper shapes being reproduced (on reduced smoke grids):
+
+* **Figure 5** — the players' view size at equilibrium grows rapidly with k
+  and shrinks with α; under (effectively) full knowledge every player sees
+  all n vertices.
+* **Figure 6** — for small k the quality of equilibrium degrades with n,
+  while for large k it stays almost constant (the full-knowledge PoA).
+* **Figure 7** — for α = 2 the quality of equilibrium decreases as k grows,
+  following the trend of the theoretical upper bound f(k) = k / 2^{Θ(log²k)}.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import FULL_KNOWLEDGE_K
+from repro.experiments.figures import (
+    Figure5Config,
+    Figure6Config,
+    Figure7Config,
+    generate_figure5,
+    generate_figure6,
+    generate_figure7,
+)
+
+
+def test_bench_fig5_view_sizes(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure5, Figure5Config.smoke())
+    emit_rows(rows, "fig5_view_sizes", title="Figure 5: view size at equilibrium")
+    cells = {(row["k"], row["alpha"]): row for row in rows}
+    alphas = sorted({row["alpha"] for row in rows})
+    for alpha in alphas:
+        full = cells[(FULL_KNOWLEDGE_K, alpha)]
+        local = cells[(2, alpha)]
+        # Full knowledge: everyone sees the whole graph; k = 2: much less.
+        assert full["minimum_view_size_mean"] == full["n"]
+        assert local["average_view_size_mean"] < full["average_view_size_mean"]
+
+
+def test_bench_fig6_quality_vs_n(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure6, Figure6Config.smoke())
+    emit_rows(rows, "fig6_quality_vs_n", title="Figure 6: quality of equilibrium vs n")
+    # For the smallest k the quality should degrade (weakly) as n grows,
+    # for the full-knowledge column it should stay within a small constant.
+    small_k = min(row["k"] for row in rows)
+    for alpha in {row["alpha"] for row in rows}:
+        series = sorted(
+            (row["n"], row["quality_mean"])
+            for row in rows
+            if row["k"] == small_k and row["alpha"] == alpha
+        )
+        assert series[-1][1] >= series[0][1] * 0.8
+        full_quality = [
+            row["quality_mean"]
+            for row in rows
+            if row["k"] == FULL_KNOWLEDGE_K and row["alpha"] == alpha
+        ]
+        assert all(value <= 4.5 for value in full_quality)
+
+
+def test_bench_fig7_quality_vs_k(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure7, Figure7Config.smoke())
+    emit_rows(rows, "fig7_quality_vs_k", title="Figure 7: quality of equilibrium vs k (α = 2)")
+    for family in ("tree", "gnp"):
+        sizes = {row["n"] for row in rows if row["family"] == family}
+        for n in sizes:
+            series = sorted(
+                (row["k"], row["quality_mean"])
+                for row in rows
+                if row["family"] == family and row["n"] == n
+            )
+            # Quality at the largest k should not exceed quality at the
+            # smallest k (larger views can only help, up to noise).
+            assert series[-1][1] <= series[0][1] * 1.15

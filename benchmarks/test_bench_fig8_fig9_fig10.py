@@ -1,0 +1,53 @@
+"""Benchmarks regenerating Figures 8-10 (degrees, fairness, convergence time).
+
+Paper shapes being reproduced (on reduced smoke grids):
+
+* **Figure 8** — hubs emerge: for larger k and small α the maximum degree is
+  much larger than the maximum number of edges any single player buys.
+* **Figure 9** — the unfairness ratio (max player cost / min player cost)
+  is at least 1 and tends to be smaller for small k ("restricting the view
+  of the players could help to converge towards stable networks where
+  players' costs do not differ too much").
+* **Figure 10** — convergence is fast: a handful of rounds for every α, and
+  the number of rounds grows slowly with n.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import (
+    Figure8Config,
+    Figure9Config,
+    Figure10Config,
+    generate_figure8,
+    generate_figure9,
+    generate_figure10,
+)
+
+
+def test_bench_fig8_degrees_and_bought_edges(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure8, Figure8Config.smoke())
+    emit_rows(rows, "fig8_degrees", title="Figure 8: max degree / max bought edges vs α")
+    for row in rows:
+        assert row["max_degree_mean"] >= row["max_bought_edges_mean"]
+    # The hub effect: somewhere on the grid the gap is at least a factor 2.
+    assert any(
+        row["max_degree_mean"] >= 2 * row["max_bought_edges_mean"] for row in rows
+    )
+
+
+def test_bench_fig9_unfairness(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure9, Figure9Config.smoke())
+    emit_rows(rows, "fig9_unfairness", title="Figure 9: unfairness ratio vs α")
+    for row in rows:
+        assert row["unfairness_mean"] >= 1.0
+        assert row["max_player_cost_mean"] >= row["min_player_cost_mean"]
+
+
+def test_bench_fig10_convergence_rounds(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_figure10, Figure10Config.smoke())
+    emit_rows(rows, "fig10_rounds", title="Figure 10: rounds to convergence")
+    assert {row["panel"] for row in rows} == {"alpha", "n"}
+    for row in rows:
+        # The paper: almost every run converges within 7 rounds.
+        assert row["rounds_mean"] <= 10
+        assert row["converged_mean"] >= 0.9

@@ -1,0 +1,42 @@
+"""Benchmarks regenerating Tables I and II (instance statistics).
+
+Paper reference values (means over 20 instances):
+
+* Table I (random trees): diameter grows from ~10.7 (n=20) to ~43.2 (n=200),
+  max degree stays in the 4-5.4 range, max bought edges in the 2.8-3.9 range.
+* Table II (Erdős–Rényi): e.g. (100, 0.06) has ~301 edges, diameter ~5.3,
+  max degree ~12.5, max bought edges ~7.9.
+
+The smoke grids use fewer seeds and smaller sizes but must reproduce the
+qualitative shape (diameter grows with n; max bought edges is roughly half
+the max degree).
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import (
+    Table1Config,
+    Table2Config,
+    generate_table1,
+    generate_table2,
+)
+
+
+def test_bench_table1_random_tree_statistics(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_table1, Table1Config.smoke())
+    emit_rows(rows, "table1", title="Table I (smoke grid): random tree statistics")
+    diameters = [row["diameter_mean"] for row in rows]
+    assert diameters == sorted(diameters)  # diameter grows with n
+    for row in rows:
+        assert 2 <= row["max_degree_mean"] <= 10
+        assert row["max_bought_edges_mean"] <= row["max_degree_mean"]
+
+
+def test_bench_table2_erdos_renyi_statistics(benchmark, emit_rows):
+    rows = run_once(benchmark, generate_table2, Table2Config.smoke())
+    emit_rows(rows, "table2", title="Table II (smoke grid): Erdős–Rényi statistics")
+    for row in rows:
+        expected_edges = row["p"] * row["n"] * (row["n"] - 1) / 2
+        assert 0.6 * expected_edges <= row["edges_mean"] <= 1.4 * expected_edges
+        assert row["diameter_mean"] <= 10
+        assert row["max_bought_edges_mean"] <= row["max_degree_mean"]

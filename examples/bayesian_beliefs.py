@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Worst-case vs Bayesian players: when do LKEs survive a change of attitude?
+
+The paper's Local Knowledge Equilibrium uses a maximin rule: deviate only if
+the move helps against *every* network compatible with the view.  Its
+conclusions propose the Bayesian relaxation — deviate when the move helps in
+expectation under a belief about the invisible part of the network.
+
+This example runs the standard dynamics on small trees for both games, then
+re-examines the resulting equilibria through three beliefs:
+
+* ``empty-world``   — nothing exists beyond the view (the optimist);
+* ``geometric``     — the network keeps branching like the visible part;
+* ``pessimistic``   — a heavy mass of hidden players hangs behind every
+  frontier vertex (the paranoid player of Proposition 2.2's proof).
+
+Run with::
+
+    python examples/bayesian_beliefs.py [n] [alpha] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    EmptyWorldBelief,
+    GeometricGrowthBelief,
+    MaxNCG,
+    PessimisticBelief,
+    SumNCG,
+    best_response_dynamics,
+    is_bayesian_equilibrium,
+    random_owned_tree,
+)
+
+BELIEFS = [
+    ("empty-world", EmptyWorldBelief()),
+    ("geometric", GeometricGrowthBelief(depth=3)),
+    ("pessimistic", PessimisticBelief(eta=25.0, extra_distance=1.0)),
+]
+
+
+def main(n: int = 12, alpha: float = 2.0, k: int = 2) -> None:
+    print(f"Random trees on {n} players, alpha={alpha}, knowledge radius k={k}\n")
+    print(f"{'game':>6} {'seed':>5} " + " ".join(f"{label:>14}" for label, _ in BELIEFS))
+    for make_game, label in ((MaxNCG, "max"), (SumNCG, "sum")):
+        for seed in range(3):
+            instance = random_owned_tree(n, seed=seed)
+            game = make_game(alpha=alpha, k=k)
+            result = best_response_dynamics(instance, game)
+            profile = result.final_profile
+            verdicts = []
+            for _, belief in BELIEFS:
+                survives = is_bayesian_equilibrium(profile, game, belief, max_candidates=n)
+                verdicts.append("stable" if survives else "deviates")
+            print(f"{label:>6} {seed:>5} " + " ".join(f"{v:>14}" for v in verdicts))
+
+    print(
+        "\nReading: MaxNCG equilibria always survive the empty-world belief\n"
+        "(Proposition 2.1 makes the worst case coincide with the view), while\n"
+        "SumNCG equilibria often dissolve under heavy pessimism - once a\n"
+        "player expects many hidden vertices behind the frontier, buying an\n"
+        "edge towards it becomes worthwhile in expectation even though the\n"
+        "worst-case rule saw no profit."
+    )
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    main(
+        n=int(argv[0]) if len(argv) > 0 else 12,
+        alpha=float(argv[1]) if len(argv) > 1 else 2.0,
+        k=int(argv[2]) if len(argv) > 2 else 2,
+    )

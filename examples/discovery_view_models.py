@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Network-discovery view models: what if players learn the network differently?
+
+The paper fixes one information regime — every player knows the subgraph
+induced by her radius-k ball.  Its conclusions point at network discovery as
+a source of alternative regimes, and this example compares three of them on
+the stable networks produced by the standard dynamics:
+
+* ``k-neighborhood`` — the paper's model;
+* ``union-of-balls`` — the player also learns the radius-r balls of her
+  direct neighbours (cooperative discovery);
+* ``traceroute``     — the player probes every other node and learns one
+  shortest path to each (so she knows all distances exactly but only a
+  path-union of the topology).
+
+For each model the script prints how much of the network the players see and
+whether the equilibrium survives the change of information regime.
+
+Run with::
+
+    python examples/discovery_view_models.py [n] [alpha] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    KNeighborhoodModel,
+    MaxNCG,
+    TracerouteModel,
+    UnionOfBallsModel,
+    best_response_dynamics,
+    random_owned_tree,
+)
+from repro.discovery import compare_view_models
+
+
+def main(n: int = 16, alpha: float = 2.0, k: int = 2) -> None:
+    game = MaxNCG(alpha=alpha, k=k)
+    instance = random_owned_tree(n, seed=1)
+    result = best_response_dynamics(instance, game)
+    profile = result.final_profile
+    print(
+        f"Stable network reached by the paper's dynamics on a random tree "
+        f"(n={n}, alpha={alpha}, k={k}); quality={result.final_metrics.quality:.2f}\n"
+    )
+
+    models = [
+        KNeighborhoodModel(k=k),
+        UnionOfBallsModel(radius=max(k // 2, 1), include_neighbors=True),
+        TracerouteModel(),
+    ]
+    rows = compare_view_models(profile, game, models, solver="branch_and_bound")
+
+    print(f"{'model':>40} {'mean view':>10} {'min view':>9} {'frontier':>9} {'stable?':>8}")
+    for row in rows:
+        print(
+            f"{row.model_label:>40} {row.mean_view_size:10.1f} {row.min_view_size:9d} "
+            f"{row.mean_frontier_size:9.1f} {str(row.stable):>8}"
+        )
+
+    print(
+        "\nReading: the discovery models reveal (much) more of the network\n"
+        "than the radius-k ball, and richer information can destroy\n"
+        "stability - players spot improving deviations the k-neighbourhood\n"
+        "view hid from them.  This is the experimental face of the paper's\n"
+        "observation that the LKE set shrinks towards the NE set as views\n"
+        "grow (Corollary 3.14)."
+    )
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    main(
+        n=int(argv[0]) if len(argv) > 0 else 16,
+        alpha=float(argv[1]) if len(argv) > 1 else 2.0,
+        k=int(argv[2]) if len(argv) > 2 else 2,
+    )

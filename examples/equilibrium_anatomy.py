@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Anatomy of a stable network: cut structure, hubs, and who pays for what.
+
+Figures 8-9 of the paper summarise equilibria with two numbers (maximum
+degree and the unfairness ratio).  This example digs one level deeper: it
+runs the standard dynamics for a few knowledge radii, checkpoints each
+stable network to JSON, and prints a structural report —
+
+* how tree-like the equilibrium is (bridges, cyclomatic number),
+* how concentrated the hub structure is (degree / betweenness Gini,
+  top-10 % degree share, whether the hubs sit at the graph center), and
+* how the social cost splits between building and usage and how unevenly
+  each share is carried.
+
+Run with::
+
+    python examples/equilibrium_anatomy.py [n] [alpha]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import FULL_KNOWLEDGE, MaxNCG, best_response_dynamics, random_owned_tree
+from repro.analysis.structure import structure_report
+from repro.core.serialization import read_dynamics_checkpoint, write_dynamics_result_json
+
+
+def main(n: int = 30, alpha: float = 2.0) -> None:
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="repro-anatomy-"))
+    print(f"Random tree on {n} players, alpha={alpha}; checkpoints in {checkpoint_dir}\n")
+
+    header = (
+        f"{'k':>5} {'quality':>8} {'bridges':>8} {'cyclo':>6} {'deg gini':>9} "
+        f"{'top10%':>7} {'betw gini':>10} {'build share':>12} {'hub=center':>11}"
+    )
+    print(header)
+
+    for k in (2, 3, 5, FULL_KNOWLEDGE):
+        instance = random_owned_tree(n, seed=0)
+        game = MaxNCG(alpha=alpha, k=k)
+        result = best_response_dynamics(instance, game)
+
+        # Checkpoint the outcome, then reload it before analysing - the
+        # post-hoc analysis never needs the dynamics to be re-run.
+        k_label = "inf" if k == FULL_KNOWLEDGE else str(int(k))
+        path = checkpoint_dir / f"equilibrium_k{k_label}.json"
+        write_dynamics_result_json(result, path)
+        profile, loaded_game, _ = read_dynamics_checkpoint(path)
+
+        report = structure_report(profile, loaded_game)
+        print(
+            f"{k_label:>5} {result.final_metrics.quality:8.2f} {report.num_bridges:8d} "
+            f"{report.cyclomatic_number:6d} {report.degree_gini:9.2f} "
+            f"{report.degree_top10_share:7.2f} {report.betweenness_gini:10.2f} "
+            f"{report.building_cost_share:12.2f} {str(report.hubs_in_center):>11}"
+        )
+
+    print(
+        "\nReading: as the knowledge radius grows the equilibrium becomes more\n"
+        "hub-centric - the degree and betweenness Gini coefficients rise, the\n"
+        "busiest 10% of players carry a growing share of all edge endpoints,\n"
+        "and the hubs move into the graph center.  The network stays almost\n"
+        "tree-like throughout (bridges ~= edges, tiny cyclomatic number),\n"
+        "which is why the usage cost, not the building cost, dominates the\n"
+        "social cost at every radius."
+    )
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    main(
+        n=int(argv[0]) if len(argv) > 0 else 30,
+        alpha=float(argv[1]) if len(argv) > 1 else 2.0,
+    )

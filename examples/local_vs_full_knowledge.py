@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""How much does limited knowledge cost? (The paper's motivating question.)
+
+For a fixed instance family (random trees) and price α, this example sweeps
+the knowledge radius k from 2 up to full knowledge and reports how the
+quality of the resulting equilibria, the convergence time and the fairness
+change — a miniature version of Figures 6, 7 and 9.
+
+Run with::
+
+    python examples/local_vs_full_knowledge.py [n] [alpha]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MaxNCG, best_response_dynamics, random_owned_tree
+from repro.analysis.statistics import summarize
+from repro.core.games import FULL_KNOWLEDGE
+
+
+def main(n: int = 30, alpha: float = 2.0, seeds: int = 5) -> None:
+    ks: list[float] = [1, 2, 3, 4, 5, FULL_KNOWLEDGE]
+    print(f"Random trees, n={n}, alpha={alpha}, {seeds} seeds per k\n")
+    header = f"{'k':>6}  {'quality':>14}  {'rounds':>12}  {'unfairness':>14}  {'view size':>12}"
+    print(header)
+    print("-" * len(header))
+    for k in ks:
+        qualities, rounds, unfairness, views = [], [], [], []
+        for seed in range(seeds):
+            instance = random_owned_tree(n, seed=seed)
+            game = MaxNCG(alpha=alpha, k=k)
+            result = best_response_dynamics(instance, game, solver="greedy")
+            qualities.append(result.final_metrics.quality)
+            rounds.append(result.rounds)
+            unfairness.append(result.final_metrics.unfairness)
+            views.append(result.final_metrics.mean_view_size)
+        k_label = "full" if k == FULL_KNOWLEDGE else str(int(k))
+        print(
+            f"{k_label:>6}  {str(summarize(qualities)):>14}  {str(summarize(rounds)):>12}  "
+            f"{str(summarize(unfairness)):>14}  {str(summarize(views)):>12}"
+        )
+    print(
+        "\nExpected shape (paper, Figures 6-9): the quality improves as k grows, "
+        "equilibria become less fair, and beyond a small threshold the players "
+        "effectively have full knowledge."
+    )
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:3]
+    main(
+        n=int(args[0]) if len(args) > 0 else 30,
+        alpha=float(args[1]) if len(args) > 1 else 2.0,
+    )

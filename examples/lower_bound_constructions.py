@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Build and certify the paper's lower-bound constructions.
+
+The Price-of-Anarchy lower bounds of Sections 3 and 4 rest on explicit
+networks that are stable although their social cost is far from optimal.
+This example constructs three of them —
+
+* the cycle of Lemma 3.1 (MaxNCG, α >= k - 1),
+* the stretched toroidal grid of Theorem 3.12 (MaxNCG, 1 < α <= k),
+* the d = 2, ℓ = 2 torus of Lemma 4.1 (SumNCG, α >= 4k³),
+
+— certifies programmatically that no player can improve (in the LKE sense)
+and compares the measured PoA ratio with the paper's predicted lower bound.
+
+Run with::
+
+    python examples/lower_bound_constructions.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.certificates import (
+    certify_cycle_lemma_3_1,
+    certify_sum_torus_lemma_4_1,
+    certify_torus_theorem_3_12,
+)
+
+
+def show(result) -> None:
+    print(f"\n=== {result.construction} ===")
+    print(f"  game: {result.game.label()}")
+    print(f"  n = {result.num_players}, m = {result.num_edges}, diameter = {result.diameter}")
+    print(f"  equilibrium certified: {result.is_equilibrium} "
+          f"(players checked: {result.players_checked})")
+    print(f"  social cost = {result.social_cost:.1f}, optimum = {result.social_optimum:.1f}")
+    print(f"  measured PoA ratio = {result.poa_ratio:.2f}")
+    if result.predicted_lower_bound is not None:
+        print(f"  paper's Ω(·) lower-bound value = {result.predicted_lower_bound:.2f}")
+    if result.improving_players:
+        print(f"  !! improving players found: {result.improving_players}")
+
+
+def main() -> None:
+    print("Certifying the lower-bound constructions (this takes a minute)...")
+
+    show(certify_cycle_lemma_3_1(n=40, alpha=4.0, k=4, max_players=10))
+    show(certify_torus_theorem_3_12(alpha=2.0, k=2, n_target=300, max_players=12))
+    show(certify_sum_torus_lemma_4_1(alpha=40.0, k=2, n_target=150, max_players=12))
+
+    print(
+        "\nAll three networks are stable despite their large diameter: exactly "
+        "the gap between LKE and NE that drives the paper's Ω(n / (1+α)), "
+        "Ω(n / (α·2^{Θ(log²(k/α))})) and Ω(n/k) bounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

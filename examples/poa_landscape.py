@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Print an ASCII version of the paper's (α, k) bound maps (Figures 3 and 4).
+
+For a chosen number of players n, the script classifies a logarithmic grid of
+(α, k) pairs into the bound regions of Figure 3 (MaxNCG) and Figure 4
+(SumNCG) and prints the grid, plus the numeric lower/upper bound values along
+one row, so the landscape of the theory can be eyeballed without a plotting
+library.
+
+Run with::
+
+    python examples/poa_landscape.py [n]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.analysis.bounds import max_poa_lower_bound, max_poa_upper_bound
+from repro.analysis.regions import classify_max_region, classify_sum_region
+
+
+def log_grid(low: float, high: float, points: int) -> list[float]:
+    ratio = (high / low) ** (1 / (points - 1))
+    return [low * ratio**i for i in range(points)]
+
+
+def main(n: int = 10_000) -> None:
+    alphas = log_grid(1.5, n, 14)
+    ks = log_grid(1, n, 14)
+
+    print(f"MaxNCG region map (Figure 3), n = {n}")
+    print("rows: k from large (top) to small; columns: α from small to large\n")
+    symbol = {
+        "①": "1", "②": "2", "③": "3", "④": "4",
+        "⑤": "5", "⑥": "6", "⑦": "7", "⑧": "8", "NE≡LKE": ".",
+    }
+    for k in reversed(ks):
+        row = "".join(
+            symbol[classify_max_region(n, alpha, max(1, round(k))).value] for alpha in alphas
+        )
+        print(f"  k={max(1, round(k)):>6} {row}")
+    print("  legend: digits = regions ①-⑧ of Figure 3, '.' = NE≡LKE (grey region)")
+
+    k_fixed = 4
+    print(f"\nBound values along the row k = {k_fixed}:")
+    print(f"  {'alpha':>10} {'lower bound':>14} {'upper bound':>14}")
+    for alpha in alphas:
+        lower = max_poa_lower_bound(n, alpha, k_fixed)
+        upper = max_poa_upper_bound(n, alpha, k_fixed)
+        print(f"  {alpha:>10.2f} {lower:>14.2f} {upper:>14.2f}")
+
+    print(f"\nSumNCG region map (Figure 4), n = {n}")
+    sum_symbol = {
+        "Ω(n/k)": "T",
+        "Ω(1 + n²/(kα))": "t",
+        "Ω(max{n²/(kα), n^{1/(2k-2)}})": "G",
+        "open": "?",
+        "NE≡LKE": ".",
+    }
+    sum_ks = log_grid(1, math.sqrt(n), 10)
+    sum_alphas = log_grid(1.5, n**1.5, 14)
+    for k in reversed(sum_ks):
+        row = "".join(
+            sum_symbol[classify_sum_region(n, alpha, max(1, round(k))).value]
+            for alpha in sum_alphas
+        )
+        print(f"  k={max(1, round(k)):>6} {row}")
+    print("  legend: T/t = torus bounds, G = high-girth bound, ? = open, '.' = NE≡LKE")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Swap-only and greedy (single-edge) dynamics vs full best responses.
+
+The related work cited by the paper studies network creation with restricted
+move sets: Alon et al.'s swap game (replace one owned edge) and Lenzner's
+greedy game (add / delete / swap one edge).  Both compose with the paper's
+locality model unchanged, and this example compares the three dynamics from
+identical starting networks:
+
+* full best responses (the paper's Section 5 protocol),
+* greedy single-edge moves,
+* swap-only moves (the number of bought edges can never change).
+
+Run with::
+
+    python examples/restricted_move_dynamics.py [n] [alpha] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    MaxNCG,
+    best_response_dynamics,
+    greedy_dynamics,
+    is_greedy_equilibrium,
+    is_swap_equilibrium,
+    random_owned_tree,
+    swap_dynamics,
+)
+
+
+def main(n: int = 20, alpha: float = 2.0, k: int = 3) -> None:
+    game = MaxNCG(alpha=alpha, k=k)
+    print(f"Game: {game.label()}, starting from random trees on {n} players\n")
+    header = f"{'dynamics':>15} {'rounds':>7} {'changes':>8} {'quality':>8} {'max degree':>11} {'stable?':>8}"
+    print(header)
+
+    for seed in range(3):
+        instance = random_owned_tree(n, seed=seed)
+
+        full = best_response_dynamics(instance, game)
+        greedy = greedy_dynamics(instance, game)
+        swap = swap_dynamics(instance, game)
+
+        rows = [
+            ("best-response", full.rounds, full.total_changes, full.final_metrics,
+             full.converged),
+            ("greedy", greedy.rounds, greedy.total_changes, greedy.final_metrics,
+             is_greedy_equilibrium(greedy.final_profile, game)),
+            ("swap-only", swap.rounds, swap.total_changes, swap.final_metrics,
+             is_swap_equilibrium(swap.final_profile, game)),
+        ]
+        print(f"  seed {seed}:")
+        for label, rounds, changes, metrics, stable in rows:
+            print(
+                f"{label:>15} {rounds:7d} {changes:8d} {metrics.quality:8.2f} "
+                f"{metrics.max_degree:11d} {str(stable):>8}"
+            )
+
+    print(
+        "\nReading: the richer the move set, the more aggressively hubs form\n"
+        "(higher max degree, lower quality ratio).  Swap-only players cannot\n"
+        "change how many edges they own, so the degree distribution of the\n"
+        "starting tree survives almost unchanged."
+    )
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    main(
+        n=int(argv[0]) if len(argv) > 0 else 20,
+        alpha=float(argv[1]) if len(argv) > 1 else 2.0,
+        k=int(argv[2]) if len(argv) > 2 else 3,
+    )

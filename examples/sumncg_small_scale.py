@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""SumNCG under local knowledge: the experiment the paper leaves out.
+
+Section 5 of the paper restricts the simulations to MaxNCG because exact
+SumNCG best responses are too expensive at n = 100-200.  At small n the
+exhaustive solver is exact, which is enough to *see* the behavioural
+difference between the two games that Section 2 predicts:
+
+* a MaxNCG player evaluates a move exactly as if her view were the whole
+  network (Proposition 2.1), while
+* a SumNCG player must additionally refuse every move that pushes a
+  frontier vertex farther away (Proposition 2.2), making her far more
+  conservative when k is small.
+
+The script runs the round-robin dynamics for both games on the same starting
+trees and prints, per knowledge radius, how many strategy changes the
+players performed and how good the stable network ends up being.
+
+Run with::
+
+    python examples/sumncg_small_scale.py [n] [alpha]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FULL_KNOWLEDGE, MaxNCG, SumNCG, best_response_dynamics, random_owned_tree
+
+
+def main(n: int = 12, alpha: float = 1.5) -> None:
+    ks: list[float] = [2, 3, FULL_KNOWLEDGE]
+    seeds = range(3)
+
+    print(f"Round-robin dynamics on random trees with n={n}, alpha={alpha}")
+    print(f"{'game':>8} {'k':>5} {'changes':>8} {'rounds':>7} {'quality':>8} {'diameter':>9}")
+    for make_game, label in ((MaxNCG, "max"), (SumNCG, "sum")):
+        for k in ks:
+            changes, rounds, quality, diameter = 0.0, 0.0, 0.0, 0.0
+            for seed in seeds:
+                instance = random_owned_tree(n, seed=seed)
+                game = make_game(alpha=alpha, k=k)
+                result = best_response_dynamics(instance, game)
+                changes += result.total_changes
+                rounds += result.rounds
+                quality += result.final_metrics.quality
+                diameter += result.final_metrics.diameter
+            count = len(list(seeds))
+            k_label = "inf" if k == FULL_KNOWLEDGE else str(int(k))
+            print(
+                f"{label:>8} {k_label:>5} {changes / count:8.1f} {rounds / count:7.1f} "
+                f"{quality / count:8.2f} {diameter / count:9.1f}"
+            )
+
+    print(
+        "\nReading: the SumNCG rows with small k perform far fewer strategy\n"
+        "changes than their full-knowledge counterparts - the Proposition 2.2\n"
+        "rule forbids every move that risks pushing invisible players away -\n"
+        "whereas MaxNCG players restructure the network at every radius."
+    )
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    main(
+        n=int(argv[0]) if len(argv) > 0 else 12,
+        alpha=float(argv[1]) if len(argv) > 1 else 1.5,
+    )

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+that fully offline environments (no ``wheel`` package, no index access) can
+fall back to a legacy editable install::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,146 @@
+"""repro — a reproduction of "Locality-based Network Creation Games".
+
+Paper: Davide Bilò, Luciano Gualà, Stefano Leucci, Guido Proietti,
+*Locality-based Network Creation Games*, SPAA 2014 (journal version ACM
+Transactions on Parallel Computing 3(1):6, 2016).
+
+The package implements, from scratch:
+
+* the two classical network creation games — **MaxNCG** (eccentricity
+  usage) and **SumNCG** (sum-of-distances usage) — and their
+  **local-knowledge** variants in which each player only sees her
+  k-neighbourhood;
+* the **Local Knowledge Equilibrium** (LKE) solution concept and the
+  worst-case deviation semantics of Propositions 2.1 and 2.2;
+* exact best responses through the constrained minimum-dominating-set
+  reduction of Section 5.3 (MILP / branch-and-bound / greedy solvers);
+* the round-robin best-response **dynamics** of the experimental section,
+  with cycle detection and per-round metric collection;
+* the **lower-bound constructions** of Sections 3-4 (cycle, high-girth
+  graphs, the stretched toroidal grid) together with programmatic
+  equilibrium *certificates*;
+* the closed-form **PoA bound formulas** and the (α, k) region maps of
+  Figures 3-4;
+* the full **experiment harness** regenerating Tables I-II and
+  Figures 5-10.
+
+Quickstart
+----------
+>>> from repro import MaxNCG, random_owned_tree, best_response_dynamics
+>>> instance = random_owned_tree(30, seed=1)
+>>> result = best_response_dynamics(instance, MaxNCG(alpha=2, k=3))
+>>> result.converged
+True
+"""
+
+from repro.core import (
+    StrategyProfile,
+    GameSpec,
+    MaxNCG,
+    SumNCG,
+    UsageKind,
+    FULL_KNOWLEDGE,
+    player_cost,
+    social_cost,
+    all_player_costs,
+    View,
+    extract_view,
+    BestResponse,
+    best_response,
+    best_response_max,
+    is_equilibrium,
+    best_response_dynamics,
+    DynamicsResult,
+    social_optimum,
+    price_of_anarchy_ratio,
+)
+from repro.core.equilibria import certify_equilibrium, EquilibriumReport
+from repro.core.metrics import ProfileMetrics, compute_profile_metrics
+from repro.graphs import Graph
+from repro.core.swap import (
+    swap_dynamics,
+    greedy_dynamics,
+    is_swap_equilibrium,
+    is_greedy_equilibrium,
+)
+from repro.core.bayesian import (
+    EmptyWorldBelief,
+    PessimisticBelief,
+    GeometricGrowthBelief,
+    is_bayesian_equilibrium,
+)
+from repro.discovery import (
+    KNeighborhoodModel,
+    TracerouteModel,
+    UnionOfBallsModel,
+    is_equilibrium_under_model,
+)
+from repro.graphs.generators import (
+    OwnedGraph,
+    random_owned_tree,
+    owned_connected_gnp_graph,
+    owned_watts_strogatz,
+    owned_barabasi_albert,
+    owned_random_regular,
+    stretched_torus,
+    TorusParameters,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    # games & profiles
+    "StrategyProfile",
+    "GameSpec",
+    "MaxNCG",
+    "SumNCG",
+    "UsageKind",
+    "FULL_KNOWLEDGE",
+    # costs
+    "player_cost",
+    "social_cost",
+    "all_player_costs",
+    "social_optimum",
+    "price_of_anarchy_ratio",
+    # local knowledge
+    "View",
+    "extract_view",
+    # best responses & equilibria
+    "BestResponse",
+    "best_response",
+    "best_response_max",
+    "is_equilibrium",
+    "certify_equilibrium",
+    "EquilibriumReport",
+    # dynamics
+    "best_response_dynamics",
+    "DynamicsResult",
+    "ProfileMetrics",
+    "compute_profile_metrics",
+    # limited-move variants (swap / greedy games)
+    "swap_dynamics",
+    "greedy_dynamics",
+    "is_swap_equilibrium",
+    "is_greedy_equilibrium",
+    # Bayesian relaxation of the LKE rule
+    "EmptyWorldBelief",
+    "PessimisticBelief",
+    "GeometricGrowthBelief",
+    "is_bayesian_equilibrium",
+    # network-discovery view models
+    "KNeighborhoodModel",
+    "TracerouteModel",
+    "UnionOfBallsModel",
+    "is_equilibrium_under_model",
+    # graphs & generators
+    "Graph",
+    "OwnedGraph",
+    "random_owned_tree",
+    "owned_connected_gnp_graph",
+    "owned_watts_strogatz",
+    "owned_barabasi_albert",
+    "owned_random_regular",
+    "stretched_torus",
+    "TorusParameters",
+]

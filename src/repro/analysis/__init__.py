@@ -1,0 +1,83 @@
+"""Theoretical analysis utilities.
+
+* :mod:`repro.analysis.bounds` — closed-form lower/upper PoA bound formulas
+  of Sections 3 and 4 (Figures 3 and 4);
+* :mod:`repro.analysis.regions` — classification of an (α, k, n) triple into
+  the bound regions of the two figures;
+* :mod:`repro.analysis.certificates` — programmatic verification that the
+  lower-bound constructions really are equilibria with the claimed social
+  cost;
+* :mod:`repro.analysis.statistics` — means and Student-t confidence
+  intervals (the "mean ± 95 % CI" reported in every figure and table);
+* :mod:`repro.analysis.structure` — structural anatomy of stable networks
+  (cut structure, hub concentration, cost split), the fine-grained companion
+  of the Figure 8-9 statistics.
+"""
+
+from repro.analysis.statistics import Summary, summarize, confidence_interval
+from repro.analysis.bounds import (
+    max_lower_bound_cycle,
+    max_lower_bound_high_girth,
+    max_lower_bound_torus,
+    max_poa_lower_bound,
+    max_poa_upper_bound,
+    max_full_knowledge_threshold,
+    sum_lower_bound_torus,
+    sum_lower_bound_high_girth,
+    sum_full_knowledge_threshold,
+    sum_poa_lower_bound,
+)
+from repro.analysis.regions import (
+    MaxRegion,
+    SumRegion,
+    classify_max_region,
+    classify_sum_region,
+    max_region_grid,
+    sum_region_grid,
+)
+from repro.analysis.certificates import (
+    CertificateResult,
+    certify_profile,
+    certify_cycle_lemma_3_1,
+    certify_high_girth_lemma_3_2,
+    certify_torus_theorem_3_12,
+    certify_sum_torus_lemma_4_1,
+)
+from repro.analysis.structure import (
+    StructureReport,
+    structure_report,
+    gini_coefficient,
+    top_share,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "confidence_interval",
+    "max_lower_bound_cycle",
+    "max_lower_bound_high_girth",
+    "max_lower_bound_torus",
+    "max_poa_lower_bound",
+    "max_poa_upper_bound",
+    "max_full_knowledge_threshold",
+    "sum_lower_bound_torus",
+    "sum_lower_bound_high_girth",
+    "sum_full_knowledge_threshold",
+    "sum_poa_lower_bound",
+    "MaxRegion",
+    "SumRegion",
+    "classify_max_region",
+    "classify_sum_region",
+    "max_region_grid",
+    "sum_region_grid",
+    "CertificateResult",
+    "certify_profile",
+    "certify_cycle_lemma_3_1",
+    "certify_high_girth_lemma_3_2",
+    "certify_torus_theorem_3_12",
+    "certify_sum_torus_lemma_4_1",
+    "StructureReport",
+    "structure_report",
+    "gini_coefficient",
+    "top_share",
+]

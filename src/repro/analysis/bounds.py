@@ -1,0 +1,201 @@
+"""Closed-form Price-of-Anarchy bound formulas (Sections 3 and 4).
+
+These functions evaluate the asymptotic expressions of the paper *without*
+the hidden constants (i.e. they return the value of the expression inside
+the Ω(·)/O(·)), which is exactly what Figure 7 does when it plots the trend
+``f(k) = k / 2^{log² k}`` of the theoretical upper bound against the measured
+quality of equilibria.  Each lower-bound helper returns ``None`` when its
+applicability condition on (α, k, n) is not met, so that
+:func:`max_poa_lower_bound` can take the best applicable bound — mirroring
+the region decomposition of Figure 3.
+
+All logarithms are base 2, matching the constructions (the torus dimension
+is ``d = ⌈log2(k/ℓ + 2)⌉``).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "max_lower_bound_cycle",
+    "max_lower_bound_high_girth",
+    "max_lower_bound_torus",
+    "max_poa_lower_bound",
+    "max_upper_bound_density_term",
+    "max_upper_bound_diameter_term",
+    "max_poa_upper_bound",
+    "max_full_knowledge_threshold",
+    "upper_bound_trend_fig7",
+    "sum_lower_bound_torus",
+    "sum_lower_bound_high_girth",
+    "sum_full_knowledge_threshold",
+    "sum_poa_lower_bound",
+]
+
+
+def _log2(x: float) -> float:
+    if x <= 0:
+        raise ValueError("logarithm of a non-positive number")
+    return math.log2(x)
+
+
+# ----------------------------------------------------------------------
+# MaxNCG — lower bounds (Section 3.1)
+# ----------------------------------------------------------------------
+def max_lower_bound_cycle(n: int, alpha: float, k: float) -> float | None:
+    """Lemma 3.1: ``PoA = Ω(n / (1 + α))`` whenever ``k >= 1`` and ``α >= k - 1``.
+
+    The witness is a cycle on ``n >= 2k + 2`` vertices where each player owns
+    exactly one edge.
+    """
+    if k < 1 or alpha < k - 1:
+        return None
+    if n < 2 * k + 2:
+        return None
+    return n / (1 + alpha)
+
+
+def max_lower_bound_high_girth(n: int, alpha: float, k: float) -> float | None:
+    """Lemma 3.2: ``PoA = Ω(n^{1/(2k-2)})`` for ``2 <= k = o(log n)`` and ``α >= 1``.
+
+    The asymptotic condition ``k = o(log n)`` is rendered as ``k <= log2 n``
+    (the constant does not matter for the bound's value).
+    """
+    if k < 2 or alpha < 1:
+        return None
+    if k > _log2(max(n, 2)):
+        return None
+    return n ** (1.0 / (2 * k - 2))
+
+
+def max_lower_bound_torus(n: int, alpha: float, k: float) -> float | None:
+    """Theorem 3.12: ``PoA = Ω(n / (α · 2^{(log2(k/ℓ)+3) · log2(k/ℓ)}))``.
+
+    Applicable for ``1 < α <= k <= 2^{√(log2 n) - 3}`` with ``ℓ = ⌈α⌉``.
+    """
+    if not (1 < alpha <= k):
+        return None
+    if k > 2 ** (math.sqrt(_log2(max(n, 2))) - 3):
+        return None
+    stretch = math.ceil(alpha)
+    ratio = max(k / stretch, 1.0)
+    exponent = (_log2(ratio) + 3) * _log2(ratio) if ratio > 1 else 0.0
+    return n / (alpha * 2**exponent)
+
+
+def max_poa_lower_bound(n: int, alpha: float, k: float) -> float:
+    """Best applicable MaxNCG lower bound; 1.0 when no construction applies."""
+    candidates = [
+        max_lower_bound_cycle(n, alpha, k),
+        max_lower_bound_high_girth(n, alpha, k),
+        max_lower_bound_torus(n, alpha, k),
+    ]
+    values = [value for value in candidates if value is not None]
+    # A Price of Anarchy is trivially at least 1, so the bound is clamped.
+    return max(max(values, default=1.0), 1.0)
+
+
+# ----------------------------------------------------------------------
+# MaxNCG — upper bounds (Section 3.2, Theorem 3.18)
+# ----------------------------------------------------------------------
+def max_upper_bound_density_term(n: int, alpha: float, k: float) -> float:
+    """Lemma 3.17: equilibrium graphs have ``O(n^{1 + 2/min(α, 2k)})`` edges.
+
+    Contributes ``n^{2 / min(α, 2k)}`` to the PoA (after dividing by the
+    ``Θ(α n)`` optimum building cost).
+    """
+    exponent = 2.0 / min(alpha, 2 * k)
+    return n**exponent
+
+
+def max_upper_bound_diameter_term(n: int, alpha: float, k: float) -> float:
+    """Lemma 3.16 diameter contribution, for the regime ``α <= k - 1``.
+
+    ``O(min{n α / k², n k / (α 2^{(1/4) log2²(k/α)})})`` divided by α, i.e.
+    the usage-over-optimum part of Theorem 3.18's second case.
+    """
+    if alpha > k - 1:
+        return float(n) / (1 + alpha)
+    first = n * alpha / (k * k)
+    ratio = max(k / alpha, 1.0)
+    second = n * k / (alpha * 2 ** (0.25 * _log2(ratio) ** 2)) if ratio >= 1 else n * k / alpha
+    return min(first, second) / alpha
+
+
+def max_poa_upper_bound(n: int, alpha: float, k: float) -> float:
+    """Theorem 3.18 (value of the O(·) expression).
+
+    * ``α >= k - 1``: ``n^{2/min(α, 2k)} + n / (1 + α)``;
+    * ``α <= k - 1``: ``n^{2/α} + min{n α / k², n k / (α 2^{Θ(log² (k/α))})}``.
+    """
+    density = max_upper_bound_density_term(n, alpha, k)
+    if alpha >= k - 1:
+        return density + n / (1 + alpha)
+    return n ** (2.0 / alpha) + max_upper_bound_diameter_term(n, alpha, k)
+
+
+def max_full_knowledge_threshold(n: int, alpha: float) -> float:
+    """Corollary 3.14: for ``α <= k - 1`` and ``k`` above this threshold every
+    LKE is a NE (the grey region of Figure 3).
+
+    The threshold is ``c · min{n, (n α²)^{1/3}, α · 4^{√(log2 n)}}`` with the
+    constant taken as 1.
+    """
+    return min(
+        float(n),
+        (n * alpha * alpha) ** (1.0 / 3.0),
+        alpha * 4 ** math.sqrt(_log2(max(n, 2))),
+    )
+
+
+def upper_bound_trend_fig7(k: float) -> float:
+    """The trend ``f(k) = k / 2^{(1/4) log2² k}`` plotted in Figure 7.
+
+    This is the k-dependence of the theoretical upper bound once ``α >= 2``
+    and ``n`` are held constant (Section 5.4, "Quality of equilibria").
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if k == 1:
+        return 1.0
+    return k / 2 ** (0.25 * _log2(k) ** 2)
+
+
+# ----------------------------------------------------------------------
+# SumNCG (Section 4)
+# ----------------------------------------------------------------------
+def sum_lower_bound_torus(n: int, alpha: float, k: float) -> float | None:
+    """Theorem 4.2: for ``α >= 4k³`` and ``k <= √(2n/3) - 4``:
+
+    ``PoA = Ω(n/k)`` when ``α <= n`` and ``Ω(1 + n²/(kα))`` otherwise.
+    """
+    if alpha < 4 * k**3:
+        return None
+    if k > math.sqrt(2 * n / 3) - 4:
+        return None
+    if alpha <= n:
+        return n / k
+    return 1 + n * n / (k * alpha)
+
+
+def sum_lower_bound_high_girth(n: int, alpha: float, k: float) -> float | None:
+    """Theorem 4.3: ``PoA = Ω(n^{1/(2k-2)})`` for ``α >= k n`` and ``k >= 2``."""
+    if k < 2 or alpha < k * n:
+        return None
+    return n ** (1.0 / (2 * k - 2))
+
+
+def sum_full_knowledge_threshold(alpha: float) -> float:
+    """Theorem 4.4: for ``k > 1 + 2√α`` every LKE sees the whole graph (LKE = NE)."""
+    return 1 + 2 * math.sqrt(alpha)
+
+
+def sum_poa_lower_bound(n: int, alpha: float, k: float) -> float:
+    """Best applicable SumNCG lower bound; 1.0 when no construction applies."""
+    candidates = [
+        sum_lower_bound_torus(n, alpha, k),
+        sum_lower_bound_high_girth(n, alpha, k),
+    ]
+    values = [value for value in candidates if value is not None]
+    return max(max(values, default=1.0), 1.0)

@@ -1,0 +1,190 @@
+"""Region classification for the (α, k) bound maps of Figures 3 and 4.
+
+Figure 3 partitions the (α, k) plane (for a given n) into eight numbered
+regions plus the grey "NE ≡ LKE" region according to which lower and upper
+bounds of Section 3 apply; Figure 4 does the same for SumNCG with the two
+curves ``k = c·∛α`` and ``k = c·√α`` and the line ``k = α/n``.
+
+The classification below is the programmatic counterpart used by the
+region-map benchmarks: every asymptotic condition ("k = o(log n)",
+"k = Ω(n^ε)") is rendered with its natural finite-n reading (``k <= log2 n``,
+threshold constants equal to 1), which reproduces the *shape* of the figures;
+the constants hidden in the paper's Θ(·) are not — and cannot be — recovered.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.bounds import (
+    max_full_knowledge_threshold,
+    max_poa_lower_bound,
+    max_poa_upper_bound,
+    sum_full_knowledge_threshold,
+    sum_lower_bound_high_girth,
+    sum_lower_bound_torus,
+    sum_poa_lower_bound,
+)
+
+__all__ = [
+    "MaxRegion",
+    "SumRegion",
+    "classify_max_region",
+    "classify_sum_region",
+    "RegionCell",
+    "max_region_grid",
+    "sum_region_grid",
+]
+
+
+class MaxRegion(enum.Enum):
+    """The regions of Figure 3 (MaxNCG).
+
+    Regions ①-③ lie below the line ``k = α + 1`` (where the cycle and the
+    high-girth bounds apply), regions ④, ⑤, ⑦, ⑧ above it (where the torus
+    bound and the diameter upper bound apply), and the grey region is where
+    every LKE is a NE (Corollary 3.14).
+    """
+
+    R1 = "①"
+    R2 = "②"
+    R3 = "③"
+    R4 = "④"
+    R5 = "⑤"
+    R6 = "⑥"
+    R7 = "⑦"
+    R8 = "⑧"
+    FULL_KNOWLEDGE = "NE≡LKE"
+
+
+class SumRegion(enum.Enum):
+    """The regions of Figure 4 (SumNCG)."""
+
+    TORUS = "Ω(n/k)"  #: below ``k = c ∛α`` and ``α <= n``
+    TORUS_LARGE_ALPHA = "Ω(1 + n²/(kα))"  #: below ``k = c ∛α`` and ``α > n``
+    HIGH_GIRTH = "Ω(max{n²/(kα), n^{1/(2k-2)}})"  #: ``α >= k n`` strip
+    OPEN = "open"  #: between ``k = c ∛α`` and ``k = c √α`` — no bound known
+    FULL_KNOWLEDGE = "NE≡LKE"  #: above ``k = 1 + 2√α``
+
+
+def classify_max_region(n: int, alpha: float, k: float) -> MaxRegion:
+    """Classify an (α, k) pair for MaxNCG on ``n`` players (Figure 3).
+
+    The decision mirrors the figure: the grey region first (Corollary 3.14),
+    then the position w.r.t. the line ``k = α + 1``, the ``k ~ log n`` band
+    (where the high-girth / torus constructions stop applying) and the
+    ``α ~ log n`` band (where the density term ``n^{2/α}`` of the upper bound
+    becomes constant).
+    """
+    if n < 3:
+        raise ValueError("n must be at least 3")
+    log_n = math.log2(n)
+    # Grey region: players provably see everything at equilibrium.
+    if alpha <= k - 1 and k > max_full_knowledge_threshold(n, alpha):
+        return MaxRegion.FULL_KNOWLEDGE
+    if k >= n:
+        return MaxRegion.FULL_KNOWLEDGE
+
+    below_diagonal = alpha >= k - 1  # cycle bound applies
+    k_small = k <= log_n  # high-girth / n^{1/Θ(k)} constructions apply
+    k_mid = k <= 2 ** math.sqrt(log_n)  # torus construction applies
+    alpha_small = alpha <= log_n  # density term n^{2/α} is non-trivial
+
+    if below_diagonal:
+        if not k_small:
+            return MaxRegion.R6
+        # Below the diagonal and k small: which of the two lower bounds wins
+        # decides between ②, ③ and the mixed region ⑥/②.
+        cycle_value = n / (1 + alpha)
+        girth_value = n ** (1.0 / (2 * k - 2)) if k >= 2 else 1.0
+        if cycle_value >= girth_value and alpha <= log_n:
+            return MaxRegion.R6 if k <= 2 else MaxRegion.R2
+        if cycle_value >= girth_value:
+            return MaxRegion.R2
+        return MaxRegion.R3
+    # Above the diagonal: α <= k - 1.
+    if k_small:
+        return MaxRegion.R1
+    if k_mid:
+        return MaxRegion.R4 if alpha_small else MaxRegion.R5
+    return MaxRegion.R7 if alpha_small else MaxRegion.R8
+
+
+def classify_sum_region(n: int, alpha: float, k: float) -> SumRegion:
+    """Classify an (α, k) pair for SumNCG on ``n`` players (Figure 4)."""
+    if n < 3:
+        raise ValueError("n must be at least 3")
+    if k > sum_full_knowledge_threshold(alpha):
+        return SumRegion.FULL_KNOWLEDGE
+    if sum_lower_bound_high_girth(n, alpha, k) is not None:
+        return SumRegion.HIGH_GIRTH
+    if sum_lower_bound_torus(n, alpha, k) is not None:
+        return SumRegion.TORUS if alpha <= n else SumRegion.TORUS_LARGE_ALPHA
+    return SumRegion.OPEN
+
+
+@dataclass(frozen=True)
+class RegionCell:
+    """One (α, k) cell of a region map, with the applicable bound values."""
+
+    n: int
+    alpha: float
+    k: float
+    region: str
+    lower_bound: float
+    upper_bound: float | None
+
+    def as_dict(self) -> dict[str, float | str | None]:
+        return {
+            "n": self.n,
+            "alpha": self.alpha,
+            "k": self.k,
+            "region": self.region,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+        }
+
+
+def max_region_grid(
+    n: int, alphas: Sequence[float], ks: Sequence[float]
+) -> list[RegionCell]:
+    """Evaluate Figure 3 over a grid: region label + LB/UB values per cell."""
+    cells: list[RegionCell] = []
+    for alpha in alphas:
+        for k in ks:
+            region = classify_max_region(n, alpha, k)
+            cells.append(
+                RegionCell(
+                    n=n,
+                    alpha=alpha,
+                    k=k,
+                    region=region.value,
+                    lower_bound=max_poa_lower_bound(n, alpha, k),
+                    upper_bound=max_poa_upper_bound(n, alpha, k),
+                )
+            )
+    return cells
+
+
+def sum_region_grid(
+    n: int, alphas: Sequence[float], ks: Sequence[float]
+) -> list[RegionCell]:
+    """Evaluate Figure 4 over a grid (upper bounds are open for SumNCG)."""
+    cells: list[RegionCell] = []
+    for alpha in alphas:
+        for k in ks:
+            region = classify_sum_region(n, alpha, k)
+            cells.append(
+                RegionCell(
+                    n=n,
+                    alpha=alpha,
+                    k=k,
+                    region=region.value,
+                    lower_bound=sum_poa_lower_bound(n, alpha, k),
+                    upper_bound=None,
+                )
+            )
+    return cells

@@ -1,0 +1,84 @@
+"""Descriptive statistics used by the experimental section.
+
+Every data point in Tables I-II and Figures 5-10 of the paper is a mean over
+20 independent random instances accompanied by a 95 % confidence interval.
+We reproduce exactly that: sample mean and a two-sided Student-t interval
+(the paper's error bars), implemented on top of :mod:`scipy.stats`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["Summary", "confidence_interval", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± confidence-interval summary of a sample."""
+
+    mean: float
+    half_width: float
+    count: int
+    std: float
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.half_width:.2f}"
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "ci_half_width": self.half_width,
+            "count": self.count,
+            "std": self.std,
+            "confidence": self.confidence,
+        }
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> float:
+    """Half-width of the two-sided Student-t confidence interval of the mean.
+
+    Returns 0 for samples of size < 2 (no spread can be estimated) and for
+    samples with zero variance.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    data = np.asarray(list(values), dtype=float)
+    n = data.size
+    if n < 2:
+        return 0.0
+    std = float(data.std(ddof=1))
+    if std == 0.0 or math.isnan(std):
+        return 0.0
+    t_value = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return t_value * std / math.sqrt(n)
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Return the mean ± CI summary of a sample (empty samples yield NaN mean)."""
+    data = [float(v) for v in values]
+    if not data:
+        return Summary(mean=math.nan, half_width=0.0, count=0, std=0.0, confidence=confidence)
+    mean = float(np.mean(data))
+    std = float(np.std(data, ddof=1)) if len(data) > 1 else 0.0
+    return Summary(
+        mean=mean,
+        half_width=confidence_interval(data, confidence),
+        count=len(data),
+        std=std,
+        confidence=confidence,
+    )

@@ -1,0 +1,183 @@
+"""Structural anatomy of stable networks.
+
+Figures 8-9 of the paper describe equilibria through two coarse statistics —
+the maximum degree and the unfairness ratio.  This module computes a richer
+structural report of a strategy profile, used by the extension studies and
+by the examples to *explain* those two numbers:
+
+* cut structure — bridges, articulation points, biconnected blocks, and the
+  cyclomatic number (how tree-like the equilibrium is);
+* hub structure — degree and betweenness concentration (top share and Gini
+  coefficient), and whether the busiest hubs coincide with the graph
+  center/median;
+* cost anatomy — how the player costs split between building and usage, and
+  how concentrated each share is across players.
+
+Everything is exact and deterministic; the report is a frozen dataclass with
+an ``as_dict`` flattening so it can be dropped straight into the CSV writers
+of the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.core.costs import building_cost, usage_cost
+from repro.core.games import GameSpec
+from repro.core.strategies import StrategyProfile
+from repro.graphs.algorithms import (
+    articulation_points,
+    betweenness_centrality,
+    biconnected_component_count,
+    bridges,
+    graph_center,
+    graph_median,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+__all__ = ["StructureReport", "gini_coefficient", "top_share", "structure_report"]
+
+
+def gini_coefficient(values: list[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, → 1 = concentrated).
+
+    Uses the standard mean-absolute-difference formula; an empty or all-zero
+    sample has Gini 0 by convention.
+    """
+    if not values:
+        return 0.0
+    if any(v < 0 for v in values):
+        raise ValueError("gini_coefficient requires non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    sorted_values = sorted(values)
+    n = len(sorted_values)
+    cumulative = 0.0
+    for index, value in enumerate(sorted_values, start=1):
+        cumulative += index * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+def top_share(values: list[float], fraction: float = 0.1) -> float:
+    """Share of the total held by the top ``fraction`` of the sample.
+
+    ``fraction = 0.1`` with degree values answers "what share of all edge
+    endpoints do the busiest 10 % of players carry?" — the hub-formation
+    statistic behind Figure 8.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if not values:
+        return 0.0
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    count = max(1, int(round(fraction * len(values))))
+    top = sorted(values, reverse=True)[:count]
+    return sum(top) / total
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """Structural snapshot of one strategy profile under one game."""
+
+    num_players: int
+    num_edges: int
+    connected: bool
+    # Cut structure.
+    num_bridges: int
+    bridge_fraction: float
+    num_articulation_points: int
+    num_biconnected_components: int
+    cyclomatic_number: int
+    # Hub structure.
+    max_degree: int
+    degree_gini: float
+    degree_top10_share: float
+    betweenness_gini: float
+    max_betweenness: float
+    hubs_in_center: bool
+    hubs_in_median: bool
+    # Cost anatomy.
+    total_building_cost: float
+    total_usage_cost: float
+    building_cost_share: float
+    building_gini: float
+    usage_gini: float
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+
+def _max_degree_nodes(graph: Graph) -> set:
+    degrees = graph.degrees()
+    if not degrees:
+        return set()
+    best = max(degrees.values())
+    return {node for node, degree in degrees.items() if degree == best}
+
+
+def structure_report(profile: StrategyProfile, game: GameSpec) -> StructureReport:
+    """Compute the full structural report of ``profile`` under ``game``."""
+    graph = profile.graph()
+    n = profile.num_players()
+    m = graph.number_of_edges()
+    connected = is_connected(graph) if n > 0 else True
+
+    bridge_list = bridges(graph)
+    cut_vertices = articulation_points(graph)
+    blocks = biconnected_component_count(graph)
+    components = 1 if connected else _component_count(graph)
+    cyclomatic = m - n + components if n > 0 else 0
+
+    degrees = [float(d) for d in graph.degrees().values()] or [0.0]
+    betweenness = betweenness_centrality(graph) if n > 0 else {}
+    betweenness_values = [betweenness[node] for node in graph.nodes()] or [0.0]
+
+    hubs = _max_degree_nodes(graph)
+    if connected and n > 1:
+        center = graph_center(graph)
+        median = graph_median(graph)
+        hubs_in_center = bool(hubs & center)
+        hubs_in_median = bool(hubs & median)
+    else:
+        hubs_in_center = False
+        hubs_in_median = False
+
+    building = [building_cost(profile, player, game.alpha) for player in profile] or [0.0]
+    usage = [usage_cost(graph, player, game.usage) for player in profile] or [0.0]
+    finite_usage = [value for value in usage if value != float("inf")]
+    total_building = sum(building)
+    total_usage = sum(finite_usage)
+    total = total_building + total_usage
+
+    return StructureReport(
+        num_players=n,
+        num_edges=m,
+        connected=connected,
+        num_bridges=len(bridge_list),
+        bridge_fraction=len(bridge_list) / m if m else 0.0,
+        num_articulation_points=len(cut_vertices),
+        num_biconnected_components=blocks,
+        cyclomatic_number=cyclomatic,
+        max_degree=int(max(degrees)),
+        degree_gini=gini_coefficient(degrees),
+        degree_top10_share=top_share(degrees, fraction=0.1),
+        betweenness_gini=gini_coefficient(betweenness_values),
+        max_betweenness=max(betweenness_values),
+        hubs_in_center=hubs_in_center,
+        hubs_in_median=hubs_in_median,
+        total_building_cost=total_building,
+        total_usage_cost=total_usage,
+        building_cost_share=total_building / total if total > 0 else 0.0,
+        building_gini=gini_coefficient(building),
+        usage_gini=gini_coefficient(finite_usage),
+    )
+
+
+def _component_count(graph: Graph) -> int:
+    from repro.graphs.traversal import connected_components
+
+    return len(connected_components(graph))

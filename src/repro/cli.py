@@ -1,0 +1,232 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples
+--------
+::
+
+    python -m repro table1 --smoke
+    python -m repro fig7 --smoke --csv out/fig7.csv
+    python -m repro fig3 --output out/fig3.json
+    python -m repro certify --construction torus --alpha 2 --k 2 --n 200
+    python -m repro ablation --study solver --smoke
+    python -m repro families --smoke          # extension: other instance families
+    python -m repro sum-dynamics --smoke      # extension: SumNCG dynamics (small n)
+    python -m repro view-models --smoke       # extension: discovery view models
+    python -m repro beliefs --smoke           # extension: Bayesian deviation rule
+    python -m repro move-sets --smoke         # extension: swap / greedy move sets
+
+``--smoke`` selects the reduced grids (CI-sized); without it the full paper
+grids are used, which for the simulation figures can take hours.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    ordering_ablation,
+    ownership_ablation,
+    solver_ablation,
+)
+from repro.experiments.figures import (
+    ConvergenceConfig,
+    Figure3Config,
+    Figure4Config,
+    Figure5Config,
+    Figure6Config,
+    Figure7Config,
+    Figure8Config,
+    Figure9Config,
+    Figure10Config,
+    generate_convergence_summary,
+    generate_figure3,
+    generate_figure4,
+    generate_figure5,
+    generate_figure6,
+    generate_figure7,
+    generate_figure8,
+    generate_figure9,
+    generate_figure10,
+)
+from repro.experiments.extensions import (
+    AnatomyStudyConfig,
+    BeliefStudyConfig,
+    FamilyStudyConfig,
+    MoveSetStudyConfig,
+    SumDynamicsConfig,
+    ViewModelStudyConfig,
+    generate_anatomy_study,
+    generate_belief_study,
+    generate_family_study,
+    generate_move_set_study,
+    generate_sum_dynamics,
+    generate_view_model_study,
+)
+from repro.experiments.io import format_table, write_csv, write_json
+from repro.experiments.tables import (
+    Table1Config,
+    Table2Config,
+    generate_table1,
+    generate_table2,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: command name -> (config factory pair (paper, smoke), generator)
+_EXPERIMENTS: dict[str, tuple[tuple[Callable, Callable], Callable]] = {
+    "table1": ((Table1Config.paper, Table1Config.smoke), generate_table1),
+    "table2": ((Table2Config.paper, Table2Config.smoke), generate_table2),
+    "fig3": ((Figure3Config.paper, Figure3Config.smoke), generate_figure3),
+    "fig4": ((Figure4Config.paper, Figure4Config.smoke), generate_figure4),
+    "fig5": ((Figure5Config.paper, Figure5Config.smoke), generate_figure5),
+    "fig6": ((Figure6Config.paper, Figure6Config.smoke), generate_figure6),
+    "fig7": ((Figure7Config.paper, Figure7Config.smoke), generate_figure7),
+    "fig8": ((Figure8Config.paper, Figure8Config.smoke), generate_figure8),
+    "fig9": ((Figure9Config.paper, Figure9Config.smoke), generate_figure9),
+    "fig10": ((Figure10Config.paper, Figure10Config.smoke), generate_figure10),
+    "convergence": (
+        (ConvergenceConfig.paper, ConvergenceConfig.smoke),
+        generate_convergence_summary,
+    ),
+    # Extension studies (not in the paper; see DESIGN.md §5 and EXPERIMENTS.md).
+    "sum-dynamics": ((SumDynamicsConfig.paper, SumDynamicsConfig.smoke), generate_sum_dynamics),
+    "families": ((FamilyStudyConfig.paper, FamilyStudyConfig.smoke), generate_family_study),
+    "move-sets": ((MoveSetStudyConfig.paper, MoveSetStudyConfig.smoke), generate_move_set_study),
+    "view-models": (
+        (ViewModelStudyConfig.paper, ViewModelStudyConfig.smoke),
+        generate_view_model_study,
+    ),
+    "beliefs": ((BeliefStudyConfig.paper, BeliefStudyConfig.smoke), generate_belief_study),
+    "anatomy": ((AnatomyStudyConfig.paper, AnatomyStudyConfig.smoke), generate_anatomy_study),
+}
+
+_ABLATIONS = {
+    "solver": solver_ablation,
+    "ordering": ordering_ablation,
+    "ownership": ownership_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables and figures of 'Locality-based Network Creation Games'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in _EXPERIMENTS:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        _add_common_options(sub)
+
+    certify = subparsers.add_parser(
+        "certify", help="verify a lower-bound construction is an equilibrium"
+    )
+    certify.add_argument(
+        "--construction",
+        choices=["cycle", "torus", "sum-torus", "high-girth"],
+        required=True,
+    )
+    certify.add_argument("--alpha", type=float, default=2.0)
+    certify.add_argument("--k", type=int, default=2)
+    certify.add_argument("--n", type=int, default=100)
+    certify.add_argument("--degree", type=int, default=3, help="degree of the high-girth graph")
+    certify.add_argument("--max-players", type=int, default=None)
+    certify.add_argument("--solver", default="milp")
+    _add_output_options(certify)
+
+    ablation = subparsers.add_parser("ablation", help="run a design-choice ablation")
+    ablation.add_argument("--study", choices=sorted(_ABLATIONS), required=True)
+    _add_common_options(ablation)
+    return parser
+
+
+def _add_common_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--smoke", action="store_true", help="use the reduced CI grid")
+    sub.add_argument("--workers", type=int, default=1, help="worker processes for the sweep")
+    _add_output_options(sub)
+
+
+def _add_output_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--csv", default=None, help="write the rows to this CSV file")
+    sub.add_argument("--json", default=None, help="write the rows to this JSON file")
+    sub.add_argument("--quiet", action="store_true", help="suppress the printed table")
+
+
+def _make_config(factories: tuple[Callable, Callable], args: argparse.Namespace):
+    paper_factory, smoke_factory = factories
+    factory = smoke_factory if args.smoke else paper_factory
+    try:
+        return factory(workers=args.workers)
+    except TypeError:
+        return factory()
+
+
+def _emit(rows: list[dict], args: argparse.Namespace, title: str) -> None:
+    if args.csv:
+        write_csv(rows, args.csv)
+    if args.json:
+        write_json(rows, args.json)
+    if not args.quiet:
+        print(format_table(rows, title=title))
+
+
+def _run_certify(args: argparse.Namespace) -> int:
+    from repro.analysis.certificates import (
+        certify_cycle_lemma_3_1,
+        certify_high_girth_lemma_3_2,
+        certify_sum_torus_lemma_4_1,
+        certify_torus_theorem_3_12,
+    )
+
+    if args.construction == "cycle":
+        result = certify_cycle_lemma_3_1(
+            n=args.n, alpha=args.alpha, k=args.k, max_players=args.max_players, solver=args.solver
+        )
+    elif args.construction == "torus":
+        result = certify_torus_theorem_3_12(
+            alpha=args.alpha, k=args.k, n_target=args.n, max_players=args.max_players, solver=args.solver
+        )
+    elif args.construction == "sum-torus":
+        result = certify_sum_torus_lemma_4_1(
+            alpha=args.alpha, k=args.k, n_target=args.n, max_players=args.max_players, solver=args.solver
+        )
+    else:
+        result = certify_high_girth_lemma_3_2(
+            n=args.n,
+            degree=args.degree,
+            alpha=args.alpha,
+            k=args.k,
+            max_players=args.max_players,
+            solver=args.solver,
+        )
+    rows = [result.as_dict()]
+    _emit(rows, args, title=f"certificate: {result.construction}")
+    return 0 if result.is_equilibrium else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "certify":
+        return _run_certify(args)
+
+    if args.command == "ablation":
+        cfg = AblationConfig.smoke(workers=args.workers) if args.smoke else AblationConfig.paper(workers=args.workers)
+        rows = _ABLATIONS[args.study](cfg)
+        _emit(rows, args, title=f"ablation: {args.study}")
+        return 0
+
+    factories, generator = _EXPERIMENTS[args.command]
+    config = _make_config(factories, args)
+    rows = generator(config)
+    _emit(rows, args, title=args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Core game engine: the paper's primary contribution.
+
+This package implements the two network creation games (MaxNCG and SumNCG),
+both in their classical full-knowledge form and in the paper's
+*local-knowledge* form in which each player only sees her k-neighbourhood:
+
+* :mod:`repro.core.strategies` — strategy profiles and the graphs they induce;
+* :mod:`repro.core.costs` — player costs (Eqs. (1)-(2)) and social cost;
+* :mod:`repro.core.games` — game specifications (α, usage kind, radius k);
+* :mod:`repro.core.views` — k-neighbourhood views (Section 2);
+* :mod:`repro.core.deviations` — the LKE deviation semantics of
+  Propositions 2.1 and 2.2;
+* :mod:`repro.core.best_response` — exact and heuristic best responses
+  (the dominating-set reduction of Section 5.3);
+* :mod:`repro.core.equilibria` — NE / LKE certification;
+* :mod:`repro.core.dynamics` — round-robin best-response dynamics with cycle
+  detection (Section 5.1);
+* :mod:`repro.core.social` — social optimum and Price-of-Anarchy helpers.
+"""
+
+from repro.core.strategies import StrategyProfile
+from repro.core.games import GameSpec, MaxNCG, SumNCG, UsageKind, FULL_KNOWLEDGE
+from repro.core.costs import (
+    building_cost,
+    usage_cost,
+    player_cost,
+    social_cost,
+    all_player_costs,
+)
+from repro.core.views import View, extract_view
+from repro.core.best_response import (
+    BestResponse,
+    best_response_max,
+    best_response_sum_exhaustive,
+    best_response_sum_local_search,
+    best_response,
+)
+from repro.core.equilibria import (
+    is_equilibrium,
+    improving_players,
+    find_improving_deviation,
+)
+from repro.core.dynamics import DynamicsResult, RoundRecord, best_response_dynamics
+from repro.core.swap import (
+    Move,
+    MoveKind,
+    LocalMoveDynamicsResult,
+    enumerate_swap_moves,
+    enumerate_greedy_moves,
+    best_local_move,
+    is_swap_equilibrium,
+    is_greedy_equilibrium,
+    local_move_dynamics,
+    swap_dynamics,
+    greedy_dynamics,
+)
+from repro.core.bayesian import (
+    Belief,
+    EmptyWorldBelief,
+    PessimisticBelief,
+    GeometricGrowthBelief,
+    expected_cost,
+    bayesian_delta,
+    bayesian_best_response,
+    is_bayesian_equilibrium,
+)
+from repro.core.serialization import (
+    profile_to_dict,
+    profile_from_dict,
+    game_to_dict,
+    game_from_dict,
+    dynamics_result_to_dict,
+    write_profile_json,
+    read_profile_json,
+    write_dynamics_result_json,
+    read_dynamics_checkpoint,
+)
+from repro.core.social import (
+    star_social_cost,
+    clique_social_cost,
+    social_optimum,
+    exact_social_optimum,
+    price_of_anarchy_ratio,
+)
+
+__all__ = [
+    "StrategyProfile",
+    "GameSpec",
+    "MaxNCG",
+    "SumNCG",
+    "UsageKind",
+    "FULL_KNOWLEDGE",
+    "building_cost",
+    "usage_cost",
+    "player_cost",
+    "social_cost",
+    "all_player_costs",
+    "View",
+    "extract_view",
+    "BestResponse",
+    "best_response_max",
+    "best_response_sum_exhaustive",
+    "best_response_sum_local_search",
+    "best_response",
+    "is_equilibrium",
+    "improving_players",
+    "find_improving_deviation",
+    "DynamicsResult",
+    "RoundRecord",
+    "best_response_dynamics",
+    "Move",
+    "MoveKind",
+    "LocalMoveDynamicsResult",
+    "enumerate_swap_moves",
+    "enumerate_greedy_moves",
+    "best_local_move",
+    "is_swap_equilibrium",
+    "is_greedy_equilibrium",
+    "local_move_dynamics",
+    "swap_dynamics",
+    "greedy_dynamics",
+    "Belief",
+    "EmptyWorldBelief",
+    "PessimisticBelief",
+    "GeometricGrowthBelief",
+    "expected_cost",
+    "bayesian_delta",
+    "bayesian_best_response",
+    "is_bayesian_equilibrium",
+    "profile_to_dict",
+    "profile_from_dict",
+    "game_to_dict",
+    "game_from_dict",
+    "dynamics_result_to_dict",
+    "write_profile_json",
+    "read_profile_json",
+    "write_dynamics_result_json",
+    "read_dynamics_checkpoint",
+    "star_social_cost",
+    "clique_social_cost",
+    "social_optimum",
+    "exact_social_optimum",
+    "price_of_anarchy_ratio",
+]

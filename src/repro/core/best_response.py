@@ -1,0 +1,285 @@
+"""Best-response computation.
+
+MaxNCG
+------
+Following Section 5.3 of the paper, a best response of player ``u`` is found
+by (i) restricting attention to her view ``H`` (Proposition 2.1), (ii)
+guessing the eccentricity ``h`` that ``u`` will have after the move, and
+(iii) computing, for each guess, a minimum set of new edge targets such that
+every other visible vertex lies within distance ``h - 1`` (inside
+``H \\ {u}``) of a new target or of a vertex that already bought an edge
+towards ``u``.  Step (iii) is a constrained minimum dominating set on the
+``(h-1)``-th power of ``H \\ {u}`` and is solved exactly (MILP or
+branch-and-bound) or greedily (ablation).
+
+SumNCG
+------
+The paper does not run SumNCG experiments because the best response is
+NP-hard even to approximate conveniently; we provide an exhaustive solver
+for small views (used by the tests and by tiny demos) and a hill-climbing
+local search (add / drop / swap moves) honouring the Proposition 2.2
+frontier constraint for larger instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.deviations import COST_EPS, view_cost, worst_case_delta
+from repro.core.games import GameSpec, UsageKind
+from repro.core.strategies import StrategyProfile
+from repro.core.views import View, extract_view
+from repro.graphs.graph import Node
+from repro.graphs.traversal import distance_matrix
+from repro.solvers.set_cover import SetCoverInstance, solve_set_cover
+
+__all__ = [
+    "BestResponse",
+    "best_response_max",
+    "best_response_sum_exhaustive",
+    "best_response_sum_local_search",
+    "best_response",
+]
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """Outcome of a best-response computation for one player.
+
+    ``view_cost`` and ``current_view_cost`` are measured inside the player's
+    view (which, by Propositions 2.1/2.2, is exactly how the player evaluates
+    them); ``improvement = current_view_cost - view_cost`` is strictly
+    positive iff the player has a profitable deviation in the LKE sense.
+    """
+
+    player: Node
+    strategy: frozenset[Node]
+    view_cost: float
+    current_view_cost: float
+    exact: bool
+    view_size: int
+
+    @property
+    def improvement(self) -> float:
+        return self.current_view_cost - self.view_cost
+
+    @property
+    def is_improving(self) -> bool:
+        return self.improvement > COST_EPS
+
+
+def _current_best_response(view: View, current: frozenset[Node], game: GameSpec, exact: bool) -> BestResponse:
+    cost = view_cost(view, current, game)
+    return BestResponse(
+        player=view.player,
+        strategy=current,
+        view_cost=cost,
+        current_view_cost=cost,
+        exact=exact,
+        view_size=view.size,
+    )
+
+
+def best_response_max(
+    profile: StrategyProfile,
+    player: Node,
+    game: GameSpec,
+    solver: str = "milp",
+    view: View | None = None,
+) -> BestResponse:
+    """Exact (or greedy, per ``solver``) best response in MaxNCG.
+
+    Works both for the local-knowledge game (``game.k`` finite) and for the
+    classical game (``game.k = FULL_KNOWLEDGE``) — in the latter case the
+    view is the whole network and the result is a classical best response.
+    """
+    if game.usage is not UsageKind.MAX:
+        raise ValueError("best_response_max requires a MaxNCG game spec")
+    if view is None:
+        view = extract_view(profile, player, game.k)
+    current = profile.strategy(player)
+    current_cost = view_cost(view, current, game)
+    exact = solver != "greedy"
+
+    # Trivial view: the player sees nobody else, the empty strategy is optimal.
+    others = sorted(view.strategy_space, key=repr)
+    if not others:
+        empty: frozenset[Node] = frozenset()
+        return BestResponse(player, empty, game.alpha * 0, current_cost, exact, view.size)
+
+    # Distances inside the view with the player removed: these are the
+    # distances available to reach each vertex after the first hop.
+    reduced = view.subgraph.without_node(player)
+    dist, order = distance_matrix(reduced)
+    index = {node: i for i, node in enumerate(order)}
+    num_nodes = len(order)
+    forced = tuple(index[buyer] for buyer in view.buyers if buyer in index)
+
+    best_cost = current_cost
+    best_strategy = current
+    # A response with eccentricity h costs at least h, so once h reaches the
+    # incumbent cost no better solution can exist.
+    max_h = num_nodes
+    for h in range(1, max_h + 1):
+        if h >= best_cost - COST_EPS:
+            break
+        coverage = dist <= (h - 1)
+        instance = SetCoverInstance(
+            coverage=coverage,
+            forced=forced,
+            candidate_labels=order,
+            element_labels=order,
+        )
+        result = solve_set_cover(instance, method=solver)
+        if not result.feasible:
+            continue
+        cost = game.alpha * result.objective + h
+        if cost < best_cost - COST_EPS:
+            best_cost = cost
+            best_strategy = frozenset(result.selected_labels(instance))
+            if not result.optimal:
+                exact = False
+    return BestResponse(
+        player=player,
+        strategy=best_strategy,
+        view_cost=best_cost,
+        current_view_cost=current_cost,
+        exact=exact,
+        view_size=view.size,
+    )
+
+
+def best_response_sum_exhaustive(
+    profile: StrategyProfile,
+    player: Node,
+    game: GameSpec,
+    max_candidates: int = 16,
+    view: View | None = None,
+) -> BestResponse:
+    """Exact best response in SumNCG by exhaustive enumeration.
+
+    Enumerates every subset of the player's strategy space, discarding the
+    Proposition 2.2 forbidden moves, and keeps the cheapest.  The strategy
+    space must contain at most ``max_candidates`` nodes (the enumeration is
+    exponential); larger instances should use
+    :func:`best_response_sum_local_search`.
+    """
+    if game.usage is not UsageKind.SUM:
+        raise ValueError("best_response_sum_exhaustive requires a SumNCG game spec")
+    if view is None:
+        view = extract_view(profile, player, game.k)
+    candidates = sorted(view.strategy_space, key=repr)
+    if len(candidates) > max_candidates:
+        raise ValueError(
+            f"strategy space has {len(candidates)} nodes > max_candidates={max_candidates}; "
+            "use best_response_sum_local_search instead"
+        )
+    current = profile.strategy(player)
+    current_cost = view_cost(view, current, game)
+    best_cost = current_cost
+    best_strategy = current
+    for size in range(len(candidates) + 1):
+        for combo in itertools.combinations(candidates, size):
+            candidate_strategy = frozenset(combo)
+            if candidate_strategy == current:
+                continue
+            delta = worst_case_delta(view, current, candidate_strategy, game)
+            if math.isinf(delta):
+                continue
+            cost = current_cost + delta
+            if cost < best_cost - COST_EPS:
+                best_cost = cost
+                best_strategy = candidate_strategy
+    return BestResponse(
+        player=player,
+        strategy=best_strategy,
+        view_cost=best_cost,
+        current_view_cost=current_cost,
+        exact=True,
+        view_size=view.size,
+    )
+
+
+def best_response_sum_local_search(
+    profile: StrategyProfile,
+    player: Node,
+    game: GameSpec,
+    max_iterations: int = 200,
+    view: View | None = None,
+) -> BestResponse:
+    """Hill-climbing best-*reply* heuristic for SumNCG.
+
+    Repeatedly applies the best single add / drop / swap move (among the
+    Proposition 2.2 allowed ones) until no single move improves the in-view
+    cost.  The result is a local optimum, not necessarily a best response,
+    and is flagged ``exact=False``.
+    """
+    if game.usage is not UsageKind.SUM:
+        raise ValueError("best_response_sum_local_search requires a SumNCG game spec")
+    if view is None:
+        view = extract_view(profile, player, game.k)
+    candidates = sorted(view.strategy_space, key=repr)
+    current = profile.strategy(player)
+    current_cost = view_cost(view, current, game)
+    best_strategy = current
+    best_cost = current_cost
+
+    for _ in range(max_iterations):
+        improved = False
+        neighbourhood: list[frozenset[Node]] = []
+        present = sorted(best_strategy, key=repr)
+        absent = [c for c in candidates if c not in best_strategy]
+        neighbourhood.extend(best_strategy | {c} for c in absent)
+        neighbourhood.extend(best_strategy - {c} for c in present)
+        neighbourhood.extend(
+            (best_strategy - {removed}) | {added}
+            for removed in present
+            for added in absent
+        )
+        for candidate_strategy in neighbourhood:
+            delta = worst_case_delta(view, best_strategy, candidate_strategy, game)
+            if math.isinf(delta):
+                continue
+            cost = best_cost + delta
+            if cost < best_cost - COST_EPS:
+                best_cost = cost
+                best_strategy = frozenset(candidate_strategy)
+                improved = True
+                break
+        if not improved:
+            break
+    return BestResponse(
+        player=player,
+        strategy=best_strategy,
+        view_cost=best_cost,
+        current_view_cost=current_cost,
+        exact=False,
+        view_size=view.size,
+    )
+
+
+def best_response(
+    profile: StrategyProfile,
+    player: Node,
+    game: GameSpec,
+    solver: str = "milp",
+    sum_exhaustive_limit: int = 12,
+) -> BestResponse:
+    """Dispatch to the appropriate best-response routine for the game kind.
+
+    MaxNCG always uses the dominating-set reduction; SumNCG uses exhaustive
+    enumeration when the strategy space is small (``<= sum_exhaustive_limit``
+    candidates) and local search otherwise.
+    """
+    if game.usage is UsageKind.MAX:
+        return best_response_max(profile, player, game, solver=solver)
+    view = extract_view(profile, player, game.k)
+    if len(view.strategy_space) <= sum_exhaustive_limit:
+        return best_response_sum_exhaustive(
+            profile, player, game, max_candidates=sum_exhaustive_limit, view=view
+        )
+    return best_response_sum_local_search(profile, player, game, view=view)

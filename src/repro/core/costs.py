@@ -1,0 +1,87 @@
+"""Player and social costs (Eqs. (1) and (2) of the paper).
+
+The cost of player ``u`` under profile ``σ`` is
+
+``C_u(σ) = α · |σ_u| + usage_u(G(σ))``
+
+where the usage term is the eccentricity of ``u`` (MaxNCG) or the sum of
+distances from ``u`` to every other player (SumNCG).  If the induced network
+is disconnected from ``u`` the usage — and hence the cost — is infinite;
+the paper assumes the players start on a connected network and infinite
+costs make disconnecting moves never profitable, which is the behaviour the
+propositions of Section 2 rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.games import GameSpec, UsageKind
+from repro.core.strategies import StrategyProfile
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+__all__ = [
+    "building_cost",
+    "usage_cost",
+    "usage_from_distances",
+    "player_cost",
+    "all_player_costs",
+    "social_cost",
+]
+
+
+def building_cost(profile: StrategyProfile, player: Node, alpha: float) -> float:
+    """``α · |σ_u|`` — what the player pays for the edges she bought."""
+    return alpha * profile.num_bought_edges(player)
+
+
+def usage_from_distances(
+    distances: dict[Node, int], num_players: int, usage: UsageKind
+) -> float:
+    """Aggregate a distance dictionary into the usage cost.
+
+    ``distances`` must include the player herself (distance 0).  If fewer
+    than ``num_players`` nodes are reachable the usage is ``math.inf``.
+    """
+    if len(distances) < num_players:
+        return math.inf
+    if usage is UsageKind.MAX:
+        return float(max(distances.values(), default=0))
+    return float(sum(distances.values()))
+
+
+def usage_cost(graph: Graph, player: Node, usage: UsageKind) -> float:
+    """Usage cost of ``player`` in ``graph`` (eccentricity or status)."""
+    distances = bfs_distances(graph, player)
+    return usage_from_distances(distances, graph.number_of_nodes(), usage)
+
+
+def player_cost(
+    profile: StrategyProfile,
+    player: Node,
+    game: GameSpec,
+    graph: Graph | None = None,
+) -> float:
+    """Full cost ``C_u(σ)`` of a player.
+
+    ``graph`` may be passed to avoid rebuilding the induced network when the
+    caller already holds it (the dynamics loop does).
+    """
+    network = graph if graph is not None else profile.graph()
+    return building_cost(profile, player, game.alpha) + usage_cost(
+        network, player, game.usage
+    )
+
+
+def all_player_costs(profile: StrategyProfile, game: GameSpec) -> dict[Node, float]:
+    """Return ``{player: C_u(σ)}`` for every player."""
+    graph = profile.graph()
+    return {
+        player: player_cost(profile, player, game, graph=graph) for player in profile
+    }
+
+
+def social_cost(profile: StrategyProfile, game: GameSpec) -> float:
+    """Sum of all player costs (the welfare measure used for the PoA)."""
+    return sum(all_player_costs(profile, game).values())

@@ -1,0 +1,109 @@
+"""Equilibrium certification.
+
+Under full knowledge (``k = FULL_KNOWLEDGE``) the relevant concept is the
+pure Nash equilibrium; under bounded knowledge it is the paper's Local
+Knowledge Equilibrium (LKE).  In both cases a profile is an equilibrium iff
+no player has a (worst-case, in the LKE case) strictly improving deviation,
+so certification reduces to one best-response computation per player.
+
+For MaxNCG the certification is exact (the best response is solved exactly);
+for SumNCG it is exact whenever every player's strategy space is small
+enough for exhaustive enumeration and falls back to local search otherwise,
+in which case a positive answer ("is an equilibrium") is only a heuristic
+certificate — the result object records which players were checked exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.best_response import BestResponse, best_response
+from repro.core.games import GameSpec
+from repro.core.strategies import StrategyProfile
+from repro.graphs.graph import Node
+
+__all__ = [
+    "EquilibriumReport",
+    "find_improving_deviation",
+    "improving_players",
+    "is_equilibrium",
+    "certify_equilibrium",
+]
+
+
+@dataclass
+class EquilibriumReport:
+    """Detailed outcome of an equilibrium check."""
+
+    is_equilibrium: bool
+    improving: dict[Node, BestResponse] = field(default_factory=dict)
+    checked_exactly: set[Node] = field(default_factory=set)
+    checked_heuristically: set[Node] = field(default_factory=set)
+
+    @property
+    def all_exact(self) -> bool:
+        return not self.checked_heuristically
+
+    def improving_players(self) -> list[Node]:
+        return list(self.improving)
+
+
+def find_improving_deviation(
+    profile: StrategyProfile,
+    player: Node,
+    game: GameSpec,
+    solver: str = "milp",
+) -> BestResponse | None:
+    """Return an improving deviation of ``player`` (or ``None`` if none found)."""
+    response = best_response(profile, player, game, solver=solver)
+    return response if response.is_improving else None
+
+
+def improving_players(
+    profile: StrategyProfile, game: GameSpec, solver: str = "milp"
+) -> list[Node]:
+    """Return the players that currently have an improving deviation."""
+    return [
+        player
+        for player in profile
+        if find_improving_deviation(profile, player, game, solver=solver) is not None
+    ]
+
+
+def certify_equilibrium(
+    profile: StrategyProfile,
+    game: GameSpec,
+    solver: str = "milp",
+    players: list[Node] | None = None,
+    stop_at_first: bool = False,
+) -> EquilibriumReport:
+    """Check every player (or the given subset) for improving deviations.
+
+    ``stop_at_first=True`` aborts at the first improving player, which is
+    enough to *refute* equilibrium quickly.
+    """
+    report = EquilibriumReport(is_equilibrium=True)
+    targets = players if players is not None else profile.players()
+    for player in targets:
+        response = best_response(profile, player, game, solver=solver)
+        if response.exact:
+            report.checked_exactly.add(player)
+        else:
+            report.checked_heuristically.add(player)
+        if response.is_improving:
+            report.improving[player] = response
+            report.is_equilibrium = False
+            if stop_at_first:
+                return report
+    return report
+
+
+def is_equilibrium(
+    profile: StrategyProfile, game: GameSpec, solver: str = "milp"
+) -> bool:
+    """Shorthand: ``True`` iff no player has an improving deviation.
+
+    This is the NE test when ``game.k`` is :data:`~repro.core.games.FULL_KNOWLEDGE`
+    and the LKE test otherwise.
+    """
+    return certify_equilibrium(profile, game, solver=solver, stop_at_first=True).is_equilibrium

@@ -1,0 +1,100 @@
+"""Game specifications.
+
+A game is determined by three ingredients:
+
+* the edge price ``α > 0``;
+* the *usage kind*: eccentricity (MaxNCG, Eq. (2)) or sum of distances
+  (SumNCG, Eq. (1));
+* the knowledge radius ``k``: each player knows the network only up to
+  distance ``k`` from herself.  ``k = FULL_KNOWLEDGE`` recovers the classical
+  full-information games, whose equilibria are ordinary Nash equilibria.
+
+:class:`GameSpec` is a plain frozen dataclass so that game descriptions can
+be used as dictionary keys, serialised into experiment records, and shipped
+across process boundaries by the parallel sweep runner.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["UsageKind", "GameSpec", "MaxNCG", "SumNCG", "FULL_KNOWLEDGE"]
+
+
+#: Knowledge radius meaning "the player sees the whole network".
+FULL_KNOWLEDGE: float = math.inf
+
+
+class UsageKind(enum.Enum):
+    """Which distance aggregate enters the player cost."""
+
+    MAX = "max"  #: eccentricity (MaxNCG, Demaine et al. variant)
+    SUM = "sum"  #: status / sum of distances (SumNCG, Fabrikant et al.)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """A (possibly local-knowledge) network creation game.
+
+    Attributes
+    ----------
+    alpha:
+        The price of a single edge, ``α > 0``.
+    usage:
+        :class:`UsageKind` selecting MaxNCG or SumNCG.
+    k:
+        Knowledge radius; ``math.inf`` (:data:`FULL_KNOWLEDGE`) for the
+        classical game.  The paper's experiments encode full knowledge as
+        ``k = 1000``, which for the instance sizes involved is equivalent.
+    """
+
+    alpha: float
+    usage: UsageKind
+    k: float = FULL_KNOWLEDGE
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 0:
+            raise ValueError("alpha must be positive")
+        if not (self.k == FULL_KNOWLEDGE or (self.k == int(self.k) and self.k >= 1)):
+            raise ValueError("k must be a positive integer or FULL_KNOWLEDGE")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_local(self) -> bool:
+        """Whether the players' knowledge is genuinely bounded."""
+        return self.k != FULL_KNOWLEDGE
+
+    @property
+    def is_max(self) -> bool:
+        return self.usage is UsageKind.MAX
+
+    @property
+    def is_sum(self) -> bool:
+        return self.usage is UsageKind.SUM
+
+    def with_k(self, k: float) -> "GameSpec":
+        """Return the same game with a different knowledge radius."""
+        return replace(self, k=k)
+
+    def with_alpha(self, alpha: float) -> "GameSpec":
+        return replace(self, alpha=alpha)
+
+    def label(self) -> str:
+        """Short human-readable identifier (used in experiment records)."""
+        k_label = "inf" if not self.is_local else str(int(self.k))
+        return f"{self.usage.value}ncg(alpha={self.alpha:g}, k={k_label})"
+
+
+def MaxNCG(alpha: float, k: float = FULL_KNOWLEDGE) -> GameSpec:
+    """The eccentricity-based game of Eq. (2), optionally with local knowledge."""
+    return GameSpec(alpha=alpha, usage=UsageKind.MAX, k=k)
+
+
+def SumNCG(alpha: float, k: float = FULL_KNOWLEDGE) -> GameSpec:
+    """The sum-of-distances game of Eq. (1), optionally with local knowledge."""
+    return GameSpec(alpha=alpha, usage=UsageKind.SUM, k=k)

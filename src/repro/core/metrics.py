@@ -1,0 +1,96 @@
+"""Per-profile metrics collected by the experimental harness.
+
+Section 5.1: "after each round, we collected several different features of
+the current network such as: diameter, social cost, maximum/average degree,
+minimum/maximum/average number of bought edges, minimum/maximum/average
+number of vertices in the view of the players, along with others."  This
+module computes exactly those features (plus the derived *quality of
+equilibrium* and *unfairness ratio* used in Figures 6-9) for a strategy
+profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, asdict
+
+from repro.core.costs import all_player_costs, social_cost
+from repro.core.games import GameSpec
+from repro.core.social import social_optimum
+from repro.core.strategies import StrategyProfile
+from repro.core.views import extract_view
+from repro.graphs.properties import diameter as graph_diameter
+
+__all__ = ["ProfileMetrics", "compute_profile_metrics"]
+
+
+@dataclass(frozen=True)
+class ProfileMetrics:
+    """Snapshot of the network-level statistics of one strategy profile."""
+
+    num_players: int
+    num_edges: int
+    social_cost: float
+    quality: float  #: social cost / benchmark social optimum (Figures 6-7)
+    diameter: int
+    max_degree: int
+    mean_degree: float
+    min_bought_edges: int
+    max_bought_edges: int
+    mean_bought_edges: float
+    min_view_size: int
+    max_view_size: int
+    mean_view_size: float
+    max_player_cost: float
+    min_player_cost: float
+    unfairness: float  #: max player cost / min player cost (Figure 9)
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+
+def compute_profile_metrics(
+    profile: StrategyProfile, game: GameSpec, include_views: bool = True
+) -> ProfileMetrics:
+    """Compute the full metric snapshot of ``profile`` under ``game``.
+
+    ``include_views=False`` skips the (n extra BFS) view-size statistics,
+    which is useful when recording every round of a long dynamics run.
+    """
+    graph = profile.graph()
+    n = profile.num_players()
+    degrees = list(graph.degrees().values()) or [0]
+    bought = [profile.num_bought_edges(player) for player in profile] or [0]
+    costs = all_player_costs(profile, game)
+    cost_values = list(costs.values()) or [0.0]
+    max_cost = max(cost_values)
+    min_cost = min(cost_values)
+    unfairness = math.inf if min_cost == 0 else max_cost / min_cost
+
+    if include_views:
+        view_sizes = [extract_view(profile, player, game.k).size for player in profile] or [0]
+    else:
+        view_sizes = [0]
+
+    total_cost = social_cost(profile, game)
+    optimum = social_optimum(n, game.alpha, game.usage) if n >= 1 else 0.0
+    quality = total_cost / optimum if optimum > 0 else 1.0
+
+    return ProfileMetrics(
+        num_players=n,
+        num_edges=graph.number_of_edges(),
+        social_cost=total_cost,
+        quality=quality,
+        diameter=graph_diameter(graph) if n > 0 else 0,
+        max_degree=max(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+        min_bought_edges=min(bought),
+        max_bought_edges=max(bought),
+        mean_bought_edges=sum(bought) / len(bought),
+        min_view_size=min(view_sizes),
+        max_view_size=max(view_sizes),
+        mean_view_size=sum(view_sizes) / len(view_sizes),
+        max_player_cost=max_cost,
+        min_player_cost=min_cost,
+        unfairness=unfairness,
+    )

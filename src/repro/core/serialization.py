@@ -1,0 +1,156 @@
+"""Serialization of game state: strategy profiles, games and dynamics outcomes.
+
+Long sweeps want to checkpoint the equilibria they reach so that the
+structural analysis (:mod:`repro.analysis.structure`), the view-model
+comparison and the belief study can be re-run later without repeating the
+dynamics.  This module provides JSON round-trips for
+:class:`~repro.core.strategies.StrategyProfile` and
+:class:`~repro.core.games.GameSpec`, plus a flattened export of a
+:class:`~repro.core.dynamics.DynamicsResult` (the final profile, the game and
+the headline metrics) that pairs with them.
+
+Node labels follow the same codec as :mod:`repro.graphs.io` (integers,
+strings and tuples of those), so every generator in the library round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.core.dynamics import DynamicsResult
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
+from repro.core.strategies import StrategyProfile
+from repro.graphs.io import decode_node, encode_node
+
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "game_to_dict",
+    "game_from_dict",
+    "dynamics_result_to_dict",
+    "write_profile_json",
+    "read_profile_json",
+    "write_dynamics_result_json",
+    "read_dynamics_checkpoint",
+]
+
+
+# ----------------------------------------------------------------------
+# Strategy profiles
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: StrategyProfile) -> dict:
+    """JSON-serialisable representation of a strategy profile."""
+    return {
+        "format": "repro-strategy-profile",
+        "version": 1,
+        "strategies": [
+            [encode_node(player), sorted((encode_node(t) for t in targets), key=repr)]
+            for player, targets in profile.items()
+        ],
+    }
+
+
+def profile_from_dict(payload: dict) -> StrategyProfile:
+    """Inverse of :func:`profile_to_dict` (strategies are re-validated)."""
+    if payload.get("format") != "repro-strategy-profile":
+        raise ValueError("payload is not a repro-strategy-profile document")
+    strategies = {
+        decode_node(player): {decode_node(target) for target in targets}
+        for player, targets in payload.get("strategies", [])
+    }
+    return StrategyProfile(strategies)
+
+
+# ----------------------------------------------------------------------
+# Game specifications
+# ----------------------------------------------------------------------
+def game_to_dict(game: GameSpec) -> dict:
+    """JSON-serialisable representation of a game specification."""
+    return {
+        "format": "repro-game-spec",
+        "version": 1,
+        "alpha": game.alpha,
+        "usage": game.usage.value,
+        "k": None if game.k == FULL_KNOWLEDGE else int(game.k),
+    }
+
+
+def game_from_dict(payload: dict) -> GameSpec:
+    """Inverse of :func:`game_to_dict`."""
+    if payload.get("format") != "repro-game-spec":
+        raise ValueError("payload is not a repro-game-spec document")
+    k = payload.get("k")
+    return GameSpec(
+        alpha=float(payload["alpha"]),
+        usage=UsageKind(payload["usage"]),
+        k=FULL_KNOWLEDGE if k is None else float(k),
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamics outcomes
+# ----------------------------------------------------------------------
+def _clean_float(value: float) -> float | None:
+    """JSON has no inf/NaN; encode them as None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def dynamics_result_to_dict(result: DynamicsResult) -> dict:
+    """Flatten a dynamics outcome into a self-contained checkpoint document.
+
+    The initial profile and the per-round records are *not* stored (they can
+    be regenerated from the run spec); the document keeps exactly what the
+    post-hoc analyses need: the game, the final profile and the headline
+    metrics.
+    """
+    final_metrics = (
+        {key: _clean_float(value) for key, value in result.final_metrics.as_dict().items()}
+        if result.final_metrics is not None
+        else None
+    )
+    return {
+        "format": "repro-dynamics-result",
+        "version": 1,
+        "game": game_to_dict(result.game),
+        "final_profile": profile_to_dict(result.final_profile),
+        "converged": result.converged,
+        "cycled": result.cycled,
+        "rounds": result.rounds,
+        "total_changes": result.total_changes,
+        "final_metrics": final_metrics,
+    }
+
+
+def read_dynamics_checkpoint(path: str | Path) -> tuple[StrategyProfile, GameSpec, dict]:
+    """Load a checkpoint written by :func:`write_dynamics_result_json`.
+
+    Returns ``(final_profile, game, document)`` where ``document`` is the raw
+    dictionary (so callers can reach the stored metrics without re-deriving
+    them).
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro-dynamics-result":
+        raise ValueError("file is not a repro-dynamics-result checkpoint")
+    profile = profile_from_dict(payload["final_profile"])
+    game = game_from_dict(payload["game"])
+    return profile, game, payload
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def write_profile_json(profile: StrategyProfile, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(profile_to_dict(profile), indent=2), encoding="utf-8")
+
+
+def read_profile_json(path: str | Path) -> StrategyProfile:
+    return profile_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def write_dynamics_result_json(result: DynamicsResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(dynamics_result_to_dict(result), indent=2), encoding="utf-8")

@@ -1,0 +1,141 @@
+"""Social cost benchmarks: social optimum and Price of Anarchy helpers.
+
+The paper measures the quality of an equilibrium as the ratio between its
+social cost and the optimal (centralised) social cost.  For both games the
+relevant optima are:
+
+* the **spanning star** — social cost ``α (n-1) + 2n - 1`` for MaxNCG and
+  ``α (n-1) + 2 (n-1)^2`` for SumNCG — which is optimal for every ``α > 1``
+  (Section 3 and 4 preliminaries: "the spanning star is the social optimum
+  and has a cost of Θ(αn + n)" resp. ``Θ(αn + n²)``);
+* the **clique** — social cost ``α n(n-1)/2 + n(n-1)/... `` see
+  :func:`clique_social_cost` — which takes over for very small ``α``
+  (``α <= 2`` in SumNCG by the classical Fabrikant et al. argument, and
+  ``α = O(1/n)`` in MaxNCG).
+
+:func:`social_optimum` returns the minimum of the two closed forms, which is
+the benchmark the experimental section uses; :func:`exact_social_optimum`
+brute-forces all connected graphs for tiny ``n`` and is used by the tests to
+validate the closed forms in the parameter ranges of the experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.core.costs import social_cost
+from repro.core.games import GameSpec, UsageKind
+from repro.core.strategies import StrategyProfile
+from repro.graphs.graph import Graph
+from repro.graphs.properties import eccentricities, statuses
+from repro.graphs.traversal import is_connected
+
+__all__ = [
+    "star_social_cost",
+    "clique_social_cost",
+    "social_optimum",
+    "exact_social_optimum",
+    "price_of_anarchy_ratio",
+    "graph_social_cost",
+]
+
+
+def star_social_cost(n: int, alpha: float, usage: UsageKind) -> float:
+    """Social cost of a spanning star on ``n`` players (edges bought once).
+
+    MaxNCG: the centre has eccentricity 1 and every leaf 2, so the usage part
+    is ``1 + 2 (n - 1)``.  SumNCG: the centre has status ``n - 1`` and every
+    leaf ``1 + 2 (n - 2)``, so the usage part is ``(n - 1) + (n - 1)(2n - 3)``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return 0.0
+    building = alpha * (n - 1)
+    if usage is UsageKind.MAX:
+        return building + 1 + 2 * (n - 1)
+    return building + (n - 1) + (n - 1) * (2 * n - 3)
+
+
+def clique_social_cost(n: int, alpha: float, usage: UsageKind) -> float:
+    """Social cost of the complete graph (every distance is 1)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return 0.0
+    building = alpha * n * (n - 1) / 2
+    usage_total = n * (n - 1)  # every player is at distance 1 from the n-1 others
+    if usage is UsageKind.MAX:
+        usage_total = n * 1
+    return building + usage_total
+
+
+def social_optimum(n: int, alpha: float, usage: UsageKind) -> float:
+    """Benchmark optimum used throughout the experiments.
+
+    Returns ``min(star, clique)``, which equals the true optimum for the
+    parameter ranges of the paper (``α > 2/(n-2)`` gives the star for MaxNCG,
+    ``α >= 2`` gives the star for SumNCG, tiny ``α`` gives the clique); the
+    tests cross-check this against :func:`exact_social_optimum` on small
+    instances.
+    """
+    return min(
+        star_social_cost(n, alpha, usage), clique_social_cost(n, alpha, usage)
+    )
+
+
+def graph_social_cost(graph: Graph, alpha: float, usage: UsageKind) -> float:
+    """Social cost of a *graph* assuming each edge is bought exactly once.
+
+    The social cost does not depend on who owns each edge, only on the edge
+    count and the distance structure, so this is the natural objective for
+    the centralised optimum.
+    """
+    if not is_connected(graph):
+        return math.inf
+    building = alpha * graph.number_of_edges()
+    if usage is UsageKind.MAX:
+        usage_total = sum(eccentricities(graph).values())
+    else:
+        usage_total = sum(statuses(graph).values())
+    return building + usage_total
+
+
+def exact_social_optimum(n: int, alpha: float, usage: UsageKind) -> float:
+    """Exact optimum by brute force over all connected graphs on ``n <= 7`` nodes.
+
+    Exponential in ``n (n - 1) / 2``; intended for validating the closed-form
+    benchmark in the tests only.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n > 7:
+        raise ValueError("exact_social_optimum is limited to n <= 7")
+    if n == 1:
+        return 0.0
+    pairs = list(itertools.combinations(range(n), 2))
+    best = math.inf
+    for mask in range(1, 2 ** len(pairs)):
+        edges = [pairs[i] for i in range(len(pairs)) if mask >> i & 1]
+        if len(edges) < n - 1:
+            continue
+        graph = Graph(nodes=range(n), edges=edges)
+        cost = graph_social_cost(graph, alpha, usage)
+        if cost < best:
+            best = cost
+    return best
+
+
+def price_of_anarchy_ratio(profile: StrategyProfile, game: GameSpec) -> float:
+    """Ratio between the profile's social cost and the benchmark optimum.
+
+    The paper calls this the *quality of the equilibrium* when evaluated at a
+    stable profile; the Price of Anarchy is the supremum of this quantity
+    over all equilibria.
+    """
+    n = profile.num_players()
+    optimum = social_optimum(n, game.alpha, game.usage)
+    if optimum == 0:
+        return 1.0
+    return social_cost(profile, game) / optimum

@@ -1,0 +1,54 @@
+"""Network-discovery view models (the follow-up direction of Section 6).
+
+The paper's conclusions point at *network discovery* — reconstructing an
+unknown topology through queries at its nodes — as the natural source of
+alternative local-knowledge models, and the authors explore exactly that in
+the cited follow-up work (Bilò et al., "Network creation games with
+traceroute-based strategies", SIROCCO 2014).  This subpackage implements the
+three canonical query-based view models on top of the existing LKE machinery:
+
+* :class:`KNeighborhoodModel` — the paper's model: the player sees the full
+  subgraph induced by her radius-``k`` ball (a wrapper over
+  :func:`repro.core.views.extract_view`);
+* :class:`TracerouteModel` — the player knows, for a set of targets, one
+  shortest path towards each (what a traceroute probe reveals), and therefore
+  the exact distances to those targets but only a path-union of the topology;
+* :class:`UnionOfBallsModel` — the player knows the radius-``r`` balls around
+  a set of landmark vertices (herself plus, e.g., her neighbours), modelling
+  a player that can also query nearby cooperative nodes.
+
+Every model produces a standard :class:`repro.core.views.View`, so the
+worst-case deviation semantics, the best-response solvers and the dynamics
+engine work unchanged; :mod:`repro.discovery.analysis` adds equilibrium
+predicates, best responses and model-comparison summaries.
+"""
+
+from repro.discovery.models import (
+    ViewModel,
+    KNeighborhoodModel,
+    TracerouteModel,
+    UnionOfBallsModel,
+    discovered_view,
+)
+from repro.discovery.analysis import (
+    ModelComparison,
+    best_response_under_model,
+    improving_players_under_model,
+    is_equilibrium_under_model,
+    compare_view_models,
+    view_size_statistics,
+)
+
+__all__ = [
+    "ViewModel",
+    "KNeighborhoodModel",
+    "TracerouteModel",
+    "UnionOfBallsModel",
+    "discovered_view",
+    "ModelComparison",
+    "best_response_under_model",
+    "improving_players_under_model",
+    "is_equilibrium_under_model",
+    "compare_view_models",
+    "view_size_statistics",
+]

@@ -1,0 +1,232 @@
+"""Query-based view models.
+
+A *view model* answers the question "what does player ``u`` know about the
+network ``G(σ)``?" and packages the answer as a standard
+:class:`repro.core.views.View`:
+
+* ``subgraph`` — the part of the topology the player can certify;
+* ``distances`` — her true distances to the nodes she knows about (all the
+  models below reveal exact distances to every discovered node);
+* ``frontier`` — the discovered nodes behind which *unknown* network may
+  hang.  The worst-case deviation rule of Proposition 2.2 and the Bayesian
+  beliefs of :mod:`repro.core.bayesian` only interact with the view through
+  this set, so getting it right is what makes the LKE machinery carry over.
+
+For the k-neighbourhood model the frontier is the distance-``k`` shell
+(exactly as in the paper).  For the query models the frontier is the set of
+discovered nodes whose *complete* incident edge set the player cannot
+certify: behind such a node an undiscovered edge may lead to an arbitrarily
+large undiscovered region, which is precisely the adversary move used in the
+proof of Proposition 2.2.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from repro.core.games import FULL_KNOWLEDGE
+from repro.core.strategies import StrategyProfile
+from repro.core.views import View, extract_view
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances, bfs_distances_within
+
+__all__ = [
+    "ViewModel",
+    "KNeighborhoodModel",
+    "TracerouteModel",
+    "UnionOfBallsModel",
+    "discovered_view",
+]
+
+
+class ViewModel(ABC):
+    """Strategy for building a player's view of the current network."""
+
+    @abstractmethod
+    def observe(self, profile: StrategyProfile, player: Node) -> View:
+        """Return what ``player`` knows about ``G(σ)`` under this model."""
+
+    def label(self) -> str:
+        """Short human-readable identifier (used by experiment records)."""
+        return type(self).__name__
+
+
+def _buyers_within(profile: StrategyProfile, player: Node, visible: set[Node]) -> set[Node]:
+    return {buyer for buyer in profile.buyers_of(player) if buyer in visible}
+
+
+def _uncertified_nodes(graph: Graph, known: Graph, observer: Node) -> set[Node]:
+    """Known nodes whose full incident edge set is *not* contained in ``known``.
+
+    These are the frontier of a query-based view: the player has discovered
+    the node but cannot rule out further edges (and further network) attached
+    to it.  The observer herself is never a frontier vertex — she knows her
+    own incident edges exactly.
+    """
+    frontier: set[Node] = set()
+    for node in known.nodes():
+        if node == observer:
+            continue
+        true_degree = graph.degree(node)
+        known_degree = known.degree(node)
+        if known_degree < true_degree:
+            frontier.add(node)
+    return frontier
+
+
+class KNeighborhoodModel(ViewModel):
+    """The paper's model: full knowledge of the radius-``k`` ball."""
+
+    def __init__(self, k: float) -> None:
+        if not (k == FULL_KNOWLEDGE or (k == int(k) and k >= 1)):
+            raise ValueError("k must be a positive integer or FULL_KNOWLEDGE")
+        self.k = k
+
+    def observe(self, profile: StrategyProfile, player: Node) -> View:
+        return extract_view(profile, player, self.k)
+
+    def label(self) -> str:
+        k_label = "inf" if self.k == FULL_KNOWLEDGE else str(int(self.k))
+        return f"k-neighborhood(k={k_label})"
+
+
+class TracerouteModel(ViewModel):
+    """The player probes a set of targets and learns one shortest path to each.
+
+    Parameters
+    ----------
+    num_targets:
+        How many targets to probe; ``None`` probes every other reachable
+        player (the "all-shortest-path-trees are free" reading of the
+        SIROCCO'14 model).  When fewer targets are requested they are the
+        nearest ones, with ties broken deterministically by node label —
+        probing the neighbourhood first is how an iterative discovery
+        strategy would spend a small query budget.
+    """
+
+    def __init__(self, num_targets: int | None = None) -> None:
+        if num_targets is not None and num_targets < 0:
+            raise ValueError("num_targets must be non-negative or None")
+        self.num_targets = num_targets
+
+    def observe(self, profile: StrategyProfile, player: Node) -> View:
+        graph = profile.graph()
+        if player not in graph:
+            raise KeyError(f"player {player!r} not in the game")
+        distances = bfs_distances(graph, player)
+        reachable = [node for node in distances if node != player]
+        reachable.sort(key=lambda node: (distances[node], repr(node)))
+        if self.num_targets is not None:
+            targets = reachable[: self.num_targets]
+        else:
+            targets = reachable
+
+        # The union of one BFS-tree path per target: walk each target back to
+        # the player along BFS parents.
+        parent: dict[Node, Node | None] = {player: None}
+        order: list[Node] = [player]
+        index = 0
+        # Deterministic BFS with sorted neighbour expansion.
+        while index < len(order):
+            node = order[index]
+            index += 1
+            for neighbour in sorted(graph.neighbors(node), key=repr):
+                if neighbour not in parent:
+                    parent[neighbour] = node
+                    order.append(neighbour)
+
+        known = Graph(nodes=[player])
+        known_distances: dict[Node, int] = {player: 0}
+        for target in targets:
+            node = target
+            while node is not None and parent[node] is not None:
+                known.add_edge(node, parent[node])
+                known_distances[node] = distances[node]
+                node = parent[node]
+        # The player always knows her own incident edges (she pays for some
+        # of them and the rest are physically attached to her).
+        for neighbour in graph.neighbors(player):
+            known.add_edge(player, neighbour)
+            known_distances[neighbour] = 1
+
+        frontier = _uncertified_nodes(graph, known, player)
+        return View(
+            player=player,
+            k=math.inf,
+            subgraph=known,
+            distances=known_distances,
+            frontier=frontier,
+            buyers=_buyers_within(profile, player, set(known.nodes())),
+        )
+
+    def label(self) -> str:
+        suffix = "all" if self.num_targets is None else str(self.num_targets)
+        return f"traceroute(targets={suffix})"
+
+
+class UnionOfBallsModel(ViewModel):
+    """The player knows the radius-``r`` balls around herself and her landmarks.
+
+    Parameters
+    ----------
+    radius:
+        Ball radius ``r >= 1``.
+    include_neighbors:
+        When ``True`` (default) the landmarks are the player's current
+        neighbours — the "ask the nodes you are directly connected to" model.
+    extra_landmarks:
+        Additional landmark nodes (must exist in the profile); unknown nodes
+        are ignored silently, because a player cannot be forced to query a
+        node she has never heard of.
+    """
+
+    def __init__(
+        self,
+        radius: int,
+        include_neighbors: bool = True,
+        extra_landmarks: Iterable[Node] = (),
+    ) -> None:
+        if radius < 1:
+            raise ValueError("radius must be at least 1")
+        self.radius = radius
+        self.include_neighbors = include_neighbors
+        self.extra_landmarks = tuple(extra_landmarks)
+
+    def observe(self, profile: StrategyProfile, player: Node) -> View:
+        graph = profile.graph()
+        if player not in graph:
+            raise KeyError(f"player {player!r} not in the game")
+        landmarks: list[Node] = [player]
+        if self.include_neighbors:
+            landmarks.extend(sorted(graph.neighbors(player), key=repr))
+        landmarks.extend(node for node in self.extra_landmarks if node in graph)
+
+        visible: set[Node] = set()
+        for landmark in landmarks:
+            visible.update(bfs_distances_within(graph, landmark, self.radius))
+        known = graph.induced_subgraph(visible)
+        true_distances = bfs_distances(graph, player)
+        known_distances = {node: true_distances[node] for node in visible if node in true_distances}
+
+        frontier = _uncertified_nodes(graph, known, player)
+        return View(
+            player=player,
+            k=math.inf,
+            subgraph=known,
+            distances=known_distances,
+            frontier=frontier,
+            buyers=_buyers_within(profile, player, visible),
+        )
+
+    def label(self) -> str:
+        return (
+            f"union-of-balls(radius={self.radius}, "
+            f"neighbors={self.include_neighbors}, extra={len(self.extra_landmarks)})"
+        )
+
+
+def discovered_view(profile: StrategyProfile, player: Node, model: ViewModel) -> View:
+    """Convenience wrapper: the view of ``player`` under ``model``."""
+    return model.observe(profile, player)

@@ -1,0 +1,47 @@
+"""Experiment harness reproducing Section 5 of the paper.
+
+* :mod:`repro.experiments.config` — the paper's parameter grids (α values,
+  k values, instance sizes, 20 seeds per cell) and reduced "smoke" grids
+  sized for CI;
+* :mod:`repro.experiments.runner` — a single dynamics run as a picklable
+  work item, plus the (optionally multiprocess) sweep runner;
+* :mod:`repro.experiments.tables` — Tables I and II;
+* :mod:`repro.experiments.figures` — one module per figure (5-10) plus the
+  region maps of Figures 3-4 and the convergence/cycling summary of
+  Section 5.4;
+* :mod:`repro.experiments.io` — CSV/JSON serialisation of results;
+* :mod:`repro.experiments.store` — a directory-backed store of named
+  experiment results (rows + metadata + equilibrium checkpoints);
+* :mod:`repro.experiments.extensions` — the studies that go beyond the
+  paper's experimental section (SumNCG dynamics, other instance families,
+  move sets, view models, beliefs, equilibrium anatomy).
+"""
+
+from repro.experiments.config import (
+    PAPER_ALPHAS,
+    PAPER_KS,
+    PAPER_TREE_SIZES,
+    PAPER_GNP_PARAMETERS,
+    PAPER_NUM_SEEDS,
+    FULL_KNOWLEDGE_K,
+    SweepSettings,
+)
+from repro.experiments.runner import RunSpec, RunResult, run_single, run_sweep
+from repro.experiments.store import ExperimentStore, read_csv_rows, read_json_rows
+
+__all__ = [
+    "PAPER_ALPHAS",
+    "PAPER_KS",
+    "PAPER_TREE_SIZES",
+    "PAPER_GNP_PARAMETERS",
+    "PAPER_NUM_SEEDS",
+    "FULL_KNOWLEDGE_K",
+    "SweepSettings",
+    "RunSpec",
+    "RunResult",
+    "run_single",
+    "run_sweep",
+    "ExperimentStore",
+    "read_csv_rows",
+    "read_json_rows",
+]

@@ -1,0 +1,123 @@
+"""Ablation studies of the simulation design choices (DESIGN.md §5).
+
+The paper fixes three protocol choices that are not forced by the model:
+the exact ILP best-response solver, the fixed round-robin player order, and
+the fair-coin initial edge ownership.  Each ablation below re-runs a small
+sweep varying exactly one of them and reports how the headline outcomes
+(quality of equilibrium, convergence rounds, cycling) move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.aggregate import aggregate_results
+from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
+from repro.experiments.runner import RunResult, RunSpec, run_sweep
+
+__all__ = [
+    "AblationConfig",
+    "solver_ablation",
+    "ordering_ablation",
+    "ownership_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Shared sweep grid for the three ablation studies."""
+
+    n: int = 50
+    alphas: tuple[float, ...] = (0.5, 2.0, 5.0)
+    ks: tuple[int, ...] = (2, 4, FULL_KNOWLEDGE_K)
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "AblationConfig":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "AblationConfig":
+        return cls(
+            n=20,
+            alphas=(2.0,),
+            ks=(2, FULL_KNOWLEDGE_K),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+_METRICS = {
+    "quality": lambda r: r.final_metrics.quality,
+    "rounds": lambda r: float(r.rounds),
+    "cycled": lambda r: float(r.cycled),
+    "max_bought_edges": lambda r: float(r.final_metrics.max_bought_edges),
+}
+
+
+def _base_specs(cfg: AblationConfig, **overrides) -> list[RunSpec]:
+    specs = []
+    for alpha in cfg.alphas:
+        for k in cfg.ks:
+            for seed in range(cfg.settings.num_seeds):
+                specs.append(
+                    RunSpec(
+                        family="tree",
+                        n=cfg.n,
+                        alpha=alpha,
+                        k=k,
+                        seed=cfg.settings.base_seed + seed,
+                        solver=overrides.get("solver", cfg.settings.solver),
+                        max_rounds=cfg.settings.max_rounds,
+                        ordering=overrides.get("ordering", "fixed"),
+                        ownership=overrides.get("ownership", "fair_coin"),
+                    )
+                )
+    return specs
+
+
+def _run_variants(cfg: AblationConfig, variants: dict[str, dict]) -> list[dict]:
+    rows: list[dict] = []
+    for label, overrides in variants.items():
+        results: list[RunResult] = run_sweep(_base_specs(cfg, **overrides), cfg.settings)
+        aggregated = aggregate_results(results, keys=("alpha", "k"), metrics=_METRICS)
+        for row in aggregated:
+            row["variant"] = label
+            rows.append(row)
+    return rows
+
+
+def solver_ablation(config: AblationConfig | None = None) -> list[dict]:
+    """Exact MILP vs exact branch-and-bound vs greedy best responses."""
+    cfg = config if config is not None else AblationConfig.paper()
+    return _run_variants(
+        cfg,
+        {
+            "milp": {"solver": "milp"},
+            "branch_and_bound": {"solver": "branch_and_bound"},
+            "greedy": {"solver": "greedy"},
+        },
+    )
+
+
+def ordering_ablation(config: AblationConfig | None = None) -> list[dict]:
+    """Fixed round-robin order (paper) vs per-round shuffled order."""
+    cfg = config if config is not None else AblationConfig.paper()
+    return _run_variants(
+        cfg,
+        {
+            "fixed": {"ordering": "fixed"},
+            "shuffled": {"ordering": "shuffled"},
+        },
+    )
+
+
+def ownership_ablation(config: AblationConfig | None = None) -> list[dict]:
+    """Fair-coin initial ownership (paper) vs deterministic smaller-endpoint rule."""
+    cfg = config if config is not None else AblationConfig.paper()
+    return _run_variants(
+        cfg,
+        {
+            "fair_coin": {"ownership": "fair_coin"},
+            "smaller_endpoint": {"ownership": "smaller_endpoint"},
+        },
+    )

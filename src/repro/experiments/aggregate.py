@@ -1,0 +1,48 @@
+"""Aggregation of run results into the mean ± CI series the paper plots."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.statistics import summarize
+from repro.experiments.runner import RunResult
+
+__all__ = ["aggregate_results", "group_by"]
+
+MetricExtractors = Mapping[str, Callable[[RunResult], float]]
+
+
+def group_by(results: Iterable[RunResult], keys: Sequence[str]) -> dict[tuple, list[RunResult]]:
+    """Group results by a tuple of RunSpec attributes (e.g. ``("alpha", "k")``)."""
+    groups: dict[tuple, list[RunResult]] = {}
+    for result in results:
+        key = tuple(getattr(result.spec, name) for name in keys)
+        groups.setdefault(key, []).append(result)
+    return groups
+
+
+def aggregate_results(
+    results: Iterable[RunResult],
+    keys: Sequence[str],
+    metrics: MetricExtractors,
+    confidence: float = 0.95,
+) -> list[dict]:
+    """Aggregate per-seed results into one row per parameter cell.
+
+    Each output row contains the grouping keys plus, for every metric,
+    ``<name>_mean``, ``<name>_ci`` (half-width of the 95 % interval) and
+    ``<name>_n`` (sample size) — exactly the quantities behind the paper's
+    error-bar plots.
+    """
+    rows: list[dict] = []
+    for key, bucket in sorted(group_by(results, keys).items(), key=lambda kv: tuple(map(repr, kv[0]))):
+        row: dict = dict(zip(keys, key))
+        for name, extractor in metrics.items():
+            values = [extractor(result) for result in bucket]
+            finite = [v for v in values if v == v and abs(v) != float("inf")]
+            summary = summarize(finite, confidence=confidence)
+            row[f"{name}_mean"] = summary.mean
+            row[f"{name}_ci"] = summary.half_width
+            row[f"{name}_n"] = summary.count
+        rows.append(row)
+    return rows

@@ -1,0 +1,57 @@
+"""Extension studies beyond the paper's experimental section.
+
+The paper's simulations (Section 5) are restricted to MaxNCG, to two
+instance families (random trees and Erdős–Rényi graphs), to unrestricted
+best responses and to the worst-case LKE deviation rule.  Each module in
+this subpackage relaxes exactly one of those restrictions and measures how
+the headline findings move:
+
+* :mod:`~repro.experiments.extensions.sum_dynamics` — SumNCG dynamics on
+  small instances (the paper skips SumNCG for computational reasons;
+  exhaustive best responses make small-n runs feasible);
+* :mod:`~repro.experiments.extensions.families` — the MaxNCG sweep repeated
+  on small-world, preferential-attachment, random-regular and extremal-tree
+  families;
+* :mod:`~repro.experiments.extensions.move_sets` — best-response dynamics vs
+  the greedy (single add/delete/swap) and swap-only dynamics;
+* :mod:`~repro.experiments.extensions.view_models` — the k-neighbourhood
+  model vs the traceroute and union-of-balls discovery models;
+* :mod:`~repro.experiments.extensions.beliefs` — whether the LKEs reached by
+  worst-case players survive Bayesian (expected-cost) scrutiny;
+* :mod:`~repro.experiments.extensions.anatomy` — the full structural report
+  (cut structure, hub concentration, cost split) of the stable networks
+  across the (α, k) grid.
+
+Every study exposes a ``*Config`` dataclass with ``paper()`` / ``smoke()``
+constructors and a ``generate_*`` function returning a list of flat row
+dictionaries, exactly like the figure harnesses, so the CLI and the
+benchmarks drive them uniformly.
+"""
+
+from repro.experiments.extensions.instances import build_extension_instance, EXTENSION_FAMILIES
+from repro.experiments.extensions.sum_dynamics import SumDynamicsConfig, generate_sum_dynamics
+from repro.experiments.extensions.families import FamilyStudyConfig, generate_family_study
+from repro.experiments.extensions.move_sets import MoveSetStudyConfig, generate_move_set_study
+from repro.experiments.extensions.view_models import (
+    ViewModelStudyConfig,
+    generate_view_model_study,
+)
+from repro.experiments.extensions.beliefs import BeliefStudyConfig, generate_belief_study
+from repro.experiments.extensions.anatomy import AnatomyStudyConfig, generate_anatomy_study
+
+__all__ = [
+    "build_extension_instance",
+    "EXTENSION_FAMILIES",
+    "SumDynamicsConfig",
+    "generate_sum_dynamics",
+    "FamilyStudyConfig",
+    "generate_family_study",
+    "MoveSetStudyConfig",
+    "generate_move_set_study",
+    "ViewModelStudyConfig",
+    "generate_view_model_study",
+    "BeliefStudyConfig",
+    "generate_belief_study",
+    "AnatomyStudyConfig",
+    "generate_anatomy_study",
+]

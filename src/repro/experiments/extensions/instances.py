@@ -1,0 +1,83 @@
+"""Instance builders shared by the extension studies.
+
+The figure harnesses of Section 5 only need random trees and Erdős–Rényi
+graphs (:func:`repro.experiments.runner.build_instance`).  The extension
+studies sweep a wider set of families; this module maps a family name plus a
+size and a seed to an :class:`~repro.graphs.generators.base.OwnedGraph`, with
+per-family default parameters chosen so that every family produces connected
+instances with comparable densities at the sizes used by the studies.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.generators.base import OwnedGraph, assign_ownership_fair_coin
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.smallworld import (
+    caterpillar_tree,
+    owned_barabasi_albert,
+    owned_random_regular,
+    owned_watts_strogatz,
+    spider_tree,
+)
+from repro.graphs.generators.trees import random_owned_tree
+
+__all__ = ["EXTENSION_FAMILIES", "build_extension_instance"]
+
+
+def _owned_caterpillar(n: int, seed: int) -> OwnedGraph:
+    """Caterpillar with ~n nodes: spine of n//3 nodes, two legs per spine node."""
+    import random
+
+    spine = max(n // 3, 1)
+    legs = max((n - spine) // spine, 0)
+    graph = caterpillar_tree(spine=spine, legs_per_node=legs)
+    rng = random.Random(seed)
+    return OwnedGraph(
+        graph=graph,
+        ownership=assign_ownership_fair_coin(graph, rng=rng),
+        metadata={"family": "caterpillar", "spine": spine, "legs_per_node": legs, "seed": seed},
+    )
+
+
+def _owned_spider(n: int, seed: int) -> OwnedGraph:
+    """Spider with ~n nodes: 4 legs of length (n - 1) // 4."""
+    import random
+
+    legs = 4
+    leg_length = max((n - 1) // legs, 1)
+    graph = spider_tree(legs=legs, leg_length=leg_length)
+    rng = random.Random(seed)
+    return OwnedGraph(
+        graph=graph,
+        ownership=assign_ownership_fair_coin(graph, rng=rng),
+        metadata={"family": "spider", "legs": legs, "leg_length": leg_length, "seed": seed},
+    )
+
+
+#: family name -> builder(n, seed) with the per-family default parameters.
+EXTENSION_FAMILIES: dict[str, object] = {
+    "tree": lambda n, seed: random_owned_tree(n, seed=seed),
+    "gnp": lambda n, seed: owned_connected_gnp_graph(n, p=min(0.9, 4.0 / max(n - 1, 1)), seed=seed),
+    "watts-strogatz": lambda n, seed: owned_watts_strogatz(n, k=4, p=0.2, seed=seed),
+    "barabasi-albert": lambda n, seed: owned_barabasi_albert(n, m=2, seed=seed),
+    "random-regular": lambda n, seed: owned_random_regular(n if (n * 3) % 2 == 0 else n + 1, d=3, seed=seed),
+    "caterpillar": _owned_caterpillar,
+    "spider": _owned_spider,
+}
+
+
+def build_extension_instance(family: str, n: int, seed: int) -> OwnedGraph:
+    """Build one instance of ``family`` with roughly ``n`` players.
+
+    Some families round the size up or down slightly to satisfy their own
+    structural constraints (e.g. ``n·d`` even for regular graphs, whole
+    spine/leg counts for the extremal trees); the returned instance records
+    its exact parameters in ``metadata``.
+    """
+    if family not in EXTENSION_FAMILIES:
+        raise ValueError(
+            f"unknown instance family {family!r}; choose from {sorted(EXTENSION_FAMILIES)}"
+        )
+    if n < 4:
+        raise ValueError("extension instances need at least 4 players")
+    return EXTENSION_FAMILIES[family](n, seed)

@@ -1,0 +1,42 @@
+"""Per-figure data generators (Figures 3-10 of the paper).
+
+Figures 3 and 4 are theoretical region maps and only evaluate closed-form
+bounds; Figures 5-10 are simulation studies built on the sweep runner.  Each
+module exposes a ``*Config`` dataclass with ``paper()`` and ``smoke()``
+constructors plus a ``generate_figureN(config)`` function returning flat
+row dictionaries (the series the paper plots).
+"""
+
+from repro.experiments.figures.figure3 import Figure3Config, generate_figure3
+from repro.experiments.figures.figure4 import Figure4Config, generate_figure4
+from repro.experiments.figures.figure5 import Figure5Config, generate_figure5
+from repro.experiments.figures.figure6 import Figure6Config, generate_figure6
+from repro.experiments.figures.figure7 import Figure7Config, generate_figure7
+from repro.experiments.figures.figure8 import Figure8Config, generate_figure8
+from repro.experiments.figures.figure9 import Figure9Config, generate_figure9
+from repro.experiments.figures.figure10 import Figure10Config, generate_figure10
+from repro.experiments.figures.convergence import (
+    ConvergenceConfig,
+    generate_convergence_summary,
+)
+
+__all__ = [
+    "Figure3Config",
+    "generate_figure3",
+    "Figure4Config",
+    "generate_figure4",
+    "Figure5Config",
+    "generate_figure5",
+    "Figure6Config",
+    "generate_figure6",
+    "Figure7Config",
+    "generate_figure7",
+    "Figure8Config",
+    "generate_figure8",
+    "Figure9Config",
+    "generate_figure9",
+    "Figure10Config",
+    "generate_figure10",
+    "ConvergenceConfig",
+    "generate_convergence_summary",
+]

@@ -1,0 +1,59 @@
+"""Shared plumbing for the simulation-based figures (5-10)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.experiments.aggregate import MetricExtractors, aggregate_results
+from repro.experiments.config import SweepSettings
+from repro.experiments.runner import RunResult, RunSpec, run_sweep
+
+__all__ = ["build_specs", "run_and_aggregate"]
+
+
+def build_specs(
+    family: str,
+    sizes: Sequence[int],
+    alphas: Sequence[float],
+    ks: Sequence[int],
+    settings: SweepSettings,
+    p_by_size: dict[int, float] | None = None,
+    usage: str = "max",
+    ordering: str = "fixed",
+    ownership: str = "fair_coin",
+) -> list[RunSpec]:
+    """Cartesian product of the requested parameter cells, one spec per seed."""
+    specs: list[RunSpec] = []
+    for n in sizes:
+        p = p_by_size.get(n) if p_by_size else None
+        for alpha in alphas:
+            for k in ks:
+                for seed in range(settings.num_seeds):
+                    specs.append(
+                        RunSpec(
+                            family=family,
+                            n=n,
+                            p=p,
+                            alpha=alpha,
+                            k=k,
+                            seed=settings.base_seed + seed,
+                            usage=usage,
+                            solver=settings.solver,
+                            max_rounds=settings.max_rounds,
+                            ordering=ordering,
+                            ownership=ownership,
+                        )
+                    )
+    return specs
+
+
+def run_and_aggregate(
+    specs: Iterable[RunSpec],
+    settings: SweepSettings,
+    keys: Sequence[str],
+    metrics: MetricExtractors,
+) -> tuple[list[dict], list[RunResult]]:
+    """Run every spec and aggregate the requested metrics per parameter cell."""
+    results = run_sweep(list(specs), settings)
+    rows = aggregate_results(results, keys=keys, metrics=metrics)
+    return rows, results

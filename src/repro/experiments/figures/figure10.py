@@ -1,0 +1,86 @@
+"""Figure 10 — number of rounds needed to converge to a stable network.
+
+Left panel: rounds vs α for trees with n = 100; right panel: rounds vs n for
+α = 2.  The paper reports that in more than 95 % of the runs at most 7
+rounds suffice, and that the round count grows slowly with n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import (
+    FULL_KNOWLEDGE_K,
+    PAPER_ALPHAS,
+    PAPER_KS,
+    PAPER_TREE_SIZES,
+    SweepSettings,
+)
+from repro.experiments.figures.common import build_specs, run_and_aggregate
+
+__all__ = ["Figure10Config", "generate_figure10"]
+
+
+@dataclass(frozen=True)
+class Figure10Config:
+    """Parameter grid of Figure 10 (both panels)."""
+
+    n_for_alpha_panel: int = 100
+    alphas: tuple[float, ...] = PAPER_ALPHAS
+    alpha_for_size_panel: float = 2.0
+    sizes: tuple[int, ...] = PAPER_TREE_SIZES
+    ks: tuple[int, ...] = PAPER_KS
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "Figure10Config":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "Figure10Config":
+        return cls(
+            n_for_alpha_panel=25,
+            alphas=(0.5, 2.0, 10.0),
+            alpha_for_size_panel=2.0,
+            sizes=(20, 30),
+            ks=(2, 4, FULL_KNOWLEDGE_K),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+def generate_figure10(config: Figure10Config | None = None) -> list[dict]:
+    """Rows for both panels, tagged by ``panel`` ∈ {"alpha", "n"}."""
+    cfg = config if config is not None else Figure10Config.paper()
+    metrics = {
+        "rounds": lambda r: float(r.rounds),
+        "total_changes": lambda r: float(r.total_changes),
+        "converged": lambda r: float(r.converged),
+    }
+    alpha_specs = build_specs(
+        family="tree",
+        sizes=(cfg.n_for_alpha_panel,),
+        alphas=cfg.alphas,
+        ks=cfg.ks,
+        settings=cfg.settings,
+    )
+    alpha_rows, _ = run_and_aggregate(
+        alpha_specs, cfg.settings, keys=("k", "alpha"), metrics=metrics
+    )
+    for row in alpha_rows:
+        row["panel"] = "alpha"
+        row["n"] = cfg.n_for_alpha_panel
+
+    size_specs = build_specs(
+        family="tree",
+        sizes=cfg.sizes,
+        alphas=(cfg.alpha_for_size_panel,),
+        ks=cfg.ks,
+        settings=cfg.settings,
+    )
+    size_rows, _ = run_and_aggregate(
+        size_specs, cfg.settings, keys=("k", "n"), metrics=metrics
+    )
+    for row in size_rows:
+        row["panel"] = "n"
+        row["alpha"] = cfg.alpha_for_size_panel
+    return alpha_rows + size_rows

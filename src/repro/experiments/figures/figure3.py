@@ -1,0 +1,65 @@
+"""Figure 3 — the (α, k) bound map for MaxNCG.
+
+The figure is purely theoretical: it partitions the (α, k) plane into
+regions ①-⑧ plus the grey "NE ≡ LKE" region and annotates each with the
+asymptotic lower/upper PoA bounds of Section 3.  The reproduction evaluates
+the bound formulas on a logarithmic (α, k) grid for a given n and reports,
+per cell, the region label and the numeric value of the applicable bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.regions import max_region_grid
+
+__all__ = ["Figure3Config", "generate_figure3"]
+
+
+def _log_grid(low: float, high: float, points: int) -> tuple[float, ...]:
+    if points < 2:
+        return (low,)
+    ratio = (high / low) ** (1.0 / (points - 1))
+    return tuple(low * ratio**i for i in range(points))
+
+
+@dataclass(frozen=True)
+class Figure3Config:
+    """Grid resolution of the region map."""
+
+    n: int = 10_000
+    alpha_points: int = 12
+    k_points: int = 12
+
+    @classmethod
+    def paper(cls) -> "Figure3Config":
+        return cls(n=10_000, alpha_points=24, k_points=24)
+
+    @classmethod
+    def smoke(cls) -> "Figure3Config":
+        return cls(n=1_000, alpha_points=8, k_points=8)
+
+    def alphas(self) -> tuple[float, ...]:
+        return _log_grid(1.5, float(self.n), self.alpha_points)
+
+    def ks(self) -> tuple[float, ...]:
+        return tuple(
+            max(1.0, round(value))
+            for value in _log_grid(1.0, float(self.n), self.k_points)
+        )
+
+
+def generate_figure3(config: Figure3Config | None = None) -> list[dict]:
+    """Evaluate the MaxNCG region map; one row per (α, k) grid cell."""
+    cfg = config if config is not None else Figure3Config.paper()
+    cells = max_region_grid(cfg.n, cfg.alphas(), cfg.ks())
+    rows = []
+    for cell in cells:
+        row = cell.as_dict()
+        row["log2_lower_bound"] = math.log2(max(cell.lower_bound, 1.0))
+        row["log2_upper_bound"] = (
+            math.log2(max(cell.upper_bound, 1.0)) if cell.upper_bound is not None else None
+        )
+        rows.append(row)
+    return rows

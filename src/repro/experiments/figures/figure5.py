@@ -1,0 +1,64 @@
+"""Figure 5 — view size at equilibrium as a function of α, per k.
+
+"Minimum and average number of vertices in the players' view on stable
+networks as a function of α for the various values of k.  Points correspond
+to mean values over 20 different trees with 100 vertices."  (Section 5.4,
+*Knowledge of the network*.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import FULL_KNOWLEDGE_K, PAPER_ALPHAS, SweepSettings
+from repro.experiments.figures.common import build_specs, run_and_aggregate
+
+__all__ = ["Figure5Config", "generate_figure5"]
+
+
+@dataclass(frozen=True)
+class Figure5Config:
+    """Parameter grid of Figure 5."""
+
+    n: int = 100
+    alphas: tuple[float, ...] = PAPER_ALPHAS
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 10, FULL_KNOWLEDGE_K)
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "Figure5Config":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "Figure5Config":
+        return cls(
+            n=25,
+            alphas=(0.5, 2.0, 5.0),
+            ks=(2, 3, FULL_KNOWLEDGE_K),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+def generate_figure5(config: Figure5Config | None = None) -> list[dict]:
+    """One row per (k, α) cell: mean / minimum view size at the stable network."""
+    cfg = config if config is not None else Figure5Config.paper()
+    specs = build_specs(
+        family="tree",
+        sizes=(cfg.n,),
+        alphas=cfg.alphas,
+        ks=cfg.ks,
+        settings=cfg.settings,
+    )
+    rows, _ = run_and_aggregate(
+        specs,
+        cfg.settings,
+        keys=("k", "alpha"),
+        metrics={
+            "average_view_size": lambda r: r.final_metrics.mean_view_size,
+            "minimum_view_size": lambda r: r.final_metrics.min_view_size,
+            "converged": lambda r: float(r.converged),
+        },
+    )
+    for row in rows:
+        row["n"] = cfg.n
+    return rows

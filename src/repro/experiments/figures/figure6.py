@@ -1,0 +1,62 @@
+"""Figure 6 — quality of the stable networks as a function of n, per k.
+
+Left panel: α = 1; right panel: α = 10.  Random trees, 20 seeds per point.
+The quality of an equilibrium is its social cost divided by the benchmark
+social optimum; the paper observes that for small k the quality degrades
+linearly in n while for large k it is almost constant (full-knowledge PoA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import FULL_KNOWLEDGE_K, PAPER_TREE_SIZES, SweepSettings
+from repro.experiments.figures.common import build_specs, run_and_aggregate
+
+__all__ = ["Figure6Config", "generate_figure6"]
+
+
+@dataclass(frozen=True)
+class Figure6Config:
+    """Parameter grid of Figure 6."""
+
+    sizes: tuple[int, ...] = PAPER_TREE_SIZES
+    alphas: tuple[float, ...] = (1.0, 10.0)
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 10, 15, FULL_KNOWLEDGE_K)
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "Figure6Config":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "Figure6Config":
+        return cls(
+            sizes=(20, 30),
+            alphas=(1.0, 10.0),
+            ks=(2, 4, FULL_KNOWLEDGE_K),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+def generate_figure6(config: Figure6Config | None = None) -> list[dict]:
+    """One row per (α, k, n) cell: mean quality of equilibrium ± CI."""
+    cfg = config if config is not None else Figure6Config.paper()
+    specs = build_specs(
+        family="tree",
+        sizes=cfg.sizes,
+        alphas=cfg.alphas,
+        ks=cfg.ks,
+        settings=cfg.settings,
+    )
+    rows, _ = run_and_aggregate(
+        specs,
+        cfg.settings,
+        keys=("alpha", "k", "n"),
+        metrics={
+            "quality": lambda r: r.final_metrics.quality,
+            "social_cost": lambda r: r.final_metrics.social_cost,
+            "converged": lambda r: float(r.converged),
+        },
+    )
+    return rows

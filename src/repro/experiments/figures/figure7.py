@@ -1,0 +1,77 @@
+"""Figure 7 — quality of the stable networks as a function of k, for α = 2.
+
+Left panel: random trees for several n; right panel: Erdős–Rényi graphs with
+n = 100 and p = 0.2.  The bold red line of the paper is the trend
+``f(k) = k / 2^{Θ(log² k)}`` of the theoretical upper bound once α and n are
+fixed; we report the same trend value (normalised to the k = 2 measurement)
+next to the measured quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.bounds import upper_bound_trend_fig7
+from repro.experiments.config import SweepSettings
+from repro.experiments.figures.common import build_specs, run_and_aggregate
+
+__all__ = ["Figure7Config", "generate_figure7"]
+
+
+@dataclass(frozen=True)
+class Figure7Config:
+    """Parameter grid of Figure 7."""
+
+    alpha: float = 2.0
+    tree_sizes: tuple[int, ...] = (20, 30, 50, 70, 100, 200)
+    gnp_n: int = 100
+    gnp_p: float = 0.2
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 10)
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "Figure7Config":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "Figure7Config":
+        return cls(
+            tree_sizes=(20, 30),
+            gnp_n=30,
+            gnp_p=0.15,
+            ks=(2, 3, 4),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+def generate_figure7(config: Figure7Config | None = None) -> list[dict]:
+    """Rows per (family, n, k): mean quality ± CI plus the theoretical trend."""
+    cfg = config if config is not None else Figure7Config.paper()
+    tree_specs = build_specs(
+        family="tree",
+        sizes=cfg.tree_sizes,
+        alphas=(cfg.alpha,),
+        ks=cfg.ks,
+        settings=cfg.settings,
+    )
+    gnp_specs = build_specs(
+        family="gnp",
+        sizes=(cfg.gnp_n,),
+        alphas=(cfg.alpha,),
+        ks=cfg.ks,
+        settings=cfg.settings,
+        p_by_size={cfg.gnp_n: cfg.gnp_p},
+    )
+    rows, _ = run_and_aggregate(
+        tree_specs + gnp_specs,
+        cfg.settings,
+        keys=("family", "n", "k"),
+        metrics={
+            "quality": lambda r: r.final_metrics.quality,
+            "converged": lambda r: float(r.converged),
+        },
+    )
+    for row in rows:
+        row["alpha"] = cfg.alpha
+        row["theory_trend"] = upper_bound_trend_fig7(row["k"])
+    return rows

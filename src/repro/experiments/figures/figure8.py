@@ -1,0 +1,68 @@
+"""Figure 8 — maximum degree and maximum number of bought edges vs α.
+
+"Points correspond to mean values over 20 different random graphs with 100
+vertices and p = 0.1."  The paper highlights that for k >= 4 and small α the
+maximum degree exceeds 80 while no player buys more than ~9 edges — i.e. a
+few hubs attract edges bought by many different players.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
+from repro.experiments.figures.common import build_specs, run_and_aggregate
+
+__all__ = ["Figure8Config", "generate_figure8"]
+
+
+@dataclass(frozen=True)
+class Figure8Config:
+    """Parameter grid of Figure 8."""
+
+    n: int = 100
+    p: float = 0.1
+    alphas: tuple[float, ...] = (0.025, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0)
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 10, FULL_KNOWLEDGE_K)
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "Figure8Config":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "Figure8Config":
+        return cls(
+            n=25,
+            p=0.15,
+            alphas=(0.1, 0.5, 2.0),
+            ks=(2, 3, FULL_KNOWLEDGE_K),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+def generate_figure8(config: Figure8Config | None = None) -> list[dict]:
+    """One row per (k, α) cell: mean max degree and mean max #bought edges."""
+    cfg = config if config is not None else Figure8Config.paper()
+    specs = build_specs(
+        family="gnp",
+        sizes=(cfg.n,),
+        alphas=cfg.alphas,
+        ks=cfg.ks,
+        settings=cfg.settings,
+        p_by_size={cfg.n: cfg.p},
+    )
+    rows, _ = run_and_aggregate(
+        specs,
+        cfg.settings,
+        keys=("k", "alpha"),
+        metrics={
+            "max_degree": lambda r: float(r.final_metrics.max_degree),
+            "max_bought_edges": lambda r: float(r.final_metrics.max_bought_edges),
+            "converged": lambda r: float(r.converged),
+        },
+    )
+    for row in rows:
+        row["n"] = cfg.n
+        row["p"] = cfg.p
+    return rows

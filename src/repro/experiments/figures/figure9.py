@@ -1,0 +1,69 @@
+"""Figure 9 — unfairness ratio of the stable networks vs α.
+
+The unfairness ratio is the highest player cost divided by the lowest player
+cost at equilibrium.  "Points correspond to mean values over 20 different
+random graphs with 100 vertices and p = 0.1.  Notice small values of k yield
+more fair equilibria."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import FULL_KNOWLEDGE_K, PAPER_ALPHAS, SweepSettings
+from repro.experiments.figures.common import build_specs, run_and_aggregate
+
+__all__ = ["Figure9Config", "generate_figure9"]
+
+
+@dataclass(frozen=True)
+class Figure9Config:
+    """Parameter grid of Figure 9."""
+
+    n: int = 100
+    p: float = 0.1
+    alphas: tuple[float, ...] = PAPER_ALPHAS
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 10, 15, FULL_KNOWLEDGE_K)
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "Figure9Config":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "Figure9Config":
+        return cls(
+            n=25,
+            p=0.15,
+            alphas=(0.5, 2.0, 10.0),
+            ks=(2, 3, FULL_KNOWLEDGE_K),
+            settings=SweepSettings.smoke(workers=workers),
+        )
+
+
+def generate_figure9(config: Figure9Config | None = None) -> list[dict]:
+    """One row per (k, α) cell: mean unfairness ratio ± CI."""
+    cfg = config if config is not None else Figure9Config.paper()
+    specs = build_specs(
+        family="gnp",
+        sizes=(cfg.n,),
+        alphas=cfg.alphas,
+        ks=cfg.ks,
+        settings=cfg.settings,
+        p_by_size={cfg.n: cfg.p},
+    )
+    rows, _ = run_and_aggregate(
+        specs,
+        cfg.settings,
+        keys=("k", "alpha"),
+        metrics={
+            "unfairness": lambda r: r.final_metrics.unfairness,
+            "max_player_cost": lambda r: r.final_metrics.max_player_cost,
+            "min_player_cost": lambda r: r.final_metrics.min_player_cost,
+            "converged": lambda r: float(r.converged),
+        },
+    )
+    for row in rows:
+        row["n"] = cfg.n
+        row["p"] = cfg.p
+    return rows

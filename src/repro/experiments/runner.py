@@ -1,0 +1,206 @@
+"""Single-run and sweep execution of the best-response dynamics.
+
+A :class:`RunSpec` fully describes one independent simulation: the instance
+family (random tree or Erdős–Rényi graph), its size/parameter/seed, the game
+parameters (α, k) and the execution options.  Because it is a frozen,
+picklable dataclass, sweeps distribute naturally over a process pool; the
+per-spec seed makes every run reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.core.dynamics import best_response_dynamics
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG, SumNCG
+from repro.core.metrics import ProfileMetrics
+from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
+from repro.graphs.generators.base import OwnedGraph
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+from repro.parallel.pool import parallel_map
+
+__all__ = ["RunSpec", "RunResult", "build_instance", "run_single", "run_sweep", "profile_run"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent dynamics run.
+
+    ``family`` is ``"tree"`` or ``"gnp"``; ``p`` is only meaningful for the
+    latter.  ``k`` uses the paper's convention: values ``>= FULL_KNOWLEDGE_K``
+    are mapped to genuine full knowledge.
+    """
+
+    family: str
+    n: int
+    alpha: float
+    k: int
+    seed: int
+    p: float | None = None
+    usage: str = "max"
+    solver: str = "milp"
+    max_rounds: int = 60
+    ordering: str = "fixed"
+    ownership: str = "fair_coin"
+
+    def game(self) -> GameSpec:
+        k_value = FULL_KNOWLEDGE if self.k >= FULL_KNOWLEDGE_K else self.k
+        if self.usage == "max":
+            return MaxNCG(alpha=self.alpha, k=k_value)
+        if self.usage == "sum":
+            return SumNCG(alpha=self.alpha, k=k_value)
+        raise ValueError(f"unknown usage kind {self.usage!r}")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Flattened outcome of one dynamics run (cheap to aggregate / serialise)."""
+
+    spec: RunSpec
+    converged: bool
+    cycled: bool
+    rounds: int
+    total_changes: int
+    initial_metrics: ProfileMetrics
+    final_metrics: ProfileMetrics
+
+    def as_row(self) -> dict:
+        """Flatten into a CSV-friendly dictionary."""
+        row: dict = {
+            "family": self.spec.family,
+            "n": self.spec.n,
+            "p": self.spec.p,
+            "alpha": self.spec.alpha,
+            "k": self.spec.k,
+            "seed": self.spec.seed,
+            "usage": self.spec.usage,
+            "solver": self.spec.solver,
+            "converged": self.converged,
+            "cycled": self.cycled,
+            "rounds": self.rounds,
+            "total_changes": self.total_changes,
+        }
+        row.update({f"initial_{key}": value for key, value in self.initial_metrics.as_dict().items()})
+        row.update({f"final_{key}": value for key, value in self.final_metrics.as_dict().items()})
+        return row
+
+
+def build_instance(spec: RunSpec) -> OwnedGraph:
+    """Materialise the initial owned network described by ``spec``."""
+    if spec.family == "tree":
+        owned = random_owned_tree(spec.n, seed=spec.seed)
+    elif spec.family == "gnp":
+        if spec.p is None:
+            raise ValueError("gnp runs need the edge probability p")
+        owned = owned_connected_gnp_graph(spec.n, spec.p, seed=spec.seed)
+    else:
+        raise ValueError(f"unknown instance family {spec.family!r}")
+    if spec.ownership == "fair_coin":
+        return owned
+    if spec.ownership == "smaller_endpoint":
+        from repro.graphs.generators.base import assign_ownership_to_smaller
+
+        return OwnedGraph(
+            graph=owned.graph,
+            ownership=assign_ownership_to_smaller(owned.graph),
+            metadata={**owned.metadata, "ownership": "smaller_endpoint"},
+        )
+    raise ValueError(f"unknown ownership rule {spec.ownership!r}")
+
+
+def run_single(spec: RunSpec, collect_round_metrics: bool = False) -> RunResult:
+    """Execute one dynamics run and return its flattened outcome."""
+    owned = build_instance(spec)
+    game = spec.game()
+    result = best_response_dynamics(
+        owned,
+        game,
+        solver=spec.solver,
+        max_rounds=spec.max_rounds,
+        collect_round_metrics=collect_round_metrics,
+        ordering=spec.ordering,
+        seed=spec.seed,
+    )
+    return RunResult(
+        spec=spec,
+        converged=result.converged,
+        cycled=result.cycled,
+        rounds=result.rounds,
+        total_changes=result.total_changes,
+        initial_metrics=result.initial_metrics,
+        final_metrics=result.final_metrics,
+    )
+
+
+def run_sweep(
+    specs: list[RunSpec],
+    settings: SweepSettings | None = None,
+) -> list[RunResult]:
+    """Run many independent specs, optionally across processes."""
+    workers = settings.workers if settings is not None else 1
+    return parallel_map(run_single, specs, workers=workers)
+
+
+def profile_run(spec: RunSpec, top: int = 25) -> str:
+    """Profile a single run with :mod:`cProfile` and return the hot-spot table.
+
+    Follows the "no optimisation without measuring" workflow of the HPC
+    guides; used by developers, not by the experiment pipeline.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_single(spec)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(top)
+    return buffer.getvalue()
+
+
+def specs_for_cell(
+    family: str,
+    n: int,
+    alpha: float,
+    k: int,
+    settings: SweepSettings,
+    p: float | None = None,
+    usage: str = "max",
+    ordering: str = "fixed",
+    ownership: str = "fair_coin",
+) -> list[RunSpec]:
+    """The ``num_seeds`` independent specs of one parameter cell."""
+    return [
+        RunSpec(
+            family=family,
+            n=n,
+            p=p,
+            alpha=alpha,
+            k=k,
+            seed=settings.base_seed + seed,
+            usage=usage,
+            solver=settings.solver,
+            max_rounds=settings.max_rounds,
+            ordering=ordering,
+            ownership=ownership,
+        )
+        for seed in range(settings.num_seeds)
+    ]
+
+
+def run_cell(
+    family: str,
+    n: int,
+    alpha: float,
+    k: int,
+    settings: SweepSettings,
+    p: float | None = None,
+    usage: str = "max",
+) -> list[RunResult]:
+    """Convenience wrapper: build and run all specs of one parameter cell."""
+    specs = specs_for_cell(family, n, alpha, k, settings, p=p, usage=usage)
+    return run_sweep(specs, settings)

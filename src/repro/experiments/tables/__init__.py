@@ -1,0 +1,6 @@
+"""Tables I and II of the paper (instance statistics)."""
+
+from repro.experiments.tables.table1 import Table1Config, generate_table1
+from repro.experiments.tables.table2 import Table2Config, generate_table2
+
+__all__ = ["Table1Config", "generate_table1", "Table2Config", "generate_table2"]

@@ -1,0 +1,65 @@
+"""Table I — statistics of the random trees used in the experiments.
+
+"In each row, 20 random trees with the same number n of nodes are
+considered.  The remaining columns contain the average statistics over the
+corresponding trees along with their 95 % confidence intervals": diameter,
+maximum degree and maximum number of bought edges (under the fair-coin
+ownership rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.statistics import summarize
+from repro.experiments.config import PAPER_NUM_SEEDS, PAPER_TREE_SIZES, SMOKE_NUM_SEEDS
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.properties import degree_statistics, diameter
+
+__all__ = ["Table1Config", "generate_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Instance sizes and seed count for Table I."""
+
+    sizes: tuple[int, ...] = PAPER_TREE_SIZES
+    num_seeds: int = PAPER_NUM_SEEDS
+    base_seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Table1Config":
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "Table1Config":
+        return cls(sizes=(20, 30, 50), num_seeds=SMOKE_NUM_SEEDS)
+
+
+def _tree_statistics(n: int, seed: int) -> dict[str, float]:
+    owned = random_owned_tree(n, seed=seed)
+    graph = owned.graph
+    max_bought = max(len(targets) for targets in owned.ownership.values())
+    return {
+        "diameter": float(diameter(graph)),
+        "max_degree": float(degree_statistics(graph).maximum),
+        "max_bought_edges": float(max_bought),
+    }
+
+
+def generate_table1(config: Table1Config | None = None) -> list[dict]:
+    """Generate the rows of Table I (one row per tree size ``n``)."""
+    cfg = config if config is not None else Table1Config.paper()
+    rows: list[dict] = []
+    for n in cfg.sizes:
+        stats = [
+            _tree_statistics(n, seed=cfg.base_seed + 1000 * n + s)
+            for s in range(cfg.num_seeds)
+        ]
+        row: dict = {"n": n}
+        for column in ("diameter", "max_degree", "max_bought_edges"):
+            summary = summarize([s[column] for s in stats])
+            row[f"{column}_mean"] = summary.mean
+            row[f"{column}_ci"] = summary.half_width
+        rows.append(row)
+    return rows

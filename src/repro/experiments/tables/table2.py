@@ -1,0 +1,68 @@
+"""Table II — statistics of the Erdős–Rényi instances.
+
+For each of the six ``(n, p)`` pairs the paper reports (over 20 connected
+samples): number of edges, diameter, maximum degree and maximum number of
+bought edges, each with its 95 % confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.statistics import summarize
+from repro.experiments.config import (
+    PAPER_GNP_PARAMETERS,
+    PAPER_NUM_SEEDS,
+    SMOKE_NUM_SEEDS,
+)
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.properties import degree_statistics, diameter
+
+__all__ = ["Table2Config", "generate_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """(n, p) pairs and seed count for Table II."""
+
+    parameters: tuple[tuple[int, float], ...] = PAPER_GNP_PARAMETERS
+    num_seeds: int = PAPER_NUM_SEEDS
+    base_seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Table2Config":
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "Table2Config":
+        return cls(parameters=((50, 0.1), (60, 0.08)), num_seeds=SMOKE_NUM_SEEDS)
+
+
+def _gnp_statistics(n: int, p: float, seed: int) -> dict[str, float]:
+    owned = owned_connected_gnp_graph(n, p, seed=seed)
+    graph = owned.graph
+    max_bought = max(len(targets) for targets in owned.ownership.values())
+    return {
+        "edges": float(graph.number_of_edges()),
+        "diameter": float(diameter(graph)),
+        "max_degree": float(degree_statistics(graph).maximum),
+        "max_bought_edges": float(max_bought),
+    }
+
+
+def generate_table2(config: Table2Config | None = None) -> list[dict]:
+    """Generate the rows of Table II (one row per ``(n, p)`` pair)."""
+    cfg = config if config is not None else Table2Config.paper()
+    rows: list[dict] = []
+    for n, p in cfg.parameters:
+        stats = [
+            _gnp_statistics(n, p, seed=cfg.base_seed + 7919 * n + s)
+            for s in range(cfg.num_seeds)
+        ]
+        row: dict = {"n": n, "p": p}
+        for column in ("edges", "diameter", "max_degree", "max_bought_edges"):
+            summary = summarize([s[column] for s in stats])
+            row[f"{column}_mean"] = summary.mean
+            row[f"{column}_ci"] = summary.half_width
+        rows.append(row)
+    return rows

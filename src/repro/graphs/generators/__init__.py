@@ -1,0 +1,91 @@
+"""Graph generators.
+
+Two families live here:
+
+* the **experimental instances** of Section 5 — uniform random labelled
+  trees and connected Erdős–Rényi graphs, both with fair-coin edge
+  ownership — plus the classic fixtures (cycles, stars, paths, cliques,
+  grids) used by the theory and the tests, and
+* the **lower-bound constructions** of Sections 3 and 4 — the stretched
+  toroidal grid of Section 3.1 (closed and open variants) and high-girth
+  (near-)regular graphs standing in for the Lazebnik–Ustimenko–Woldar
+  graphs of Lemma 3.2.
+
+Generators that the paper equips with an edge-ownership assignment return an
+:class:`OwnedGraph` pairing the topology with a ``owner -> bought targets``
+map, ready to be converted into a strategy profile by the game layer.
+"""
+
+from repro.graphs.generators.base import OwnedGraph, assign_ownership_fair_coin, assign_ownership_to_smaller
+from repro.graphs.generators.classic import (
+    cycle_graph,
+    path_graph,
+    star_graph,
+    complete_graph,
+    grid_2d_graph,
+    petersen_graph,
+)
+from repro.graphs.generators.trees import random_tree, random_owned_tree, prufer_to_tree
+from repro.graphs.generators.erdos_renyi import gnp_random_graph, connected_gnp_graph, owned_connected_gnp_graph
+from repro.graphs.generators.torus import (
+    TorusParameters,
+    stretched_torus,
+    open_stretched_torus,
+    torus_parameters_for_theorem_3_12,
+    torus_parameters_for_lemma_4_1,
+)
+from repro.graphs.generators.high_girth import (
+    projective_plane_incidence_graph,
+    high_girth_regular_graph,
+    owned_high_girth_graph,
+)
+from repro.graphs.generators.smallworld import (
+    watts_strogatz_graph,
+    barabasi_albert_graph,
+    random_regular_graph,
+    hypercube_graph,
+    complete_bipartite_graph,
+    caterpillar_tree,
+    spider_tree,
+    balanced_tree,
+    owned_watts_strogatz,
+    owned_barabasi_albert,
+    owned_random_regular,
+)
+
+__all__ = [
+    "OwnedGraph",
+    "assign_ownership_fair_coin",
+    "assign_ownership_to_smaller",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_2d_graph",
+    "petersen_graph",
+    "random_tree",
+    "random_owned_tree",
+    "prufer_to_tree",
+    "gnp_random_graph",
+    "connected_gnp_graph",
+    "owned_connected_gnp_graph",
+    "TorusParameters",
+    "stretched_torus",
+    "open_stretched_torus",
+    "torus_parameters_for_theorem_3_12",
+    "torus_parameters_for_lemma_4_1",
+    "projective_plane_incidence_graph",
+    "high_girth_regular_graph",
+    "owned_high_girth_graph",
+    "watts_strogatz_graph",
+    "barabasi_albert_graph",
+    "random_regular_graph",
+    "hypercube_graph",
+    "complete_bipartite_graph",
+    "caterpillar_tree",
+    "spider_tree",
+    "balanced_tree",
+    "owned_watts_strogatz",
+    "owned_barabasi_albert",
+    "owned_random_regular",
+]

@@ -1,0 +1,115 @@
+"""Classic deterministic graph families.
+
+These are used as analytical fixtures: the cycle is the Lemma 3.1 lower
+bound, the star is the social optimum for ``α > 1``, the clique is the social
+optimum for small ``α`` in SumNCG, and paths/grids/Petersen serve as test
+fixtures with known diameters, girths and eccentricities.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.generators.base import OwnedGraph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_2d_graph",
+    "petersen_graph",
+    "owned_cycle",
+    "owned_star",
+]
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on nodes ``0..n-1`` (``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    return Graph(edges=((i, (i + 1) % n) for i in range(n)))
+
+
+def path_graph(n: int) -> Graph:
+    """Path on nodes ``0..n-1``."""
+    if n < 1:
+        raise ValueError("a path needs at least 1 node")
+    graph = Graph(nodes=range(n))
+    graph.add_edges((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def star_graph(n: int, center: int = 0) -> Graph:
+    """Star on ``n`` nodes with the given center (default node 0)."""
+    if n < 1:
+        raise ValueError("a star needs at least 1 node")
+    graph = Graph(nodes=range(n))
+    graph.add_edges((center, i) for i in range(n) if i != center)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph on ``n`` nodes."""
+    if n < 1:
+        raise ValueError("a complete graph needs at least 1 node")
+    graph = Graph(nodes=range(n))
+    graph.add_edges((i, j) for i in range(n) for j in range(i + 1, n))
+    return graph
+
+
+def grid_2d_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` grid with tuple-labelled nodes ``(r, c)``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = Graph(nodes=((r, c) for r in range(rows) for c in range(cols)))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    return graph
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph (10 nodes, girth 5, diameter 2) as a test fixture."""
+    graph = Graph(nodes=range(10))
+    # Outer 5-cycle 0..4, inner 5-star 5..9, spokes i -- i + 5.
+    graph.add_edges((i, (i + 1) % 5) for i in range(5))
+    graph.add_edges((5 + i, 5 + (i + 2) % 5) for i in range(5))
+    graph.add_edges((i, i + 5) for i in range(5))
+    return graph
+
+
+def owned_cycle(n: int) -> OwnedGraph:
+    """Cycle where player ``i`` owns the edge towards ``i + 1`` (Lemma 3.1).
+
+    Every player owns exactly one edge, matching the lower-bound instance
+    "a cycle on n >= 2k + 2 vertices where each player owns exactly one edge".
+    """
+    graph = cycle_graph(n)
+    ownership = {i: {(i + 1) % n} for i in range(n)}
+    return OwnedGraph(graph=graph, ownership=ownership, metadata={"family": "cycle", "n": n})
+
+
+def owned_star(n: int, center: int = 0, center_owns: bool = True) -> OwnedGraph:
+    """Star with all edges owned either by the center or by the leaves.
+
+    The social optimum of both games (for ``α > 1``) is a spanning star; who
+    owns the edges does not change the social cost, but both variants are
+    useful in tests of the equilibrium checker.
+    """
+    graph = star_graph(n, center=center)
+    ownership: dict[int, set[int]] = {i: set() for i in range(n)}
+    for leaf in range(n):
+        if leaf == center:
+            continue
+        if center_owns:
+            ownership[center].add(leaf)
+        else:
+            ownership[leaf].add(center)
+    return OwnedGraph(
+        graph=graph,
+        ownership=ownership,
+        metadata={"family": "star", "n": n, "center": center, "center_owns": center_owns},
+    )

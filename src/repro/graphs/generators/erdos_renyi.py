@@ -1,0 +1,81 @@
+"""Erdős–Rényi ``G(n, p)`` random graphs.
+
+Section 5.2: "we generated random graphs according to the classical G(n, p)
+model ... The parameters n and p were chosen so that the resulting graph was
+likely to be connected.  Any remaining unconnected graph was discarded and
+regenerated from scratch."  Edge ownership is again a fair coin toss.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.generators.base import OwnedGraph, assign_ownership_fair_coin
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+__all__ = ["gnp_random_graph", "connected_gnp_graph", "owned_connected_gnp_graph"]
+
+#: The (n, p) pairs used by the paper's Table II.
+PAPER_GNP_PARAMETERS: tuple[tuple[int, float], ...] = (
+    (100, 0.060),
+    (100, 0.100),
+    (100, 0.200),
+    (200, 0.035),
+    (200, 0.050),
+    (200, 0.100),
+)
+
+
+def gnp_random_graph(n: int, p: float, rng: random.Random | None = None) -> Graph:
+    """Sample a ``G(n, p)`` graph: each of the n(n-1)/2 edges appears w.p. ``p``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = rng if rng is not None else random.Random()
+    graph = Graph(nodes=range(n))
+    if p <= 0.0:
+        return graph
+    if p >= 1.0:
+        graph.add_edges((i, j) for i in range(n) for j in range(i + 1, n))
+        return graph
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def connected_gnp_graph(
+    n: int, p: float, rng: random.Random | None = None, max_attempts: int = 1000
+) -> Graph:
+    """Sample ``G(n, p)`` conditioned on connectivity by rejection sampling.
+
+    Raises
+    ------
+    RuntimeError
+        If no connected sample is drawn within ``max_attempts`` attempts
+        (this indicates that ``p`` is far below the connectivity threshold
+        ``ln(n)/n`` and the caller should pick different parameters).
+    """
+    rng = rng if rng is not None else random.Random()
+    for _ in range(max_attempts):
+        graph = gnp_random_graph(n, p, rng)
+        if is_connected(graph):
+            return graph
+    raise RuntimeError(
+        f"could not sample a connected G({n}, {p}) graph in {max_attempts} attempts"
+    )
+
+
+def owned_connected_gnp_graph(n: int, p: float, seed: int | None = None) -> OwnedGraph:
+    """Connected ``G(n, p)`` with fair-coin ownership (the paper's Table II family)."""
+    rng = random.Random(seed)
+    graph = connected_gnp_graph(n, p, rng)
+    ownership = assign_ownership_fair_coin(graph, rng)
+    return OwnedGraph(
+        graph=graph,
+        ownership=ownership,
+        metadata={"family": "erdos_renyi", "n": n, "p": p, "seed": seed},
+    )

@@ -1,0 +1,310 @@
+"""Additional instance families for the extension experiments.
+
+The paper's experiments start from uniform random trees and Erdős–Rényi
+graphs (Section 5.2).  The extension studies in
+:mod:`repro.experiments.extensions` re-run the same dynamics on structurally
+different families — small-world rings, preferential-attachment trees/graphs,
+random regular graphs, hypercubes, and a couple of extremal tree shapes — to
+check that the qualitative findings (fast convergence, hub formation, quality
+degradation at small k) are not artefacts of the two original families.
+
+Every generator is deterministic given its ``rng``/``seed`` argument and the
+``owned_*`` variants attach the fair-coin ownership rule of the paper unless
+stated otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.generators.base import (
+    OwnedGraph,
+    assign_ownership_fair_coin,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+__all__ = [
+    "watts_strogatz_graph",
+    "barabasi_albert_graph",
+    "random_regular_graph",
+    "hypercube_graph",
+    "complete_bipartite_graph",
+    "caterpillar_tree",
+    "spider_tree",
+    "balanced_tree",
+    "owned_watts_strogatz",
+    "owned_barabasi_albert",
+    "owned_random_regular",
+]
+
+
+# ----------------------------------------------------------------------
+# Small-world and preferential attachment
+# ----------------------------------------------------------------------
+def watts_strogatz_graph(
+    n: int, k: int, p: float, rng: random.Random | None = None
+) -> Graph:
+    """Watts–Strogatz small-world graph on ``n`` nodes.
+
+    Start from a ring lattice where every node is connected to its ``k``
+    nearest neighbours (``k`` must be even and ``< n``) and rewire each
+    "forward" edge independently with probability ``p`` to a uniformly random
+    non-neighbour.  Self-loops and parallel edges are never created.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if k % 2 != 0 or k < 0:
+        raise ValueError("k must be a non-negative even integer")
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    rng = rng if rng is not None else random.Random()
+    graph = Graph(nodes=range(n))
+    half = k // 2
+    for offset in range(1, half + 1):
+        for node in range(n):
+            graph.add_edge(node, (node + offset) % n)
+    if p == 0.0 or k == 0:
+        return graph
+    for offset in range(1, half + 1):
+        for node in range(n):
+            if rng.random() >= p:
+                continue
+            old_target = (node + offset) % n
+            if not graph.has_edge(node, old_target):
+                continue  # Already rewired away by an earlier pass.
+            candidates = [
+                target
+                for target in range(n)
+                if target != node and not graph.has_edge(node, target)
+            ]
+            if not candidates:
+                continue
+            new_target = rng.choice(candidates)
+            graph.remove_edge(node, old_target)
+            graph.add_edge(node, new_target)
+    return graph
+
+
+def barabasi_albert_graph(
+    n: int, m: int, rng: random.Random | None = None
+) -> Graph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` nodes and attaches each new node to ``m``
+    distinct existing nodes chosen with probability proportional to their
+    degree (implemented with the usual repeated-endpoint urn).  ``m = 1``
+    yields a random recursive-style tree, which is the shape used by the
+    family-robustness experiment.
+    """
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    if n <= m:
+        raise ValueError("n must exceed m")
+    rng = rng if rng is not None else random.Random()
+    graph = Graph(nodes=range(n))
+    # Seed: a star on nodes 0..m (node 0 at the centre), so every node has
+    # positive degree before preferential attachment starts.
+    urn: list[int] = []
+    for leaf in range(1, m + 1):
+        graph.add_edge(0, leaf)
+        urn.extend((0, leaf))
+    for new_node in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(urn))
+        for target in targets:
+            graph.add_edge(new_node, target)
+            urn.extend((new_node, target))
+    return graph
+
+
+def random_regular_graph(
+    n: int, d: int, rng: random.Random | None = None, max_attempts: int = 200
+) -> Graph:
+    """Random ``d``-regular graph (Steger–Wormald pairing with restarts).
+
+    ``n * d`` must be even and ``d < n``.  Stubs are paired one legal pair at
+    a time (never creating self-loops or parallel edges); if the process gets
+    stuck with only illegal pairs left, it restarts.  For the modest sizes
+    used in the experiments (``n`` up to a few hundred, small ``d``) a handful
+    of attempts always suffices.
+    """
+    if d < 0 or d >= n:
+        raise ValueError("need 0 <= d < n")
+    if (n * d) % 2 != 0:
+        raise ValueError("n * d must be even")
+    rng = rng if rng is not None else random.Random()
+    if d == 0:
+        return Graph(nodes=range(n))
+    for _ in range(max_attempts):
+        graph = Graph(nodes=range(n))
+        stubs = [node for node in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        stuck = False
+        while stubs:
+            # Draw a uniformly random legal pair among the remaining stubs.
+            paired = False
+            for _ in range(50):
+                i, j = rng.randrange(len(stubs)), rng.randrange(len(stubs))
+                if i == j:
+                    continue
+                u, v = stubs[i], stubs[j]
+                if u == v or graph.has_edge(u, v):
+                    continue
+                graph.add_edge(u, v)
+                for index in sorted((i, j), reverse=True):
+                    stubs.pop(index)
+                paired = True
+                break
+            if not paired:
+                stuck = True
+                break
+        if not stuck:
+            return graph
+    raise RuntimeError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes "
+        f"in {max_attempts} attempts"
+    )
+
+
+# ----------------------------------------------------------------------
+# Deterministic structured families
+# ----------------------------------------------------------------------
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube on ``2**dimension`` nodes.
+
+    Nodes are integers ``0 .. 2**dimension - 1``; two nodes are adjacent when
+    their binary labels differ in exactly one bit.
+    """
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    n = 1 << dimension
+    graph = Graph(nodes=range(n))
+    for node in range(n):
+        for bit in range(dimension):
+            neighbour = node ^ (1 << bit)
+            if neighbour > node:
+                graph.add_edge(node, neighbour)
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Complete bipartite graph ``K_{a,b}`` on nodes ``0..a+b-1``.
+
+    The first ``a`` labels form one side, the remaining ``b`` the other.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("side sizes must be non-negative")
+    graph = Graph(nodes=range(a + b))
+    for left in range(a):
+        for right in range(a, a + b):
+            graph.add_edge(left, right)
+    return graph
+
+
+def caterpillar_tree(spine: int, legs_per_node: int) -> Graph:
+    """Caterpillar: a path of ``spine`` nodes, each with ``legs_per_node`` leaves.
+
+    Caterpillars are the high-diameter extreme of the tree family; the
+    family-robustness experiment uses them to stress the small-k quality
+    degradation (long spines keep the usage cost large).
+    """
+    if spine < 1:
+        raise ValueError("spine must have at least one node")
+    if legs_per_node < 0:
+        raise ValueError("legs_per_node must be non-negative")
+    graph = Graph(nodes=range(spine))
+    for node in range(spine - 1):
+        graph.add_edge(node, node + 1)
+    next_label = spine
+    for node in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(node, next_label)
+            next_label += 1
+    return graph
+
+
+def spider_tree(legs: int, leg_length: int) -> Graph:
+    """Spider: ``legs`` paths of length ``leg_length`` glued at a common centre.
+
+    Node 0 is the centre.  A spider with long legs is the worst case for the
+    centre-centric social optimum, and the best case for a single hub.
+    """
+    if legs < 0 or leg_length < 0:
+        raise ValueError("legs and leg_length must be non-negative")
+    graph = Graph(nodes=[0])
+    next_label = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            graph.add_edge(previous, next_label)
+            previous = next_label
+            next_label += 1
+    return graph
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given ``height`` (root = node 0)."""
+    if branching < 1:
+        raise ValueError("branching must be at least 1")
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    graph = Graph(nodes=[0])
+    frontier = [0]
+    next_label = 1
+    for _ in range(height):
+        new_frontier: list[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_label)
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Owned variants (fair-coin ownership, connectivity enforced)
+# ----------------------------------------------------------------------
+def _owned(graph: Graph, rng: random.Random, metadata: dict) -> OwnedGraph:
+    ownership = assign_ownership_fair_coin(graph, rng=rng)
+    return OwnedGraph(graph=graph, ownership=ownership, metadata=metadata)
+
+
+def owned_watts_strogatz(
+    n: int, k: int, p: float, seed: int | None = None, max_attempts: int = 50
+) -> OwnedGraph:
+    """Connected Watts–Strogatz instance with fair-coin ownership.
+
+    Disconnected samples (possible for large ``p``) are rejected and
+    re-drawn, mirroring the rejection-sampling rule the paper applies to its
+    Erdős–Rényi instances.
+    """
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        graph = watts_strogatz_graph(n, k, p, rng=rng)
+        if is_connected(graph):
+            return _owned(graph, rng, {"family": "watts-strogatz", "n": n, "k": k, "p": p, "seed": seed})
+    raise RuntimeError("failed to sample a connected Watts-Strogatz graph")
+
+
+def owned_barabasi_albert(n: int, m: int, seed: int | None = None) -> OwnedGraph:
+    """Barabási–Albert instance with fair-coin ownership (always connected)."""
+    rng = random.Random(seed)
+    graph = barabasi_albert_graph(n, m, rng=rng)
+    return _owned(graph, rng, {"family": "barabasi-albert", "n": n, "m": m, "seed": seed})
+
+
+def owned_random_regular(
+    n: int, d: int, seed: int | None = None, max_attempts: int = 50
+) -> OwnedGraph:
+    """Connected random ``d``-regular instance with fair-coin ownership."""
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        graph = random_regular_graph(n, d, rng=rng)
+        if is_connected(graph):
+            return _owned(graph, rng, {"family": "random-regular", "n": n, "d": d, "seed": seed})
+    raise RuntimeError("failed to sample a connected random regular graph")

@@ -1,0 +1,83 @@
+"""Uniform random labelled trees (Prüfer sequences).
+
+Section 5.2 of the paper: "for a given number n of vertices, we picked a tree
+uniformly at random from the set of all possible trees on n vertices", with
+edge ownership decided by a fair coin toss per edge.  Sampling a uniformly
+random Prüfer sequence of length ``n - 2`` and decoding it yields exactly the
+uniform distribution over labelled trees (Cayley's bijection).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.generators.base import OwnedGraph, assign_ownership_fair_coin
+from repro.graphs.graph import Graph
+
+__all__ = ["prufer_to_tree", "random_tree", "random_owned_tree"]
+
+
+def prufer_to_tree(sequence: Sequence[int]) -> Graph:
+    """Decode a Prüfer sequence into the corresponding labelled tree.
+
+    A sequence of length ``L`` over ``{0, ..., L + 1}`` decodes to a tree on
+    ``L + 2`` nodes.  The empty sequence decodes to a single edge on 2 nodes.
+    """
+    n = len(sequence) + 2
+    if any(not (0 <= x < n) for x in sequence):
+        raise ValueError("Prüfer sequence entries must lie in [0, n)")
+    graph = Graph(nodes=range(n))
+    degree = [1] * n
+    for value in sequence:
+        degree[value] += 1
+
+    # Standard linear-time decoding: repeatedly attach the smallest leaf.
+    ptr = 0
+    leaf = -1
+    # Find initial leaf pointer.
+    while ptr < n and degree[ptr] != 1:
+        ptr += 1
+    leaf = ptr
+    for value in sequence:
+        graph.add_edge(leaf, value)
+        degree[value] -= 1
+        if degree[value] == 1 and value < ptr:
+            leaf = value
+        else:
+            ptr += 1
+            while ptr < n and degree[ptr] != 1:
+                ptr += 1
+            leaf = ptr
+    # Two leaves remain; one of them is `leaf`, the other is node n - 1.
+    graph.add_edge(leaf, n - 1)
+    return graph
+
+
+def random_tree(n: int, rng: random.Random | None = None) -> Graph:
+    """Sample a labelled tree on ``n`` nodes uniformly at random."""
+    if n < 1:
+        raise ValueError("a tree needs at least one node")
+    rng = rng if rng is not None else random.Random()
+    if n == 1:
+        return Graph(nodes=[0])
+    if n == 2:
+        return Graph(nodes=[0, 1], edges=[(0, 1)])
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    return prufer_to_tree(sequence)
+
+
+def random_owned_tree(n: int, seed: int | None = None) -> OwnedGraph:
+    """Sample a uniform random tree with fair-coin edge ownership.
+
+    This is the exact instance family of the paper's tree experiments
+    (Table I and Figures 5-7, 10).
+    """
+    rng = random.Random(seed)
+    graph = random_tree(n, rng)
+    ownership = assign_ownership_fair_coin(graph, rng)
+    return OwnedGraph(
+        graph=graph,
+        ownership=ownership,
+        metadata={"family": "random_tree", "n": n, "seed": seed},
+    )

@@ -1,0 +1,231 @@
+"""Serialization of graphs, owned graphs and strategy profiles.
+
+Long experiment sweeps need to checkpoint their instances and the resulting
+equilibria so they can be re-analysed without re-running the dynamics.  This
+module provides plain-text (edge list) and JSON round-trips for
+:class:`~repro.graphs.graph.Graph` and
+:class:`~repro.graphs.generators.base.OwnedGraph`.
+
+Node labels are either integers or tuples of integers (the two label kinds
+the generators produce); the JSON codec encodes tuples as lists and restores
+them on load, so round-trips are exact for every generator in the library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.graphs.generators.base import OwnedGraph
+from repro.graphs.graph import Graph, Node
+
+__all__ = [
+    "encode_node",
+    "decode_node",
+    "graph_to_edge_list",
+    "graph_from_edge_list",
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+    "owned_graph_to_dict",
+    "owned_graph_from_dict",
+    "write_graph_json",
+    "read_graph_json",
+    "write_owned_graph_json",
+    "read_owned_graph_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Node label codec
+# ----------------------------------------------------------------------
+def _encode_node(node: Node) -> Any:
+    """Encode a node label into a JSON-serialisable value.
+
+    Integers pass through; tuples (of ints, possibly nested) become lists.
+    Other hashables are rejected loudly rather than silently stringified,
+    because a silent conversion would break the load-time equality with the
+    original graph.
+    """
+    if isinstance(node, bool):  # bool is an int subclass; keep it out.
+        raise TypeError("boolean node labels are not supported by the codec")
+    if isinstance(node, int):
+        return node
+    if isinstance(node, str):
+        return node
+    if isinstance(node, tuple):
+        return [_encode_node(part) for part in node]
+    raise TypeError(f"unsupported node label type: {type(node).__name__}")
+
+
+def _decode_node(value: Any) -> Node:
+    """Inverse of :func:`_encode_node` (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(_decode_node(part) for part in value)
+    if isinstance(value, (int, str)):
+        return value
+    raise TypeError(f"unsupported encoded node value: {value!r}")
+
+
+#: Public aliases of the node-label codec (used by :mod:`repro.core.serialization`).
+encode_node = _encode_node
+decode_node = _decode_node
+
+
+def _node_token(node: Node) -> str:
+    """Render a node as a whitespace-free token for the edge-list format."""
+    if isinstance(node, tuple):
+        return "(" + ",".join(_node_token(part) for part in node) + ")"
+    return str(node)
+
+
+def _parse_token(token: str) -> Node:
+    """Parse a token produced by :func:`_node_token`."""
+    token = token.strip()
+    if token.startswith("("):
+        if not token.endswith(")"):
+            raise ValueError(f"malformed tuple token: {token!r}")
+        inner = token[1:-1]
+        parts: list[str] = []
+        depth = 0
+        current = ""
+        for char in inner:
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            if char == "," and depth == 0:
+                parts.append(current)
+                current = ""
+            else:
+                current += char
+        if current:
+            parts.append(current)
+        return tuple(_parse_token(part) for part in parts)
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# ----------------------------------------------------------------------
+# Edge-list format
+# ----------------------------------------------------------------------
+def graph_to_edge_list(graph: Graph) -> str:
+    """Render the graph as a plain-text edge list.
+
+    The first line is ``# nodes: <token> <token> ...`` so isolated vertices
+    survive the round-trip; every following line is ``<u> <v>``.
+    """
+    lines = ["# nodes: " + " ".join(_node_token(node) for node in graph.nodes())]
+    for u, v in graph.edges():
+        lines.append(f"{_node_token(u)} {_node_token(v)}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_edge_list(text: str) -> Graph:
+    """Parse the format produced by :func:`graph_to_edge_list`."""
+    graph = Graph()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# nodes:"):
+            tokens = line[len("# nodes:"):].split()
+            for token in tokens:
+                graph.add_node(_parse_token(token))
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"malformed edge line: {raw_line!r}")
+        graph.add_edge(_parse_token(parts[0]), _parse_token(parts[1]))
+    return graph
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    Path(path).write_text(graph_to_edge_list(graph), encoding="utf-8")
+
+
+def read_edge_list(path: str | Path) -> Graph:
+    return graph_from_edge_list(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: Graph) -> dict:
+    """JSON-serialisable dictionary representation of a graph."""
+    return {
+        "format": "repro-graph",
+        "version": 1,
+        "nodes": [_encode_node(node) for node in graph.nodes()],
+        "edges": [[_encode_node(u), _encode_node(v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: dict) -> Graph:
+    """Inverse of :func:`graph_to_dict` with format validation."""
+    if payload.get("format") != "repro-graph":
+        raise ValueError("payload is not a repro-graph document")
+    graph = Graph()
+    for encoded in payload.get("nodes", []):
+        graph.add_node(_decode_node(encoded))
+    for encoded_u, encoded_v in payload.get("edges", []):
+        graph.add_edge(_decode_node(encoded_u), _decode_node(encoded_v))
+    return graph
+
+
+def owned_graph_to_dict(owned: OwnedGraph) -> dict:
+    """JSON-serialisable dictionary representation of an owned graph.
+
+    Generator metadata is stored as-is when JSON-serialisable and dropped
+    (with a marker) otherwise — metadata is advisory and never required to
+    replay an experiment.
+    """
+    try:
+        json.dumps(owned.metadata)
+        metadata = owned.metadata
+    except (TypeError, ValueError):
+        metadata = {"_dropped": True}
+    return {
+        "format": "repro-owned-graph",
+        "version": 1,
+        "graph": graph_to_dict(owned.graph),
+        "ownership": [
+            [_encode_node(owner), [_encode_node(target) for target in sorted(targets, key=repr)]]
+            for owner, targets in owned.ownership.items()
+        ],
+        "metadata": metadata,
+    }
+
+
+def owned_graph_from_dict(payload: dict) -> OwnedGraph:
+    """Inverse of :func:`owned_graph_to_dict` (ownership is re-validated)."""
+    if payload.get("format") != "repro-owned-graph":
+        raise ValueError("payload is not a repro-owned-graph document")
+    graph = graph_from_dict(payload["graph"])
+    ownership: dict[Node, set[Node]] = {node: set() for node in graph}
+    for encoded_owner, encoded_targets in payload.get("ownership", []):
+        owner = _decode_node(encoded_owner)
+        ownership.setdefault(owner, set()).update(_decode_node(t) for t in encoded_targets)
+    return OwnedGraph(graph=graph, ownership=ownership, metadata=dict(payload.get("metadata", {})))
+
+
+def write_graph_json(graph: Graph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2), encoding="utf-8")
+
+
+def read_graph_json(path: str | Path) -> Graph:
+    return graph_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def write_owned_graph_json(owned: OwnedGraph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(owned_graph_to_dict(owned), indent=2), encoding="utf-8")
+
+
+def read_owned_graph_json(path: str | Path) -> OwnedGraph:
+    return owned_graph_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,62 @@
+"""Graph powers.
+
+The best-response computation of Section 5.3 reduces finding a move of
+eccentricity ``h`` to dominating the ``(h - 1)``-th power of the player's
+view with the player removed: two vertices are adjacent in the ``h``-th power
+iff their distance in the base graph is at most ``h``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances_within
+
+__all__ = ["graph_power", "power_adjacency"]
+
+
+def graph_power(graph: Graph, h: int) -> Graph:
+    """Return the ``h``-th power of ``graph``.
+
+    The ``h``-th power has the same node set and an edge ``(u, v)`` whenever
+    ``0 < d_G(u, v) <= h``.  ``h = 0`` yields an edgeless graph on the same
+    nodes and ``h = 1`` a copy of the input.
+    """
+    if h < 0:
+        raise ValueError("power must be non-negative")
+    power = Graph(nodes=graph.nodes())
+    if h == 0:
+        return power
+    for node in graph:
+        for other, dist in bfs_distances_within(graph, node, h).items():
+            if other != node and dist >= 1:
+                power.add_edge(node, other)
+    return power
+
+
+def power_adjacency(
+    graph: Graph, h: int, nodes: Iterable[Node] | None = None
+) -> tuple[np.ndarray, list[Node]]:
+    """Return a boolean closed-neighbourhood matrix of the ``h``-th power.
+
+    ``matrix[i, j]`` is ``True`` iff ``d_G(order[i], order[j]) <= h`` (note
+    that the diagonal is ``True``: a vertex dominates itself).  This is the
+    coverage matrix used directly by the dominating-set solvers.
+    """
+    if h < 0:
+        raise ValueError("power must be non-negative")
+    order = list(nodes) if nodes is not None else graph.nodes()
+    index = {node: i for i, node in enumerate(order)}
+    n = len(order)
+    matrix = np.zeros((n, n), dtype=bool)
+    for node in order:
+        i = index[node]
+        matrix[i, i] = True
+        for other, dist in bfs_distances_within(graph, node, h).items():
+            j = index.get(other)
+            if j is not None and dist <= h:
+                matrix[i, j] = True
+    return matrix, order

@@ -1,0 +1,146 @@
+"""Structural graph properties used throughout the paper's analysis.
+
+The price-of-anarchy bounds of Sections 3 and 4 are phrased in terms of the
+*diameter*, *girth*, *density* and *degree* statistics of equilibrium graphs;
+the experimental section additionally reports diameters and maximum degrees
+of the generated instances (Tables I and II).  This module provides those
+quantities for :class:`repro.graphs.Graph`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+__all__ = [
+    "eccentricity",
+    "eccentricities",
+    "diameter",
+    "radius",
+    "status",
+    "statuses",
+    "girth",
+    "degree_statistics",
+    "DegreeStatistics",
+    "is_tree",
+    "density",
+]
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Return the eccentricity of ``node``.
+
+    Raises
+    ------
+    ValueError
+        If some node is unreachable from ``node`` (the game cost would be
+        infinite; the paper assumes connected networks).
+    """
+    dist = bfs_distances(graph, node)
+    if len(dist) != graph.number_of_nodes():
+        raise ValueError(f"graph is disconnected from node {node!r}")
+    return max(dist.values(), default=0)
+
+
+def eccentricities(graph: Graph) -> dict[Node, int]:
+    """Return the eccentricity of every node (graph must be connected)."""
+    return {node: eccentricity(graph, node) for node in graph}
+
+
+def status(graph: Graph, node: Node) -> int:
+    """Return the status of ``node``: the sum of distances to all others."""
+    dist = bfs_distances(graph, node)
+    if len(dist) != graph.number_of_nodes():
+        raise ValueError(f"graph is disconnected from node {node!r}")
+    return sum(dist.values())
+
+
+def statuses(graph: Graph) -> dict[Node, int]:
+    """Return the status (sum of distances) of every node."""
+    return {node: status(graph, node) for node in graph}
+
+
+def diameter(graph: Graph) -> int:
+    """Return the diameter (maximum eccentricity) of a connected graph."""
+    return max(eccentricities(graph).values(), default=0)
+
+
+def radius(graph: Graph) -> int:
+    """Return the radius (minimum eccentricity) of a connected graph."""
+    values = eccentricities(graph).values()
+    return min(values) if values else 0
+
+
+def girth(graph: Graph) -> float:
+    """Return the girth (length of a shortest cycle), ``math.inf`` if acyclic.
+
+    Uses one truncated BFS per node: the shortest cycle through ``v`` is
+    detected when BFS from ``v`` closes a cycle (either a cross edge inside a
+    level, giving an odd cycle ``2d + 1``, or between consecutive levels,
+    giving an even cycle ``2d``).
+    """
+    best = math.inf
+    adj = graph.adjacency
+    for source in graph:
+        dist = {source: 0}
+        parent = {source: None}
+        queue: deque[Node] = deque([source])
+        while queue:
+            node = queue.popleft()
+            if 2 * dist[node] >= best:
+                break
+            for neighbour in adj[node]:
+                if neighbour == parent[node]:
+                    continue
+                if neighbour in dist:
+                    cycle_len = dist[node] + dist[neighbour] + 1
+                    if cycle_len < best:
+                        best = cycle_len
+                else:
+                    dist[neighbour] = dist[node] + 1
+                    parent[neighbour] = node
+                    queue.append(neighbour)
+    return best
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Degree summary of a graph (used for Tables I and II)."""
+
+    minimum: int
+    maximum: int
+    mean: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"min": self.minimum, "max": self.maximum, "mean": self.mean}
+
+
+def degree_statistics(graph: Graph) -> DegreeStatistics:
+    """Return min / max / mean degree of the graph."""
+    degrees = list(graph.degrees().values())
+    if not degrees:
+        return DegreeStatistics(0, 0, 0.0)
+    return DegreeStatistics(min(degrees), max(degrees), sum(degrees) / len(degrees))
+
+
+def is_tree(graph: Graph) -> bool:
+    """Return ``True`` iff the graph is connected and acyclic."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return False
+    if graph.number_of_edges() != n - 1:
+        return False
+    source = next(iter(graph))
+    return len(bfs_distances(graph, source)) == n
+
+
+def density(graph: Graph) -> float:
+    """Return the edge density ``2m / (n (n - 1))`` (0 for n < 2)."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / (n * (n - 1))

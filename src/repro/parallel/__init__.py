@@ -1,0 +1,11 @@
+"""Process-level parallelism for experiment sweeps.
+
+The paper's evaluation runs ~36 000 independent best-response dynamics; each
+run is an embarrassingly parallel unit of work, so the sweep runner fans the
+runs out over a process pool (per the mpi4py/HPC guides' advice that in
+CPython the way to scale CPU-bound work is across processes, not threads).
+"""
+
+from repro.parallel.pool import parallel_map, resolve_workers
+
+__all__ = ["parallel_map", "resolve_workers"]

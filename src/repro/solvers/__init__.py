@@ -1,0 +1,65 @@
+"""Combinatorial optimization solvers.
+
+The only NP-hard subproblem of the reproduction is the exact best-response
+computation of Section 5.3, which the paper reduces to a *constrained minimum
+dominating set* (equivalently a set-cover instance with some sets forced into
+the solution) and solves with Gurobi.  Since Gurobi is unavailable offline we
+provide three interchangeable solvers:
+
+* :func:`~repro.solvers.set_cover.milp_set_cover` — the same 0/1 integer
+  program, solved exactly with ``scipy.optimize.milp`` (HiGHS);
+* :func:`~repro.solvers.set_cover.branch_and_bound_set_cover` — a from-scratch
+  exact branch-and-bound solver used as a cross-check and as a fallback when
+  SciPy's MILP backend is unavailable;
+* :func:`~repro.solvers.set_cover.greedy_set_cover` — the classical
+  ``ln n``-approximation, exposed for the solver-quality ablation bench.
+
+Dominating-set wrappers over these live in
+:mod:`repro.solvers.dominating_set`.
+"""
+
+from repro.solvers.set_cover import (
+    SetCoverInstance,
+    SetCoverResult,
+    greedy_set_cover,
+    branch_and_bound_set_cover,
+    milp_set_cover,
+    solve_set_cover,
+)
+from repro.solvers.dominating_set import (
+    dominating_set_instance,
+    minimum_dominating_set,
+    power_dominating_set_instance,
+    is_dominating_set,
+)
+from repro.solvers.facility import (
+    FacilityResult,
+    greedy_k_center,
+    exact_k_center,
+    greedy_k_median,
+    local_search_k_median,
+    exact_k_median,
+    solve_k_center,
+    solve_k_median,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "SetCoverResult",
+    "greedy_set_cover",
+    "branch_and_bound_set_cover",
+    "milp_set_cover",
+    "solve_set_cover",
+    "dominating_set_instance",
+    "minimum_dominating_set",
+    "power_dominating_set_instance",
+    "is_dominating_set",
+    "FacilityResult",
+    "greedy_k_center",
+    "exact_k_center",
+    "greedy_k_median",
+    "local_search_k_median",
+    "exact_k_median",
+    "solve_k_center",
+    "solve_k_median",
+]

@@ -1,0 +1,112 @@
+"""Minimum (constrained, distance-``h``) dominating sets.
+
+A set ``D`` of vertices dominates a graph if every vertex is in ``D`` or has
+a neighbour in ``D``.  The paper's best response reduces to the *distance
+version* of this problem: dominate the ``(h-1)``-th power of the player's
+view minus the player, with the in-neighbours of the player forced into the
+solution at zero cost (Section 5.3).  This module translates those problems
+into :class:`~repro.solvers.set_cover.SetCoverInstance` objects and solves
+them with any of the registered solvers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.power import power_adjacency
+from repro.graphs.traversal import bfs_distances_within
+from repro.solvers.set_cover import SetCoverInstance, SetCoverResult, solve_set_cover
+
+__all__ = [
+    "dominating_set_instance",
+    "power_dominating_set_instance",
+    "minimum_dominating_set",
+    "is_dominating_set",
+]
+
+
+def dominating_set_instance(
+    graph: Graph, forced: Iterable[Node] = ()
+) -> SetCoverInstance:
+    """Build the set-cover instance of (1-step) domination.
+
+    Candidates and elements are both the vertex set; a candidate dominates
+    itself and its neighbours.  ``forced`` vertices are placed in the
+    solution for free.
+    """
+    return power_dominating_set_instance(graph, radius=1, forced=forced)
+
+
+def power_dominating_set_instance(
+    graph: Graph,
+    radius: int,
+    forced: Iterable[Node] = (),
+    candidates: Iterable[Node] | None = None,
+    elements: Iterable[Node] | None = None,
+) -> SetCoverInstance:
+    """Build the distance-``radius`` domination instance.
+
+    A candidate ``c`` covers an element ``e`` iff ``d_G(c, e) <= radius``.
+    ``candidates`` / ``elements`` default to the whole vertex set; restricting
+    them is what the best-response reduction needs (candidates are the
+    allowed edge targets, elements the vertices that must be reached).
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    candidate_list = list(candidates) if candidates is not None else graph.nodes()
+    element_list = list(elements) if elements is not None else graph.nodes()
+    element_index = {node: i for i, node in enumerate(element_list)}
+    element_set = set(element_list)
+
+    import numpy as np
+
+    coverage = np.zeros((len(candidate_list), len(element_list)), dtype=bool)
+    for row, candidate in enumerate(candidate_list):
+        if not graph.has_node(candidate):
+            raise KeyError(f"candidate {candidate!r} not in graph")
+        for node, dist in bfs_distances_within(graph, candidate, radius).items():
+            if node in element_set:
+                coverage[row, element_index[node]] = True
+
+    candidate_index = {node: i for i, node in enumerate(candidate_list)}
+    forced_indices = []
+    for node in forced:
+        if node not in candidate_index:
+            raise KeyError(f"forced vertex {node!r} is not a candidate")
+        forced_indices.append(candidate_index[node])
+    return SetCoverInstance(
+        coverage=coverage,
+        forced=tuple(forced_indices),
+        candidate_labels=candidate_list,
+        element_labels=element_list,
+    )
+
+
+def minimum_dominating_set(
+    graph: Graph,
+    radius: int = 1,
+    forced: Iterable[Node] = (),
+    method: str = "milp",
+) -> tuple[list[Node], SetCoverResult]:
+    """Solve minimum (distance-``radius``) domination.
+
+    Returns the list of *paid* vertices chosen (forced vertices are excluded
+    from the list, mirroring the cost structure of the best response) plus
+    the raw :class:`SetCoverResult`.
+    """
+    instance = power_dominating_set_instance(graph, radius=radius, forced=forced)
+    result = solve_set_cover(instance, method=method)
+    return result.selected_labels(instance), result
+
+
+def is_dominating_set(graph: Graph, dominators: Iterable[Node], radius: int = 1) -> bool:
+    """Check whether ``dominators`` distance-``radius`` dominate the graph."""
+    dominator_list = list(dominators)
+    for node in dominator_list:
+        if not graph.has_node(node):
+            raise KeyError(f"dominator {node!r} not in graph")
+    covered: set[Node] = set()
+    for node in dominator_list:
+        covered.update(bfs_distances_within(graph, node, radius))
+    return covered >= set(graph.nodes())

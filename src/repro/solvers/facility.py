@@ -1,0 +1,349 @@
+"""Facility-location style solvers: k-center and k-median on graphs.
+
+These problems are the "how good could a player possibly do with ``k`` new
+edges" primitives:
+
+* a MaxNCG player who buys edges towards a *k-center* of her (reduced) view
+  minimises the eccentricity she can reach with ``k`` purchases, which is the
+  quantity the ball-growth arguments of Lemma 3.13 reason about;
+* a SumNCG player buying towards a *k-median* minimises the resulting status,
+  which generalises the "neighbours are medians of their subtrees" argument
+  of Theorem 4.3.
+
+The solvers work directly on hop distances of a :class:`Graph` (or on an
+explicit distance dictionary) and come in three flavours mirroring the
+set-cover stack: exact enumeration for small instances, a classical greedy,
+and a swap-based local search.  The SumNCG heuristic best response and the
+extension experiments use the greedy/local-search pair; the exact solver is
+used by the tests as ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+__all__ = [
+    "FacilityResult",
+    "coverage_radius",
+    "total_assignment_cost",
+    "greedy_k_center",
+    "exact_k_center",
+    "greedy_k_median",
+    "local_search_k_median",
+    "exact_k_median",
+    "solve_k_center",
+    "solve_k_median",
+]
+
+#: Marker distance for clients no candidate can reach.
+UNREACHED = math.inf
+
+
+@dataclass(frozen=True)
+class FacilityResult:
+    """Outcome of a k-center / k-median computation.
+
+    Attributes
+    ----------
+    centers:
+        The selected facility nodes (at most ``k`` of them).
+    objective:
+        Covering radius (k-center) or total assignment cost (k-median).
+    optimal:
+        Whether the solver guarantees optimality.
+    method:
+        Human-readable solver name (``"greedy"``, ``"exact"``, ...).
+    """
+
+    centers: frozenset[Node]
+    objective: float
+    optimal: bool
+    method: str
+
+
+# ----------------------------------------------------------------------
+# Distance plumbing
+# ----------------------------------------------------------------------
+def _distance_rows(
+    graph: Graph, candidates: Sequence[Node]
+) -> dict[Node, dict[Node, float]]:
+    """Hop distances from every candidate to every node of the graph."""
+    rows: dict[Node, dict[Node, float]] = {}
+    for candidate in candidates:
+        distances = bfs_distances(graph, candidate)
+        rows[candidate] = {node: float(dist) for node, dist in distances.items()}
+    return rows
+
+
+def _resolve_inputs(
+    graph: Graph | None,
+    distances: Mapping[Node, Mapping[Node, float]] | None,
+    candidates: Iterable[Node] | None,
+    clients: Iterable[Node] | None,
+) -> tuple[list[Node], list[Node], dict[Node, dict[Node, float]]]:
+    """Normalise the (graph | distances, candidates, clients) triple."""
+    if (graph is None) == (distances is None):
+        raise ValueError("provide exactly one of graph= or distances=")
+    if graph is not None:
+        candidate_list = list(candidates) if candidates is not None else graph.nodes()
+        client_list = list(clients) if clients is not None else graph.nodes()
+        rows = _distance_rows(graph, candidate_list)
+    else:
+        assert distances is not None
+        candidate_list = list(candidates) if candidates is not None else list(distances)
+        if clients is not None:
+            client_list = list(clients)
+        else:
+            seen: list[Node] = []
+            for row in distances.values():
+                for node in row:
+                    if node not in seen:
+                        seen.append(node)
+            client_list = seen
+        rows = {
+            candidate: {node: float(d) for node, d in distances[candidate].items()}
+            for candidate in candidate_list
+        }
+    if not candidate_list:
+        raise ValueError("there must be at least one candidate facility")
+    if not client_list:
+        raise ValueError("there must be at least one client")
+    return candidate_list, client_list, rows
+
+
+def coverage_radius(
+    centers: Iterable[Node],
+    rows: Mapping[Node, Mapping[Node, float]],
+    clients: Sequence[Node],
+) -> float:
+    """Max over clients of the distance to the nearest selected center."""
+    selected = list(centers)
+    if not selected:
+        return UNREACHED
+    worst = 0.0
+    for client in clients:
+        best = min(rows[center].get(client, UNREACHED) for center in selected)
+        worst = max(worst, best)
+        if math.isinf(worst):
+            return UNREACHED
+    return worst
+
+
+def total_assignment_cost(
+    centers: Iterable[Node],
+    rows: Mapping[Node, Mapping[Node, float]],
+    clients: Sequence[Node],
+) -> float:
+    """Sum over clients of the distance to the nearest selected center."""
+    selected = list(centers)
+    if not selected:
+        return UNREACHED
+    total = 0.0
+    for client in clients:
+        best = min(rows[center].get(client, UNREACHED) for center in selected)
+        if math.isinf(best):
+            return UNREACHED
+        total += best
+    return total
+
+
+# ----------------------------------------------------------------------
+# k-center
+# ----------------------------------------------------------------------
+def greedy_k_center(
+    k: int,
+    graph: Graph | None = None,
+    distances: Mapping[Node, Mapping[Node, float]] | None = None,
+    candidates: Iterable[Node] | None = None,
+    clients: Iterable[Node] | None = None,
+) -> FacilityResult:
+    """Gonzalez' farthest-point greedy 2-approximation for k-center.
+
+    The first center is the candidate minimising the 1-center radius (rather
+    than an arbitrary node) so the ``k = 1`` case is already exact.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    candidate_list, client_list, rows = _resolve_inputs(graph, distances, candidates, clients)
+
+    first = min(candidate_list, key=lambda c: (coverage_radius([c], rows, client_list), repr(c)))
+    centers: list[Node] = [first]
+    while len(centers) < min(k, len(candidate_list)):
+        # Farthest client from the current centers...
+        def nearest_center_distance(client: Node) -> float:
+            return min(rows[center].get(client, UNREACHED) for center in centers)
+
+        farthest = max(client_list, key=lambda c: (nearest_center_distance(c), repr(c)))
+        # ... served by the candidate closest to it that is not yet a center.
+        available = [c for c in candidate_list if c not in centers]
+        if not available:
+            break
+        new_center = min(
+            available, key=lambda c: (rows[c].get(farthest, UNREACHED), repr(c))
+        )
+        centers.append(new_center)
+    objective = coverage_radius(centers, rows, client_list)
+    return FacilityResult(frozenset(centers), objective, optimal=False, method="greedy")
+
+
+def exact_k_center(
+    k: int,
+    graph: Graph | None = None,
+    distances: Mapping[Node, Mapping[Node, float]] | None = None,
+    candidates: Iterable[Node] | None = None,
+    clients: Iterable[Node] | None = None,
+    max_candidates: int = 20,
+) -> FacilityResult:
+    """Exact k-center by enumerating candidate subsets (small instances only)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    candidate_list, client_list, rows = _resolve_inputs(graph, distances, candidates, clients)
+    if len(candidate_list) > max_candidates:
+        raise ValueError(
+            f"{len(candidate_list)} candidates exceed max_candidates={max_candidates}; "
+            "use greedy_k_center instead"
+        )
+    best_centers: tuple[Node, ...] | None = None
+    best_objective = UNREACHED
+    size = min(k, len(candidate_list))
+    for combo in itertools.combinations(candidate_list, size):
+        objective = coverage_radius(combo, rows, client_list)
+        if objective < best_objective:
+            best_objective = objective
+            best_centers = combo
+    assert best_centers is not None
+    return FacilityResult(frozenset(best_centers), best_objective, optimal=True, method="exact")
+
+
+# ----------------------------------------------------------------------
+# k-median
+# ----------------------------------------------------------------------
+def greedy_k_median(
+    k: int,
+    graph: Graph | None = None,
+    distances: Mapping[Node, Mapping[Node, float]] | None = None,
+    candidates: Iterable[Node] | None = None,
+    clients: Iterable[Node] | None = None,
+) -> FacilityResult:
+    """Forward greedy for k-median: repeatedly add the best marginal center."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    candidate_list, client_list, rows = _resolve_inputs(graph, distances, candidates, clients)
+    centers: list[Node] = []
+    for _ in range(min(k, len(candidate_list))):
+        available = [c for c in candidate_list if c not in centers]
+        if not available:
+            break
+        new_center = min(
+            available,
+            key=lambda c: (total_assignment_cost(centers + [c], rows, client_list), repr(c)),
+        )
+        centers.append(new_center)
+    objective = total_assignment_cost(centers, rows, client_list)
+    return FacilityResult(frozenset(centers), objective, optimal=False, method="greedy")
+
+
+def local_search_k_median(
+    k: int,
+    graph: Graph | None = None,
+    distances: Mapping[Node, Mapping[Node, float]] | None = None,
+    candidates: Iterable[Node] | None = None,
+    clients: Iterable[Node] | None = None,
+    max_iterations: int = 100,
+) -> FacilityResult:
+    """Single-swap local search (Arya et al.) seeded with the greedy solution.
+
+    Each iteration tries every (selected, unselected) swap and applies the
+    best improving one; stops at a local optimum or after ``max_iterations``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    candidate_list, client_list, rows = _resolve_inputs(graph, distances, candidates, clients)
+    seed = greedy_k_median(
+        k,
+        distances=rows,
+        candidates=candidate_list,
+        clients=client_list,
+    )
+    centers = set(seed.centers)
+    objective = seed.objective
+    for _ in range(max_iterations):
+        best_swap: tuple[Node, Node] | None = None
+        best_objective = objective
+        for out_center in sorted(centers, key=repr):
+            for in_center in sorted((c for c in candidate_list if c not in centers), key=repr):
+                trial = (centers - {out_center}) | {in_center}
+                trial_objective = total_assignment_cost(trial, rows, client_list)
+                if trial_objective < best_objective - 1e-12:
+                    best_objective = trial_objective
+                    best_swap = (out_center, in_center)
+        if best_swap is None:
+            break
+        centers.remove(best_swap[0])
+        centers.add(best_swap[1])
+        objective = best_objective
+    return FacilityResult(frozenset(centers), objective, optimal=False, method="local-search")
+
+
+def exact_k_median(
+    k: int,
+    graph: Graph | None = None,
+    distances: Mapping[Node, Mapping[Node, float]] | None = None,
+    candidates: Iterable[Node] | None = None,
+    clients: Iterable[Node] | None = None,
+    max_candidates: int = 20,
+) -> FacilityResult:
+    """Exact k-median by subset enumeration (small instances only)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    candidate_list, client_list, rows = _resolve_inputs(graph, distances, candidates, clients)
+    if len(candidate_list) > max_candidates:
+        raise ValueError(
+            f"{len(candidate_list)} candidates exceed max_candidates={max_candidates}; "
+            "use greedy_k_median / local_search_k_median instead"
+        )
+    best_centers: tuple[Node, ...] | None = None
+    best_objective = UNREACHED
+    size = min(k, len(candidate_list))
+    for combo in itertools.combinations(candidate_list, size):
+        objective = total_assignment_cost(combo, rows, client_list)
+        if objective < best_objective:
+            best_objective = objective
+            best_centers = combo
+    assert best_centers is not None
+    return FacilityResult(frozenset(best_centers), best_objective, optimal=True, method="exact")
+
+
+# ----------------------------------------------------------------------
+# Dispatchers
+# ----------------------------------------------------------------------
+_K_CENTER_SOLVERS = {
+    "greedy": greedy_k_center,
+    "exact": exact_k_center,
+}
+
+_K_MEDIAN_SOLVERS = {
+    "greedy": greedy_k_median,
+    "local_search": local_search_k_median,
+    "exact": exact_k_median,
+}
+
+
+def solve_k_center(k: int, method: str = "greedy", **kwargs) -> FacilityResult:
+    """Solve k-center with the named method (``"greedy"`` or ``"exact"``)."""
+    if method not in _K_CENTER_SOLVERS:
+        raise ValueError(f"unknown k-center method {method!r}; choose from {sorted(_K_CENTER_SOLVERS)}")
+    return _K_CENTER_SOLVERS[method](k, **kwargs)
+
+
+def solve_k_median(k: int, method: str = "greedy", **kwargs) -> FacilityResult:
+    """Solve k-median with the named method (``"greedy"``, ``"local_search"`` or ``"exact"``)."""
+    if method not in _K_MEDIAN_SOLVERS:
+        raise ValueError(f"unknown k-median method {method!r}; choose from {sorted(_K_MEDIAN_SOLVERS)}")
+    return _K_MEDIAN_SOLVERS[method](k, **kwargs)

@@ -1,0 +1,149 @@
+"""Tests for the region classification and the lower-bound certificates."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import max_full_knowledge_threshold
+from repro.analysis.certificates import (
+    certify_cycle_lemma_3_1,
+    certify_high_girth_lemma_3_2,
+    certify_profile,
+    certify_sum_torus_lemma_4_1,
+    certify_torus_theorem_3_12,
+)
+from repro.analysis.regions import (
+    MaxRegion,
+    SumRegion,
+    classify_max_region,
+    classify_sum_region,
+    max_region_grid,
+    sum_region_grid,
+)
+from repro.core.games import MaxNCG, SumNCG
+from repro.graphs.generators.classic import owned_star
+
+
+class TestMaxRegions:
+    def test_full_knowledge_region(self):
+        n = 10_000
+        alpha = 4.0
+        k = max_full_knowledge_threshold(n, alpha) * 2
+        assert classify_max_region(n, alpha, k) is MaxRegion.FULL_KNOWLEDGE
+
+    def test_k_at_least_n_is_full_knowledge(self):
+        assert classify_max_region(1000, 500.0, 1000) is MaxRegion.FULL_KNOWLEDGE
+
+    def test_below_diagonal_small_k(self):
+        region = classify_max_region(10_000, alpha=50, k=3)
+        assert region in {MaxRegion.R2, MaxRegion.R3, MaxRegion.R6}
+
+    def test_region_3_for_huge_alpha(self):
+        # Huge α kills the cycle bound; only n^{1/Θ(k)} remains.
+        assert classify_max_region(10_000, alpha=9_000, k=3) is MaxRegion.R3
+
+    def test_region_1_above_diagonal_small_k(self):
+        assert classify_max_region(10_000, alpha=2, k=5) is MaxRegion.R1
+
+    def test_regions_4_5_7_8_partition(self):
+        n = 2 ** 30
+        log_n = 30
+        mid_k = 2 ** 4  # between log n? no: choose explicit values
+        assert classify_max_region(n, alpha=2, k=200) in {
+            MaxRegion.R4,
+            MaxRegion.R7,
+            MaxRegion.FULL_KNOWLEDGE,
+        }
+        assert classify_max_region(n, alpha=2.0, k=31) in {MaxRegion.R4, MaxRegion.R7}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            classify_max_region(2, 1.0, 1)
+
+    def test_grid_covers_all_cells(self):
+        cells = max_region_grid(1000, alphas=(1.5, 10, 100), ks=(2, 5, 20))
+        assert len(cells) == 9
+        for cell in cells:
+            assert cell.lower_bound >= 1.0
+            assert cell.upper_bound is None or cell.upper_bound > 0
+            assert cell.region
+
+
+class TestSumRegions:
+    def test_full_knowledge(self):
+        assert classify_sum_region(1000, alpha=4, k=10) is SumRegion.FULL_KNOWLEDGE
+
+    def test_torus_region(self):
+        assert classify_sum_region(10_000, alpha=40, k=2) is SumRegion.TORUS
+
+    def test_torus_large_alpha(self):
+        assert (
+            classify_sum_region(100, alpha=10_000_000, k=2)
+            in {SumRegion.HIGH_GIRTH, SumRegion.TORUS_LARGE_ALPHA}
+        )
+
+    def test_open_region(self):
+        # k between ∛α and 1 + 2√α: e.g. α = 1000, k = 25 (∛α = 10, √α ≈ 31.6).
+        assert classify_sum_region(10_000, alpha=1000, k=25) is SumRegion.OPEN
+
+    def test_grid(self):
+        cells = sum_region_grid(1000, alphas=(2, 50, 5_000), ks=(2, 4, 8))
+        assert len(cells) == 9
+        assert all(cell.upper_bound is None for cell in cells)
+
+
+class TestCertificates:
+    def test_cycle_certificate(self):
+        result = certify_cycle_lemma_3_1(n=14, alpha=3.0, k=3)
+        assert result.is_equilibrium
+        assert result.players_checked == 14
+        assert result.poa_ratio > 1.0
+        assert result.diameter == 7
+        assert result.predicted_lower_bound == pytest.approx(14 / 4)
+
+    def test_cycle_certificate_requires_large_n(self):
+        with pytest.raises(ValueError):
+            certify_cycle_lemma_3_1(n=6, alpha=3.0, k=3)
+
+    def test_cycle_not_equilibrium_when_alpha_small_and_k_large(self):
+        result = certify_cycle_lemma_3_1(n=30, alpha=0.5, k=6)
+        assert not result.is_equilibrium
+        assert result.improving_players
+
+    def test_torus_certificate_max(self):
+        result = certify_torus_theorem_3_12(alpha=2.0, k=2, n_target=200, max_players=10)
+        assert result.is_equilibrium
+        assert result.num_players <= 200
+        assert result.diameter >= result.notes["diameter_lower_bound"]
+        assert result.poa_ratio > 1.0
+
+    def test_sum_torus_certificate(self):
+        result = certify_sum_torus_lemma_4_1(alpha=40.0, k=2, n_target=120, max_players=8)
+        assert result.is_equilibrium
+        assert result.notes["alpha_threshold"] == 32
+        assert result.game == SumNCG(40.0, k=2)
+
+    def test_high_girth_certificate(self):
+        result = certify_high_girth_lemma_3_2(
+            n=40, degree=3, alpha=2.0, k=2, seed=1, max_players=10
+        )
+        assert result.notes["girth"] >= 6 or math.isinf(result.notes["girth"])
+        assert result.players_checked == 10
+        assert result.num_players == 40
+
+    def test_certify_profile_on_star(self):
+        result = certify_profile(owned_star(8), MaxNCG(2.0), construction="star")
+        assert result.is_equilibrium
+        assert result.poa_ratio == pytest.approx(1.0)
+        assert result.social_optimum == result.social_cost
+
+    def test_max_players_sampling(self):
+        result = certify_cycle_lemma_3_1(n=20, alpha=3.0, k=3, max_players=4)
+        assert result.players_checked == 4
+
+    def test_as_dict(self):
+        result = certify_profile(owned_star(6), MaxNCG(2.0), construction="star")
+        payload = result.as_dict()
+        assert payload["construction"] == "star"
+        assert payload["is_equilibrium"] is True
+        assert payload["n"] == 6

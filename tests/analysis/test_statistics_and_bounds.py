@@ -1,0 +1,154 @@
+"""Tests for the statistics helpers and the closed-form PoA bounds."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.bounds import (
+    max_full_knowledge_threshold,
+    max_lower_bound_cycle,
+    max_lower_bound_high_girth,
+    max_lower_bound_torus,
+    max_poa_lower_bound,
+    max_poa_upper_bound,
+    sum_full_knowledge_threshold,
+    sum_lower_bound_high_girth,
+    sum_lower_bound_torus,
+    sum_poa_lower_bound,
+    upper_bound_trend_fig7,
+)
+from repro.analysis.statistics import Summary, confidence_interval, summarize
+
+
+class TestStatistics:
+    def test_mean_and_count(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.count == 3
+        assert summary.low < summary.mean < summary.high
+
+    def test_ci_matches_scipy_t_interval(self):
+        data = [3.1, 2.9, 3.4, 3.0, 2.8, 3.3]
+        half = confidence_interval(data)
+        low, high = scipy_stats.t.interval(
+            0.95, len(data) - 1, loc=np.mean(data), scale=scipy_stats.sem(data)
+        )
+        assert half == pytest.approx((high - low) / 2)
+
+    def test_degenerate_samples(self):
+        assert confidence_interval([5.0]) == 0.0
+        assert confidence_interval([2.0, 2.0, 2.0]) == 0.0
+        empty = summarize([])
+        assert math.isnan(empty.mean)
+        assert empty.count == 0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1, 2, 3], confidence=1.5)
+
+    def test_summary_formatting(self):
+        summary = Summary(mean=2.5, half_width=0.5, count=4, std=0.4, confidence=0.95)
+        assert str(summary) == "2.50 ± 0.50"
+        assert summary.as_dict()["ci_half_width"] == 0.5
+
+    def test_higher_confidence_wider_interval(self):
+        data = [1.0, 2.0, 4.0, 3.0, 5.0]
+        assert confidence_interval(data, 0.99) > confidence_interval(data, 0.90)
+
+
+class TestMaxLowerBounds:
+    def test_cycle_bound_value_and_applicability(self):
+        assert max_lower_bound_cycle(100, alpha=5, k=3) == pytest.approx(100 / 6)
+        assert max_lower_bound_cycle(100, alpha=1, k=3) is None  # α < k - 1
+        assert max_lower_bound_cycle(4, alpha=5, k=3) is None  # n too small
+
+    def test_high_girth_bound(self):
+        assert max_lower_bound_high_girth(10_000, alpha=2, k=3) == pytest.approx(
+            10_000 ** (1 / 4)
+        )
+        assert max_lower_bound_high_girth(100, alpha=0.5, k=3) is None
+        assert max_lower_bound_high_girth(100, alpha=2, k=50) is None
+
+    def test_torus_bound_applicability(self):
+        # The theorem needs k <= 2^{√(log2 n) - 3}, so a genuinely large n.
+        n = 2**40
+        value = max_lower_bound_torus(n, alpha=2, k=4)
+        assert value is not None and value > 1
+        assert max_lower_bound_torus(n, alpha=5, k=4) is None  # α > k
+        assert max_lower_bound_torus(100, alpha=2, k=64) is None  # k too large
+
+    def test_torus_bound_decreases_with_k(self):
+        # For fixed α, growing k grows the 2^{Θ(log²(k/α))} denominator, so
+        # the lower bound weakens as the players see more of the network.
+        n = 2**40
+        assert max_lower_bound_torus(n, 2, 4) > max_lower_bound_torus(n, 2, 8)
+
+    def test_combined_lower_bound_takes_max(self):
+        n, alpha, k = 10_000, 5.0, 3
+        combined = max_poa_lower_bound(n, alpha, k)
+        assert combined >= max_lower_bound_cycle(n, alpha, k)
+        assert combined >= max_lower_bound_high_girth(n, alpha, k)
+
+    def test_no_applicable_bound_returns_one(self):
+        assert max_poa_lower_bound(100, alpha=0.5, k=90) == 1.0
+
+
+class TestMaxUpperBounds:
+    def test_upper_bound_above_lower_bound_on_grid(self):
+        n = 10_000
+        for alpha in (1.5, 2, 4, 8, 32, 128):
+            for k in (1, 2, 3, 5, 8, 16, 64):
+                lower = max_poa_lower_bound(n, alpha, k)
+                upper = max_poa_upper_bound(n, alpha, k)
+                assert upper >= lower * 0.999, (alpha, k, lower, upper)
+
+    def test_upper_bound_regimes(self):
+        n = 10_000
+        # α >= k - 1 branch contains the n/(1+α) diameter term.
+        assert max_poa_upper_bound(n, alpha=10, k=2) >= n / 11
+        # α <= k - 1 branch is finite and positive.
+        assert 0 < max_poa_upper_bound(n, alpha=2, k=50) < math.inf
+
+    def test_full_knowledge_threshold_monotone_in_alpha(self):
+        n = 10_000
+        assert max_full_knowledge_threshold(n, 4.0) >= max_full_knowledge_threshold(n, 2.0)
+        assert max_full_knowledge_threshold(n, 2.0) <= n
+
+    def test_fig7_trend(self):
+        assert upper_bound_trend_fig7(1) == 1.0
+        assert upper_bound_trend_fig7(2) == pytest.approx(2 / 2**0.25)
+        # The trend grows then decays: at large k the 2^{log²k/4} term wins.
+        assert upper_bound_trend_fig7(4096) < upper_bound_trend_fig7(16)
+        with pytest.raises(ValueError):
+            upper_bound_trend_fig7(0)
+
+
+class TestSumBounds:
+    def test_torus_bound(self):
+        n, k = 10_000, 2
+        assert sum_lower_bound_torus(n, alpha=4 * k**3, k=k) == pytest.approx(n / k)
+        assert sum_lower_bound_torus(n, alpha=1.0, k=k) is None
+        assert sum_lower_bound_torus(100, alpha=10**6, k=50) is None
+
+    def test_torus_bound_large_alpha_branch(self):
+        n, k = 10_000, 2
+        huge_alpha = 10 * n
+        value = sum_lower_bound_torus(n, alpha=huge_alpha, k=k)
+        assert value == pytest.approx(1 + n * n / (k * huge_alpha))
+
+    def test_high_girth_bound(self):
+        n, k = 10_000, 3
+        assert sum_lower_bound_high_girth(n, alpha=k * n, k=k) == pytest.approx(
+            n ** (1 / 4)
+        )
+        assert sum_lower_bound_high_girth(n, alpha=n, k=k) is None
+
+    def test_full_knowledge_threshold(self):
+        assert sum_full_knowledge_threshold(4.0) == pytest.approx(5.0)
+        assert sum_full_knowledge_threshold(0.0) == 1.0
+
+    def test_combined(self):
+        assert sum_poa_lower_bound(10_000, alpha=40, k=2) >= 10_000 / 2
+        assert sum_poa_lower_bound(10_000, alpha=1, k=60) == 1.0

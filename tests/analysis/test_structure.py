@@ -1,0 +1,177 @@
+"""Tests for the structural anatomy of stable networks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.structure import (
+    StructureReport,
+    gini_coefficient,
+    structure_report,
+    top_share,
+)
+from repro.core.dynamics import best_response_dynamics
+from repro.core.games import MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+
+
+class TestGiniCoefficient:
+    def test_equal_values_have_zero_gini(self):
+        assert gini_coefficient([3.0, 3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_single_owner_approaches_one(self):
+        values = [0.0] * 9 + [100.0]
+        assert gini_coefficient(values) == pytest.approx(0.9)
+
+    def test_empty_and_zero_samples(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1.0, -2.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+    def test_gini_is_in_unit_interval(self, values):
+        coefficient = gini_coefficient(values)
+        assert -1e-9 <= coefficient <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=2, max_size=15),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_gini_is_scale_invariant(self, values, scale):
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([scale * v for v in values]), abs=1e-9
+        )
+
+
+class TestTopShare:
+    def test_uniform_values(self):
+        assert top_share([1.0] * 10, fraction=0.1) == pytest.approx(0.1)
+
+    def test_concentrated_values(self):
+        values = [0.0] * 9 + [10.0]
+        assert top_share(values, fraction=0.1) == pytest.approx(1.0)
+
+    def test_fraction_one_is_everything(self):
+        assert top_share([1.0, 2.0, 3.0], fraction=1.0) == pytest.approx(1.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            top_share([1.0], fraction=0.0)
+        with pytest.raises(ValueError):
+            top_share([1.0], fraction=1.5)
+
+    def test_empty_and_zero(self):
+        assert top_share([]) == 0.0
+        assert top_share([0.0, 0.0]) == 0.0
+
+
+class TestStructureReport:
+    def test_star_anatomy(self):
+        profile = StrategyProfile.from_owned_graph(owned_star(8))
+        report = structure_report(profile, MaxNCG(alpha=2.0))
+        assert isinstance(report, StructureReport)
+        assert report.num_players == 8
+        assert report.num_edges == 7
+        assert report.connected
+        # Every edge of a star is a bridge, the hub is the only cut vertex.
+        assert report.num_bridges == 7
+        assert report.bridge_fraction == pytest.approx(1.0)
+        assert report.num_articulation_points == 1
+        assert report.cyclomatic_number == 0
+        assert report.max_degree == 7
+        assert report.hubs_in_center
+        assert report.hubs_in_median
+        # The centre pays all the building cost.
+        assert report.total_building_cost == pytest.approx(2.0 * 7)
+        assert report.building_gini > 0.8
+
+    def test_cycle_anatomy(self):
+        profile = StrategyProfile.from_owned_graph(owned_cycle(10))
+        report = structure_report(profile, MaxNCG(alpha=1.0))
+        assert report.num_bridges == 0
+        assert report.num_articulation_points == 0
+        assert report.num_biconnected_components == 1
+        assert report.cyclomatic_number == 1
+        # Vertex-transitive: perfectly fair degrees and costs.
+        assert report.degree_gini == pytest.approx(0.0)
+        assert report.building_gini == pytest.approx(0.0)
+        assert report.usage_gini == pytest.approx(0.0)
+
+    def test_disconnected_profile(self):
+        profile = StrategyProfile({0: {1}, 1: frozenset(), 2: {3}, 3: frozenset()})
+        report = structure_report(profile, SumNCG(alpha=1.0))
+        assert not report.connected
+        assert report.cyclomatic_number == 0
+        assert not report.hubs_in_center  # Centers undefined when disconnected.
+
+    def test_single_player(self):
+        profile = StrategyProfile({0: frozenset()})
+        report = structure_report(profile, MaxNCG(alpha=1.0))
+        assert report.num_players == 1
+        assert report.num_edges == 0
+        assert report.total_building_cost == 0.0
+
+    def test_as_dict_is_flat_and_csv_friendly(self):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(12, seed=0))
+        report = structure_report(profile, MaxNCG(alpha=2.0, k=2))
+        payload = report.as_dict()
+        assert payload["num_players"] == 12
+        for value in payload.values():
+            assert isinstance(value, (int, float, bool))
+
+    def test_building_plus_usage_share(self):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(15, seed=1))
+        report = structure_report(profile, SumNCG(alpha=3.0, k=2))
+        assert 0.0 <= report.building_cost_share <= 1.0
+        assert report.total_building_cost == pytest.approx(3.0 * 14)
+
+    def test_equilibrium_of_dynamics_is_bridge_rich_for_large_alpha(self):
+        # For large alpha the players keep few edges, so the stable network
+        # stays tree-like: every edge is a bridge and the cyclomatic number
+        # is zero.
+        owned = random_owned_tree(20, seed=3)
+        game = MaxNCG(alpha=10.0, k=3)
+        result = best_response_dynamics(owned, game, solver="branch_and_bound")
+        report = structure_report(result.final_profile, game)
+        assert report.connected
+        assert report.cyclomatic_number == 0
+        assert report.bridge_fraction == pytest.approx(1.0)
+
+    def test_hub_formation_under_full_knowledge(self):
+        # Full-knowledge MaxNCG on a G(n, p) start with moderate alpha
+        # produces hubby equilibria: degree concentration well above the
+        # uniform baseline.
+        owned = owned_connected_gnp_graph(25, 0.15, seed=4)
+        game = MaxNCG(alpha=2.0)
+        result = best_response_dynamics(owned, game, solver="greedy")
+        report = structure_report(result.final_profile, game)
+        assert report.max_degree >= 5
+        assert report.degree_top10_share >= 0.15
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=15),
+        seed=st.integers(min_value=0, max_value=300),
+        alpha=st.sampled_from([0.5, 2.0, 8.0]),
+    )
+    def test_report_invariants_on_random_trees(self, n, seed, alpha):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(n, seed=seed))
+        report = structure_report(profile, MaxNCG(alpha=alpha, k=2))
+        # Trees: n-1 edges, all bridges, cyclomatic number 0, blocks = edges.
+        assert report.num_edges == n - 1
+        assert report.num_bridges == n - 1
+        assert report.cyclomatic_number == 0
+        assert report.num_biconnected_components == n - 1
+        assert 0.0 <= report.degree_gini <= 1.0
+        assert 0.0 <= report.betweenness_gini <= 1.0
+        assert report.building_cost_share <= 1.0

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.games import MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import (
+    cycle_graph,
+    owned_cycle,
+    owned_star,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """Cycle on 6 nodes."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def star6() -> Graph:
+    """Star on 6 nodes centred at 0."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    return petersen_graph()
+
+
+@pytest.fixture
+def star_profile() -> StrategyProfile:
+    """Star on 6 players, all edges bought by the centre."""
+    return StrategyProfile.from_owned_graph(owned_star(6))
+
+
+@pytest.fixture
+def leaf_star_profile() -> StrategyProfile:
+    """Star on 6 players, all edges bought by the leaves."""
+    return StrategyProfile.from_owned_graph(owned_star(6, center_owns=False))
+
+
+@pytest.fixture
+def cycle_profile() -> StrategyProfile:
+    """Cycle on 8 players, each owning the edge to its successor."""
+    return StrategyProfile.from_owned_graph(owned_cycle(8))
+
+
+@pytest.fixture
+def path_profile() -> StrategyProfile:
+    """Path 0-1-2-3-4 where each node buys the edge to the next."""
+    return StrategyProfile(
+        {0: {1}, 1: {2}, 2: {3}, 3: {4}, 4: frozenset()}
+    )
+
+
+@pytest.fixture
+def small_tree_profile() -> StrategyProfile:
+    """A reproducible random tree on 12 players with fair-coin ownership."""
+    return StrategyProfile.from_owned_graph(random_owned_tree(12, seed=7))
+
+
+@pytest.fixture
+def max_game():
+    return MaxNCG(alpha=2.0, k=2)
+
+
+@pytest.fixture
+def max_game_full():
+    return MaxNCG(alpha=2.0)
+
+
+@pytest.fixture
+def sum_game():
+    return SumNCG(alpha=2.0, k=2)
+
+
+@pytest.fixture
+def sum_game_full():
+    return SumNCG(alpha=2.0)

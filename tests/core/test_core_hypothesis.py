@@ -1,0 +1,151 @@
+"""Property-based tests for the game engine invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import best_response_max
+from repro.core.costs import all_player_costs, social_cost
+from repro.core.deviations import view_cost, worst_case_delta
+from repro.core.dynamics import best_response_dynamics
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.core.views import extract_view
+from repro.graphs.generators.trees import random_owned_tree
+
+
+profiles = st.builds(
+    lambda n, seed: StrategyProfile.from_owned_graph(random_owned_tree(n, seed=seed)),
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=5_000),
+)
+alphas = st.sampled_from([0.25, 0.5, 1.0, 2.0, 5.0])
+ks = st.sampled_from([1, 2, 3, FULL_KNOWLEDGE])
+
+
+class TestCostInvariants:
+    @given(profiles, alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_social_cost_is_sum_of_player_costs(self, profile, alpha):
+        game = MaxNCG(alpha)
+        costs = all_player_costs(profile, game)
+        assert social_cost(profile, game) == sum(costs.values())
+
+    @given(profiles, alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_sum_cost_at_least_max_cost(self, profile, alpha):
+        max_costs = all_player_costs(profile, MaxNCG(alpha))
+        sum_costs = all_player_costs(profile, SumNCG(alpha))
+        for player in profile:
+            assert sum_costs[player] >= max_costs[player]
+
+    @given(profiles, alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_costs_positive_and_finite_on_connected_trees(self, profile, alpha):
+        for value in all_player_costs(profile, MaxNCG(alpha)).values():
+            assert 0 <= value < math.inf
+
+
+class TestViewInvariants:
+    @given(profiles, ks)
+    @settings(max_examples=30, deadline=None)
+    def test_view_sizes_monotone_in_k(self, profile, k):
+        if k == FULL_KNOWLEDGE:
+            return
+        for player in list(profile)[:5]:
+            small = extract_view(profile, player, k)
+            large = extract_view(profile, player, k + 1)
+            assert small.nodes <= large.nodes
+            assert small.size <= large.size
+
+    @given(profiles, ks)
+    @settings(max_examples=30, deadline=None)
+    def test_frontier_is_subset_of_view(self, profile, k):
+        for player in list(profile)[:5]:
+            view = extract_view(profile, player, k)
+            assert view.frontier <= view.nodes
+            if k != FULL_KNOWLEDGE:
+                assert all(view.distances[node] == k for node in view.frontier)
+
+    @given(profiles, ks)
+    @settings(max_examples=30, deadline=None)
+    def test_current_strategy_cost_matches_player_cost_under_full_knowledge(
+        self, profile, k
+    ):
+        # Under full knowledge the in-view cost is the true cost.
+        game = MaxNCG(1.0, k=FULL_KNOWLEDGE)
+        costs = all_player_costs(profile, game)
+        for player in list(profile)[:5]:
+            view = extract_view(profile, player, FULL_KNOWLEDGE)
+            assert view_cost(view, profile.strategy(player), game) == costs[player]
+
+
+class TestBestResponseInvariants:
+    @given(profiles, alphas, ks)
+    @settings(max_examples=25, deadline=None)
+    def test_best_response_never_hurts_in_view(self, profile, alpha, k):
+        game = MaxNCG(alpha, k=k)
+        for player in list(profile)[:4]:
+            response = best_response_max(profile, player, game)
+            assert response.view_cost <= response.current_view_cost + 1e-9
+
+    @given(profiles, alphas, ks)
+    @settings(max_examples=25, deadline=None)
+    def test_best_response_delta_consistency(self, profile, alpha, k):
+        # The worst-case delta of switching to the best response equals the
+        # (negated) improvement: the two code paths must agree.
+        game = MaxNCG(alpha, k=k)
+        for player in list(profile)[:3]:
+            response = best_response_max(profile, player, game)
+            view = extract_view(profile, player, k)
+            delta = worst_case_delta(view, profile.strategy(player), response.strategy, game)
+            assert delta == -response.improvement or abs(delta + response.improvement) < 1e-9
+
+    @given(profiles, alphas)
+    @settings(max_examples=20, deadline=None)
+    def test_full_knowledge_best_response_at_most_local_cost(self, profile, alpha):
+        # Enlarging the strategy space (bigger view) can only improve the
+        # best achievable in-view cost relative to... the local view cost of
+        # the same current strategy; sanity-check the relation through the
+        # improvement being non-negative in both cases.
+        local = MaxNCG(alpha, k=2)
+        full = MaxNCG(alpha, k=FULL_KNOWLEDGE)
+        for player in list(profile)[:3]:
+            assert best_response_max(profile, player, local).improvement >= -1e-9
+            assert best_response_max(profile, player, full).improvement >= -1e-9
+
+
+class TestDynamicsInvariants:
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=1_000),
+        alphas,
+        st.sampled_from([1, 2, FULL_KNOWLEDGE]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dynamics_terminates_and_is_consistent(self, n, seed, alpha, k):
+        game = MaxNCG(alpha, k=k)
+        result = best_response_dynamics(
+            random_owned_tree(n, seed=seed), game, max_rounds=30
+        )
+        assert result.rounds <= 30
+        assert result.total_changes >= 0
+        if result.converged:
+            # No player can improve at the reported equilibrium.
+            for player in list(result.final_profile)[:4]:
+                response = best_response_max(result.final_profile, player, game)
+                assert not response.is_improving
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=1_000),
+        alphas,
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_final_network_stays_connected(self, n, seed, alpha):
+        game = MaxNCG(alpha, k=2)
+        result = best_response_dynamics(random_owned_tree(n, seed=seed), game)
+        from repro.graphs.traversal import is_connected
+
+        assert is_connected(result.final_profile.graph())

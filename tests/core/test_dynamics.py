@@ -1,0 +1,143 @@
+"""Tests for the round-robin best-response dynamics (Section 5.1)."""
+
+import pytest
+
+from repro.core.dynamics import best_response_dynamics
+from repro.core.equilibria import is_equilibrium
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.trees import random_owned_tree
+
+
+class TestConvergence:
+    def test_star_already_stable(self):
+        result = best_response_dynamics(owned_star(8), MaxNCG(2.0))
+        assert result.converged
+        assert result.rounds == 0
+        assert result.total_changes == 0
+        assert result.final_profile == result.initial_profile
+
+    def test_cycle_stable_under_local_knowledge(self):
+        result = best_response_dynamics(owned_cycle(10), MaxNCG(2.0, k=2))
+        assert result.converged
+        assert result.rounds == 0
+
+    def test_random_tree_converges_to_equilibrium(self):
+        game = MaxNCG(2.0, k=3)
+        result = best_response_dynamics(random_owned_tree(20, seed=1), game)
+        assert result.converged
+        assert not result.cycled
+        assert is_equilibrium(result.final_profile, game)
+
+    def test_full_knowledge_dynamics_reaches_ne(self):
+        game = MaxNCG(2.0, k=FULL_KNOWLEDGE)
+        result = best_response_dynamics(random_owned_tree(15, seed=2), game)
+        assert result.converged
+        assert is_equilibrium(result.final_profile, game)
+
+    def test_sum_game_dynamics_on_small_instance(self):
+        game = SumNCG(2.0, k=2)
+        result = best_response_dynamics(random_owned_tree(10, seed=5), game)
+        assert result.converged
+        assert result.final_metrics is not None
+
+    def test_accepts_profile_input(self):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(10, seed=0))
+        result = best_response_dynamics(profile, MaxNCG(1.0, k=2))
+        assert result.converged
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(TypeError):
+            best_response_dynamics({"not": "a profile"}, MaxNCG(1.0))
+
+
+class TestBookkeeping:
+    def test_round_metrics_collected_when_requested(self):
+        result = best_response_dynamics(
+            random_owned_tree(12, seed=3),
+            MaxNCG(1.0, k=2),
+            collect_round_metrics=True,
+        )
+        assert len(result.round_records) >= result.rounds
+        for record in result.round_records:
+            assert record.metrics.num_players == 12
+
+    def test_initial_and_final_metrics_always_present(self):
+        result = best_response_dynamics(random_owned_tree(12, seed=3), MaxNCG(1.0, k=2))
+        assert result.initial_metrics is not None
+        assert result.final_metrics is not None
+        assert result.quality_of_equilibrium() == result.final_metrics.quality
+
+    def test_social_cost_never_increases_on_monotone_runs(self):
+        # Not guaranteed in general (a player's improvement can hurt others),
+        # but the total number of changes must be consistent with rounds.
+        result = best_response_dynamics(
+            random_owned_tree(14, seed=8), MaxNCG(2.0, k=3), collect_round_metrics=True
+        )
+        assert result.total_changes == sum(r.num_changes for r in result.round_records)
+
+    def test_max_rounds_cap(self):
+        result = best_response_dynamics(
+            random_owned_tree(20, seed=4), MaxNCG(0.1, k=2), max_rounds=1
+        )
+        assert result.rounds <= 1
+        # Either it converged immediately or it hit the cap unconverged.
+        assert result.converged or result.rounds == 1
+
+    def test_final_profile_differs_from_initial_when_changes_happen(self):
+        result = best_response_dynamics(random_owned_tree(15, seed=6), MaxNCG(0.5, k=3))
+        if result.total_changes > 0:
+            assert result.final_profile != result.initial_profile
+
+
+class TestOrderingOptions:
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            best_response_dynamics(owned_star(5), MaxNCG(1.0), ordering="alphabetical")
+
+    def test_invalid_player_order_rejected(self):
+        with pytest.raises(ValueError):
+            best_response_dynamics(owned_star(5), MaxNCG(1.0), player_order=[0, 1])
+
+    def test_explicit_player_order(self):
+        result = best_response_dynamics(
+            random_owned_tree(10, seed=1),
+            MaxNCG(2.0, k=2),
+            player_order=list(reversed(range(10))),
+        )
+        assert result.converged
+
+    def test_shuffled_ordering_still_converges(self):
+        game = MaxNCG(2.0, k=3)
+        result = best_response_dynamics(
+            random_owned_tree(15, seed=2), game, ordering="shuffled", seed=13
+        )
+        assert result.converged
+        assert is_equilibrium(result.final_profile, game)
+
+    def test_deterministic_given_seed_and_fixed_order(self):
+        game = MaxNCG(1.0, k=2)
+        a = best_response_dynamics(random_owned_tree(12, seed=3), game)
+        b = best_response_dynamics(random_owned_tree(12, seed=3), game)
+        assert a.final_profile == b.final_profile
+        assert a.rounds == b.rounds
+
+
+class TestSolverChoices:
+    @pytest.mark.parametrize("solver", ["milp", "branch_and_bound", "greedy"])
+    def test_all_solvers_converge(self, solver):
+        result = best_response_dynamics(
+            random_owned_tree(12, seed=7), MaxNCG(2.0, k=3), solver=solver
+        )
+        assert result.converged
+
+    def test_exact_solvers_agree_on_final_quality(self):
+        game = MaxNCG(2.0, k=3)
+        owned = random_owned_tree(12, seed=7)
+        a = best_response_dynamics(owned, game, solver="milp")
+        b = best_response_dynamics(owned, game, solver="branch_and_bound")
+        # Different tie-breaking may yield different equilibria, but both
+        # must be genuine equilibria.
+        assert is_equilibrium(a.final_profile, game)
+        assert is_equilibrium(b.final_profile, game)

@@ -1,0 +1,127 @@
+"""Edge-case and protocol-option tests for the round-robin dynamics."""
+
+import pytest
+
+from repro.core.dynamics import best_response_dynamics
+from repro.core.equilibria import is_equilibrium
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.trees import random_owned_tree
+
+
+class TestInputs:
+    def test_accepts_owned_graph_and_profile(self):
+        owned = random_owned_tree(8, seed=0)
+        game = MaxNCG(alpha=2.0, k=2)
+        from_owned = best_response_dynamics(owned, game, solver="branch_and_bound")
+        from_profile = best_response_dynamics(
+            StrategyProfile.from_owned_graph(owned), game, solver="branch_and_bound"
+        )
+        assert from_owned.final_profile == from_profile.final_profile
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            best_response_dynamics({"not": "a profile"}, MaxNCG(alpha=1.0))
+
+    def test_invalid_ordering_rejected(self):
+        owned = random_owned_tree(6, seed=1)
+        with pytest.raises(ValueError):
+            best_response_dynamics(owned, MaxNCG(alpha=1.0, k=2), ordering="priority")
+
+    def test_player_order_must_be_permutation(self):
+        owned = random_owned_tree(6, seed=2)
+        with pytest.raises(ValueError):
+            best_response_dynamics(
+                owned, MaxNCG(alpha=1.0, k=2), player_order=[0, 1, 2]
+            )
+
+    def test_explicit_player_order_accepted(self):
+        owned = random_owned_tree(8, seed=3)
+        game = MaxNCG(alpha=2.0, k=2)
+        order = list(reversed(StrategyProfile.from_owned_graph(owned).players()))
+        result = best_response_dynamics(owned, game, solver="branch_and_bound", player_order=order)
+        assert result.converged
+        assert is_equilibrium(result.final_profile, game)
+
+
+class TestProtocolOptions:
+    def test_round_cap_reports_non_convergence(self):
+        # A single round is not always enough to stabilise a full-knowledge
+        # run that needs several rounds; the cap must be honoured and the
+        # outcome flagged as neither converged nor cycled.
+        owned = random_owned_tree(20, seed=4)
+        game = MaxNCG(alpha=0.5)
+        capped = best_response_dynamics(owned, game, solver="greedy", max_rounds=1)
+        assert capped.rounds <= 1
+        if not capped.converged:
+            assert not capped.cycled
+
+    def test_round_metrics_collection_counts_rounds(self):
+        owned = random_owned_tree(10, seed=5)
+        game = MaxNCG(alpha=2.0, k=3)
+        result = best_response_dynamics(
+            owned, game, solver="branch_and_bound", collect_round_metrics=True
+        )
+        assert len(result.round_records) >= result.rounds
+        for record in result.round_records:
+            assert record.metrics.num_players == 10
+
+    def test_shuffled_ordering_is_seed_deterministic(self):
+        owned = random_owned_tree(12, seed=6)
+        game = MaxNCG(alpha=2.0, k=2)
+        a = best_response_dynamics(owned, game, solver="branch_and_bound", ordering="shuffled", seed=11)
+        b = best_response_dynamics(owned, game, solver="branch_and_bound", ordering="shuffled", seed=11)
+        assert a.final_profile == b.final_profile
+        assert a.rounds == b.rounds
+
+    def test_stable_start_converges_in_zero_rounds(self):
+        profile = StrategyProfile.from_owned_graph(owned_star(7))
+        result = best_response_dynamics(profile, MaxNCG(alpha=2.0), solver="branch_and_bound")
+        assert result.converged
+        assert result.rounds == 0
+        assert result.total_changes == 0
+        assert result.final_profile == profile
+
+    def test_initial_and_final_metrics_always_present(self):
+        owned = random_owned_tree(9, seed=7)
+        result = best_response_dynamics(owned, MaxNCG(alpha=1.0, k=2), solver="greedy")
+        assert result.initial_metrics is not None
+        assert result.final_metrics is not None
+        assert result.quality_of_equilibrium() >= 1.0 - 1e-9
+
+
+class TestGameVariants:
+    def test_cycle_is_stable_for_lemma_3_1_parameters(self):
+        # Lemma 3.1: the n-cycle is an LKE of MaxNCG when alpha >= k - 1, so
+        # the dynamics started on it must terminate immediately.
+        owned = owned_cycle(14)
+        game = MaxNCG(alpha=3.0, k=3)
+        result = best_response_dynamics(owned, game, solver="branch_and_bound")
+        assert result.converged
+        assert result.total_changes == 0
+
+    def test_cycle_restructures_under_full_knowledge_small_alpha(self):
+        owned = owned_cycle(14)
+        game = MaxNCG(alpha=1.0)
+        result = best_response_dynamics(owned, game, solver="branch_and_bound")
+        assert result.converged
+        assert result.total_changes > 0
+        assert result.final_metrics.diameter < 7
+
+    def test_sum_game_local_players_keep_tree_intact(self):
+        # With small k and moderate alpha the Proposition 2.2 rule freezes
+        # SumNCG players on a tree: the edge set cannot change.
+        owned = random_owned_tree(12, seed=8)
+        initial_edges = {frozenset(e) for e in owned.graph.edges()}
+        game = SumNCG(alpha=2.0, k=2)
+        result = best_response_dynamics(owned, game)
+        final_edges = {frozenset(e) for e in result.final_profile.graph().edges()}
+        assert result.converged
+        assert final_edges == initial_edges
+
+    def test_full_knowledge_equals_large_k(self):
+        owned = random_owned_tree(10, seed=9)
+        exact = best_response_dynamics(owned, MaxNCG(alpha=2.0, k=FULL_KNOWLEDGE), solver="branch_and_bound")
+        large_k = best_response_dynamics(owned, MaxNCG(alpha=2.0, k=1000), solver="branch_and_bound")
+        assert exact.final_profile == large_k.final_profile

@@ -1,0 +1,121 @@
+"""Tests for NE / LKE certification."""
+
+import pytest
+
+from repro.core.equilibria import (
+    certify_equilibrium,
+    find_improving_deviation,
+    improving_players,
+    is_equilibrium,
+)
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import owned_cycle, owned_star
+
+
+class TestStarEquilibria:
+    """The centre-owned spanning star is a NE of both games for α in (1, 2]... and
+    more generally the classical equilibrium facts we can check exactly."""
+
+    def test_star_is_ne_for_maxncg_alpha_above_one(self, star_profile):
+        assert is_equilibrium(star_profile, MaxNCG(2.0))
+        assert is_equilibrium(star_profile, MaxNCG(1.5))
+
+    def test_leaf_owned_star_is_ne_for_maxncg(self, leaf_star_profile):
+        assert is_equilibrium(leaf_star_profile, MaxNCG(2.0))
+
+    def test_star_is_ne_for_sumncg_small_alpha(self, star_profile):
+        # Classical fact (Fabrikant et al.): the star is a NE for α >= 1.
+        assert is_equilibrium(star_profile, SumNCG(1.5))
+        assert is_equilibrium(star_profile, SumNCG(3.0))
+
+    def test_star_not_equilibrium_for_tiny_alpha_sum(self, leaf_star_profile):
+        # For α < 1 a leaf gains by connecting to another leaf (saves 1 per
+        # distance-2 node pair at price α each); with n = 6 and α = 0.2 a leaf
+        # buying all other leaves strictly improves.
+        assert not is_equilibrium(leaf_star_profile, SumNCG(0.2))
+
+    def test_empty_network_not_equilibrium(self):
+        profile = StrategyProfile.empty(range(4))
+        assert not is_equilibrium(profile, MaxNCG(2.0))
+
+
+class TestCycleEquilibria:
+    def test_cycle_is_lke_for_alpha_geq_k_minus_1(self, cycle_profile):
+        # Lemma 3.1 with n = 8 >= 2k + 2 for k = 3, α = 2 >= k - 1.
+        assert is_equilibrium(cycle_profile, MaxNCG(2.0, k=3))
+
+    def test_cycle_is_lke_for_k_1(self, cycle_profile):
+        assert is_equilibrium(cycle_profile, MaxNCG(1.0, k=1))
+
+    def test_cycle_not_ne_under_full_knowledge_small_alpha(self):
+        profile = StrategyProfile.from_owned_graph(owned_cycle(12))
+        assert not is_equilibrium(profile, MaxNCG(1.0, k=FULL_KNOWLEDGE))
+
+    def test_larger_view_destroys_cycle_equilibrium(self):
+        # With α = 0.5 and k = 4 a player sees a path of length 8 and can buy
+        # two shortcut edges, lowering her in-view eccentricity from 4 to 3
+        # at a price of 1 < the current cost margin.
+        profile = StrategyProfile.from_owned_graph(owned_cycle(20))
+        assert not is_equilibrium(profile, MaxNCG(0.5, k=4))
+
+
+class TestReports:
+    def test_report_lists_improving_players(self):
+        profile = StrategyProfile.empty(range(4))
+        report = certify_equilibrium(profile, MaxNCG(2.0))
+        assert not report.is_equilibrium
+        assert len(report.improving) == 4
+        assert set(report.improving_players()) == {0, 1, 2, 3}
+
+    def test_stop_at_first(self):
+        profile = StrategyProfile.empty(range(6))
+        report = certify_equilibrium(profile, MaxNCG(2.0), stop_at_first=True)
+        assert not report.is_equilibrium
+        assert len(report.improving) == 1
+
+    def test_player_subset(self, star_profile):
+        report = certify_equilibrium(star_profile, MaxNCG(2.0), players=[0, 1])
+        assert report.is_equilibrium
+        assert report.checked_exactly == {0, 1}
+
+    def test_all_exact_flag_for_max(self, star_profile):
+        report = certify_equilibrium(star_profile, MaxNCG(2.0))
+        assert report.all_exact
+
+    def test_heuristic_flag_for_large_sum_games(self):
+        profile = StrategyProfile.from_owned_graph(owned_star(20))
+        report = certify_equilibrium(profile, SumNCG(2.0), players=[0])
+        # Strategy space of the centre has 19 candidates > exhaustive limit.
+        assert report.checked_heuristically == {0}
+        assert not report.all_exact
+
+    def test_find_improving_deviation(self, star_profile):
+        assert find_improving_deviation(star_profile, 0, MaxNCG(2.0)) is None
+        bad = StrategyProfile.empty(range(3))
+        deviation = find_improving_deviation(bad, 0, MaxNCG(2.0))
+        assert deviation is not None and deviation.is_improving
+
+    def test_improving_players_list(self):
+        profile = StrategyProfile({0: {1}, 1: set(), 2: set(), 3: set()})
+        game = MaxNCG(2.0)
+        players = improving_players(profile, game)
+        # The players disconnected from the rest must move (infinite cost).
+        assert 2 in players and 3 in players
+
+
+class TestLkeVersusNe:
+    def test_lke_set_contains_ne_set(self):
+        # Any full-knowledge equilibrium remains an equilibrium when the
+        # players' views shrink (the deviation set only shrinks): check on a
+        # star, which is a NE for α > 1.
+        profile = StrategyProfile.from_owned_graph(owned_star(8))
+        for k in (1, 2, 3):
+            assert is_equilibrium(profile, MaxNCG(2.0, k=k))
+
+    def test_cycle_separates_lke_from_ne(self):
+        # The cycle is an LKE for small k but not a NE: the defining example
+        # of the paper's gap.
+        profile = StrategyProfile.from_owned_graph(owned_cycle(16))
+        assert is_equilibrium(profile, MaxNCG(2.0, k=2))
+        assert not is_equilibrium(profile, MaxNCG(2.0, k=FULL_KNOWLEDGE))

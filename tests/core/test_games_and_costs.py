@@ -1,0 +1,140 @@
+"""Tests for game specifications and the cost functions of Eqs. (1)-(2)."""
+
+import math
+
+import pytest
+
+from repro.core.costs import (
+    all_player_costs,
+    building_cost,
+    player_cost,
+    social_cost,
+    usage_cost,
+    usage_from_distances,
+)
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG, SumNCG, UsageKind
+from repro.core.strategies import StrategyProfile
+from repro.graphs.graph import Graph
+
+
+class TestGameSpec:
+    def test_max_and_sum_factories(self):
+        assert MaxNCG(1.5).usage is UsageKind.MAX
+        assert SumNCG(1.5).usage is UsageKind.SUM
+        assert MaxNCG(1.5).is_max and not MaxNCG(1.5).is_sum
+        assert SumNCG(1.5).is_sum
+
+    def test_full_knowledge_default(self):
+        game = MaxNCG(2.0)
+        assert game.k == FULL_KNOWLEDGE
+        assert not game.is_local
+
+    def test_local_game(self):
+        game = SumNCG(2.0, k=3)
+        assert game.is_local
+        assert game.k == 3
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            MaxNCG(0)
+        with pytest.raises(ValueError):
+            MaxNCG(-1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MaxNCG(1.0, k=0)
+        with pytest.raises(ValueError):
+            GameSpec(alpha=1.0, usage=UsageKind.MAX, k=2.5)
+
+    def test_with_k_and_with_alpha(self):
+        game = MaxNCG(2.0, k=3)
+        assert game.with_k(FULL_KNOWLEDGE).k == FULL_KNOWLEDGE
+        assert game.with_alpha(5.0).alpha == 5.0
+        assert game.with_alpha(5.0).k == 3
+
+    def test_label(self):
+        assert MaxNCG(2.0, k=3).label() == "maxncg(alpha=2, k=3)"
+        assert SumNCG(0.5).label() == "sumncg(alpha=0.5, k=inf)"
+
+    def test_hashable(self):
+        assert len({MaxNCG(1.0), MaxNCG(1.0), SumNCG(1.0)}) == 2
+
+
+class TestUsageCost:
+    def test_usage_from_distances_max(self):
+        assert usage_from_distances({0: 0, 1: 1, 2: 3}, 3, UsageKind.MAX) == 3
+
+    def test_usage_from_distances_sum(self):
+        assert usage_from_distances({0: 0, 1: 1, 2: 3}, 3, UsageKind.SUM) == 4
+
+    def test_usage_from_distances_disconnected(self):
+        assert usage_from_distances({0: 0}, 3, UsageKind.MAX) == math.inf
+
+    def test_usage_cost_on_graph(self, star6):
+        assert usage_cost(star6, 0, UsageKind.MAX) == 1
+        assert usage_cost(star6, 1, UsageKind.MAX) == 2
+        assert usage_cost(star6, 0, UsageKind.SUM) == 5
+        assert usage_cost(star6, 1, UsageKind.SUM) == 9
+
+    def test_usage_cost_disconnected(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert usage_cost(graph, 0, UsageKind.MAX) == math.inf
+
+
+class TestPlayerCost:
+    def test_building_cost(self, star_profile):
+        assert building_cost(star_profile, 0, alpha=2.0) == 10.0
+        assert building_cost(star_profile, 3, alpha=2.0) == 0.0
+
+    def test_max_cost_star_center(self, star_profile):
+        game = MaxNCG(2.0)
+        assert player_cost(star_profile, 0, game) == 2.0 * 5 + 1
+
+    def test_max_cost_star_leaf(self, star_profile):
+        game = MaxNCG(2.0)
+        assert player_cost(star_profile, 3, game) == 2
+
+    def test_sum_cost_star(self, star_profile):
+        game = SumNCG(2.0)
+        assert player_cost(star_profile, 0, game) == 10 + 5
+        assert player_cost(star_profile, 3, game) == 1 + 2 * 4
+
+    def test_cost_uses_passed_graph(self, star_profile):
+        game = MaxNCG(1.0)
+        graph = star_profile.graph()
+        assert player_cost(star_profile, 0, game, graph=graph) == player_cost(
+            star_profile, 0, game
+        )
+
+    def test_disconnected_cost_infinite(self):
+        profile = StrategyProfile({0: {1}, 1: set(), 2: set()})
+        assert player_cost(profile, 2, MaxNCG(1.0)) == math.inf
+
+    def test_all_player_costs(self, cycle_profile):
+        game = MaxNCG(3.0, k=2)
+        costs = all_player_costs(cycle_profile, game)
+        assert len(costs) == 8
+        # Cycle on 8: eccentricity 4 everywhere, one bought edge each.
+        assert all(value == 3.0 + 4 for value in costs.values())
+
+
+class TestSocialCost:
+    def test_star_social_cost_matches_formula_max(self, star_profile):
+        n = 6
+        game = MaxNCG(2.0)
+        assert social_cost(star_profile, game) == 2.0 * (n - 1) + 1 + 2 * (n - 1)
+
+    def test_star_social_cost_matches_formula_sum(self, star_profile):
+        n = 6
+        game = SumNCG(2.0)
+        expected = 2.0 * (n - 1) + (n - 1) + (n - 1) * (2 * n - 3)
+        assert social_cost(star_profile, game) == expected
+
+    def test_ownership_does_not_change_social_cost(self, star_profile, leaf_star_profile):
+        game = MaxNCG(2.0)
+        assert social_cost(star_profile, game) == social_cost(leaf_star_profile, game)
+
+    def test_cycle_social_cost(self, cycle_profile):
+        game = MaxNCG(1.0)
+        # 8 edges bought once plus eccentricity 4 for each of the 8 players.
+        assert social_cost(cycle_profile, game) == 8 * 1.0 + 8 * 4

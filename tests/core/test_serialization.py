@@ -1,0 +1,150 @@
+"""Tests for the game-state serialization (profiles, games, dynamics checkpoints)."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import best_response_dynamics
+from repro.core.equilibria import is_equilibrium
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG, SumNCG, UsageKind
+from repro.core.serialization import (
+    dynamics_result_to_dict,
+    game_from_dict,
+    game_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    read_dynamics_checkpoint,
+    read_profile_json,
+    write_dynamics_result_json,
+    write_profile_json,
+)
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.torus import TorusParameters, stretched_torus
+from repro.graphs.generators.trees import random_owned_tree
+
+
+class TestProfileRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tree_profiles(self, seed):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(15, seed=seed))
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored == profile
+
+    def test_star_and_cycle_fixtures(self):
+        for owned in (owned_star(7), owned_cycle(9)):
+            profile = StrategyProfile.from_owned_graph(owned)
+            assert profile_from_dict(profile_to_dict(profile)) == profile
+
+    def test_tuple_node_labels(self):
+        owned = stretched_torus(TorusParameters(stretch=2, deltas=(3, 3)))
+        profile = StrategyProfile.from_owned_graph(owned)
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored == profile
+
+    def test_document_is_json_serialisable(self):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(10, seed=5))
+        json.dumps(profile_to_dict(profile))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            profile_from_dict({"format": "repro-game-spec"})
+
+    def test_file_round_trip(self, tmp_path):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(12, seed=7))
+        path = tmp_path / "profile.json"
+        write_profile_json(profile, path)
+        assert read_profile_json(path) == profile
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_round_trip_property(self, n, seed):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(n, seed=seed))
+        assert profile_from_dict(profile_to_dict(profile)) == profile
+
+
+class TestGameRoundTrip:
+    @pytest.mark.parametrize(
+        "game",
+        [
+            MaxNCG(alpha=2.0, k=3),
+            MaxNCG(alpha=0.5),
+            SumNCG(alpha=7.0, k=1),
+            SumNCG(alpha=1.0),
+            GameSpec(alpha=3.5, usage=UsageKind.MAX, k=10),
+        ],
+    )
+    def test_round_trip(self, game):
+        restored = game_from_dict(game_to_dict(game))
+        assert restored == game
+
+    def test_full_knowledge_encoded_as_null(self):
+        payload = game_to_dict(MaxNCG(alpha=1.0))
+        assert payload["k"] is None
+        assert game_from_dict(payload).k == FULL_KNOWLEDGE
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            game_from_dict({"format": "repro-strategy-profile"})
+
+
+class TestDynamicsCheckpoint:
+    def _run(self):
+        owned = random_owned_tree(12, seed=3)
+        game = MaxNCG(alpha=2.0, k=2)
+        return best_response_dynamics(owned, game, solver="branch_and_bound"), game
+
+    def test_checkpoint_document_structure(self):
+        result, game = self._run()
+        payload = dynamics_result_to_dict(result)
+        json.dumps(payload)  # Must be valid JSON (inf metrics are nulled).
+        assert payload["converged"] == result.converged
+        assert payload["rounds"] == result.rounds
+        assert payload["game"]["alpha"] == game.alpha
+
+    def test_write_and_reload_checkpoint(self, tmp_path):
+        result, game = self._run()
+        path = tmp_path / "checkpoint.json"
+        write_dynamics_result_json(result, path)
+        profile, loaded_game, document = read_dynamics_checkpoint(path)
+        assert loaded_game == game
+        assert profile == result.final_profile
+        assert document["total_changes"] == result.total_changes
+        # The reloaded profile is still an equilibrium of the reloaded game -
+        # the checkpoint is sufficient to resume any post-hoc analysis.
+        assert is_equilibrium(profile, loaded_game)
+
+    def test_infinite_metrics_become_null(self):
+        # A single-player profile has an infinite unfairness ratio (its only
+        # player has cost zero); the checkpoint must still be valid JSON.
+        profile = StrategyProfile({0: frozenset()})
+        game = MaxNCG(alpha=1.0)
+        from repro.core.metrics import compute_profile_metrics
+        from repro.core.dynamics import DynamicsResult
+
+        metrics = compute_profile_metrics(profile, game)
+        result = DynamicsResult(
+            game=game,
+            initial_profile=profile,
+            final_profile=profile,
+            converged=True,
+            cycled=False,
+            rounds=0,
+            total_changes=0,
+            final_metrics=metrics,
+        )
+        payload = dynamics_result_to_dict(result)
+        text = json.dumps(payload)
+        assert "Infinity" not in text
+
+    def test_reading_wrong_file_raises(self, tmp_path):
+        path = tmp_path / "not_a_checkpoint.json"
+        path.write_text(json.dumps({"format": "repro-graph"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_dynamics_checkpoint(path)

@@ -1,0 +1,136 @@
+"""Tests for the social optimum benchmarks, PoA helpers and profile metrics."""
+
+import math
+
+import pytest
+
+from repro.core.games import MaxNCG, SumNCG, UsageKind
+from repro.core.metrics import compute_profile_metrics
+from repro.core.social import (
+    clique_social_cost,
+    exact_social_optimum,
+    graph_social_cost,
+    price_of_anarchy_ratio,
+    social_optimum,
+    star_social_cost,
+)
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import complete_graph, owned_cycle, owned_star, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestClosedForms:
+    def test_star_cost_max(self):
+        assert star_social_cost(6, 2.0, UsageKind.MAX) == 2 * 5 + 1 + 2 * 5
+
+    def test_star_cost_sum(self):
+        n = 6
+        expected = 2 * (n - 1) + (n - 1) + (n - 1) * (2 * n - 3)
+        assert star_social_cost(n, 2.0, UsageKind.SUM) == expected
+
+    def test_clique_cost(self):
+        assert clique_social_cost(5, 2.0, UsageKind.MAX) == 2 * 10 + 5
+        assert clique_social_cost(5, 2.0, UsageKind.SUM) == 2 * 10 + 20
+
+    def test_single_player(self):
+        assert star_social_cost(1, 3.0, UsageKind.MAX) == 0
+        assert clique_social_cost(1, 3.0, UsageKind.SUM) == 0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            star_social_cost(0, 1.0, UsageKind.MAX)
+        with pytest.raises(ValueError):
+            clique_social_cost(-1, 1.0, UsageKind.SUM)
+
+    def test_closed_forms_match_profiles(self, star_profile):
+        for usage, game in ((UsageKind.MAX, MaxNCG(2.0)), (UsageKind.SUM, SumNCG(2.0))):
+            from repro.core.costs import social_cost
+
+            assert social_cost(star_profile, game) == star_social_cost(6, 2.0, usage)
+
+
+class TestSocialOptimum:
+    def test_star_wins_for_large_alpha(self):
+        assert social_optimum(10, 5.0, UsageKind.SUM) == star_social_cost(10, 5.0, UsageKind.SUM)
+
+    def test_clique_wins_for_tiny_alpha(self):
+        assert social_optimum(10, 0.05, UsageKind.SUM) == clique_social_cost(
+            10, 0.05, UsageKind.SUM
+        )
+
+    @pytest.mark.parametrize("usage", [UsageKind.MAX, UsageKind.SUM])
+    @pytest.mark.parametrize("alpha", [0.3, 1.0, 2.5, 6.0])
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_benchmark_matches_exact_bruteforce(self, usage, alpha, n):
+        benchmark = social_optimum(n, alpha, usage)
+        exact = exact_social_optimum(n, alpha, usage)
+        assert benchmark == pytest.approx(exact)
+
+    def test_exact_bruteforce_bounds(self):
+        with pytest.raises(ValueError):
+            exact_social_optimum(8, 1.0, UsageKind.MAX)
+        with pytest.raises(ValueError):
+            exact_social_optimum(0, 1.0, UsageKind.MAX)
+        assert exact_social_optimum(1, 1.0, UsageKind.MAX) == 0.0
+
+
+class TestGraphSocialCost:
+    def test_star_graph(self):
+        assert graph_social_cost(star_graph(6), 2.0, UsageKind.MAX) == star_social_cost(
+            6, 2.0, UsageKind.MAX
+        )
+
+    def test_complete_graph(self):
+        assert graph_social_cost(complete_graph(5), 1.0, UsageKind.SUM) == clique_social_cost(
+            5, 1.0, UsageKind.SUM
+        )
+
+    def test_disconnected_graph_is_infinite(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert graph_social_cost(graph, 1.0, UsageKind.MAX) == math.inf
+
+
+class TestPoaRatio:
+    def test_star_profile_has_ratio_one_for_alpha_above_one(self, star_profile):
+        assert price_of_anarchy_ratio(star_profile, MaxNCG(2.0)) == pytest.approx(1.0)
+
+    def test_cycle_ratio_greater_than_one(self):
+        profile = StrategyProfile.from_owned_graph(owned_cycle(12))
+        assert price_of_anarchy_ratio(profile, MaxNCG(2.0, k=2)) > 1.0
+
+    def test_single_player(self):
+        profile = StrategyProfile({0: frozenset()})
+        assert price_of_anarchy_ratio(profile, MaxNCG(2.0)) == 1.0
+
+
+class TestProfileMetrics:
+    def test_star_metrics(self, star_profile):
+        metrics = compute_profile_metrics(star_profile, MaxNCG(2.0))
+        assert metrics.num_players == 6
+        assert metrics.num_edges == 5
+        assert metrics.diameter == 2
+        assert metrics.max_degree == 5
+        assert metrics.max_bought_edges == 5
+        assert metrics.min_bought_edges == 0
+        assert metrics.quality == pytest.approx(1.0)
+        assert metrics.mean_view_size == 6  # full knowledge by default
+        assert metrics.unfairness == pytest.approx((2 * 5 + 1) / 2)
+
+    def test_local_view_sizes(self, cycle_profile):
+        metrics = compute_profile_metrics(cycle_profile, MaxNCG(2.0, k=2))
+        assert metrics.min_view_size == 5
+        assert metrics.max_view_size == 5
+
+    def test_views_can_be_skipped(self, cycle_profile):
+        metrics = compute_profile_metrics(cycle_profile, MaxNCG(2.0, k=2), include_views=False)
+        assert metrics.mean_view_size == 0
+
+    def test_as_dict_round_trip(self, star_profile):
+        metrics = compute_profile_metrics(star_profile, SumNCG(1.0))
+        data = metrics.as_dict()
+        assert data["num_players"] == 6
+        assert set(data) >= {"social_cost", "quality", "diameter", "unfairness"}
+
+    def test_unfairness_on_symmetric_network(self, cycle_profile):
+        metrics = compute_profile_metrics(cycle_profile, MaxNCG(1.0, k=2))
+        assert metrics.unfairness == pytest.approx(1.0)

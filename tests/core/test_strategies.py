@@ -1,0 +1,138 @@
+"""Tests for strategy profiles."""
+
+import pytest
+
+from repro.core.strategies import StrategyProfile
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.trees import random_owned_tree
+
+
+class TestConstruction:
+    def test_basic(self):
+        profile = StrategyProfile({0: {1}, 1: set(), 2: {0, 1}})
+        assert profile.num_players() == 3
+        assert profile.strategy(2) == frozenset({0, 1})
+        assert profile[0] == frozenset({1})
+
+    def test_rejects_self_edge(self):
+        with pytest.raises(ValueError):
+            StrategyProfile({0: {0}, 1: set()})
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError):
+            StrategyProfile({0: {7}, 1: set()})
+
+    def test_empty_profile(self):
+        profile = StrategyProfile.empty(range(4))
+        assert profile.total_bought_edges() == 0
+        assert profile.graph().number_of_edges() == 0
+
+    def test_star_profile(self):
+        profile = StrategyProfile.star(range(5), center=2)
+        assert profile.num_bought_edges(2) == 4
+        assert profile.num_bought_edges(0) == 0
+        with pytest.raises(ValueError):
+            StrategyProfile.star(range(5), center=9)
+
+    def test_from_owned_graph(self):
+        owned = owned_cycle(6)
+        profile = StrategyProfile.from_owned_graph(owned)
+        assert profile.graph() == owned.graph
+        assert all(profile.num_bought_edges(p) == 1 for p in profile)
+
+
+class TestInducedGraph:
+    def test_both_directions_create_single_edge(self):
+        profile = StrategyProfile({0: {1}, 1: {0}})
+        assert profile.graph().number_of_edges() == 1
+        assert profile.total_bought_edges() == 2  # both paid for it
+
+    def test_graph_is_cached(self):
+        profile = StrategyProfile({0: {1}, 1: set()})
+        assert profile.graph() is profile.graph()
+
+    def test_isolated_players_present(self):
+        profile = StrategyProfile({0: set(), 1: set()})
+        assert set(profile.graph().nodes()) == {0, 1}
+
+
+class TestQueries:
+    def test_buyers_of(self, star_profile):
+        # Centre 0 bought everything.
+        assert star_profile.buyers_of(3) == {0}
+        assert star_profile.buyers_of(0) == set()
+
+    def test_buyers_of_leaf_star(self, leaf_star_profile):
+        assert leaf_star_profile.buyers_of(0) == {1, 2, 3, 4, 5}
+
+    def test_iteration_and_len(self):
+        profile = StrategyProfile({0: set(), 1: set(), 2: set()})
+        assert len(profile) == 3
+        assert list(profile) == [0, 1, 2]
+        assert 1 in profile
+
+    def test_as_dict_is_copy(self):
+        profile = StrategyProfile({0: {1}, 1: set()})
+        exported = profile.as_dict()
+        exported[0] = frozenset()
+        assert profile.strategy(0) == frozenset({1})
+
+
+class TestFunctionalUpdates:
+    def test_with_strategy_returns_new_profile(self):
+        profile = StrategyProfile({0: {1}, 1: set(), 2: set()})
+        updated = profile.with_strategy(0, {2})
+        assert profile.strategy(0) == frozenset({1})
+        assert updated.strategy(0) == frozenset({2})
+        assert updated.graph().has_edge(0, 2)
+        assert not updated.graph().has_edge(0, 1)
+
+    def test_with_strategy_unknown_player(self):
+        profile = StrategyProfile({0: set()})
+        with pytest.raises(KeyError):
+            profile.with_strategy(9, set())
+
+    def test_with_added_player(self):
+        profile = StrategyProfile({0: set(), 1: set()})
+        extended = profile.with_added_player(2, targets={0})
+        assert extended.num_players() == 3
+        assert extended.graph().has_edge(2, 0)
+        with pytest.raises(ValueError):
+            extended.with_added_player(2)
+
+
+class TestEqualityAndHashing:
+    def test_equality(self):
+        a = StrategyProfile({0: {1}, 1: set()})
+        b = StrategyProfile({0: [1], 1: []})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = StrategyProfile({0: {1}, 1: set()})
+        b = StrategyProfile({0: set(), 1: {0}})
+        assert a != b
+
+    def test_canonical_key_stable_under_reordering(self):
+        a = StrategyProfile({1: set(), 0: {1}})
+        b = StrategyProfile({0: {1}, 1: set()})
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_from_random_tree(self):
+        owned = random_owned_tree(10, seed=3)
+        a = StrategyProfile.from_owned_graph(owned)
+        b = StrategyProfile.from_owned_graph(owned)
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_not_equal_to_other_types(self):
+        assert StrategyProfile({0: set()}) != {"0": set()}
+
+
+class TestEdgeCounts:
+    def test_num_and_total_bought(self, star_profile):
+        assert star_profile.num_bought_edges(0) == 5
+        assert star_profile.total_bought_edges() == 5
+
+    def test_owned_star_leaf_variant(self, leaf_star_profile):
+        assert leaf_star_profile.total_bought_edges() == 5
+        assert leaf_star_profile.num_bought_edges(0) == 0

@@ -1,0 +1,167 @@
+"""Property-based tests for the limited-move and Bayesian layers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bayesian import (
+    EmptyWorldBelief,
+    GeometricGrowthBelief,
+    PessimisticBelief,
+    bayesian_delta,
+    expected_cost,
+)
+from repro.core.deviations import view_cost
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.core.swap import (
+    enumerate_greedy_moves,
+    enumerate_swap_moves,
+    greedy_dynamics,
+    is_greedy_equilibrium,
+    is_swap_equilibrium,
+    swap_dynamics,
+)
+from repro.core.views import extract_view
+from repro.graphs.generators.trees import random_owned_tree
+
+
+@st.composite
+def tree_profiles(draw, min_nodes: int = 6, max_nodes: int = 14):
+    """Random-tree strategy profiles with fair-coin ownership."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2_000))
+    return StrategyProfile.from_owned_graph(random_owned_tree(n, seed=seed))
+
+
+@st.composite
+def games(draw):
+    alpha = draw(st.sampled_from([0.5, 1.0, 2.0, 5.0]))
+    k = draw(st.sampled_from([1, 2, 3, FULL_KNOWLEDGE]))
+    usage = draw(st.sampled_from(["max", "sum"]))
+    return MaxNCG(alpha=alpha, k=k) if usage == "max" else SumNCG(alpha=alpha, k=k)
+
+
+class TestMoveEnumerationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(profile=tree_profiles(), game=games())
+    def test_swap_moves_are_greedy_moves(self, profile, game):
+        player = profile.players()[0]
+        view = extract_view(profile, player, game.k)
+        strategy = profile.strategy(player)
+        swaps = set(enumerate_swap_moves(view, strategy))
+        greedy = set(enumerate_greedy_moves(view, strategy))
+        assert swaps <= greedy
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=tree_profiles(), game=games())
+    def test_moves_produce_valid_strategies(self, profile, game):
+        player = profile.players()[0]
+        view = extract_view(profile, player, game.k)
+        strategy = profile.strategy(player)
+        for move in enumerate_greedy_moves(view, strategy):
+            new_strategy = move.apply(strategy)
+            assert player not in new_strategy
+            assert new_strategy <= view.strategy_space | strategy
+
+
+class TestDynamicsProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=6, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+        alpha=st.sampled_from([0.5, 2.0]),
+        k=st.sampled_from([2, FULL_KNOWLEDGE]),
+    )
+    def test_converged_greedy_dynamics_reach_greedy_equilibria(self, n, seed, alpha, k):
+        owned = random_owned_tree(n, seed=seed)
+        game = MaxNCG(alpha=alpha, k=k)
+        result = greedy_dynamics(owned, game)
+        if result.converged:
+            assert is_greedy_equilibrium(result.final_profile, game)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=6, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+        alpha=st.sampled_from([1.0, 3.0]),
+        k=st.sampled_from([2, 3]),
+    )
+    def test_swap_dynamics_preserve_building_costs(self, n, seed, alpha, k):
+        owned = random_owned_tree(n, seed=seed)
+        initial = StrategyProfile.from_owned_graph(owned)
+        game = MaxNCG(alpha=alpha, k=k)
+        result = swap_dynamics(owned, game)
+        final = result.final_profile
+        for player in initial:
+            assert initial.num_bought_edges(player) == final.num_bought_edges(player)
+        if result.converged:
+            assert is_swap_equilibrium(final, game)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=6, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_social_cost_never_padded_below_optimum(self, n, seed):
+        owned = random_owned_tree(n, seed=seed)
+        game = MaxNCG(alpha=2.0, k=2)
+        result = greedy_dynamics(owned, game)
+        assert result.final_metrics.quality >= 1.0 - 1e-9
+
+
+class TestBayesianProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(profile=tree_profiles(), game=games())
+    def test_empty_world_expected_cost_equals_view_cost(self, profile, game):
+        player = profile.players()[0]
+        view = extract_view(profile, player, game.k)
+        strategy = profile.strategy(player)
+        assert expected_cost(view, strategy, game, EmptyWorldBelief()) == pytest.approx(
+            view_cost(view, strategy, game)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        profile=tree_profiles(),
+        game=games(),
+        eta_small=st.floats(min_value=0.0, max_value=5.0),
+        eta_extra=st.floats(min_value=0.1, max_value=20.0),
+    )
+    def test_expected_cost_monotone_in_hidden_mass(self, profile, game, eta_small, eta_extra):
+        player = profile.players()[0]
+        view = extract_view(profile, player, game.k)
+        strategy = profile.strategy(player)
+        low = expected_cost(view, strategy, game, PessimisticBelief(eta=eta_small))
+        high = expected_cost(view, strategy, game, PessimisticBelief(eta=eta_small + eta_extra))
+        assert high >= low - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=tree_profiles(), game=games())
+    def test_delta_is_antisymmetric_for_finite_costs(self, profile, game):
+        player = profile.players()[0]
+        view = extract_view(profile, player, game.k)
+        current = profile.strategy(player)
+        # Compare against the "buy one more visible node" strategy when
+        # possible, otherwise the same strategy (delta 0).
+        extra = sorted(view.strategy_space - current, key=repr)
+        other = current | {extra[0]} if extra else current
+        belief = GeometricGrowthBelief(depth=2)
+        forward = bayesian_delta(view, current, other, game, belief)
+        backward = bayesian_delta(view, other, current, game, belief)
+        if math.isfinite(forward) and math.isfinite(backward):
+            assert forward == pytest.approx(-backward)
+
+    @settings(max_examples=20, deadline=None)
+    @given(profile=tree_profiles())
+    def test_max_usage_expected_cost_at_least_view_cost(self, profile):
+        # Beliefs can only push the eccentricity (and hence the cost) up.
+        game = MaxNCG(alpha=1.0, k=2)
+        player = profile.players()[0]
+        view = extract_view(profile, player, game.k)
+        strategy = profile.strategy(player)
+        base = view_cost(view, strategy, game)
+        for belief in (PessimisticBelief(eta=3.0, extra_distance=2.0), GeometricGrowthBelief()):
+            assert expected_cost(view, strategy, game, belief) >= base - 1e-9

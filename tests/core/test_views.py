@@ -1,0 +1,105 @@
+"""Tests for k-neighbourhood views (Section 2 local-knowledge model)."""
+
+import math
+
+from repro.core.games import FULL_KNOWLEDGE
+from repro.core.strategies import StrategyProfile
+from repro.core.views import extract_view
+from repro.graphs.generators.classic import owned_cycle
+from repro.graphs.generators.trees import random_owned_tree
+
+import pytest
+
+
+class TestExtractView:
+    def test_radius_one_on_path(self, path_profile):
+        view = extract_view(path_profile, 2, k=1)
+        assert view.nodes == {1, 2, 3}
+        assert view.distances == {2: 0, 1: 1, 3: 1}
+        assert view.frontier == {1, 3}
+        assert view.size == 3
+
+    def test_radius_two_on_path(self, path_profile):
+        view = extract_view(path_profile, 0, k=2)
+        assert view.nodes == {0, 1, 2}
+        assert view.frontier == {2}
+
+    def test_full_knowledge_view(self, path_profile):
+        view = extract_view(path_profile, 0, k=FULL_KNOWLEDGE)
+        assert view.nodes == {0, 1, 2, 3, 4}
+        assert view.frontier == set()
+        assert view.sees_everything(5)
+
+    def test_frontier_empty_when_whole_graph_closer(self, star_profile):
+        view = extract_view(star_profile, 0, k=5)
+        assert view.frontier == set()
+        assert view.size == 6
+
+    def test_view_subgraph_is_induced(self, cycle_profile):
+        view = extract_view(cycle_profile, 0, k=2)
+        # Cycle of 8, radius 2 around 0: nodes {6,7,0,1,2}, a path.
+        assert view.nodes == {6, 7, 0, 1, 2}
+        assert view.subgraph.number_of_edges() == 4
+        assert not view.subgraph.has_edge(2, 6)
+
+    def test_buyers_restricted_to_view(self):
+        # 0-1-2-3 path, 3 buys an edge to 0 making a cycle; with k=1 the
+        # buyer 3 of the edge (3, 0) is visible from 0.
+        profile = StrategyProfile({0: {1}, 1: {2}, 2: {3}, 3: {0}})
+        view = extract_view(profile, 0, k=1)
+        assert view.buyers == {3}
+
+    def test_buyers_outside_view_excluded(self):
+        # Star of paths: 0-1-2-3-4 path, player 4 buys edge towards... use a
+        # long path where the only buyer of an edge to 0 is adjacent anyway;
+        # instead check a player with no in-edges.
+        profile = StrategyProfile({0: {1}, 1: {2}, 2: set()})
+        view = extract_view(profile, 2, k=1)
+        assert view.buyers == {1}
+        view0 = extract_view(profile, 0, k=1)
+        assert view0.buyers == set()
+
+    def test_unknown_player_raises(self, path_profile):
+        with pytest.raises(KeyError):
+            extract_view(path_profile, 99, k=2)
+
+    def test_strategy_space_excludes_self(self, star_profile):
+        view = extract_view(star_profile, 0, k=1)
+        assert 0 not in view.strategy_space
+        assert view.strategy_space == {1, 2, 3, 4, 5}
+
+    def test_eccentricity_within(self, path_profile):
+        view = extract_view(path_profile, 0, k=3)
+        assert view.eccentricity_within() == 3
+
+    def test_view_size_statistics_on_cycle(self):
+        profile = StrategyProfile.from_owned_graph(owned_cycle(10))
+        for player in range(10):
+            view = extract_view(profile, player, k=2)
+            assert view.size == 5
+            assert len(view.frontier) == 2
+
+    def test_disconnected_player_full_knowledge_sees_everyone(self):
+        # Full knowledge reveals the entire player set even across components
+        # (the classical game); her own component is all she can *reach*.
+        profile = StrategyProfile({0: {1}, 1: set(), 2: set()})
+        view = extract_view(profile, 2, k=FULL_KNOWLEDGE)
+        assert view.nodes == {0, 1, 2}
+        assert view.distances == {2: 0}
+        assert view.eccentricity_within() == math.inf
+
+    def test_disconnected_player_local_view_sees_only_component(self):
+        profile = StrategyProfile({0: {1}, 1: set(), 2: set()})
+        view = extract_view(profile, 2, k=3)
+        assert view.nodes == {2}
+        assert view.size == 1
+
+    def test_view_respects_current_strategies(self, small_tree_profile):
+        game_k = 2
+        for player in small_tree_profile:
+            view = extract_view(small_tree_profile, player, game_k)
+            # All bought targets of the player are visible (distance 1).
+            assert set(small_tree_profile.strategy(player)) <= view.nodes
+            # Distances are at most k.
+            assert all(dist <= game_k for dist in view.distances.values())
+            assert math.isfinite(view.eccentricity_within())

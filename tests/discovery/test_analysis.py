@@ -1,0 +1,153 @@
+"""Tests for equilibrium checks and comparisons under alternative view models."""
+
+import pytest
+
+from repro.core.dynamics import best_response_dynamics
+from repro.core.equilibria import is_equilibrium
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.discovery.analysis import (
+    ModelComparison,
+    best_response_under_model,
+    compare_view_models,
+    improving_players_under_model,
+    is_equilibrium_under_model,
+    view_size_statistics,
+)
+from repro.discovery.models import (
+    KNeighborhoodModel,
+    TracerouteModel,
+    UnionOfBallsModel,
+)
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.trees import random_owned_tree
+
+
+class TestBestResponseUnderModel:
+    def test_k_model_matches_core_best_response(self, small_tree_profile):
+        from repro.core.best_response import best_response
+
+        game = MaxNCG(alpha=2.0, k=2)
+        model = KNeighborhoodModel(k=2)
+        for player in list(small_tree_profile)[:5]:
+            via_model = best_response_under_model(
+                small_tree_profile, player, game, model, solver="branch_and_bound"
+            )
+            direct = best_response(small_tree_profile, player, game, solver="branch_and_bound")
+            assert via_model.view_cost == pytest.approx(direct.view_cost)
+            assert via_model.improvement == pytest.approx(direct.improvement)
+
+    def test_sum_dispatch_small_space(self):
+        profile = StrategyProfile.from_owned_graph(owned_cycle(8))
+        game = SumNCG(alpha=1.0, k=2)
+        model = KNeighborhoodModel(k=2)
+        response = best_response_under_model(profile, 0, game, model)
+        assert response.player == 0
+
+    def test_sum_dispatch_large_space_uses_local_search(self):
+        owned = random_owned_tree(20, seed=1)
+        profile = StrategyProfile.from_owned_graph(owned)
+        game = SumNCG(alpha=1.0)
+        model = TracerouteModel()
+        response = best_response_under_model(profile, profile.players()[0], game, model)
+        assert response.exact is False
+
+
+class TestEquilibriumUnderModel:
+    def test_star_stable_under_every_model(self):
+        profile = StrategyProfile.from_owned_graph(owned_star(7))
+        game = MaxNCG(alpha=2.0)
+        models = [
+            KNeighborhoodModel(k=FULL_KNOWLEDGE),
+            TracerouteModel(),
+            UnionOfBallsModel(radius=2),
+        ]
+        for model in models:
+            assert is_equilibrium_under_model(profile, game, model, solver="branch_and_bound")
+            assert improving_players_under_model(profile, game, model, solver="branch_and_bound") == []
+
+    def test_cycle_lemma_3_1_under_k_model(self):
+        # Lemma 3.1: the cycle is an LKE of MaxNCG when alpha >= k - 1.
+        profile = StrategyProfile.from_owned_graph(owned_cycle(12))
+        game = MaxNCG(alpha=3.0, k=3)
+        assert is_equilibrium_under_model(
+            profile, game, KNeighborhoodModel(k=3), solver="branch_and_bound"
+        )
+
+    def test_more_knowledge_can_destroy_stability(self):
+        # The same cycle stops being stable once players see the whole ring:
+        # with alpha = 1 < (n/2 - 1) buying a chord towards the antipode
+        # halves the eccentricity.
+        profile = StrategyProfile.from_owned_graph(owned_cycle(12))
+        game_local = MaxNCG(alpha=1.0, k=1)
+        game_full = MaxNCG(alpha=1.0, k=FULL_KNOWLEDGE)
+        assert is_equilibrium_under_model(
+            profile, game_local, KNeighborhoodModel(k=1), solver="branch_and_bound"
+        )
+        assert not is_equilibrium_under_model(
+            profile, game_full, KNeighborhoodModel(k=FULL_KNOWLEDGE), solver="branch_and_bound"
+        )
+
+    def test_lke_reached_by_dynamics_is_stable_under_its_own_model(self):
+        owned = random_owned_tree(12, seed=5)
+        game = MaxNCG(alpha=2.0, k=2)
+        result = best_response_dynamics(owned, game, solver="branch_and_bound")
+        assert result.converged
+        assert is_equilibrium(result.final_profile, game)
+        assert is_equilibrium_under_model(
+            result.final_profile, game, KNeighborhoodModel(k=2), solver="branch_and_bound"
+        )
+
+
+class TestViewSizeStatistics:
+    def test_full_knowledge_statistics(self, cycle_profile):
+        mean, minimum, frontier = view_size_statistics(
+            cycle_profile, KNeighborhoodModel(k=FULL_KNOWLEDGE)
+        )
+        assert mean == 8
+        assert minimum == 8
+        assert frontier == 0
+
+    def test_local_statistics(self, cycle_profile):
+        mean, minimum, frontier = view_size_statistics(cycle_profile, KNeighborhoodModel(k=2))
+        assert mean == 5
+        assert minimum == 5
+        assert frontier == 2
+
+    def test_traceroute_statistics_on_tree(self, small_tree_profile):
+        mean, minimum, frontier = view_size_statistics(small_tree_profile, TracerouteModel())
+        assert mean == small_tree_profile.num_players()
+        assert frontier == 0
+
+
+class TestCompareViewModels:
+    def test_comparison_structure(self, cycle_profile):
+        game = MaxNCG(alpha=2.0, k=2)
+        models = [KNeighborhoodModel(k=2), TracerouteModel(), UnionOfBallsModel(radius=1)]
+        rows = compare_view_models(
+            cycle_profile, game, models, check_stability=True, solver="branch_and_bound"
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert isinstance(row, ModelComparison)
+            assert row.mean_view_size >= 1
+            assert (row.improving_players == 0) == row.stable
+
+    def test_skipping_stability_check(self, cycle_profile):
+        game = MaxNCG(alpha=2.0, k=2)
+        rows = compare_view_models(
+            cycle_profile, game, [KNeighborhoodModel(k=2)], check_stability=False
+        )
+        assert rows[0].stable is None
+        assert rows[0].improving_players is None
+
+    def test_knowledge_ordering_between_models(self, small_tree_profile):
+        game = MaxNCG(alpha=2.0, k=2)
+        rows = compare_view_models(
+            small_tree_profile,
+            game,
+            [KNeighborhoodModel(k=2), TracerouteModel()],
+            check_stability=False,
+        )
+        k_row, trace_row = rows
+        assert trace_row.mean_view_size >= k_row.mean_view_size

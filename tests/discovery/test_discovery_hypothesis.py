@@ -1,0 +1,114 @@
+"""Property-based tests for the discovery view models."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies import StrategyProfile
+from repro.discovery.models import (
+    KNeighborhoodModel,
+    TracerouteModel,
+    UnionOfBallsModel,
+)
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.traversal import bfs_distances
+
+
+@st.composite
+def profiles(draw, max_nodes: int = 16):
+    """Random connected profiles (trees or sparse G(n, p) graphs)."""
+    n = draw(st.integers(min_value=5, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2_000))
+    family = draw(st.sampled_from(["tree", "gnp"]))
+    if family == "tree":
+        owned = random_owned_tree(n, seed=seed)
+    else:
+        owned = owned_connected_gnp_graph(n, p=0.25, seed=seed)
+    return StrategyProfile.from_owned_graph(owned)
+
+
+@st.composite
+def models(draw):
+    kind = draw(st.sampled_from(["k", "traceroute", "balls"]))
+    if kind == "k":
+        return KNeighborhoodModel(k=draw(st.integers(min_value=1, max_value=4)))
+    if kind == "traceroute":
+        return TracerouteModel(num_targets=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=10))))
+    return UnionOfBallsModel(
+        radius=draw(st.integers(min_value=1, max_value=3)),
+        include_neighbors=draw(st.booleans()),
+    )
+
+
+class TestViewModelInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), model=models())
+    def test_view_is_subgraph_of_true_network(self, profile, model):
+        graph = profile.graph()
+        player = profile.players()[0]
+        view = model.observe(profile, player)
+        for u, v in view.subgraph.edges():
+            assert graph.has_edge(u, v)
+        assert view.nodes <= set(graph.nodes())
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), model=models())
+    def test_observer_always_sees_herself_and_her_neighbours(self, profile, model):
+        graph = profile.graph()
+        player = profile.players()[0]
+        view = model.observe(profile, player)
+        assert player in view.nodes
+        # All three models reveal the observer's incident edges.
+        if not isinstance(model, KNeighborhoodModel) or model.k >= 1:
+            for neighbour in graph.neighbors(player):
+                assert neighbour in view.nodes
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), model=models())
+    def test_distances_are_true_distances(self, profile, model):
+        graph = profile.graph()
+        player = profile.players()[0]
+        view = model.observe(profile, player)
+        true = bfs_distances(graph, player)
+        for node, dist in view.distances.items():
+            assert dist == true[node]
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), model=models())
+    def test_frontier_vertices_really_are_uncertain(self, profile, model):
+        graph = profile.graph()
+        player = profile.players()[0]
+        view = model.observe(profile, player)
+        if isinstance(model, KNeighborhoodModel):
+            # Paper semantics: the frontier is the distance-k shell.
+            for vertex in view.frontier:
+                assert view.distances[vertex] == model.k
+        else:
+            for vertex in view.frontier:
+                assert view.subgraph.degree(vertex) < graph.degree(vertex)
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), model=models())
+    def test_buyers_are_visible_in_neighbours(self, profile, model):
+        player = profile.players()[0]
+        view = model.observe(profile, player)
+        for buyer in view.buyers:
+            assert buyer in view.nodes
+            assert player in profile.strategy(buyer)
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=profiles())
+    def test_traceroute_with_all_targets_discovers_every_node(self, profile):
+        player = profile.players()[0]
+        view = TracerouteModel().observe(profile, player)
+        assert view.nodes == set(profile.players())
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=profiles(), radius=st.integers(min_value=1, max_value=3))
+    def test_union_of_balls_contains_k_ball(self, profile, radius):
+        player = profile.players()[0]
+        with_neighbors = UnionOfBallsModel(radius=radius, include_neighbors=True)
+        plain = KNeighborhoodModel(k=radius)
+        assert plain.observe(profile, player).nodes <= with_neighbors.observe(profile, player).nodes

@@ -1,0 +1,187 @@
+"""Tests for the query-based view models (k-neighbourhood, traceroute, balls)."""
+
+import math
+
+import pytest
+
+from repro.core.games import FULL_KNOWLEDGE
+from repro.core.strategies import StrategyProfile
+from repro.core.views import extract_view
+from repro.discovery.models import (
+    KNeighborhoodModel,
+    TracerouteModel,
+    UnionOfBallsModel,
+    discovered_view,
+)
+from repro.graphs.generators.classic import owned_cycle, owned_star
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.traversal import bfs_distances
+
+
+class TestKNeighborhoodModel:
+    def test_matches_extract_view(self, cycle_profile):
+        model = KNeighborhoodModel(k=2)
+        for player in cycle_profile:
+            via_model = model.observe(cycle_profile, player)
+            direct = extract_view(cycle_profile, player, 2)
+            assert via_model.nodes == direct.nodes
+            assert via_model.frontier == direct.frontier
+            assert via_model.distances == direct.distances
+
+    def test_full_knowledge(self, cycle_profile):
+        model = KNeighborhoodModel(k=FULL_KNOWLEDGE)
+        view = model.observe(cycle_profile, 0)
+        assert view.size == cycle_profile.num_players()
+        assert view.frontier == set()
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborhoodModel(k=0)
+        with pytest.raises(ValueError):
+            KNeighborhoodModel(k=2.5)
+
+    def test_label(self):
+        assert "k=3" in KNeighborhoodModel(k=3).label()
+        assert "inf" in KNeighborhoodModel(k=FULL_KNOWLEDGE).label()
+
+
+class TestTracerouteModel:
+    def test_all_targets_reveals_all_nodes(self, cycle_profile):
+        model = TracerouteModel()
+        view = model.observe(cycle_profile, 0)
+        assert view.nodes == set(cycle_profile.players())
+
+    def test_distances_are_exact(self, small_tree_profile):
+        model = TracerouteModel()
+        graph = small_tree_profile.graph()
+        for player in small_tree_profile:
+            view = model.observe(small_tree_profile, player)
+            true = bfs_distances(graph, player)
+            for node, dist in view.distances.items():
+                assert dist == true[node]
+
+    def test_tree_traceroute_reveals_whole_tree(self, small_tree_profile):
+        # In a tree every edge lies on some shortest path from any root, so
+        # the traceroute union is the whole graph and nothing is uncertain
+        # except... nothing: every known node has its full degree visible.
+        model = TracerouteModel()
+        graph = small_tree_profile.graph()
+        for player in small_tree_profile:
+            view = model.observe(small_tree_profile, player)
+            assert view.subgraph.number_of_edges() == graph.number_of_edges()
+            assert view.frontier == set()
+
+    def test_cycle_traceroute_misses_one_edge(self, cycle_profile):
+        # From any node of an even cycle, the single "antipodal" edge joining
+        # the two arms lies on no shortest path, so exactly one edge stays
+        # unknown and its endpoints form the frontier.
+        model = TracerouteModel()
+        view = model.observe(cycle_profile, 0)
+        graph = cycle_profile.graph()
+        assert view.subgraph.number_of_edges() == graph.number_of_edges() - 1
+        assert len(view.frontier) == 2
+
+    def test_limited_targets(self, cycle_profile):
+        model = TracerouteModel(num_targets=2)
+        view = model.observe(cycle_profile, 0)
+        # Two nearest targets are the two neighbours.
+        assert view.distances[1] == 1
+        assert view.distances[7] == 1
+        assert view.size <= 4
+
+    def test_zero_targets_still_knows_own_edges(self, cycle_profile):
+        model = TracerouteModel(num_targets=0)
+        view = model.observe(cycle_profile, 0)
+        assert view.nodes == {0, 1, 7}
+
+    def test_negative_targets_raise(self):
+        with pytest.raises(ValueError):
+            TracerouteModel(num_targets=-1)
+
+    def test_missing_player_raises(self, cycle_profile):
+        with pytest.raises(KeyError):
+            TracerouteModel().observe(cycle_profile, 99)
+
+    def test_buyers_restricted_to_known_nodes(self):
+        profile = StrategyProfile.from_owned_graph(owned_star(6, center_owns=False))
+        view = TracerouteModel().observe(profile, 0)
+        # Every leaf bought its edge towards the centre, and all leaves are
+        # discovered by probing them.
+        assert view.buyers == set(range(1, 6))
+
+    def test_label(self):
+        assert "all" in TracerouteModel().label()
+        assert "3" in TracerouteModel(num_targets=3).label()
+
+
+class TestUnionOfBallsModel:
+    def test_radius_one_with_neighbors_sees_two_hops(self, cycle_profile):
+        # Balls of radius 1 around me and my neighbours = my 2-neighbourhood.
+        model = UnionOfBallsModel(radius=1, include_neighbors=True)
+        view = model.observe(cycle_profile, 0)
+        k2 = extract_view(cycle_profile, 0, 2)
+        assert view.nodes == k2.nodes
+
+    def test_without_neighbors_is_one_ball(self, cycle_profile):
+        model = UnionOfBallsModel(radius=1, include_neighbors=False)
+        view = model.observe(cycle_profile, 0)
+        assert view.nodes == {0, 1, 7}
+
+    def test_extra_landmarks_extend_knowledge(self, cycle_profile):
+        base = UnionOfBallsModel(radius=1, include_neighbors=False)
+        extended = UnionOfBallsModel(radius=1, include_neighbors=False, extra_landmarks=[4])
+        assert extended.observe(cycle_profile, 0).size > base.observe(cycle_profile, 0).size
+
+    def test_unknown_landmarks_ignored(self, cycle_profile):
+        model = UnionOfBallsModel(radius=1, include_neighbors=False, extra_landmarks=[999])
+        view = model.observe(cycle_profile, 0)
+        assert view.nodes == {0, 1, 7}
+
+    def test_frontier_contains_uncertain_nodes(self, cycle_profile):
+        model = UnionOfBallsModel(radius=1, include_neighbors=False)
+        view = model.observe(cycle_profile, 0)
+        # Nodes 1 and 7 have a further neighbour outside the view.
+        assert view.frontier == {1, 7}
+
+    def test_full_coverage_has_empty_frontier(self):
+        profile = StrategyProfile.from_owned_graph(owned_star(6))
+        model = UnionOfBallsModel(radius=2, include_neighbors=True)
+        view = model.observe(profile, 1)
+        assert view.size == 6
+        assert view.frontier == set()
+
+    def test_invalid_radius_raises(self):
+        with pytest.raises(ValueError):
+            UnionOfBallsModel(radius=0)
+
+    def test_missing_player_raises(self, cycle_profile):
+        with pytest.raises(KeyError):
+            UnionOfBallsModel(radius=1).observe(cycle_profile, 42)
+
+    def test_label_mentions_radius(self):
+        assert "radius=2" in UnionOfBallsModel(radius=2).label()
+
+
+class TestDiscoveredViewHelper:
+    def test_dispatches_to_model(self, cycle_profile):
+        model = KNeighborhoodModel(k=2)
+        via_helper = discovered_view(cycle_profile, 0, model)
+        via_model = model.observe(cycle_profile, 0)
+        assert via_helper.nodes == via_model.nodes
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_models_ordered_by_knowledge_on_random_graphs(self, seed):
+        owned = owned_connected_gnp_graph(20, 0.15, seed=seed)
+        profile = StrategyProfile.from_owned_graph(owned)
+        k2 = KNeighborhoodModel(k=2)
+        balls = UnionOfBallsModel(radius=2, include_neighbors=True)
+        trace = TracerouteModel()
+        for player in profile:
+            size_k2 = k2.observe(profile, player).size
+            size_balls = balls.observe(profile, player).size
+            size_trace = trace.observe(profile, player).size
+            # Balls of radius 2 around me + neighbours cover at least my
+            # radius-2 ball; traceroute to everyone discovers every node.
+            assert size_balls >= size_k2
+            assert size_trace == profile.num_players()

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ["table1", "table2", "fig3", "fig5", "fig10", "convergence"]:
+            args = parser.parse_args([command, "--smoke"])
+            assert args.command == command
+            assert args.smoke
+
+    def test_certify_arguments(self):
+        args = build_parser().parse_args(
+            ["certify", "--construction", "cycle", "--alpha", "3", "--k", "2", "--n", "12"]
+        )
+        assert args.construction == "cycle"
+        assert args.alpha == 3.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table1_smoke_to_files(self, tmp_path, capsys):
+        csv_path = tmp_path / "t1.csv"
+        json_path = tmp_path / "t1.json"
+        code = main(
+            ["table1", "--smoke", "--csv", str(csv_path), "--json", str(json_path)]
+        )
+        assert code == 0
+        assert csv_path.exists() and json_path.exists()
+        assert len(json.loads(json_path.read_text())) == 3
+        assert "diameter_mean" in capsys.readouterr().out
+
+    def test_quiet_suppresses_output(self, capsys):
+        code = main(["fig3", "--smoke", "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_fig4_smoke(self, capsys):
+        assert main(["fig4", "--smoke"]) == 0
+        assert "region" in capsys.readouterr().out
+
+    def test_certify_cycle_exit_code(self, capsys):
+        code = main(
+            [
+                "certify",
+                "--construction",
+                "cycle",
+                "--alpha",
+                "3",
+                "--k",
+                "3",
+                "--n",
+                "14",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+
+    def test_certify_failure_exit_code(self):
+        # A cycle with tiny α and large view is not an equilibrium: exit 1.
+        code = main(
+            [
+                "certify",
+                "--construction",
+                "cycle",
+                "--alpha",
+                "0.5",
+                "--k",
+                "6",
+                "--n",
+                "30",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+
+    def test_ablation_command(self, capsys):
+        assert main(["ablation", "--study", "ownership", "--smoke", "--quiet"]) == 0

@@ -1,0 +1,120 @@
+"""Tests for the on-disk experiment store and the CSV/JSON readers."""
+
+import math
+
+import pytest
+
+from repro.core.dynamics import best_response_dynamics
+from repro.core.equilibria import is_equilibrium
+from repro.core.games import MaxNCG
+from repro.experiments.io import write_csv, write_json
+from repro.experiments.store import ExperimentStore, read_csv_rows, read_json_rows
+from repro.graphs.generators.trees import random_owned_tree
+
+
+SAMPLE_ROWS = [
+    {"alpha": 2.0, "k": 2, "quality_mean": 1.5, "converged": True, "label": "tree"},
+    {"alpha": 2.0, "k": 1000, "quality_mean": 1.1, "converged": False, "label": "tree"},
+    {"alpha": 0.5, "k": 2, "quality_mean": math.inf, "converged": True, "label": "gnp"},
+]
+
+
+class TestRowReaders:
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(SAMPLE_ROWS, path)
+        restored = read_csv_rows(path)
+        assert len(restored) == 3
+        assert restored[0]["alpha"] == 2.0
+        assert restored[0]["k"] == 2
+        assert restored[0]["converged"] is True
+        assert restored[1]["converged"] is False
+        assert math.isinf(restored[2]["quality_mean"])
+        assert restored[2]["label"] == "gnp"
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "rows.json"
+        write_json(SAMPLE_ROWS, path)
+        restored = read_json_rows(path)
+        assert restored[0]["quality_mean"] == 1.5
+        assert math.isinf(restored[2]["quality_mean"])
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert read_csv_rows(path) == []
+
+    def test_non_array_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "an array"}')
+        with pytest.raises(ValueError):
+            read_json_rows(path)
+
+
+class TestExperimentStore:
+    def test_save_and_load_rows(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.save_rows("fig5-smoke", SAMPLE_ROWS, config={"n": 25, "smoke": True})
+        assert store.list_experiments() == ["fig5-smoke"]
+        rows = store.load_rows("fig5-smoke")
+        assert len(rows) == 3
+        assert rows[1]["k"] == 1000
+        assert store.load_config("fig5-smoke") == {"n": 25, "smoke": True}
+
+    def test_describe(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.save_rows("families", SAMPLE_ROWS)
+        entry = store.describe("families")
+        assert entry["num_rows"] == 3
+        assert "quality_mean" in entry["columns"]
+
+    def test_missing_experiment_raises(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        with pytest.raises(KeyError):
+            store.load_rows("never-saved")
+        with pytest.raises(KeyError):
+            store.describe("never-saved")
+        with pytest.raises(KeyError):
+            store.load_config("never-saved")
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(ValueError):
+                store.save_rows(bad, SAMPLE_ROWS)
+
+    def test_overwrite_updates_index(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.save_rows("study", SAMPLE_ROWS)
+        store.save_rows("study", SAMPLE_ROWS[:1])
+        assert store.describe("study")["num_rows"] == 1
+        assert len(store.load_rows("study")) == 1
+
+    def test_multiple_experiments(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.save_rows("a", SAMPLE_ROWS[:1])
+        store.save_rows("b", SAMPLE_ROWS)
+        assert store.list_experiments() == ["a", "b"]
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        owned = random_owned_tree(10, seed=2)
+        game = MaxNCG(alpha=2.0, k=2)
+        result = best_response_dynamics(owned, game, solver="branch_and_bound")
+        store.save_rows("anatomy", SAMPLE_ROWS)
+        store.save_checkpoint("anatomy", "seed2", result)
+
+        assert store.list_checkpoints("anatomy") == ["seed2"]
+        assert store.describe("anatomy")["has_checkpoints"] is True
+        profile, loaded_game, document = store.load_checkpoint("anatomy", "seed2")
+        assert loaded_game == game
+        assert profile == result.final_profile
+        assert is_equilibrium(profile, loaded_game)
+        assert document["converged"] == result.converged
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.save_rows("x", SAMPLE_ROWS)
+        with pytest.raises(KeyError):
+            store.load_checkpoint("x", "nope")
+        assert store.list_checkpoints("x") == []

@@ -1,0 +1,204 @@
+"""Tests for the classic fixtures, random trees and Erdős–Rényi generators."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators.base import (
+    OwnedGraph,
+    assign_ownership_fair_coin,
+    assign_ownership_to_smaller,
+)
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    grid_2d_graph,
+    owned_cycle,
+    owned_star,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.generators.erdos_renyi import (
+    connected_gnp_graph,
+    gnp_random_graph,
+    owned_connected_gnp_graph,
+)
+from repro.graphs.generators.trees import prufer_to_tree, random_owned_tree, random_tree
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_tree
+from repro.graphs.traversal import is_connected
+
+
+class TestClassicFamilies:
+    def test_cycle_counts(self):
+        graph = cycle_graph(7)
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 7
+        assert all(graph.degree(v) == 2 for v in graph)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path_counts(self):
+        graph = path_graph(6)
+        assert graph.number_of_edges() == 5
+
+    def test_star_counts(self):
+        graph = star_graph(6, center=2)
+        assert graph.degree(2) == 5
+        assert graph.number_of_edges() == 5
+
+    def test_complete_counts(self):
+        graph = complete_graph(6)
+        assert graph.number_of_edges() == 15
+
+    def test_grid_counts(self):
+        graph = grid_2d_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_petersen(self):
+        graph = petersen_graph()
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 15
+        assert all(graph.degree(v) == 3 for v in graph)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            complete_graph(0)
+        with pytest.raises(ValueError):
+            grid_2d_graph(0, 3)
+
+
+class TestOwnership:
+    def test_fair_coin_covers_every_edge(self):
+        graph = complete_graph(6)
+        ownership = assign_ownership_fair_coin(graph, random.Random(3))
+        owned = OwnedGraph(graph=graph, ownership=ownership)
+        assert sum(len(t) for t in owned.ownership.values()) == graph.number_of_edges()
+
+    def test_smaller_endpoint_rule(self):
+        graph = path_graph(4)
+        ownership = assign_ownership_to_smaller(graph)
+        assert ownership[0] == {1}
+        assert ownership[1] == {2}
+        assert ownership[3] == set()
+
+    def test_owner_of(self):
+        owned = owned_cycle(5)
+        assert owned.owner_of(0, 1) == 0
+        assert owned.owner_of(1, 0) == 0
+        with pytest.raises(KeyError):
+            owned.owner_of(0, 2)
+
+    def test_validation_rejects_double_ownership(self):
+        graph = path_graph(2)
+        with pytest.raises(ValueError):
+            OwnedGraph(graph=graph, ownership={0: {1}, 1: {0}})
+
+    def test_validation_rejects_missing_edges(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            OwnedGraph(graph=graph, ownership={0: {1}, 1: set(), 2: set()})
+
+    def test_validation_rejects_non_edges(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            OwnedGraph(graph=graph, ownership={0: {2}, 1: set(), 2: set()})
+
+    def test_owned_cycle_every_player_owns_one_edge(self):
+        owned = owned_cycle(9)
+        assert all(len(targets) == 1 for targets in owned.ownership.values())
+
+    def test_owned_star_variants(self):
+        by_center = owned_star(5, center_owns=True)
+        by_leaves = owned_star(5, center_owns=False)
+        assert len(by_center.ownership[0]) == 4
+        assert len(by_leaves.ownership[0]) == 0
+        assert all(len(by_leaves.ownership[leaf]) == 1 for leaf in range(1, 5))
+
+
+class TestRandomTrees:
+    def test_prufer_decoding_small(self):
+        # Sequence (0, 0) on 4 nodes: node 0 is adjacent to 1, 2 and 3... the
+        # classical decoding yields a star centred at 0.
+        tree = prufer_to_tree([0, 0])
+        assert tree.number_of_edges() == 3
+        assert tree.degree(0) == 3
+
+    def test_prufer_validation(self):
+        with pytest.raises(ValueError):
+            prufer_to_tree([5])
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            tree = random_tree(20, random.Random(seed))
+            assert is_tree(tree)
+            assert tree.number_of_nodes() == 20
+
+    def test_small_sizes(self):
+        assert random_tree(1).number_of_nodes() == 1
+        two = random_tree(2)
+        assert two.number_of_edges() == 1
+        assert is_tree(random_tree(3, random.Random(0)))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+    def test_random_owned_tree_reproducible(self):
+        a = random_owned_tree(15, seed=42)
+        b = random_owned_tree(15, seed=42)
+        assert a.graph == b.graph
+        assert a.ownership == b.ownership
+
+    def test_random_owned_tree_distinct_seeds(self):
+        a = random_owned_tree(30, seed=1)
+        b = random_owned_tree(30, seed=2)
+        assert a.graph != b.graph or a.ownership != b.ownership
+
+    def test_degree_sequence_distribution_sane(self):
+        # Uniform random trees have expected max degree Θ(log n / log log n);
+        # a crude sanity bound protects against biased decodings.
+        tree = random_tree(200, random.Random(11))
+        assert max(tree.degrees().values()) < 20
+
+
+class TestErdosRenyi:
+    def test_p_zero_and_one(self):
+        assert gnp_random_graph(5, 0.0).number_of_edges() == 0
+        assert gnp_random_graph(5, 1.0).number_of_edges() == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(0, 0.5)
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_connected_rejection_sampling(self):
+        graph = connected_gnp_graph(40, 0.15, random.Random(0))
+        assert is_connected(graph)
+
+    def test_connected_failure_raises(self):
+        with pytest.raises(RuntimeError):
+            connected_gnp_graph(50, 0.001, random.Random(0), max_attempts=3)
+
+    def test_owned_gnp_reproducible(self):
+        a = owned_connected_gnp_graph(30, 0.2, seed=5)
+        b = owned_connected_gnp_graph(30, 0.2, seed=5)
+        assert a.graph == b.graph
+        assert a.ownership == b.ownership
+        assert a.metadata["p"] == 0.2
+
+    def test_edge_count_close_to_expectation(self):
+        n, p = 60, 0.2
+        rng = random.Random(123)
+        counts = [gnp_random_graph(n, p, rng).number_of_edges() for _ in range(5)]
+        expected = p * n * (n - 1) / 2
+        assert expected * 0.6 < sum(counts) / len(counts) < expected * 1.4

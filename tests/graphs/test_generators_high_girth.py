@@ -1,0 +1,106 @@
+"""Tests for the high-girth graph generators."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators.high_girth import (
+    high_girth_regular_graph,
+    is_prime,
+    owned_high_girth_graph,
+    projective_plane_incidence_graph,
+)
+from repro.graphs.properties import girth
+from repro.graphs.traversal import is_connected
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7, 11, 13, 97])
+    def test_primes(self, q):
+        assert is_prime(q)
+
+    @pytest.mark.parametrize("q", [-3, 0, 1, 4, 9, 15, 100])
+    def test_non_primes(self, q):
+        assert not is_prime(q)
+
+
+class TestProjectivePlane:
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_counts_and_regularity(self, q):
+        graph = projective_plane_incidence_graph(q)
+        expected_points = q * q + q + 1
+        assert graph.number_of_nodes() == 2 * expected_points
+        assert all(graph.degree(v) == q + 1 for v in graph)
+        assert graph.number_of_edges() == expected_points * (q + 1)
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_girth_is_six(self, q):
+        assert girth(projective_plane_incidence_graph(q)) == 6
+
+    def test_connected(self):
+        assert is_connected(projective_plane_incidence_graph(3))
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            projective_plane_incidence_graph(4)
+
+    def test_density_beats_generic_bound(self):
+        # The point of the construction (Lemma 3.2) is super-linear density:
+        # m = Θ(n^{3/2}) for girth 6.
+        graph = projective_plane_incidence_graph(5)
+        n = graph.number_of_nodes()
+        m = graph.number_of_edges()
+        assert m > 1.1 * n
+        assert m <= 0.5 * n ** 1.5 + n
+
+
+class TestGreedyHighGirth:
+    def test_respects_degree_cap(self):
+        graph = high_girth_regular_graph(40, degree=3, girth=6, seed=1)
+        assert max(graph.degrees().values()) <= 3
+
+    def test_respects_girth(self):
+        for seed in range(3):
+            graph = high_girth_regular_graph(40, degree=3, girth=6, seed=seed)
+            assert girth(graph) >= 6
+
+    def test_higher_girth_request(self):
+        graph = high_girth_regular_graph(60, degree=3, girth=8, seed=0)
+        assert girth(graph) >= 8
+
+    def test_reproducible(self):
+        a = high_girth_regular_graph(30, 3, 6, seed=5)
+        b = high_girth_regular_graph(30, 3, 6, seed=5)
+        assert a == b
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            high_girth_regular_graph(1, 3, 6)
+        with pytest.raises(ValueError):
+            high_girth_regular_graph(10, 0, 6)
+        with pytest.raises(ValueError):
+            high_girth_regular_graph(10, 3, 2)
+
+    def test_places_a_reasonable_number_of_edges(self):
+        graph = high_girth_regular_graph(50, degree=3, girth=6, seed=2)
+        # Should not be nearly edgeless: at least half the degree budget used.
+        assert graph.number_of_edges() >= 0.5 * (3 * 50 / 2) * 0.5
+
+
+class TestOwnedHighGirth:
+    def test_ownership_bounded_by_degree(self):
+        owned = owned_high_girth_graph(40, degree=3, girth=6, seed=3)
+        for node, targets in owned.ownership.items():
+            assert len(targets) <= owned.graph.degree(node)
+            assert len(targets) <= 3
+
+    def test_every_edge_owned_once(self):
+        owned = owned_high_girth_graph(30, degree=3, girth=6, seed=1)
+        total = sum(len(t) for t in owned.ownership.values())
+        assert total == owned.graph.number_of_edges()
+
+    def test_metadata(self):
+        owned = owned_high_girth_graph(30, degree=3, girth=8, seed=1)
+        assert owned.metadata["girth"] == 8
+        assert owned.metadata["degree"] == 3
+        assert math.isfinite(owned.graph.number_of_edges())

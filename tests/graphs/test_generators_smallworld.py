@@ -1,0 +1,241 @@
+"""Tests for the extension instance families (small-world, BA, regular, ...)."""
+
+import random
+
+import pytest
+
+from repro.graphs.algorithms import is_bipartite
+from repro.graphs.generators.smallworld import (
+    balanced_tree,
+    barabasi_albert_graph,
+    caterpillar_tree,
+    complete_bipartite_graph,
+    hypercube_graph,
+    owned_barabasi_albert,
+    owned_random_regular,
+    owned_watts_strogatz,
+    random_regular_graph,
+    spider_tree,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import diameter, is_tree
+from repro.graphs.traversal import is_connected
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_when_p_zero(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, random.Random(0))
+        assert graph.number_of_nodes() == 20
+        assert graph.number_of_edges() == 20 * 2
+        for node in graph.nodes():
+            assert graph.degree(node) == 4
+
+    def test_edge_count_preserved_by_rewiring(self):
+        rng = random.Random(1)
+        graph = watts_strogatz_graph(30, 4, 0.3, rng)
+        assert graph.number_of_edges() == 30 * 2
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = watts_strogatz_graph(25, 6, 0.5, random.Random(2))
+        for node in graph.nodes():
+            assert node not in graph.neighbors(node)
+
+    def test_full_rewiring_changes_structure(self):
+        lattice = watts_strogatz_graph(40, 4, 0.0, random.Random(3))
+        rewired = watts_strogatz_graph(40, 4, 1.0, random.Random(3))
+        lattice_edges = {frozenset(e) for e in lattice.edges()}
+        rewired_edges = {frozenset(e) for e in rewired.edges()}
+        assert lattice_edges != rewired_edges
+
+    def test_deterministic_given_rng(self):
+        a = watts_strogatz_graph(20, 4, 0.2, random.Random(7))
+        b = watts_strogatz_graph(20, 4, 0.2, random.Random(7))
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+    @pytest.mark.parametrize(
+        "n, k, p",
+        [(0, 2, 0.1), (10, 3, 0.1), (10, 10, 0.1), (10, 2, 1.5), (10, -2, 0.1)],
+    )
+    def test_invalid_parameters_raise(self, n, k, p):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(n, k, p)
+
+    def test_k_zero_gives_empty_graph(self):
+        graph = watts_strogatz_graph(5, 0, 0.0)
+        assert graph.number_of_edges() == 0
+
+
+class TestBarabasiAlbert:
+    def test_m1_is_a_tree(self):
+        graph = barabasi_albert_graph(50, 1, random.Random(0))
+        assert is_tree(graph)
+
+    def test_node_and_edge_counts(self):
+        n, m = 40, 3
+        graph = barabasi_albert_graph(n, m, random.Random(1))
+        assert graph.number_of_nodes() == n
+        # Seed star has m edges, every later node adds exactly m.
+        assert graph.number_of_edges() == m + (n - m - 1) * m
+
+    def test_connected(self):
+        graph = barabasi_albert_graph(60, 2, random.Random(2))
+        assert is_connected(graph)
+
+    def test_hub_formation(self):
+        graph = barabasi_albert_graph(200, 1, random.Random(3))
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        # Preferential attachment produces a heavy hub well above the mean.
+        assert degrees[0] >= 5
+
+    @pytest.mark.parametrize("n, m", [(5, 0), (3, 3), (2, 5)])
+    def test_invalid_parameters_raise(self, n, m):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(n, m)
+
+    def test_deterministic_given_rng(self):
+        a = barabasi_albert_graph(30, 2, random.Random(9))
+        b = barabasi_albert_graph(30, 2, random.Random(9))
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n, d", [(10, 3), (12, 4), (8, 2), (20, 5)])
+    def test_degrees_are_exactly_d(self, n, d):
+        graph = random_regular_graph(n, d, random.Random(0))
+        for node in graph.nodes():
+            assert graph.degree(node) == d
+
+    def test_zero_regular(self):
+        graph = random_regular_graph(6, 0)
+        assert graph.number_of_edges() == 0
+
+    def test_odd_product_raises(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(7, 3)
+
+    def test_d_too_large_raises(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 5)
+
+    def test_simple_graph(self):
+        graph = random_regular_graph(16, 3, random.Random(5))
+        for node in graph.nodes():
+            assert node not in graph.neighbors(node)
+        assert graph.number_of_edges() == 16 * 3 // 2
+
+
+class TestDeterministicFamilies:
+    def test_hypercube_basicproperties(self):
+        cube = hypercube_graph(4)
+        assert cube.number_of_nodes() == 16
+        assert cube.number_of_edges() == 4 * 16 // 2
+        assert diameter(cube) == 4
+        assert is_bipartite(cube)
+
+    def test_hypercube_dimension_zero(self):
+        cube = hypercube_graph(0)
+        assert cube.number_of_nodes() == 1
+        assert cube.number_of_edges() == 0
+
+    def test_hypercube_negative_raises(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 12
+        assert is_bipartite(graph)
+        assert diameter(graph) == 2
+
+    def test_complete_bipartite_empty_side(self):
+        graph = complete_bipartite_graph(0, 5)
+        assert graph.number_of_edges() == 0
+
+    def test_complete_bipartite_negative_raises(self):
+        with pytest.raises(ValueError):
+            complete_bipartite_graph(-1, 3)
+
+    def test_caterpillar(self):
+        graph = caterpillar_tree(spine=5, legs_per_node=2)
+        assert is_tree(graph)
+        assert graph.number_of_nodes() == 5 + 5 * 2
+        # Diameter: leaf - spine end ... spine end - leaf = 1 + 4 + 1.
+        assert diameter(graph) == 6
+
+    def test_caterpillar_no_legs_is_path(self):
+        graph = caterpillar_tree(spine=6, legs_per_node=0)
+        assert is_tree(graph)
+        assert diameter(graph) == 5
+
+    def test_caterpillar_invalid(self):
+        with pytest.raises(ValueError):
+            caterpillar_tree(0, 1)
+        with pytest.raises(ValueError):
+            caterpillar_tree(3, -1)
+
+    def test_spider(self):
+        graph = spider_tree(legs=4, leg_length=3)
+        assert is_tree(graph)
+        assert graph.number_of_nodes() == 1 + 4 * 3
+        assert diameter(graph) == 6
+        assert graph.degree(0) == 4
+
+    def test_spider_no_legs(self):
+        graph = spider_tree(legs=0, leg_length=5)
+        assert graph.number_of_nodes() == 1
+
+    def test_spider_invalid(self):
+        with pytest.raises(ValueError):
+            spider_tree(-1, 2)
+
+    def test_balanced_tree(self):
+        graph = balanced_tree(branching=2, height=3)
+        assert is_tree(graph)
+        assert graph.number_of_nodes() == 1 + 2 + 4 + 8
+        assert diameter(graph) == 6
+
+    def test_balanced_tree_height_zero(self):
+        graph = balanced_tree(branching=3, height=0)
+        assert graph.number_of_nodes() == 1
+
+    def test_balanced_tree_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2)
+        with pytest.raises(ValueError):
+            balanced_tree(2, -1)
+
+
+class TestOwnedVariants:
+    def test_owned_watts_strogatz_valid_and_connected(self):
+        owned = owned_watts_strogatz(30, 4, 0.2, seed=0)
+        owned.validate()
+        assert is_connected(owned.graph)
+        assert owned.metadata["family"] == "watts-strogatz"
+
+    def test_owned_barabasi_albert(self):
+        owned = owned_barabasi_albert(40, 2, seed=1)
+        owned.validate()
+        assert is_connected(owned.graph)
+        assert owned.metadata["family"] == "barabasi-albert"
+
+    def test_owned_random_regular(self):
+        owned = owned_random_regular(20, 3, seed=2)
+        owned.validate()
+        assert is_connected(owned.graph)
+        for node in owned.graph.nodes():
+            assert owned.graph.degree(node) == 3
+
+    def test_seed_reproducibility(self):
+        a = owned_barabasi_albert(30, 2, seed=5)
+        b = owned_barabasi_albert(30, 2, seed=5)
+        assert {frozenset(e) for e in a.graph.edges()} == {
+            frozenset(e) for e in b.graph.edges()
+        }
+        for node in a.graph.nodes():
+            assert a.bought_edges(node) == b.bought_edges(node)
+
+    def test_ownership_covers_every_edge_once(self):
+        owned = owned_watts_strogatz(25, 4, 0.3, seed=7)
+        total_owned = sum(len(targets) for targets in owned.ownership.values())
+        assert total_owned == owned.graph.number_of_edges()

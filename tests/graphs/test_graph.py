@@ -1,0 +1,181 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert graph.nodes() == []
+        assert graph.edges() == []
+
+    def test_from_nodes(self):
+        graph = Graph(nodes=[3, 1, 2])
+        assert graph.nodes() == [3, 1, 2]
+        assert graph.number_of_edges() == 0
+
+    def test_from_edges_adds_endpoints(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert set(graph.nodes()) == {0, 1, 2}
+        assert graph.number_of_edges() == 2
+
+    def test_empty_classmethod(self):
+        graph = Graph.empty(4)
+        assert graph.nodes() == [0, 1, 2, 3]
+        assert graph.number_of_edges() == 0
+
+    def test_from_edges_classmethod(self):
+        graph = Graph.from_edges([(0, 1)])
+        assert graph.has_edge(0, 1)
+
+    def test_tuple_nodes_supported(self):
+        graph = Graph(edges=[((0, 0), (0, 1))])
+        assert graph.has_edge((0, 0), (0, 1))
+        assert graph.number_of_nodes() == 2
+
+
+class TestMutation:
+    def test_add_edge_is_symmetric(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "a")
+
+    def test_add_duplicate_edge_is_idempotent(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0)
+
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node(0)
+        graph.add_edge(0, 1)
+        graph.add_node(0)
+        assert graph.has_edge(0, 1)
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert graph.has_node(0)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(nodes=[0, 1])
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        graph.remove_node(1)
+        assert not graph.has_node(1)
+        assert graph.has_edge(0, 2)
+        assert graph.number_of_edges() == 1
+        assert 1 not in graph.neighbors(0)
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(KeyError):
+            graph.remove_node(42)
+
+
+class TestQueries:
+    def test_degree_and_degrees(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+        assert graph.degrees() == {0: 3, 1: 1, 2: 1, 3: 1}
+
+    def test_len_iter_contains(self):
+        graph = Graph(nodes=[0, 1, 2])
+        assert len(graph) == 3
+        assert list(iter(graph)) == [0, 1, 2]
+        assert 1 in graph
+        assert 9 not in graph
+
+    def test_edges_listed_once(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        edges = {frozenset(edge) for edge in graph.edges()}
+        assert edges == {frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})}
+        assert len(graph.edges()) == 3
+
+    def test_equality(self):
+        a = Graph(edges=[(0, 1), (1, 2)])
+        b = Graph(edges=[(1, 2), (0, 1)])
+        c = Graph(edges=[(0, 1)])
+        assert a == b
+        assert a != c
+
+    def test_equality_non_graph(self):
+        assert Graph() != 42
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert not graph.has_node(2)
+        assert clone.has_edge(1, 2)
+
+    def test_induced_subgraph(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = graph.induced_subgraph([0, 1, 2])
+        assert set(sub.nodes()) == {0, 1, 2}
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+        assert sub.number_of_edges() == 2
+
+    def test_induced_subgraph_ignores_unknown_nodes(self):
+        graph = Graph(edges=[(0, 1)])
+        sub = graph.induced_subgraph([0, 1, 99])
+        assert set(sub.nodes()) == {0, 1}
+
+    def test_without_node(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        reduced = graph.without_node(1)
+        assert not reduced.has_node(1)
+        assert graph.has_node(1)  # original untouched
+        assert reduced.number_of_edges() == 0
+
+
+class TestExports:
+    def test_to_index(self):
+        graph = Graph(nodes=["x", "y"])
+        nodes, index = graph.to_index()
+        assert nodes == ["x", "y"]
+        assert index == {"x": 0, "y": 1}
+
+    def test_csr_arrays_roundtrip(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        indptr, indices, nodes = graph.to_csr_arrays()
+        assert len(indptr) == len(nodes) + 1
+        # Node 1 has two neighbours.
+        i = nodes.index(1)
+        assert indptr[i + 1] - indptr[i] == 2
+        assert int(indptr[-1]) == 2 * graph.number_of_edges()
+
+    def test_adjacency_matrix_symmetric(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        matrix, nodes = graph.adjacency_matrix()
+        assert matrix.shape == (3, 3)
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.sum() == 2 * graph.number_of_edges()
+
+    def test_networkx_roundtrip(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        nx_graph = graph.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == graph

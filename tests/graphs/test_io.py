@@ -1,0 +1,155 @@
+"""Tests for graph / owned-graph serialization round-trips."""
+
+import json
+import random
+
+import pytest
+
+from repro.graphs.generators.classic import owned_cycle, petersen_graph
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.torus import TorusParameters, stretched_torus
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_from_edge_list,
+    graph_to_dict,
+    graph_to_edge_list,
+    owned_graph_from_dict,
+    owned_graph_to_dict,
+    read_edge_list,
+    read_graph_json,
+    read_owned_graph_json,
+    write_edge_list,
+    write_graph_json,
+    write_owned_graph_json,
+)
+
+
+def _assert_same_graph(a: Graph, b: Graph) -> None:
+    assert set(a.nodes()) == set(b.nodes())
+    assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+
+class TestEdgeListRoundTrip:
+    def test_petersen_round_trip(self):
+        graph = petersen_graph()
+        _assert_same_graph(graph, graph_from_edge_list(graph_to_edge_list(graph)))
+
+    def test_isolated_nodes_survive(self):
+        graph = Graph(nodes=[0, 1, 2, 3], edges=[(0, 1)])
+        restored = graph_from_edge_list(graph_to_edge_list(graph))
+        assert set(restored.nodes()) == {0, 1, 2, 3}
+        assert restored.number_of_edges() == 1
+
+    def test_tuple_labels_round_trip(self):
+        graph = Graph(edges=[((0, 0), (0, 1)), ((0, 1), (1, 1))])
+        restored = graph_from_edge_list(graph_to_edge_list(graph))
+        _assert_same_graph(graph, restored)
+
+    def test_empty_graph(self):
+        restored = graph_from_edge_list(graph_to_edge_list(Graph()))
+        assert restored.number_of_nodes() == 0
+
+    def test_comment_lines_ignored(self):
+        text = "# nodes: 0 1 2\n# a comment\n0 1\n\n1 2\n"
+        graph = graph_from_edge_list(text)
+        assert graph.number_of_edges() == 2
+
+    def test_malformed_edge_line_raises(self):
+        with pytest.raises(ValueError):
+            graph_from_edge_list("# nodes: 0 1 2\n0 1 2\n")
+
+    def test_file_round_trip(self, tmp_path):
+        graph = petersen_graph()
+        path = tmp_path / "petersen.edges"
+        write_edge_list(graph, path)
+        _assert_same_graph(graph, read_edge_list(path))
+
+
+class TestGraphJson:
+    def test_round_trip(self):
+        graph = petersen_graph()
+        _assert_same_graph(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_dict_is_json_serialisable(self):
+        payload = graph_to_dict(petersen_graph())
+        json.dumps(payload)  # Must not raise.
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_file_round_trip(self, tmp_path):
+        graph = petersen_graph()
+        path = tmp_path / "petersen.json"
+        write_graph_json(graph, path)
+        _assert_same_graph(graph, read_graph_json(path))
+
+    def test_tuple_labels(self):
+        params = TorusParameters(stretch=2, deltas=(3, 4))
+        owned = stretched_torus(params)
+        restored = graph_from_dict(graph_to_dict(owned.graph))
+        _assert_same_graph(owned.graph, restored)
+
+    def test_boolean_labels_rejected(self):
+        graph = Graph(nodes=[True, 2])
+        with pytest.raises(TypeError):
+            graph_to_dict(graph)
+
+
+class TestOwnedGraphJson:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tree_round_trip(self, seed):
+        owned = random_owned_tree(20, seed=seed)
+        restored = owned_graph_from_dict(owned_graph_to_dict(owned))
+        _assert_same_graph(owned.graph, restored.graph)
+        for node in owned.graph.nodes():
+            assert owned.bought_edges(node) == restored.bought_edges(node)
+
+    def test_gnp_round_trip(self):
+        owned = owned_connected_gnp_graph(25, 0.15, seed=3)
+        restored = owned_graph_from_dict(owned_graph_to_dict(owned))
+        _assert_same_graph(owned.graph, restored.graph)
+        total_original = sum(len(v) for v in owned.ownership.values())
+        total_restored = sum(len(v) for v in restored.ownership.values())
+        assert total_original == total_restored
+
+    def test_torus_round_trip_with_tuple_nodes(self):
+        params = TorusParameters(stretch=2, deltas=(3, 4))
+        owned = stretched_torus(params)
+        restored = owned_graph_from_dict(owned_graph_to_dict(owned))
+        _assert_same_graph(owned.graph, restored.graph)
+        for node in owned.graph.nodes():
+            assert owned.bought_edges(node) == restored.bought_edges(node)
+
+    def test_metadata_preserved_when_serialisable(self):
+        owned = owned_cycle(6)
+        owned.metadata["note"] = "cycle fixture"
+        payload = owned_graph_to_dict(owned)
+        restored = owned_graph_from_dict(payload)
+        assert restored.metadata["note"] == "cycle fixture"
+
+    def test_unserialisable_metadata_dropped(self):
+        owned = owned_cycle(6)
+        owned.metadata["rng"] = random.Random(0)  # not JSON-serialisable
+        payload = owned_graph_to_dict(owned)
+        assert payload["metadata"] == {"_dropped": True}
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            owned_graph_from_dict({"format": "repro-graph"})
+
+    def test_file_round_trip(self, tmp_path):
+        owned = random_owned_tree(15, seed=11)
+        path = tmp_path / "tree.json"
+        write_owned_graph_json(owned, path)
+        restored = read_owned_graph_json(path)
+        _assert_same_graph(owned.graph, restored.graph)
+        for node in owned.graph.nodes():
+            assert owned.bought_edges(node) == restored.bought_edges(node)
+
+    def test_restored_ownership_is_valid(self):
+        owned = owned_connected_gnp_graph(20, 0.2, seed=9)
+        restored = owned_graph_from_dict(owned_graph_to_dict(owned))
+        restored.validate()  # Must not raise.

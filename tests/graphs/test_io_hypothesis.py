@@ -1,0 +1,80 @@
+"""Property-based round-trip tests for the graph serialization codecs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators.base import OwnedGraph, assign_ownership_fair_coin
+from repro.graphs.generators.erdos_renyi import gnp_random_graph
+from repro.graphs.generators.trees import random_tree
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_from_edge_list,
+    graph_to_dict,
+    graph_to_edge_list,
+    owned_graph_from_dict,
+    owned_graph_to_dict,
+)
+
+
+@st.composite
+def arbitrary_graphs(draw, max_nodes: int = 15):
+    """Random simple graphs, possibly disconnected, possibly with isolated nodes."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    if n == 0:
+        return Graph()
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    p = draw(st.floats(min_value=0.0, max_value=0.6))
+    return gnp_random_graph(n, p, random.Random(seed))
+
+
+@st.composite
+def owned_graphs(draw, max_nodes: int = 15):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    rng = random.Random(seed)
+    graph = random_tree(n, rng)
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return OwnedGraph(graph=graph, ownership=assign_ownership_fair_coin(graph, rng=rng))
+
+
+def _same_graph(a: Graph, b: Graph) -> bool:
+    return set(a.nodes()) == set(b.nodes()) and {
+        frozenset(e) for e in a.edges()
+    } == {frozenset(e) for e in b.edges()}
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=arbitrary_graphs())
+    def test_edge_list_round_trip(self, graph):
+        assert _same_graph(graph, graph_from_edge_list(graph_to_edge_list(graph)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=arbitrary_graphs())
+    def test_json_round_trip(self, graph):
+        assert _same_graph(graph, graph_from_dict(graph_to_dict(graph)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(owned=owned_graphs())
+    def test_owned_graph_round_trip_preserves_ownership(self, owned):
+        restored = owned_graph_from_dict(owned_graph_to_dict(owned))
+        assert _same_graph(owned.graph, restored.graph)
+        for node in owned.graph.nodes():
+            assert owned.bought_edges(node) == restored.bought_edges(node)
+        restored.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(owned=owned_graphs())
+    def test_serialised_payload_is_stable(self, owned):
+        # Serialising twice yields identical documents (no hidden ordering
+        # nondeterminism), which keeps experiment checkpoints diffable.
+        first = owned_graph_to_dict(owned)
+        second = owned_graph_to_dict(owned)
+        assert first == second

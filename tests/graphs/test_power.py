@@ -1,0 +1,75 @@
+"""Tests for graph powers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators.classic import cycle_graph, path_graph
+from repro.graphs.power import graph_power, power_adjacency
+from repro.graphs.traversal import bfs_distances
+
+
+class TestGraphPower:
+    def test_power_zero_is_edgeless(self, path5):
+        power = graph_power(path5, 0)
+        assert power.number_of_edges() == 0
+        assert set(power.nodes()) == set(path5.nodes())
+
+    def test_power_one_is_copy(self, path5):
+        power = graph_power(path5, 1)
+        assert power == path5
+
+    def test_path_square(self):
+        power = graph_power(path_graph(5), 2)
+        assert power.has_edge(0, 2)
+        assert not power.has_edge(0, 3)
+        assert power.has_edge(2, 4)
+
+    def test_large_power_is_complete(self, path5):
+        power = graph_power(path5, 4)
+        assert power.number_of_edges() == 5 * 4 // 2
+
+    def test_negative_power_raises(self, path5):
+        with pytest.raises(ValueError):
+            graph_power(path5, -1)
+
+    def test_power_matches_distances(self, petersen):
+        h = 2
+        power = graph_power(petersen, h)
+        for u in petersen:
+            dist = bfs_distances(petersen, u)
+            for v in petersen:
+                if u == v:
+                    continue
+                assert power.has_edge(u, v) == (dist[v] <= h)
+
+
+class TestPowerAdjacency:
+    def test_diagonal_true(self, path5):
+        matrix, order = power_adjacency(path5, 1)
+        assert np.all(np.diag(matrix))
+
+    def test_matches_graph_power(self):
+        graph = cycle_graph(7)
+        h = 2
+        matrix, order = power_adjacency(graph, h)
+        power = graph_power(graph, h)
+        index = {node: i for i, node in enumerate(order)}
+        for u in graph:
+            for v in graph:
+                if u == v:
+                    continue
+                assert matrix[index[u], index[v]] == power.has_edge(u, v)
+
+    def test_radius_zero_is_identity(self, path5):
+        matrix, _ = power_adjacency(path5, 0)
+        assert np.array_equal(matrix, np.eye(5, dtype=bool))
+
+    def test_restricted_node_order(self, path5):
+        matrix, order = power_adjacency(path5, 2, nodes=[0, 4])
+        assert order == [0, 4]
+        assert matrix.shape == (2, 2)
+        assert not matrix[0, 1]  # distance 4 > 2
+
+    def test_negative_radius_raises(self, path5):
+        with pytest.raises(ValueError):
+            power_adjacency(path5, -2)

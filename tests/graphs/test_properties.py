@@ -1,0 +1,149 @@
+"""Tests for structural graph properties."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators.classic import complete_graph, grid_2d_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    degree_statistics,
+    density,
+    diameter,
+    eccentricities,
+    eccentricity,
+    girth,
+    is_tree,
+    radius,
+    status,
+    statuses,
+)
+
+
+class TestEccentricity:
+    def test_path_center_and_ends(self, path5):
+        assert eccentricity(path5, 0) == 4
+        assert eccentricity(path5, 2) == 2
+
+    def test_star(self, star6):
+        assert eccentricity(star6, 0) == 1
+        assert eccentricity(star6, 3) == 2
+
+    def test_disconnected_raises(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            eccentricity(graph, 0)
+
+    def test_eccentricities_all_nodes(self, cycle6):
+        assert eccentricities(cycle6) == {node: 3 for node in range(6)}
+
+    def test_single_node(self):
+        assert eccentricity(Graph(nodes=[0]), 0) == 0
+
+
+class TestStatus:
+    def test_star_center(self, star6):
+        assert status(star6, 0) == 5
+
+    def test_star_leaf(self, star6):
+        assert status(star6, 1) == 1 + 2 * 4
+
+    def test_path_end(self, path5):
+        assert status(path5, 0) == 1 + 2 + 3 + 4
+
+    def test_statuses(self, cycle6):
+        # On an even cycle of length 6: distances 1,2,3,2,1 -> 9.
+        assert statuses(cycle6) == {node: 9 for node in range(6)}
+
+    def test_disconnected_raises(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            status(graph, 1)
+
+
+class TestDiameterRadius:
+    def test_path(self, path5):
+        assert diameter(path5) == 4
+        assert radius(path5) == 2
+
+    def test_cycle(self, cycle6):
+        assert diameter(cycle6) == 3
+        assert radius(cycle6) == 3
+
+    def test_star(self, star6):
+        assert diameter(star6) == 2
+        assert radius(star6) == 1
+
+    def test_petersen(self, petersen):
+        assert diameter(petersen) == 2
+
+    def test_grid(self):
+        grid = grid_2d_graph(3, 4)
+        assert diameter(grid) == 2 + 3
+
+    def test_single_node(self):
+        single = Graph(nodes=[0])
+        assert diameter(single) == 0
+        assert radius(single) == 0
+
+
+class TestGirth:
+    def test_tree_has_infinite_girth(self, path5):
+        assert girth(path5) == math.inf
+
+    def test_cycle(self, cycle6):
+        assert girth(cycle6) == 6
+
+    def test_triangle(self):
+        assert girth(complete_graph(3)) == 3
+
+    def test_complete_graph(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_petersen(self, petersen):
+        assert girth(petersen) == 5
+
+    def test_even_cycle_with_chord(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+        assert girth(graph) == 4
+
+    def test_grid(self):
+        assert girth(grid_2d_graph(3, 3)) == 4
+
+
+class TestDegreeStatistics:
+    def test_star(self, star6):
+        stats = degree_statistics(star6)
+        assert stats.maximum == 5
+        assert stats.minimum == 1
+        assert stats.mean == pytest.approx(10 / 6)
+        assert stats.as_dict()["max"] == 5
+
+    def test_empty(self):
+        stats = degree_statistics(Graph())
+        assert stats.maximum == 0
+        assert stats.minimum == 0
+
+
+class TestIsTreeAndDensity:
+    def test_path_is_tree(self, path5):
+        assert is_tree(path5)
+
+    def test_star_is_tree(self, star6):
+        assert is_tree(star6)
+
+    def test_cycle_is_not_tree(self, cycle6):
+        assert not is_tree(cycle6)
+
+    def test_forest_is_not_tree(self):
+        assert not is_tree(Graph(nodes=[0, 1, 2, 3], edges=[(0, 1), (2, 3)]))
+
+    def test_empty_not_tree(self):
+        assert not is_tree(Graph())
+
+    def test_density_complete(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_density_empty_and_small(self):
+        assert density(Graph(nodes=[0])) == 0.0
+        assert density(star_graph(5)) == pytest.approx(2 * 4 / (5 * 4))

@@ -1,0 +1,137 @@
+"""Tests for BFS traversals and distance computations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    UNREACHABLE,
+    all_pairs_distances,
+    ball,
+    bfs_distances,
+    bfs_distances_within,
+    connected_components,
+    distance_matrix,
+    is_connected,
+    shortest_path,
+)
+
+
+class TestBfsDistances:
+    def test_path_distances(self, path5):
+        dist = bfs_distances(path5, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cycle_distances(self, cycle6):
+        dist = bfs_distances(cycle6, 0)
+        assert dist[3] == 3
+        assert dist[5] == 1
+        assert max(dist.values()) == 3
+
+    def test_unreachable_nodes_absent(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        dist = bfs_distances(graph, 0)
+        assert 2 not in dist
+        assert dist == {0: 0, 1: 1}
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(KeyError):
+            bfs_distances(path5, 99)
+
+
+class TestBoundedBfs:
+    def test_truncation(self, path5):
+        dist = bfs_distances_within(path5, 0, 2)
+        assert dist == {0: 0, 1: 1, 2: 2}
+
+    def test_radius_zero(self, path5):
+        assert bfs_distances_within(path5, 3, 0) == {3: 0}
+
+    def test_negative_radius_raises(self, path5):
+        with pytest.raises(ValueError):
+            bfs_distances_within(path5, 0, -1)
+
+    def test_matches_full_bfs_when_radius_large(self, petersen):
+        full = bfs_distances(petersen, 0)
+        bounded = bfs_distances_within(petersen, 0, 10)
+        assert bounded == full
+
+    def test_ball(self, path5):
+        assert ball(path5, 2, 1) == {1, 2, 3}
+        assert ball(path5, 0, 0) == {0}
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, path5):
+        assert shortest_path(path5, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_same_node(self, path5):
+        assert shortest_path(path5, 2, 2) == [2]
+
+    def test_disconnected_returns_none(self):
+        graph = Graph(nodes=[0, 1], edges=[])
+        assert shortest_path(graph, 0, 1) is None
+
+    def test_length_matches_distance(self, petersen):
+        dist = bfs_distances(petersen, 0)
+        for target in petersen:
+            path = shortest_path(petersen, 0, target)
+            assert path is not None
+            assert len(path) - 1 == dist[target]
+
+    def test_missing_node_raises(self, path5):
+        with pytest.raises(KeyError):
+            shortest_path(path5, 0, 99)
+
+
+class TestConnectivity:
+    def test_connected_graph(self, cycle6):
+        assert is_connected(cycle6)
+        assert len(connected_components(cycle6)) == 1
+
+    def test_disconnected_graph(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert not is_connected(graph)
+        components = connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3]]
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_single_node_connected(self):
+        assert is_connected(Graph(nodes=[0]))
+
+
+class TestDistanceMatrix:
+    def test_matches_dict_of_dicts(self, petersen):
+        matrix, order = distance_matrix(petersen)
+        table = all_pairs_distances(petersen)
+        for i, u in enumerate(order):
+            for j, v in enumerate(order):
+                assert matrix[i, j] == table[u][v]
+
+    def test_symmetry(self, cycle6):
+        matrix, _ = distance_matrix(cycle6)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_unreachable_marker(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        matrix, order = distance_matrix(graph)
+        i, j = order.index(0), order.index(2)
+        assert matrix[i, j] == UNREACHABLE
+
+    def test_diagonal_zero(self, path5):
+        matrix, _ = distance_matrix(path5)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_empty_graph(self):
+        matrix, order = distance_matrix(Graph())
+        assert matrix.shape == (0, 0)
+        assert order == []
+
+    def test_explicit_node_order(self, path5):
+        matrix, order = distance_matrix(path5, nodes=[4, 0])
+        assert order == [4, 0]
+        # Restricting the node set also restricts the paths considered: 4 and
+        # 0 are not adjacent in the induced subgraph {0, 4}.
+        assert matrix[0, 1] == UNREACHABLE

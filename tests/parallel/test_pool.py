@@ -1,0 +1,58 @@
+"""Tests for the process-pool helpers."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import parallel_map, resolve_workers
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def failing(x: int) -> int:
+    raise RuntimeError(f"boom {x}")
+
+
+class TestResolveWorkers:
+    def test_none_and_zero_mean_all_cores(self):
+        cores = max(1, os.cpu_count() or 1)
+        assert resolve_workers(None) == cores
+        assert resolve_workers(0) == cores
+
+    def test_explicit_value(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestParallelMap:
+    def test_empty_input(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_path_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(square, items, workers=2) == [x * x for x in items]
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(square, [5], workers=8) == [25]
+
+    def test_exceptions_propagate_serial(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(failing, [1], workers=1)
+
+    def test_exceptions_propagate_parallel(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(failing, [1, 2, 3], workers=2)
+
+    def test_chunksize_does_not_change_results(self):
+        items = list(range(15))
+        assert parallel_map(square, items, workers=2, chunksize=4) == [
+            x * x for x in items
+        ]

@@ -1,0 +1,119 @@
+"""Tests for the (constrained, distance-h) dominating-set layer."""
+
+import pytest
+
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.solvers.dominating_set import (
+    dominating_set_instance,
+    is_dominating_set,
+    minimum_dominating_set,
+    power_dominating_set_instance,
+)
+
+EXACT = ["milp", "branch_and_bound"]
+
+
+class TestIsDominatingSet:
+    def test_star_center(self):
+        graph = star_graph(6)
+        assert is_dominating_set(graph, [0])
+        assert not is_dominating_set(graph, [1])
+
+    def test_radius_two(self):
+        graph = path_graph(5)
+        assert is_dominating_set(graph, [2], radius=2)
+        assert not is_dominating_set(graph, [0], radius=2)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            is_dominating_set(path_graph(3), [99])
+
+
+class TestMinimumDominatingSet:
+    @pytest.mark.parametrize("method", EXACT)
+    def test_star(self, method):
+        chosen, result = minimum_dominating_set(star_graph(8), method=method)
+        assert result.objective == 1
+        assert chosen == [0]
+
+    @pytest.mark.parametrize("method", EXACT)
+    def test_path_five(self, method):
+        chosen, result = minimum_dominating_set(path_graph(5), method=method)
+        assert result.objective == 2
+        assert is_dominating_set(path_graph(5), chosen)
+
+    @pytest.mark.parametrize("method", EXACT)
+    def test_cycle_nine(self, method):
+        # γ(C_n) = ceil(n / 3).
+        chosen, result = minimum_dominating_set(cycle_graph(9), method=method)
+        assert result.objective == 3
+        assert is_dominating_set(cycle_graph(9), chosen)
+
+    @pytest.mark.parametrize("method", EXACT)
+    def test_petersen(self, method):
+        chosen, result = minimum_dominating_set(petersen_graph(), method=method)
+        assert result.objective == 3
+        assert is_dominating_set(petersen_graph(), chosen)
+
+    @pytest.mark.parametrize("method", EXACT)
+    def test_complete_graph(self, method):
+        _, result = minimum_dominating_set(complete_graph(7), method=method)
+        assert result.objective == 1
+
+    def test_forced_vertices_are_free(self):
+        graph = path_graph(5)
+        chosen, result = minimum_dominating_set(graph, forced=[0], method="milp")
+        assert 0 not in chosen
+        assert is_dominating_set(graph, chosen + [0])
+        # Forcing an endpoint still leaves the other end uncovered: 1 paid vertex.
+        assert result.objective == 1
+
+    def test_distance_radius(self):
+        graph = path_graph(7)
+        chosen, result = minimum_dominating_set(graph, radius=3, method="milp")
+        assert result.objective == 1
+        assert is_dominating_set(graph, chosen, radius=3)
+
+    def test_greedy_is_feasible(self):
+        graph = cycle_graph(12)
+        chosen, result = minimum_dominating_set(graph, method="greedy")
+        assert result.feasible
+        assert is_dominating_set(graph, chosen)
+
+
+class TestInstanceBuilders:
+    def test_dominating_instance_dimensions(self):
+        graph = path_graph(4)
+        instance = dominating_set_instance(graph)
+        assert instance.num_candidates == 4
+        assert instance.num_elements == 4
+
+    def test_candidate_and_element_restriction(self):
+        graph = path_graph(5)
+        instance = power_dominating_set_instance(
+            graph, radius=1, candidates=[0, 2, 4], elements=[1, 3]
+        )
+        assert instance.num_candidates == 3
+        assert instance.num_elements == 2
+        # Candidate 0 covers element 1 only.
+        assert instance.coverage[0, 0]
+        assert not instance.coverage[0, 1]
+
+    def test_forced_must_be_candidate(self):
+        graph = path_graph(5)
+        with pytest.raises(KeyError):
+            power_dominating_set_instance(graph, radius=1, forced=[99])
+
+    def test_unknown_candidate_raises(self):
+        with pytest.raises(KeyError):
+            power_dominating_set_instance(path_graph(3), radius=1, candidates=[7])
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            power_dominating_set_instance(path_graph(3), radius=-1)

@@ -1,0 +1,244 @@
+"""Tests for the k-center / k-median facility-location solvers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators.erdos_renyi import connected_gnp_graph
+from repro.graphs.generators.trees import random_tree
+from repro.graphs.graph import Graph
+from repro.solvers.facility import (
+    FacilityResult,
+    coverage_radius,
+    exact_k_center,
+    exact_k_median,
+    greedy_k_center,
+    greedy_k_median,
+    local_search_k_median,
+    solve_k_center,
+    solve_k_median,
+    total_assignment_cost,
+)
+
+
+class TestObjectives:
+    def test_coverage_radius_path(self):
+        path = path_graph(5)
+        rows = {2: {node: abs(node - 2) for node in range(5)}}
+        assert coverage_radius([2], rows, list(range(5))) == 2
+
+    def test_total_cost_path(self):
+        path = path_graph(5)
+        rows = {2: {node: abs(node - 2) for node in range(5)}}
+        assert total_assignment_cost([2], rows, list(range(5))) == 6
+
+    def test_empty_center_set_is_unreached(self):
+        rows = {0: {0: 0.0}}
+        assert math.isinf(coverage_radius([], rows, [0]))
+        assert math.isinf(total_assignment_cost([], rows, [0]))
+
+    def test_unreachable_client(self):
+        rows = {0: {0: 0.0, 1: 1.0}}
+        assert math.isinf(coverage_radius([0], rows, [0, 1, 2]))
+        assert math.isinf(total_assignment_cost([0], rows, [0, 1, 2]))
+
+
+class TestKCenter:
+    def test_k1_exact_on_path_is_midpoint(self):
+        result = exact_k_center(1, graph=path_graph(7))
+        assert result.centers == frozenset({3})
+        assert result.objective == 3
+
+    def test_greedy_k1_matches_exact_on_path(self):
+        greedy = greedy_k_center(1, graph=path_graph(7))
+        exact = exact_k_center(1, graph=path_graph(7))
+        assert greedy.objective == exact.objective
+
+    def test_star_needs_one_center(self):
+        result = exact_k_center(1, graph=star_graph(8))
+        assert result.centers == frozenset({0})
+        assert result.objective == 1
+
+    def test_k_equal_n_gives_zero_radius(self):
+        graph = complete_graph(5)
+        result = exact_k_center(5, graph=graph)
+        assert result.objective == 0
+
+    def test_greedy_is_2_approximation(self):
+        for seed in range(5):
+            graph = connected_gnp_graph(14, 0.2, random.Random(seed))
+            for k in (1, 2, 3):
+                greedy = greedy_k_center(k, graph=graph)
+                exact = exact_k_center(k, graph=graph)
+                assert greedy.objective <= 2 * exact.objective + 1e-9
+
+    def test_exact_flag_and_method(self):
+        result = exact_k_center(2, graph=cycle_graph(8))
+        assert result.optimal
+        assert result.method == "exact"
+        assert isinstance(result, FacilityResult)
+
+    def test_candidate_restriction(self):
+        # Only leaves of the star may host a facility.
+        result = exact_k_center(1, graph=star_graph(6), candidates=range(1, 6))
+        assert result.centers <= frozenset(range(1, 6))
+        assert result.objective == 2
+
+    def test_client_restriction(self):
+        path = path_graph(9)
+        result = exact_k_center(1, graph=path, clients=[0, 1, 2])
+        assert result.objective <= 1
+
+    def test_too_many_candidates_raises(self):
+        with pytest.raises(ValueError):
+            exact_k_center(2, graph=cycle_graph(30))
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            greedy_k_center(0, graph=path_graph(4))
+        with pytest.raises(ValueError):
+            exact_k_center(0, graph=path_graph(4))
+
+    def test_distance_input_without_graph(self):
+        rows = {
+            "a": {"a": 0.0, "b": 1.0, "c": 5.0},
+            "c": {"a": 5.0, "b": 4.0, "c": 0.0},
+        }
+        result = exact_k_center(1, distances=rows)
+        assert result.centers == frozenset({"a"})
+
+    def test_both_graph_and_distances_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_k_center(1, graph=path_graph(3), distances={0: {0: 0.0}})
+
+    def test_neither_graph_nor_distances_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_k_center(1)
+
+
+class TestKMedian:
+    def test_k1_on_path_is_median(self):
+        result = exact_k_median(1, graph=path_graph(7))
+        assert result.centers == frozenset({3})
+
+    def test_k1_on_star_is_hub(self):
+        result = exact_k_median(1, graph=star_graph(9))
+        assert result.centers == frozenset({0})
+        assert result.objective == 8
+
+    def test_greedy_reasonable_on_random_trees(self):
+        for seed in range(4):
+            tree = random_tree(15, random.Random(seed))
+            for k in (1, 2, 3):
+                greedy = greedy_k_median(k, graph=tree)
+                exact = exact_k_median(k, graph=tree)
+                assert greedy.objective >= exact.objective - 1e-9
+                # Submodular greedy guarantee is (1 - 1/e) on the *improvement*;
+                # in practice a factor 2 bound is comfortably satisfied here.
+                assert greedy.objective <= 2 * max(exact.objective, 1.0) + 1e-9
+
+    def test_local_search_never_worse_than_greedy(self):
+        for seed in range(4):
+            graph = connected_gnp_graph(13, 0.2, random.Random(seed))
+            for k in (1, 2, 3):
+                greedy = greedy_k_median(k, graph=graph)
+                local = local_search_k_median(k, graph=graph)
+                assert local.objective <= greedy.objective + 1e-9
+
+    def test_local_search_matches_exact_on_small_instances(self):
+        for seed in range(4):
+            tree = random_tree(12, random.Random(seed + 10))
+            local = local_search_k_median(2, graph=tree)
+            exact = exact_k_median(2, graph=tree)
+            # The single-swap local optimum is within 5x of optimum in theory;
+            # on these tiny trees it is nearly always exactly optimal.
+            assert local.objective <= 1.5 * exact.objective + 1e-9
+
+    def test_k_larger_than_candidates(self):
+        result = exact_k_median(10, graph=path_graph(4))
+        assert result.objective == 0
+
+    def test_candidate_restriction(self):
+        path = path_graph(7)
+        result = exact_k_median(1, graph=path, candidates=[0, 6])
+        assert result.centers <= frozenset({0, 6})
+
+    def test_too_many_candidates_raises(self):
+        with pytest.raises(ValueError):
+            exact_k_median(2, graph=cycle_graph(25))
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            greedy_k_median(0, graph=path_graph(4))
+        with pytest.raises(ValueError):
+            local_search_k_median(-1, graph=path_graph(4))
+
+
+class TestDispatchers:
+    def test_solve_k_center_methods(self):
+        path = path_graph(6)
+        for method in ("greedy", "exact"):
+            result = solve_k_center(2, method=method, graph=path)
+            assert isinstance(result, FacilityResult)
+
+    def test_solve_k_median_methods(self):
+        path = path_graph(6)
+        for method in ("greedy", "local_search", "exact"):
+            result = solve_k_median(2, method=method, graph=path)
+            assert isinstance(result, FacilityResult)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            solve_k_center(1, method="simulated-annealing", graph=path_graph(3))
+        with pytest.raises(ValueError):
+            solve_k_median(1, method="gurobi", graph=path_graph(3))
+
+
+class TestFacilityProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=12),
+        k=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_more_centers_never_hurt(self, n, k, seed):
+        tree = random_tree(n, random.Random(seed))
+        smaller = exact_k_median(k, graph=tree)
+        larger = exact_k_median(min(k + 1, n), graph=tree)
+        assert larger.objective <= smaller.objective + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_k_center_objective_bounded_by_diameter(self, n, seed):
+        tree = random_tree(n, random.Random(seed))
+        result = greedy_k_center(1, graph=tree)
+        # 1-center radius is at most the diameter and at least diameter / 2.
+        from repro.graphs.properties import diameter as graph_diameter
+
+        diam = graph_diameter(tree)
+        assert result.objective <= diam
+        assert 2 * result.objective >= diam
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        k=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_exact_beats_or_ties_every_heuristic(self, n, k, seed):
+        graph = connected_gnp_graph(n, 0.3, random.Random(seed))
+        exact = exact_k_median(k, graph=graph)
+        for heuristic in (greedy_k_median, local_search_k_median):
+            assert exact.objective <= heuristic(k, graph=graph).objective + 1e-9

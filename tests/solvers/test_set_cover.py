@@ -1,0 +1,163 @@
+"""Tests for the set-cover solvers (greedy, branch-and-bound, MILP)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.set_cover import (
+    SOLVERS,
+    SetCoverInstance,
+    branch_and_bound_set_cover,
+    greedy_set_cover,
+    milp_set_cover,
+    solve_set_cover,
+)
+
+EXACT_SOLVERS = ["milp", "branch_and_bound"]
+ALL_SOLVERS = list(SOLVERS)
+
+
+def make_instance(sets, num_elements, forced=(), labels=None):
+    coverage = np.zeros((len(sets), num_elements), dtype=bool)
+    for row, elements in enumerate(sets):
+        for element in elements:
+            coverage[row, element] = True
+    return SetCoverInstance(
+        coverage=coverage,
+        forced=tuple(forced),
+        candidate_labels=labels or [],
+    )
+
+
+class TestInstanceValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(coverage=np.zeros(3, dtype=bool))
+
+    def test_rejects_bad_forced_index(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(coverage=np.zeros((2, 2), dtype=bool), forced=(5,))
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(
+                coverage=np.zeros((2, 2), dtype=bool), candidate_labels=["a"]
+            )
+
+    def test_residual(self):
+        instance = make_instance([{0, 1}, {2}], 3, forced=(0,))
+        free, uncovered = instance.residual()
+        assert list(free) == [1]
+        assert list(uncovered) == [2]
+
+    def test_is_feasible_selection(self):
+        instance = make_instance([{0}, {1}], 2)
+        assert instance.is_feasible_selection({0, 1})
+        assert not instance.is_feasible_selection({0})
+
+
+class TestTrivialCases:
+    @pytest.mark.parametrize("method", ALL_SOLVERS)
+    def test_no_elements(self, method):
+        instance = SetCoverInstance(coverage=np.zeros((3, 0), dtype=bool))
+        result = solve_set_cover(instance, method)
+        assert result.feasible
+        assert result.objective == 0
+
+    @pytest.mark.parametrize("method", ALL_SOLVERS)
+    def test_forced_sets_cover_everything(self, method):
+        instance = make_instance([{0, 1, 2}, {0}], 3, forced=(0,))
+        result = solve_set_cover(instance, method)
+        assert result.feasible
+        assert result.objective == 0
+        assert result.selected == ()
+
+    @pytest.mark.parametrize("method", ALL_SOLVERS)
+    def test_uncoverable_element_infeasible(self, method):
+        instance = make_instance([{0}], 2)
+        result = solve_set_cover(instance, method)
+        assert not result.feasible
+
+    @pytest.mark.parametrize("method", ALL_SOLVERS)
+    def test_no_candidates_infeasible(self, method):
+        instance = SetCoverInstance(coverage=np.zeros((0, 2), dtype=bool))
+        result = solve_set_cover(instance, method)
+        assert not result.feasible
+
+
+class TestExactness:
+    @pytest.mark.parametrize("method", EXACT_SOLVERS)
+    def test_single_big_set_preferred(self, method):
+        instance = make_instance([{0}, {1}, {2}, {0, 1, 2}], 3)
+        result = solve_set_cover(instance, method)
+        assert result.objective == 1
+        assert result.selected == (3,)
+        assert result.optimal
+
+    @pytest.mark.parametrize("method", EXACT_SOLVERS)
+    def test_greedy_trap(self, method):
+        # Classical instance where greedy picks the large set but the optimum
+        # is the two disjoint sets.
+        sets = [{0, 1, 2, 3}, {0, 1, 4}, {2, 3, 5}]
+        instance = make_instance(sets, 6)
+        result = solve_set_cover(instance, method)
+        assert result.objective == 2
+        assert set(result.selected) == {1, 2}
+
+    @pytest.mark.parametrize("method", EXACT_SOLVERS)
+    def test_forced_sets_do_not_count(self, method):
+        sets = [{0, 1}, {2, 3}, {4}]
+        instance = make_instance(sets, 5, forced=(0,))
+        result = solve_set_cover(instance, method)
+        assert result.objective == 2
+        assert set(result.selected) == {1, 2}
+
+    def test_selected_labels(self):
+        instance = make_instance([{0}, {1}], 2, labels=["a", "b"])
+        result = branch_and_bound_set_cover(instance)
+        assert sorted(result.selected_labels(instance)) == ["a", "b"]
+
+    def test_unknown_method(self):
+        instance = make_instance([{0}], 1)
+        with pytest.raises(ValueError):
+            solve_set_cover(instance, "quantum")
+
+
+class TestGreedy:
+    def test_greedy_feasible(self):
+        instance = make_instance([{0, 1}, {1, 2}, {2, 3}], 4)
+        result = greedy_set_cover(instance)
+        assert result.feasible
+        assert instance.is_feasible_selection(set(result.selected))
+        assert not result.optimal
+
+    def test_greedy_logarithmic_guarantee_on_random_instances(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            num_candidates, num_elements = 12, 10
+            coverage = rng.random((num_candidates, num_elements)) < 0.3
+            coverage[0] |= ~coverage.any(axis=0)  # make feasible
+            instance = SetCoverInstance(coverage=coverage)
+            greedy = greedy_set_cover(instance)
+            exact = branch_and_bound_set_cover(instance)
+            assert greedy.feasible and exact.feasible
+            assert greedy.objective >= exact.objective
+            harmonic = np.log(num_elements) + 1
+            assert greedy.objective <= harmonic * exact.objective + 1e-9
+
+
+class TestCrossSolverAgreement:
+    def test_random_instances_agree(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            num_candidates = int(rng.integers(3, 10))
+            num_elements = int(rng.integers(1, 9))
+            coverage = rng.random((num_candidates, num_elements)) < 0.35
+            forced = (0,) if rng.random() < 0.3 else ()
+            instance = SetCoverInstance(coverage=coverage, forced=forced)
+            milp = milp_set_cover(instance)
+            bnb = branch_and_bound_set_cover(instance)
+            assert milp.feasible == bnb.feasible
+            if milp.feasible:
+                assert milp.objective == bnb.objective
+                assert instance.is_feasible_selection(set(milp.selected))
+                assert instance.is_feasible_selection(set(bnb.selected))

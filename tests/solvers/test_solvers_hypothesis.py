@@ -1,0 +1,95 @@
+"""Property-based tests for the combinatorial solvers."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators.trees import random_tree
+from repro.solvers.dominating_set import is_dominating_set, minimum_dominating_set
+from repro.solvers.set_cover import (
+    SetCoverInstance,
+    branch_and_bound_set_cover,
+    greedy_set_cover,
+    milp_set_cover,
+)
+
+
+@st.composite
+def set_cover_instances(draw):
+    num_candidates = draw(st.integers(min_value=1, max_value=8))
+    num_elements = draw(st.integers(min_value=0, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    density = draw(st.floats(min_value=0.1, max_value=0.8))
+    rng = np.random.default_rng(seed)
+    coverage = rng.random((num_candidates, num_elements)) < density
+    forced = ()
+    if num_candidates > 1 and draw(st.booleans()):
+        forced = (draw(st.integers(min_value=0, max_value=num_candidates - 1)),)
+    return SetCoverInstance(coverage=coverage, forced=forced)
+
+
+class TestSetCoverProperties:
+    @given(set_cover_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_solvers_agree(self, instance):
+        milp = milp_set_cover(instance)
+        bnb = branch_and_bound_set_cover(instance)
+        assert milp.feasible == bnb.feasible
+        if milp.feasible:
+            assert milp.objective == bnb.objective
+
+    @given(set_cover_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_solutions_are_feasible_covers(self, instance):
+        for solver in (milp_set_cover, branch_and_bound_set_cover, greedy_set_cover):
+            result = solver(instance)
+            if result.feasible:
+                assert instance.is_feasible_selection(set(result.selected))
+
+    @given(set_cover_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_never_beats_exact(self, instance):
+        greedy = greedy_set_cover(instance)
+        exact = branch_and_bound_set_cover(instance)
+        assert greedy.feasible == exact.feasible
+        if exact.feasible:
+            assert greedy.objective >= exact.objective
+
+    @given(set_cover_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_forced_candidates_never_selected(self, instance):
+        result = branch_and_bound_set_cover(instance)
+        if result.feasible:
+            assert not (set(result.selected) & set(instance.forced))
+
+
+class TestDominatingSetProperties:
+    @given(
+        st.integers(min_value=2, max_value=14),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tree_dominating_set_is_valid_and_minimal_vs_greedy(self, n, seed):
+        tree = random_tree(n, random.Random(seed))
+        exact_nodes, exact = minimum_dominating_set(tree, method="branch_and_bound")
+        greedy_nodes, greedy = minimum_dominating_set(tree, method="greedy")
+        assert is_dominating_set(tree, exact_nodes)
+        assert is_dominating_set(tree, greedy_nodes)
+        assert exact.objective <= greedy.objective
+        # A dominating set of a graph with max degree Δ has size >= n/(Δ+1).
+        max_degree = max(tree.degrees().values())
+        assert exact.objective >= n / (max_degree + 1) - 1e-9
+
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_radius_monotonicity(self, n, radius, seed):
+        tree = random_tree(n, random.Random(seed))
+        _, small = minimum_dominating_set(tree, radius=radius, method="branch_and_bound")
+        _, large = minimum_dominating_set(tree, radius=radius + 1, method="branch_and_bound")
+        assert large.objective <= small.objective

@@ -1,0 +1,61 @@
+"""Every example script must run end-to-end (with small parameters).
+
+The examples are the README's entry point into the library, so a broken
+example is a documentation bug; each test below executes one script as a
+subprocess with small arguments and checks for a clean exit and some
+expected output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> (arguments keeping the run CI-sized, expected output snippet)
+EXAMPLE_RUNS: dict[str, tuple[list[str], str]] = {
+    "quickstart.py": (["16", "2.0", "2"], "Stable network"),
+    "local_vs_full_knowledge.py": (["14", "2.0"], "k"),
+    "lower_bound_constructions.py": ([], ""),
+    "poa_landscape.py": (["1000"], ""),
+    "sumncg_small_scale.py": (["10", "1.5"], "sum"),
+    "restricted_move_dynamics.py": (["12", "2.0", "2"], "swap-only"),
+    "bayesian_beliefs.py": (["10", "2.0", "2"], "stable"),
+    "discovery_view_models.py": (["12", "2.0", "2"], "traceroute"),
+    "equilibrium_anatomy.py": (["16", "2.0"], "quality"),
+}
+
+
+def _run_example(name: str, args: list[str]) -> subprocess.CompletedProcess:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} is missing"
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamplesInventory:
+    def test_every_example_on_disk_is_exercised(self):
+        on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(EXAMPLE_RUNS), (
+            "examples/ and the EXAMPLE_RUNS table are out of sync; "
+            "add the new script (with small arguments) to the table"
+        )
+
+    def test_readme_quickstart_is_present(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_RUNS))
+def test_example_runs_cleanly(name):
+    args, expected_snippet = EXAMPLE_RUNS[name]
+    completed = _run_example(name, args)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+    if expected_snippet:
+        assert expected_snippet in completed.stdout

@@ -1,0 +1,78 @@
+"""End-to-end tests of the public package API (what the README advertises)."""
+
+import pytest
+
+import repro
+from repro import (
+    FULL_KNOWLEDGE,
+    MaxNCG,
+    StrategyProfile,
+    SumNCG,
+    best_response,
+    best_response_dynamics,
+    certify_equilibrium,
+    compute_profile_metrics,
+    extract_view,
+    is_equilibrium,
+    owned_connected_gnp_graph,
+    price_of_anarchy_ratio,
+    random_owned_tree,
+    social_cost,
+    social_optimum,
+    stretched_torus,
+    TorusParameters,
+)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.1.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestQuickstartWorkflow:
+    def test_readme_quickstart(self):
+        instance = random_owned_tree(30, seed=1)
+        game = MaxNCG(alpha=2, k=3)
+        result = best_response_dynamics(instance, game)
+        assert result.converged
+        assert result.final_metrics.quality >= 1.0
+        assert is_equilibrium(result.final_profile, game)
+
+    def test_gnp_workflow(self):
+        instance = owned_connected_gnp_graph(30, 0.15, seed=2)
+        game = MaxNCG(alpha=1.0, k=2)
+        result = best_response_dynamics(instance, game, solver="greedy")
+        metrics = compute_profile_metrics(result.final_profile, game)
+        assert metrics.num_players == 30
+        assert metrics.social_cost == pytest.approx(
+            social_cost(result.final_profile, game)
+        )
+
+    def test_manual_profile_inspection(self):
+        profile = StrategyProfile({0: {1}, 1: {2}, 2: frozenset()})
+        game = SumNCG(alpha=1.0, k=1)
+        view = extract_view(profile, 1, game.k)
+        assert view.size == 3
+        response = best_response(profile, 1, game)
+        assert response.view_cost <= response.current_view_cost
+
+    def test_poa_helpers(self):
+        profile = StrategyProfile.star(range(10), center=0)
+        game = MaxNCG(alpha=2.0)
+        assert price_of_anarchy_ratio(profile, game) == pytest.approx(1.0)
+        assert social_optimum(10, 2.0, game.usage) > 0
+
+    def test_torus_public_construction(self):
+        owned = stretched_torus(TorusParameters(stretch=2, deltas=(2, 3)))
+        game = MaxNCG(alpha=2.0, k=2)
+        report = certify_equilibrium(
+            StrategyProfile.from_owned_graph(owned), game, players=list(owned.graph)[:5]
+        )
+        assert report.is_equilibrium
+
+    def test_full_knowledge_constant(self):
+        assert MaxNCG(1.0).k == FULL_KNOWLEDGE
