@@ -54,8 +54,10 @@ from repro.core import (
     social_optimum,
     price_of_anarchy_ratio,
 )
+from repro.core.dynamics import best_response_dynamics_reference
 from repro.core.equilibria import certify_equilibrium, EquilibriumReport
 from repro.core.metrics import ProfileMetrics, compute_profile_metrics
+from repro.engine import DynamicsEngine, SCHEDULERS, make_scheduler
 from repro.graphs import Graph
 from repro.core.swap import (
     swap_dynamics,
@@ -115,6 +117,10 @@ __all__ = [
     "EquilibriumReport",
     # dynamics
     "best_response_dynamics",
+    "best_response_dynamics_reference",
+    "DynamicsEngine",
+    "SCHEDULERS",
+    "make_scheduler",
     "DynamicsResult",
     "ProfileMetrics",
     "compute_profile_metrics",

@@ -40,7 +40,12 @@ from repro.core.equilibria import (
     improving_players,
     find_improving_deviation,
 )
-from repro.core.dynamics import DynamicsResult, RoundRecord, best_response_dynamics
+from repro.core.dynamics import (
+    DynamicsResult,
+    RoundRecord,
+    best_response_dynamics,
+    best_response_dynamics_reference,
+)
 from repro.core.swap import (
     Move,
     MoveKind,
@@ -108,6 +113,7 @@ __all__ = [
     "DynamicsResult",
     "RoundRecord",
     "best_response_dynamics",
+    "best_response_dynamics_reference",
     "Move",
     "MoveKind",
     "LocalMoveDynamicsResult",

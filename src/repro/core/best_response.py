@@ -27,8 +27,6 @@ import itertools
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.deviations import COST_EPS, view_cost, worst_case_delta
 from repro.core.games import GameSpec, UsageKind
 from repro.core.strategies import StrategyProfile
@@ -84,12 +82,38 @@ def _current_best_response(view: View, current: frozenset[Node], game: GameSpec,
     )
 
 
+def _resolve_view_and_strategy(
+    profile: StrategyProfile | None,
+    player: Node,
+    game: GameSpec,
+    view: View | None,
+    current_strategy: frozenset[Node] | None,
+) -> tuple[View, frozenset[Node]]:
+    """Resolve the (view, current strategy) pair a best response works from.
+
+    Callers either hand over a profile (the classic path, which extracts the
+    view from scratch) or inject both pieces directly — the incremental
+    engine does the latter so cached views are reused without materialising
+    a :class:`StrategyProfile` per activation.
+    """
+    if view is None:
+        if profile is None:
+            raise ValueError("either profile or view must be provided")
+        view = extract_view(profile, player, game.k)
+    if current_strategy is None:
+        if profile is None:
+            raise ValueError("either profile or current_strategy must be provided")
+        current_strategy = profile.strategy(player)
+    return view, current_strategy
+
+
 def best_response_max(
-    profile: StrategyProfile,
+    profile: StrategyProfile | None,
     player: Node,
     game: GameSpec,
     solver: str = "milp",
     view: View | None = None,
+    current_strategy: frozenset[Node] | None = None,
 ) -> BestResponse:
     """Exact (or greedy, per ``solver``) best response in MaxNCG.
 
@@ -99,9 +123,9 @@ def best_response_max(
     """
     if game.usage is not UsageKind.MAX:
         raise ValueError("best_response_max requires a MaxNCG game spec")
-    if view is None:
-        view = extract_view(profile, player, game.k)
-    current = profile.strategy(player)
+    view, current = _resolve_view_and_strategy(
+        profile, player, game, view, current_strategy
+    )
     current_cost = view_cost(view, current, game)
     exact = solver != "greedy"
 
@@ -117,7 +141,7 @@ def best_response_max(
     dist, order = distance_matrix(reduced)
     index = {node: i for i, node in enumerate(order)}
     num_nodes = len(order)
-    forced = tuple(index[buyer] for buyer in view.buyers if buyer in index)
+    forced = tuple(sorted(index[buyer] for buyer in view.buyers if buyer in index))
 
     best_cost = current_cost
     best_strategy = current
@@ -154,11 +178,12 @@ def best_response_max(
 
 
 def best_response_sum_exhaustive(
-    profile: StrategyProfile,
+    profile: StrategyProfile | None,
     player: Node,
     game: GameSpec,
     max_candidates: int = 16,
     view: View | None = None,
+    current_strategy: frozenset[Node] | None = None,
 ) -> BestResponse:
     """Exact best response in SumNCG by exhaustive enumeration.
 
@@ -170,15 +195,15 @@ def best_response_sum_exhaustive(
     """
     if game.usage is not UsageKind.SUM:
         raise ValueError("best_response_sum_exhaustive requires a SumNCG game spec")
-    if view is None:
-        view = extract_view(profile, player, game.k)
+    view, current = _resolve_view_and_strategy(
+        profile, player, game, view, current_strategy
+    )
     candidates = sorted(view.strategy_space, key=repr)
     if len(candidates) > max_candidates:
         raise ValueError(
             f"strategy space has {len(candidates)} nodes > max_candidates={max_candidates}; "
             "use best_response_sum_local_search instead"
         )
-    current = profile.strategy(player)
     current_cost = view_cost(view, current, game)
     best_cost = current_cost
     best_strategy = current
@@ -205,11 +230,12 @@ def best_response_sum_exhaustive(
 
 
 def best_response_sum_local_search(
-    profile: StrategyProfile,
+    profile: StrategyProfile | None,
     player: Node,
     game: GameSpec,
     max_iterations: int = 200,
     view: View | None = None,
+    current_strategy: frozenset[Node] | None = None,
 ) -> BestResponse:
     """Hill-climbing best-*reply* heuristic for SumNCG.
 
@@ -220,10 +246,10 @@ def best_response_sum_local_search(
     """
     if game.usage is not UsageKind.SUM:
         raise ValueError("best_response_sum_local_search requires a SumNCG game spec")
-    if view is None:
-        view = extract_view(profile, player, game.k)
+    view, current = _resolve_view_and_strategy(
+        profile, player, game, view, current_strategy
+    )
     candidates = sorted(view.strategy_space, key=repr)
-    current = profile.strategy(player)
     current_cost = view_cost(view, current, game)
     best_strategy = current
     best_cost = current_cost
@@ -263,23 +289,35 @@ def best_response_sum_local_search(
 
 
 def best_response(
-    profile: StrategyProfile,
+    profile: StrategyProfile | None,
     player: Node,
     game: GameSpec,
     solver: str = "milp",
     sum_exhaustive_limit: int = 12,
+    view: View | None = None,
+    current_strategy: frozenset[Node] | None = None,
 ) -> BestResponse:
     """Dispatch to the appropriate best-response routine for the game kind.
 
     MaxNCG always uses the dominating-set reduction; SumNCG uses exhaustive
     enumeration when the strategy space is small (``<= sum_exhaustive_limit``
-    candidates) and local search otherwise.
+    candidates) and local search otherwise.  ``view`` and
+    ``current_strategy`` may be injected to bypass the per-call view
+    extraction (the incremental engine's cached path); the result is
+    identical to the extract-from-profile path for equal view content.
     """
     if game.usage is UsageKind.MAX:
-        return best_response_max(profile, player, game, solver=solver)
-    view = extract_view(profile, player, game.k)
+        return best_response_max(
+            profile, player, game, solver=solver, view=view,
+            current_strategy=current_strategy,
+        )
+    if view is None:
+        view = extract_view(profile, player, game.k)
     if len(view.strategy_space) <= sum_exhaustive_limit:
         return best_response_sum_exhaustive(
-            profile, player, game, max_candidates=sum_exhaustive_limit, view=view
+            profile, player, game, max_candidates=sum_exhaustive_limit, view=view,
+            current_strategy=current_strategy,
         )
-    return best_response_sum_local_search(profile, player, game, view=view)
+    return best_response_sum_local_search(
+        profile, player, game, view=view, current_strategy=current_strategy
+    )

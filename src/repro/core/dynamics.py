@@ -8,6 +8,15 @@ round passes with no change (an equilibrium — an LKE, or a NE under full
 knowledge) or a previously seen end-of-round profile repeats (a best-response
 cycle: the dynamics provably diverges under the deterministic round-robin
 schedule, so the run is aborted and flagged).
+
+Since the incremental-engine refactor this module is a thin front-end:
+:func:`best_response_dynamics` builds a
+:class:`repro.engine.DynamicsEngine` (versioned network state + incremental
+view cache + pluggable scheduler) and runs it.  The original
+rebuild-everything loop is kept verbatim as
+:func:`best_response_dynamics_reference` — it is the ground truth the
+engine is equivalence-tested against, and the slow baseline the benchmark
+harness times the engine against.
 """
 
 from __future__ import annotations
@@ -22,7 +31,12 @@ from repro.core.strategies import StrategyProfile
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.graph import Node
 
-__all__ = ["RoundRecord", "DynamicsResult", "best_response_dynamics"]
+__all__ = [
+    "RoundRecord",
+    "DynamicsResult",
+    "best_response_dynamics",
+    "best_response_dynamics_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -80,8 +94,9 @@ def best_response_dynamics(
     ordering: str = "fixed",
     seed: int | None = None,
     player_order: list[Node] | None = None,
+    workers: int | None = 1,
 ) -> DynamicsResult:
-    """Run the round-robin best-response dynamics until convergence.
+    """Run the best-response dynamics until convergence.
 
     Parameters
     ----------
@@ -100,12 +115,57 @@ def best_response_dynamics(
         Record a :class:`ProfileMetrics` snapshot after every round
         (the initial and final snapshots are always recorded).
     ordering:
-        ``"fixed"`` (paper) keeps the same player order in every round;
-        ``"shuffled"`` re-samples the order per round (ablation).
+        Activation scheduler: ``"fixed"`` (paper) keeps the same player
+        order in every round; ``"shuffled"`` re-samples the order per round
+        (ablation); ``"random_sequential"``, ``"max_improvement"`` and
+        ``"parallel_batch"`` are the engine's additional scenario modes
+        (see :mod:`repro.engine.schedulers`).
     seed:
-        Seed for the shuffled ordering.
+        Seed for the randomised schedulers.
     player_order:
         Explicit fixed order of play; defaults to the profile's player order.
+    workers:
+        Process count for the ``parallel_batch`` scheduler's best-response
+        fan-out (ignored by the sequential schedulers).
+    """
+    from repro.engine.core import DynamicsEngine
+    from repro.engine.schedulers import SCHEDULERS
+
+    if ordering not in SCHEDULERS:
+        raise ValueError(
+            f"ordering must be one of {sorted(SCHEDULERS)}, got {ordering!r}"
+        )
+    engine = DynamicsEngine(
+        initial,
+        game,
+        solver=solver,
+        scheduler=ordering,
+        max_rounds=max_rounds,
+        collect_round_metrics=collect_round_metrics,
+        seed=seed,
+        player_order=player_order,
+        workers=workers,
+    )
+    return engine.run()
+
+
+def best_response_dynamics_reference(
+    initial: StrategyProfile | OwnedGraph,
+    game: GameSpec,
+    solver: str = "milp",
+    max_rounds: int = 100,
+    collect_round_metrics: bool = False,
+    ordering: str = "fixed",
+    seed: int | None = None,
+    player_order: list[Node] | None = None,
+) -> DynamicsResult:
+    """The seed rebuild-from-scratch dynamics loop (ground-truth baseline).
+
+    Re-extracts every view and recomputes every best response from a fresh
+    profile on each activation.  Only the paper's two orderings are
+    supported.  Kept for the engine equivalence tests and the
+    ``benchmarks/test_bench_engine.py`` speed-up measurement; production
+    callers should use :func:`best_response_dynamics`.
     """
     if ordering not in {"fixed", "shuffled"}:
         raise ValueError("ordering must be 'fixed' or 'shuffled'")
@@ -145,11 +205,13 @@ def best_response_dynamics(
             )
         if changes_this_round == 0:
             converged = True
-            # The equilibrium was actually reached at the *end of the
-            # previous round*; the convention of the paper counts the number
-            # of rounds needed to reach the stable network, so we report
-            # round_index - 1 when the very first round is already stable.
-            rounds_run = round_index - 1 if round_index > 0 else 0
+            # The equilibrium was reached at the end of the *previous*
+            # round; the paper counts rounds needed to reach the stable
+            # network, so the certifying all-quiet round is not counted.
+            # (The loop starts at round_index = 1, so this is simply
+            # round_index - 1 — an ``if round_index > 0`` guard here would
+            # be dead code.)
+            rounds_run = round_index - 1
             break
         key = profile.canonical_key()
         if key in seen_profiles:

@@ -14,12 +14,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, asdict
 
-from repro.core.costs import all_player_costs, social_cost
-from repro.core.games import GameSpec
+import numpy as np
+
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
 from repro.core.social import social_optimum
 from repro.core.strategies import StrategyProfile
-from repro.core.views import extract_view
-from repro.graphs.properties import diameter as graph_diameter
+from repro.graphs.traversal import UNREACHABLE, distance_matrix
 
 __all__ = ["ProfileMetrics", "compute_profile_metrics"]
 
@@ -54,25 +54,57 @@ def compute_profile_metrics(
 ) -> ProfileMetrics:
     """Compute the full metric snapshot of ``profile`` under ``game``.
 
-    ``include_views=False`` skips the (n extra BFS) view-size statistics,
-    which is useful when recording every round of a long dynamics run.
+    ``include_views=False`` skips the view-size statistics, which is useful
+    when recording every round of a long dynamics run.
+
+    Every distance-derived quantity (player usages, diameter, view sizes)
+    is read off a single batched-BFS distance matrix instead of ``2n``
+    independent Python traversals plus ``n`` induced-subgraph builds — one
+    CSR export and one :func:`batched_bfs_distances` sweep serve them all.
     """
     graph = profile.graph()
     n = profile.num_players()
     degrees = list(graph.degrees().values()) or [0]
-    bought = [profile.num_bought_edges(player) for player in profile] or [0]
-    costs = all_player_costs(profile, game)
+    bought_counts = [profile.num_bought_edges(player) for player in profile]
+    bought = bought_counts or [0]
+
+    dist, order = distance_matrix(graph)
+    reachable = dist != UNREACHABLE
+    all_reached = reachable.all(axis=1) if n else np.zeros(0, dtype=bool)
+    if game.usage is UsageKind.MAX:
+        usage_rows = np.where(reachable, dist, 0).max(axis=1) if n else np.zeros(0)
+    else:
+        usage_rows = np.where(reachable, dist, 0).sum(axis=1) if n else np.zeros(0)
+    usages = {
+        node: float(usage_rows[i]) if all_reached[i] else math.inf
+        for i, node in enumerate(order)
+    }
+    costs = {
+        player: game.alpha * count + usages[player]
+        for player, count in zip(profile, bought_counts)
+    }
     cost_values = list(costs.values()) or [0.0]
     max_cost = max(cost_values)
     min_cost = min(cost_values)
     unfairness = math.inf if min_cost == 0 else max_cost / min_cost
 
-    if include_views:
-        view_sizes = [extract_view(profile, player, game.k).size for player in profile] or [0]
+    if n > 0:
+        if not bool(all_reached.all()):
+            lonely = order[int(np.flatnonzero(~all_reached)[0])]
+            raise ValueError(f"graph is disconnected from node {lonely!r}")
+        graph_diameter = int(dist.max(initial=0))
+    else:
+        graph_diameter = 0
+
+    if include_views and n > 0:
+        if game.k == FULL_KNOWLEDGE:
+            view_sizes = [n] * n
+        else:
+            view_sizes = (dist <= int(game.k)).sum(axis=1).tolist()
     else:
         view_sizes = [0]
 
-    total_cost = social_cost(profile, game)
+    total_cost = sum(cost_values)
     optimum = social_optimum(n, game.alpha, game.usage) if n >= 1 else 0.0
     quality = total_cost / optimum if optimum > 0 else 1.0
 
@@ -81,7 +113,7 @@ def compute_profile_metrics(
         num_edges=graph.number_of_edges(),
         social_cost=total_cost,
         quality=quality,
-        diameter=graph_diameter(graph) if n > 0 else 0,
+        diameter=graph_diameter,
         max_degree=max(degrees),
         mean_degree=sum(degrees) / len(degrees),
         min_bought_edges=min(bought),

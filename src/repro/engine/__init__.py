@@ -1,0 +1,50 @@
+"""Incremental best-response dynamics engine.
+
+The simulation subsystem behind :func:`repro.core.dynamics.best_response_dynamics`:
+
+* :mod:`repro.engine.state` — versioned mutable network state that applies
+  strategy changes as edge deltas (no per-activation graph rebuild);
+* :mod:`repro.engine.views` — incremental view cache invalidating only the
+  players whose k-ball intersects a changed edge (dirty-region BFS);
+* :mod:`repro.engine.schedulers` — pluggable activation orderings (the
+  paper's ``fixed``/``shuffled`` plus ``random_sequential``,
+  ``max_improvement`` and ``parallel_batch``);
+* :mod:`repro.engine.core` — the :class:`DynamicsEngine` round loop tying
+  state, views and scheduler together, with per-player best-response
+  memoisation.
+
+``fixed`` and ``shuffled`` runs are trajectory-identical to the legacy
+rebuild-from-scratch loop (kept as
+:func:`repro.core.dynamics.best_response_dynamics_reference`); the engine
+is just faster.
+"""
+
+from repro.engine.core import DynamicsEngine, coerce_profile
+from repro.engine.schedulers import (
+    SCHEDULERS,
+    FixedScheduler,
+    MaxImprovementScheduler,
+    ParallelBatchScheduler,
+    RandomSequentialScheduler,
+    Scheduler,
+    ShuffledScheduler,
+    make_scheduler,
+)
+from repro.engine.state import NetworkState, StrategyDelta
+from repro.engine.views import IncrementalViewCache
+
+__all__ = [
+    "DynamicsEngine",
+    "coerce_profile",
+    "NetworkState",
+    "StrategyDelta",
+    "IncrementalViewCache",
+    "Scheduler",
+    "FixedScheduler",
+    "ShuffledScheduler",
+    "RandomSequentialScheduler",
+    "MaxImprovementScheduler",
+    "ParallelBatchScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+]

@@ -1,0 +1,226 @@
+"""Incremental k-neighbourhood view cache.
+
+``extract_view`` recomputes a player's view from scratch on every call —
+one bounded BFS plus one induced-subgraph build per activation, repeated
+for every player in every round.  Most of that work is redundant: a
+strategy change by player ``q`` can only alter the view of ``p`` when the
+k-ball of ``p`` touches an endpoint of an edge that actually changed.
+
+:class:`IncrementalViewCache` exploits exactly that. It keeps one
+:class:`~repro.core.views.View` per player and, for each applied
+:class:`~repro.engine.state.StrategyDelta`, invalidates only the *dirty
+region*:
+
+* for every **removed** edge, the radius-``k`` balls around its endpoints in
+  the *pre-change* graph (a lost shortcut can only affect players that could
+  reach an endpoint within ``k`` before the removal);
+* for every **added** edge, the same balls in the *post-change* graph (a new
+  shortcut only helps players that can reach an endpoint within ``k`` now);
+* every target whose buyer set changed (its ``View.buyers`` is stale even
+  when the topology did not move).
+
+Everything outside the region keeps its cached ``View`` object untouched,
+which also lets the engine reuse memoised best responses (a best response
+is a pure function of view content and current strategy).
+
+Per-player *tokens* (bumped on invalidation) give downstream caches an O(1)
+staleness test without comparing view contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.games import FULL_KNOWLEDGE
+from repro.core.views import View
+from repro.engine.state import NetworkState, StrategyDelta
+from repro.graphs.graph import Node
+from repro.graphs.traversal import (
+    UNREACHABLE,
+    ball,
+    batched_bfs_distances,
+    bfs_distances,
+    bfs_distances_within,
+)
+
+__all__ = ["IncrementalViewCache"]
+
+
+def _views_equal(a: View, b: View) -> bool:
+    """Content equality of two views of the same player at the same radius."""
+    return (
+        a.distances == b.distances
+        and a.frontier == b.frontier
+        and a.buyers == b.buyers
+        and a.subgraph == b.subgraph
+    )
+
+
+class IncrementalViewCache:
+    """Per-player views over a :class:`NetworkState`, invalidated by deltas."""
+
+    __slots__ = ("_state", "_k", "_views", "_tokens", "_dirty")
+
+    def __init__(self, state: NetworkState, k: float) -> None:
+        self._state = state
+        self._k = k
+        self._views: dict[Node, View] = {}
+        self._tokens: dict[Node, int] = {player: 0 for player in state.players()}
+        self._dirty: set[Node] = set(state.players())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> float:
+        return self._k
+
+    def token(self, player: Node) -> int:
+        """Monotone per-player *content* version: unchanged token ⇔ unchanged view.
+
+        Only meaningful after the player's view has been settled by
+        :meth:`get` or :meth:`refresh_dirty` — dirty players keep their old
+        token until the refresh decides whether the content really moved
+        (ball invalidation is conservative: a player on the rim of a dirty
+        region often sees nothing change, and her memoised best response
+        stays valid).
+        """
+        return self._tokens[player]
+
+    def is_dirty(self, player: Node) -> bool:
+        return player in self._dirty
+
+    def get(self, player: Node) -> View:
+        """Return the current view of ``player``, refreshing it if stale."""
+        if player in self._dirty or player not in self._views:
+            self._install(player, self._build_single(player))
+        return self._views[player]
+
+    def _install(self, player: Node, view: View) -> None:
+        """Store a freshly built view, bumping the token only on real change."""
+        old = self._views.get(player)
+        if old is None or not _views_equal(old, view):
+            self._views[player] = view
+            self._tokens[player] += 1
+        self._dirty.discard(player)
+
+    # ------------------------------------------------------------------
+    # Bulk refresh (batched CSR BFS)
+    # ------------------------------------------------------------------
+    def refresh_dirty(self) -> int:
+        """Rebuild every stale view in one batched multi-source BFS.
+
+        Returns the number of views rebuilt.  One CSR export plus one
+        :func:`batched_bfs_distances` call replaces ``len(dirty)``
+        independent Python BFS runs; used at engine start-up (everything is
+        dirty) and by schedulers that need all views at once.
+        """
+        dirty = [p for p in self._state.players() if p in self._dirty or p not in self._views]
+        if not dirty:
+            return 0
+        graph = self._state.graph
+        indptr, indices, order = graph.to_csr_arrays()
+        index = {node: i for i, node in enumerate(order)}
+        radius = None if self._k == FULL_KNOWLEDGE else int(self._k)
+        sources = np.fromiter((index[p] for p in dirty), dtype=np.int64, count=len(dirty))
+        dist = batched_bfs_distances(indptr, indices, sources, radius=radius)
+        # Nodes may be tuples (the torus construction), which np.asarray
+        # would splat into a 2-D array; fill an object vector instead.
+        order_array = np.empty(len(order), dtype=object)
+        order_array[:] = order
+        for row, player in enumerate(dirty):
+            reached = dist[row] != UNREACHABLE
+            reached_nodes = order_array[reached]
+            distances = dict(
+                zip(reached_nodes.tolist(), dist[row][reached].tolist())
+            )
+            if radius is None:
+                frontier: set[Node] = set()
+                visible: set[Node] = set(order)
+            else:
+                frontier = set(order_array[dist[row] == radius].tolist())
+                visible = set(reached_nodes.tolist())
+            self._install(player, self._assemble(player, visible, distances, frontier))
+        return len(dirty)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def region_before_apply(self, delta: StrategyDelta) -> set[Node]:
+        """Players whose view may change due to ``delta``'s removed edges.
+
+        Must be called *before* the delta is applied: the balls are taken in
+        the pre-change graph, where the vanishing shortcuts still exist.
+        """
+        if not delta.removed_edges:
+            return set()
+        if self._k == FULL_KNOWLEDGE:
+            return set(self._state.players())
+        graph = self._state.graph
+        radius = int(self._k)
+        region: set[Node] = set()
+        for u, v in delta.removed_edges:
+            region |= ball(graph, u, radius)
+            region |= ball(graph, v, radius)
+        return region
+
+    def region_after_apply(self, delta: StrategyDelta) -> set[Node]:
+        """Players whose view may change due to ``delta``'s added edges.
+
+        Must be called *after* the delta is applied (balls in the new graph,
+        where the new shortcuts are live), plus the buyer-set changes which
+        are topology-independent.
+        """
+        region: set[Node] = set(delta.buyer_changes)
+        if delta.added_edges:
+            if self._k == FULL_KNOWLEDGE:
+                return set(self._state.players())
+            graph = self._state.graph
+            radius = int(self._k)
+            for u, v in delta.added_edges:
+                region |= ball(graph, u, radius)
+                region |= ball(graph, v, radius)
+        return region
+
+    def invalidate(self, players: set[Node]) -> None:
+        """Mark views stale.  Tokens are *not* bumped here: the next refresh
+        compares content and only moves the token on a real change, so
+        memoised best responses survive conservative over-invalidation."""
+        self._dirty.update(players)
+
+    def invalidate_all(self) -> None:
+        self.invalidate(set(self._state.players()))
+
+    # ------------------------------------------------------------------
+    # View construction (content-identical to ``extract_view``)
+    # ------------------------------------------------------------------
+    def _build_single(self, player: Node) -> View:
+        graph = self._state.graph
+        if self._k == FULL_KNOWLEDGE:
+            distances = bfs_distances(graph, player)
+            frontier: set[Node] = set()
+            visible: set[Node] = set(graph.nodes())
+        else:
+            radius = int(self._k)
+            distances = bfs_distances_within(graph, player, radius)
+            frontier = {node for node, d in distances.items() if d == radius}
+            visible = set(distances)
+        return self._assemble(player, visible, dict(distances), frontier)
+
+    def _assemble(
+        self,
+        player: Node,
+        visible: set[Node],
+        distances: dict[Node, int],
+        frontier: set[Node],
+    ) -> View:
+        subgraph = self._state.graph.induced_subgraph(visible)
+        buyers = {b for b in self._state.buyers_of(player) if b in visible}
+        return View(
+            player=player,
+            k=self._k,
+            subgraph=subgraph,
+            distances=distances,
+            frontier=frontier,
+            buyers=buyers,
+        )

@@ -5,6 +5,14 @@ family (random tree or Erdős–Rényi graph), its size/parameter/seed, the game
 parameters (α, k) and the execution options.  Because it is a frozen,
 picklable dataclass, sweeps distribute naturally over a process pool; the
 per-spec seed makes every run reproducible in isolation.
+
+Every run executes on the incremental :class:`repro.engine.DynamicsEngine`
+(via :func:`repro.core.dynamics.best_response_dynamics`), so all
+figure/table/extension pipelines built on this module get the versioned
+state + view-cache speedup transparently; ``ordering`` accepts any
+registered scheduler (``fixed``, ``shuffled``, ``random_sequential``,
+``max_improvement``, ``parallel_batch``), opening activation-ordering
+scenarios beyond the paper's two.
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ class RunSpec:
 
     ``family`` is ``"tree"`` or ``"gnp"``; ``p`` is only meaningful for the
     latter.  ``k`` uses the paper's convention: values ``>= FULL_KNOWLEDGE_K``
-    are mapped to genuine full knowledge.
+    are mapped to genuine full knowledge.  ``ordering`` names any scheduler
+    registered in :data:`repro.engine.schedulers.SCHEDULERS`.
     """
 
     family: str

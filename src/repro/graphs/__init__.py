@@ -22,6 +22,7 @@ from repro.graphs.traversal import (
     is_connected,
     shortest_path,
     all_pairs_distances,
+    batched_bfs_distances,
     distance_matrix,
 )
 from repro.graphs.properties import (
@@ -66,6 +67,7 @@ __all__ = [
     "is_connected",
     "shortest_path",
     "all_pairs_distances",
+    "batched_bfs_distances",
     "distance_matrix",
     "eccentricity",
     "eccentricities",

@@ -42,7 +42,7 @@ class Graph:
         automatically.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_version")
 
     def __init__(
         self,
@@ -50,6 +50,7 @@ class Graph:
         edges: Iterable[Edge] | None = None,
     ) -> None:
         self._adj: dict[Node, set[Node]] = {}
+        self._version: int = 0
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -64,6 +65,16 @@ class Graph:
     def adjacency(self) -> Mapping[Node, set[Node]]:
         """Read-only view of the adjacency structure (do not mutate)."""
         return self._adj
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        The incremental dynamics engine (:mod:`repro.engine`) uses it to
+        detect staleness of cached artefacts (views, CSR exports) without
+        hashing the whole adjacency structure.
+        """
+        return self._version
 
     def nodes(self) -> list[Node]:
         """Return the nodes in insertion order."""
@@ -131,7 +142,9 @@ class Graph:
     # Mutation
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> None:
-        self._adj.setdefault(node, set())
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         for node in nodes:
@@ -143,8 +156,10 @@ class Graph:
             raise ValueError(f"self-loop on node {u!r} is not allowed")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._version += 1
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         for u, v in edges:
@@ -155,6 +170,7 @@ class Graph:
             raise KeyError(f"edge ({u!r}, {v!r}) not present")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         if node not in self._adj:
@@ -162,6 +178,7 @@ class Graph:
         for neighbour in self._adj[node]:
             self._adj[neighbour].discard(node)
         del self._adj[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -172,10 +189,17 @@ class Graph:
         return clone
 
     def induced_subgraph(self, nodes: Iterable[Node]) -> "Graph":
-        """Return the subgraph induced by ``nodes`` (unknown nodes ignored)."""
+        """Return the subgraph induced by ``nodes`` (unknown nodes ignored).
+
+        The node insertion order of the result is canonical (sorted by
+        ``repr``), not the iteration order of ``nodes``: downstream
+        tie-breaking (view subgraphs feeding the set-cover solvers) must not
+        depend on how the caller happened to enumerate the node set, or the
+        incremental engine could diverge from the rebuild-from-scratch path.
+        """
         keep = {node for node in nodes if node in self._adj}
         sub = Graph()
-        for node in keep:
+        for node in sorted(keep, key=repr):
             sub.add_node(node)
         for node in keep:
             for neighbour in self._adj[node]:

@@ -6,6 +6,6 @@ runs out over a process pool (per the mpi4py/HPC guides' advice that in
 CPython the way to scale CPU-bound work is across processes, not threads).
 """
 
-from repro.parallel.pool import parallel_map, resolve_workers
+from repro.parallel.pool import derive_chunksize, parallel_map, resolve_workers
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = ["derive_chunksize", "parallel_map", "resolve_workers"]

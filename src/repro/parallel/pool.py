@@ -19,7 +19,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import TypeVar
 
-__all__ = ["resolve_workers", "parallel_map"]
+__all__ = ["resolve_workers", "derive_chunksize", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,11 +38,21 @@ def resolve_workers(workers: int | None) -> int:
     return max(1, workers)
 
 
+def derive_chunksize(num_items: int, workers: int) -> int:
+    """Default chunk size: ``num_items // (4 * workers)``, at least 1.
+
+    Four chunks per worker amortises IPC overhead on large sweeps of small
+    tasks while still leaving enough chunks for dynamic load balancing when
+    item costs are skewed (the standard pool-sizing rule of thumb).
+    """
+    return max(1, num_items // (4 * max(1, workers)))
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Iterable[T],
     workers: int | None = 1,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Apply ``func`` to every item, optionally across processes.
 
@@ -57,8 +67,9 @@ def parallel_map(
         Number of worker processes (``None``/``0`` = all cores, ``1`` =
         serial execution in the calling process).
     chunksize:
-        Passed to :meth:`ProcessPoolExecutor.map`; raise it for large sweeps
-        of small tasks to amortise IPC overhead.
+        Passed to :meth:`ProcessPoolExecutor.map`; ``None`` (default)
+        derives :func:`derive_chunksize` from the work size so large
+        per-player sweeps amortise IPC without every call site tuning it.
     """
     work: Sequence[T] = list(items)
     if not work:
@@ -66,5 +77,8 @@ def parallel_map(
     count = resolve_workers(workers)
     if count == 1 or len(work) == 1:
         return [func(item) for item in work]
-    with ProcessPoolExecutor(max_workers=min(count, len(work))) as executor:
+    pool_size = min(count, len(work))
+    if chunksize is None:
+        chunksize = derive_chunksize(len(work), pool_size)
+    with ProcessPoolExecutor(max_workers=pool_size) as executor:
         return list(executor.map(func, work, chunksize=max(1, chunksize)))

@@ -91,6 +91,42 @@ class TestBookkeeping:
             assert result.final_profile != result.initial_profile
 
 
+class TestRoundsAccounting:
+    """The paper counts rounds needed to *reach* the stable network: the
+    certifying all-quiet round is excluded (rounds = round_index - 1)."""
+
+    def test_stable_start_counts_zero_rounds(self):
+        result = best_response_dynamics(owned_star(8), MaxNCG(2.0))
+        assert result.converged
+        assert result.rounds == 0
+        # The certifying pass still ran (it is just not counted).
+        assert result.total_changes == 0
+
+    def test_converged_run_excludes_certifying_round(self):
+        result = best_response_dynamics(
+            random_owned_tree(14, seed=8),
+            MaxNCG(0.5, k=2),
+            collect_round_metrics=True,
+        )
+        assert result.converged
+        # One record per executed round, including the quiet certifying one.
+        assert len(result.round_records) == result.rounds + 1
+        assert result.round_records[-1].num_changes == 0
+        # Every counted round saw at least one change.
+        for record in result.round_records[:-1]:
+            assert record.num_changes > 0
+
+    def test_reference_and_engine_agree_on_rounds(self):
+        from repro.core.dynamics import best_response_dynamics_reference
+
+        owned = random_owned_tree(14, seed=8)
+        game = MaxNCG(0.5, k=2)
+        assert (
+            best_response_dynamics(owned, game).rounds
+            == best_response_dynamics_reference(owned, game).rounds
+        )
+
+
 class TestOrderingOptions:
     def test_invalid_ordering_rejected(self):
         with pytest.raises(ValueError):

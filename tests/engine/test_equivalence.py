@@ -1,0 +1,119 @@
+"""Engine-vs-legacy equivalence: the incremental engine must reproduce the
+seed implementation's dynamics trajectories *exactly*.
+
+This is the contract that lets ``core/dynamics.py`` delegate to the engine:
+for the paper's two orderings, same final profile, same round count, same
+cycled/converged flags, same per-round change counts — across instance
+families (Erdős–Rényi, torus, tree) and both games (MaxNCG, SumNCG).
+"""
+
+import pytest
+
+from repro.core.dynamics import (
+    best_response_dynamics,
+    best_response_dynamics_reference,
+)
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.engine.core import DynamicsEngine
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.torus import TorusParameters, stretched_torus
+from repro.graphs.generators.trees import random_owned_tree
+
+
+def assert_same_trajectory(a, b):
+    assert a.final_profile == b.final_profile
+    assert a.rounds == b.rounds
+    assert a.converged == b.converged
+    assert a.cycled == b.cycled
+    assert a.total_changes == b.total_changes
+
+
+def instances():
+    yield "tree", random_owned_tree(16, seed=1)
+    yield "tree", random_owned_tree(16, seed=2)
+    yield "gnp", owned_connected_gnp_graph(14, 0.25, seed=3)
+    yield "gnp", owned_connected_gnp_graph(14, 0.2, seed=4)
+    yield "torus", stretched_torus(TorusParameters(stretch=2, deltas=(2, 3)))
+
+
+GAMES = [
+    MaxNCG(2.0, k=2),
+    MaxNCG(0.5, k=2),
+    MaxNCG(2.0, k=FULL_KNOWLEDGE),
+    SumNCG(2.0, k=2),
+]
+
+
+@pytest.mark.parametrize("ordering", ["fixed", "shuffled"])
+def test_engine_matches_reference_across_matrix(ordering):
+    for family, owned in instances():
+        for game in GAMES:
+            engine_result = best_response_dynamics(
+                owned, game, solver="branch_and_bound", ordering=ordering, seed=13
+            )
+            reference_result = best_response_dynamics_reference(
+                owned, game, solver="branch_and_bound", ordering=ordering, seed=13
+            )
+            assert_same_trajectory(engine_result, reference_result)
+
+
+def test_equivalence_with_milp_solver():
+    owned = random_owned_tree(14, seed=5)
+    game = MaxNCG(0.5, k=2)
+    assert_same_trajectory(
+        best_response_dynamics(owned, game, solver="milp"),
+        best_response_dynamics_reference(owned, game, solver="milp"),
+    )
+
+
+def test_round_records_match():
+    owned = random_owned_tree(14, seed=8)
+    game = MaxNCG(0.5, k=2)
+    a = best_response_dynamics(
+        owned, game, solver="branch_and_bound", collect_round_metrics=True
+    )
+    b = best_response_dynamics_reference(
+        owned, game, solver="branch_and_bound", collect_round_metrics=True
+    )
+    assert [r.num_changes for r in a.round_records] == [
+        r.num_changes for r in b.round_records
+    ]
+    assert [r.metrics for r in a.round_records] == [
+        r.metrics for r in b.round_records
+    ]
+    assert a.initial_metrics == b.initial_metrics
+    assert a.final_metrics == b.final_metrics
+
+
+def test_perturbation_replay_matches_cold_reference():
+    """Warm engine replays (perturb + rerun) equal cold reference reruns."""
+    import random
+
+    game = MaxNCG(0.5, k=2)
+    engine = DynamicsEngine(
+        random_owned_tree(16, seed=0), game, solver="branch_and_bound"
+    )
+    profile = engine.run().final_profile
+    rng = random.Random(21)
+    players = profile.players()
+    for _ in range(8):
+        player = rng.choice(players)
+        other = rng.choice([p for p in players if p != player])
+        strategy = engine.state.strategy(player)
+        strategy = strategy - {other} if other in strategy else strategy | {other}
+        engine.set_strategy(player, strategy)
+        warm = engine.run()
+        cold = best_response_dynamics_reference(
+            profile.with_strategy(player, strategy), game, solver="branch_and_bound"
+        )
+        assert_same_trajectory(warm, cold)
+        profile = cold.final_profile
+
+
+def test_engine_accepts_profile_and_rejects_garbage():
+    profile = StrategyProfile.from_owned_graph(random_owned_tree(8, seed=1))
+    result = best_response_dynamics(profile, MaxNCG(1.0, k=2))
+    assert result.converged
+    with pytest.raises(TypeError):
+        DynamicsEngine({"not": "a profile"}, MaxNCG(1.0))

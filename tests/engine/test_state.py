@@ -1,0 +1,130 @@
+"""Tests for the versioned mutable network state."""
+
+import pytest
+
+from repro.core.strategies import StrategyProfile
+from repro.engine.state import NetworkState
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def profile() -> StrategyProfile:
+    return StrategyProfile.from_owned_graph(random_owned_tree(12, seed=7))
+
+
+class TestConstruction:
+    def test_graph_matches_profile_graph(self, profile):
+        state = NetworkState.from_profile(profile)
+        assert state.graph == profile.graph()
+
+    def test_buyers_match_profile(self, profile):
+        state = NetworkState.from_profile(profile)
+        for player in profile:
+            assert state.buyers_of(player) == profile.buyers_of(player)
+
+    def test_canonical_key_matches_profile(self, profile):
+        state = NetworkState.from_profile(profile)
+        assert state.canonical_key() == profile.canonical_key()
+
+    def test_to_profile_round_trip(self, profile):
+        assert NetworkState.from_profile(profile).to_profile() == profile
+
+
+class TestDeltas:
+    def test_add_edge_delta(self):
+        state = NetworkState({0: frozenset(), 1: frozenset(), 2: frozenset()})
+        delta = state.set_strategy(0, frozenset({1}))
+        assert delta.added_edges == ((0, 1),)
+        assert delta.removed_edges == ()
+        assert delta.buyer_changes == (1,)
+        assert state.graph.has_edge(0, 1)
+        assert state.buyers_of(1) == {0}
+
+    def test_remove_edge_delta(self):
+        state = NetworkState({0: frozenset({1}), 1: frozenset(), 2: frozenset()})
+        delta = state.set_strategy(0, frozenset())
+        assert delta.removed_edges == ((0, 1),)
+        assert not state.graph.has_edge(0, 1)
+        assert state.buyers_of(1) == set()
+
+    def test_double_bought_edge_is_ownership_flip_only(self):
+        # Both endpoints buy the edge; dropping one side keeps the topology.
+        state = NetworkState({0: frozenset({1}), 1: frozenset({0})})
+        version = state.version
+        delta = state.set_strategy(0, frozenset())
+        assert delta.added_edges == () and delta.removed_edges == ()
+        assert delta.buyer_changes == (1,)
+        assert not delta.changes_topology
+        assert state.graph.has_edge(0, 1)
+        assert state.version == version  # no structural mutation
+        assert state.buyers_of(0) == {1}
+        assert state.buyers_of(1) == set()
+
+    def test_buying_already_present_edge_adds_no_edge(self):
+        state = NetworkState({0: frozenset({1}), 1: frozenset()})
+        delta = state.set_strategy(1, frozenset({0}))
+        assert delta.added_edges == ()
+        assert state.buyers_of(0) == {1}
+
+    def test_stale_delta_rejected(self):
+        state = NetworkState({0: frozenset(), 1: frozenset(), 2: frozenset()})
+        delta = state.preview(0, frozenset({1}))
+        state.set_strategy(0, frozenset({2}))
+        with pytest.raises(ValueError):
+            state.apply(delta)
+
+    def test_self_edge_rejected(self):
+        state = NetworkState({0: frozenset(), 1: frozenset()})
+        with pytest.raises(ValueError):
+            state.preview(0, frozenset({0}))
+
+    def test_unknown_target_rejected(self):
+        state = NetworkState({0: frozenset(), 1: frozenset()})
+        with pytest.raises(ValueError):
+            state.preview(0, frozenset({99}))
+
+    def test_unknown_player_rejected(self):
+        state = NetworkState({0: frozenset()})
+        with pytest.raises(KeyError):
+            state.preview(99, frozenset())
+
+    def test_random_walk_stays_consistent(self, profile):
+        """Applying many deltas keeps graph/buyers equal to a fresh rebuild."""
+        import random
+
+        rng = random.Random(3)
+        state = NetworkState.from_profile(profile)
+        players = state.players()
+        for _ in range(60):
+            player = rng.choice(players)
+            others = [p for p in players if p != player]
+            new = frozenset(rng.sample(others, rng.randint(0, 3)))
+            state.set_strategy(player, new)
+            snapshot = state.to_profile()
+            assert state.graph == snapshot.graph()
+            for p in players:
+                assert state.buyers_of(p) == snapshot.buyers_of(p)
+
+
+class TestGraphVersion:
+    def test_version_bumps_on_structural_change(self):
+        graph = Graph(nodes=[0, 1, 2])
+        version = graph.version
+        graph.add_edge(0, 1)
+        assert graph.version > version
+
+    def test_version_stable_on_noop(self):
+        graph = Graph(edges=[(0, 1)])
+        version = graph.version
+        graph.add_edge(0, 1)  # already present
+        graph.add_node(0)  # already present
+        assert graph.version == version
+
+    def test_version_bumps_on_removal(self):
+        graph = Graph(edges=[(0, 1)])
+        version = graph.version
+        graph.remove_edge(0, 1)
+        assert graph.version > version
+        graph.remove_node(0)
+        assert graph.version > version + 1

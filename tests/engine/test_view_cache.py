@@ -1,0 +1,139 @@
+"""Tests for the incremental view cache (dirty-region invalidation)."""
+
+import random
+
+import pytest
+
+from repro.core.games import FULL_KNOWLEDGE
+from repro.core.strategies import StrategyProfile
+from repro.core.views import View, extract_view
+from repro.engine.state import NetworkState
+from repro.engine.views import IncrementalViewCache
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+
+
+def views_equal(a: View, b: View) -> bool:
+    return (
+        a.player == b.player
+        and a.k == b.k
+        and a.distances == b.distances
+        and a.frontier == b.frontier
+        and a.buyers == b.buyers
+        and a.subgraph == b.subgraph
+    )
+
+
+def apply_with_invalidation(state, cache, player, new_strategy):
+    """The engine's apply protocol: pre-balls, apply, post-balls, invalidate."""
+    delta = state.preview(player, new_strategy)
+    region = cache.region_before_apply(delta)
+    state.apply(delta)
+    region |= cache.region_after_apply(delta)
+    cache.invalidate(region)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, FULL_KNOWLEDGE])
+def test_cached_views_track_ground_truth_under_mutations(k):
+    """Property test: after arbitrary strategy changes, every cached view
+    matches a from-scratch ``extract_view`` on the equivalent profile."""
+    profile = StrategyProfile.from_owned_graph(random_owned_tree(14, seed=2))
+    state = NetworkState.from_profile(profile)
+    cache = IncrementalViewCache(state, k)
+    cache.refresh_dirty()
+    players = state.players()
+    rng = random.Random(5)
+    for step in range(30):
+        player = rng.choice(players)
+        others = [p for p in players if p != player]
+        new = frozenset(rng.sample(others, rng.randint(0, 3)))
+        apply_with_invalidation(state, cache, player, new)
+        snapshot = state.to_profile()
+        for p in players:
+            expected = extract_view(snapshot, p, k)
+            assert views_equal(cache.get(p), expected), (step, p)
+
+
+def test_initial_batched_refresh_matches_extract_view():
+    profile = StrategyProfile.from_owned_graph(
+        owned_connected_gnp_graph(15, 0.2, seed=1)
+    )
+    state = NetworkState.from_profile(profile)
+    for k in (1, 2, FULL_KNOWLEDGE):
+        cache = IncrementalViewCache(state, k)
+        rebuilt = cache.refresh_dirty()
+        assert rebuilt == len(state.players())
+        for p in state.players():
+            assert views_equal(cache.get(p), extract_view(profile, p, k))
+
+
+def test_tokens_stable_for_untouched_players():
+    profile = StrategyProfile.from_owned_graph(random_owned_tree(20, seed=4))
+    state = NetworkState.from_profile(profile)
+    cache = IncrementalViewCache(state, 1)
+    cache.refresh_dirty()
+    tokens = {p: cache.token(p) for p in state.players()}
+    # Change one leaf-ish player's strategy; with k=1 the dirty region is
+    # small, so most tokens must survive.
+    player = state.players()[0]
+    others = [p for p in state.players() if p != player]
+    apply_with_invalidation(state, cache, player, frozenset(others[:1]))
+    for p in state.players():
+        cache.get(p)
+    changed = [p for p in state.players() if cache.token(p) != tokens[p]]
+    assert player in changed or changed  # something changed...
+    assert len(changed) < len(state.players())  # ...but not everything
+
+
+def test_token_unchanged_when_refresh_finds_identical_content():
+    """Ball invalidation is conservative; content-equal refresh keeps the token."""
+    # 0-1-2-3-4 path, k=1: dropping edge (3, 4) dirties the region {2, 3, 4},
+    # but player 2's view content (the 1-ball {1, 2, 3}) is untouched — her
+    # token must survive the refresh so memoised responses stay valid.
+    # Player 0 is outside the region and must not even be marked dirty.
+    state = NetworkState(
+        {0: frozenset({1}), 1: frozenset({2}), 2: frozenset({3}),
+         3: frozenset({4}), 4: frozenset()}
+    )
+    cache = IncrementalViewCache(state, 1)
+    cache.refresh_dirty()
+    tokens = {p: cache.token(p) for p in state.players()}
+    apply_with_invalidation(state, cache, 3, frozenset())  # drop edge (3, 4)
+    assert not cache.is_dirty(0)
+    assert cache.is_dirty(2)
+    cache.get(2)  # refresh settles the token without bumping it
+    assert cache.token(2) == tokens[2]
+    assert cache.token(0) == tokens[0]
+    # Players whose view really changed (3 lost a neighbour, 4 was orphaned)
+    # must move their tokens.
+    cache.get(3), cache.get(4)
+    assert cache.token(3) != tokens[3]
+    assert cache.token(4) != tokens[4]
+
+
+def test_full_knowledge_topology_change_invalidates_everyone():
+    profile = StrategyProfile.from_owned_graph(random_owned_tree(10, seed=0))
+    state = NetworkState.from_profile(profile)
+    cache = IncrementalViewCache(state, FULL_KNOWLEDGE)
+    cache.refresh_dirty()
+    player = state.players()[0]
+    target = [p for p in state.players() if p != player and not state.graph.has_edge(player, p)][0]
+    apply_with_invalidation(state, cache, player, state.strategy(player) | {target})
+    assert all(cache.is_dirty(p) for p in state.players())
+    snapshot = state.to_profile()
+    for p in state.players():
+        assert views_equal(cache.get(p), extract_view(snapshot, p, FULL_KNOWLEDGE))
+
+
+def test_buyer_only_change_invalidates_target_view():
+    # 0 and 1 both buy the edge between them: dropping 0's copy changes
+    # nothing topologically but player 1's view must lose buyer 0.
+    state = NetworkState({0: frozenset({1}), 1: frozenset({0}), 2: frozenset({1})})
+    cache = IncrementalViewCache(state, 2)
+    cache.refresh_dirty()
+    assert 0 in cache.get(1).buyers
+    apply_with_invalidation(state, cache, 0, frozenset())
+    assert 0 not in cache.get(1).buyers
+    snapshot = state.to_profile()
+    for p in state.players():
+        assert views_equal(cache.get(p), extract_view(snapshot, p, 2))

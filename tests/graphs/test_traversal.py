@@ -8,6 +8,7 @@ from repro.graphs.traversal import (
     UNREACHABLE,
     all_pairs_distances,
     ball,
+    batched_bfs_distances,
     bfs_distances,
     bfs_distances_within,
     connected_components,
@@ -135,3 +136,44 @@ class TestDistanceMatrix:
         # Restricting the node set also restricts the paths considered: 4 and
         # 0 are not adjacent in the induced subgraph {0, 4}.
         assert matrix[0, 1] == UNREACHABLE
+
+
+class TestBatchedBfs:
+    def test_subset_of_sources_matches_dict_bfs(self, petersen):
+        indptr, indices, order = petersen.to_csr_arrays()
+        sources = [0, 3, 7]
+        dist = batched_bfs_distances(indptr, indices, sources)
+        for row, source in enumerate(sources):
+            expected = bfs_distances(petersen, order[source])
+            for j, node in enumerate(order):
+                assert dist[row, j] == expected[node]
+
+    def test_radius_truncation_matches_bounded_bfs(self, petersen):
+        indptr, indices, order = petersen.to_csr_arrays()
+        dist = batched_bfs_distances(indptr, indices, range(len(order)), radius=1)
+        for row, _ in enumerate(order):
+            expected = bfs_distances_within(petersen, order[row], 1)
+            reached = {order[j] for j in np.flatnonzero(dist[row] != UNREACHABLE)}
+            assert reached == set(expected)
+
+    def test_unreachable_marker(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        indptr, indices, order = graph.to_csr_arrays()
+        dist = batched_bfs_distances(indptr, indices, [order.index(0)])
+        assert dist[0, order.index(2)] == UNREACHABLE
+
+    def test_empty_sources(self, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        dist = batched_bfs_distances(indptr, indices, [])
+        assert dist.shape == (0, 5)
+
+    def test_out_of_range_source_rejected(self, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        with pytest.raises(IndexError):
+            batched_bfs_distances(indptr, indices, [99])
+
+    def test_radius_zero(self, path5):
+        indptr, indices, order = path5.to_csr_arrays()
+        dist = batched_bfs_distances(indptr, indices, [2], radius=0)
+        assert (dist != UNREACHABLE).sum() == 1
+        assert dist[0, 2] == 0

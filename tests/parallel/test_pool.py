@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.parallel.pool import parallel_map, resolve_workers
+from repro.parallel.pool import derive_chunksize, parallel_map, resolve_workers
 
 
 def square(x: int) -> int:
@@ -56,3 +56,20 @@ class TestParallelMap:
         assert parallel_map(square, items, workers=2, chunksize=4) == [
             x * x for x in items
         ]
+
+    def test_auto_chunksize_preserves_results(self):
+        items = list(range(40))
+        assert parallel_map(square, items, workers=2) == [x * x for x in items]
+
+
+class TestDeriveChunksize:
+    def test_four_chunks_per_worker(self):
+        assert derive_chunksize(80, 2) == 10
+        assert derive_chunksize(1000, 4) == 62
+
+    def test_small_work_floors_at_one(self):
+        assert derive_chunksize(3, 8) == 1
+        assert derive_chunksize(0, 2) == 1
+
+    def test_degenerate_worker_count(self):
+        assert derive_chunksize(10, 0) == 2
