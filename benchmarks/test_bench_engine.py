@@ -1,6 +1,8 @@
-"""Timing harness: legacy rebuild-from-scratch dynamics vs the incremental
-engine, on a fixed 100-node round-robin workload.  Writes ``BENCH_engine.json``
-at the repository root.
+"""Timing harnesses for the engine and the large-n scaling layer.
+
+``test_bench_engine_vs_legacy`` — legacy rebuild-from-scratch dynamics vs
+the incremental engine, on a fixed 100-node round-robin workload.  Writes
+``BENCH_engine.json`` at the repository root.
 
 Two phases, both asserted trajectory-identical between the paths:
 
@@ -15,6 +17,11 @@ Two phases, both asserted trajectory-identical between the paths:
   best response outside it.
 
 The acceptance figure (``speedup``) is the session one.
+
+``test_bench_scaling`` — the large-n suite.  Writes ``BENCH_scaling.json``
+with two sections: blocked/streaming ``compute_profile_metrics`` vs the
+dense ``(n, n)`` path (wall-clock and tracemalloc peak), and warm-started
+vs cold ``best_response_max`` re-solves (identical strategies asserted).
 """
 
 from __future__ import annotations
@@ -22,18 +29,25 @@ from __future__ import annotations
 import json
 import random
 import time
+import tracemalloc
 from pathlib import Path
 
+from repro.core.best_response import best_response_max
 from repro.core.dynamics import (
     best_response_dynamics_reference,
 )
 from repro.core.games import MaxNCG
+from repro.core.metrics import compute_profile_metrics
+from repro.core.strategies import StrategyProfile
 from repro.engine.core import DynamicsEngine
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.smallworld import owned_barabasi_albert
 from repro.graphs.generators.trees import random_owned_tree
 from repro.graphs.traversal import bfs_distances_within
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+SCALING_OUTPUT_PATH = REPO_ROOT / "BENCH_scaling.json"
 
 N = 100
 SEED = 0
@@ -161,3 +175,140 @@ def test_bench_engine_vs_legacy(benchmark):
     # The engine must never be slower cold, and the incremental session is
     # the acceptance figure.
     assert report["speedup"] >= 3.0
+
+
+# ----------------------------------------------------------------------
+# Large-n scaling suite
+# ----------------------------------------------------------------------
+SCALING_N = 3000
+SCALING_BLOCK = 128
+
+#: (label, owned-instance thunk, game) grid for the warm-start comparison:
+#: local-knowledge and a deliberately deep-h tree workload, solved per
+#: player with branch-and-bound (the solver that exploits warm starts).
+WARM_START_INSTANCES = [
+    (
+        "gnp48-k3-a2",
+        lambda: owned_connected_gnp_graph(48, 0.08, seed=7),
+        MaxNCG(2.0, k=3),
+    ),
+    (
+        "tree64-k3-a1",
+        lambda: random_owned_tree(64, seed=1),
+        MaxNCG(1.0, k=3),
+    ),
+]
+
+
+def _traced_metrics(profile, game, block_size):
+    """Run one metric sweep under tracemalloc; return (metrics, seconds, peak)."""
+    profile.graph()  # warm the profile's graph cache outside the traced window
+    tracemalloc.start()
+    start = time.perf_counter()
+    metrics = compute_profile_metrics(profile, game, block_size=block_size)
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return metrics, elapsed, peak
+
+
+def _run_scaling_benchmark() -> dict:
+    # ------------------------------------------------------------------
+    # Blocked metric sweep vs the dense (n, n) path at n = SCALING_N.
+    # block_size = n materialises the conceptual full matrix in one block,
+    # which is exactly the pre-scaling dense code path.
+    # ------------------------------------------------------------------
+    owned = owned_barabasi_albert(SCALING_N, 2, seed=0)
+    profile = StrategyProfile.from_owned_graph(owned)
+    game = MaxNCG(1.0, k=2)
+    dense_metrics, dense_s, dense_peak = _traced_metrics(profile, game, SCALING_N)
+    blocked_metrics, blocked_s, blocked_peak = _traced_metrics(
+        profile, game, SCALING_BLOCK
+    )
+    dense_matrix_bytes = 4 * SCALING_N * SCALING_N
+
+    # ------------------------------------------------------------------
+    # Warm-started vs cold best-response re-solves (branch and bound).
+    # ------------------------------------------------------------------
+    warm_rows = []
+    warm_total_s = 0.0
+    cold_total_s = 0.0
+    all_identical = True
+    for label, make_owned, warm_game in WARM_START_INSTANCES:
+        warm_profile = StrategyProfile.from_owned_graph(make_owned())
+        players = warm_profile.players()
+        start = time.perf_counter()
+        warm_responses = [
+            best_response_max(
+                warm_profile, p, warm_game, solver="branch_and_bound", warm_start=True
+            )
+            for p in players
+        ]
+        warm_s = time.perf_counter() - start
+        start = time.perf_counter()
+        cold_responses = [
+            best_response_max(
+                warm_profile, p, warm_game, solver="branch_and_bound", warm_start=False
+            )
+            for p in players
+        ]
+        cold_s = time.perf_counter() - start
+        identical = all(
+            w.strategy == c.strategy and w.view_cost == c.view_cost
+            for w, c in zip(warm_responses, cold_responses)
+        )
+        all_identical = all_identical and identical
+        warm_total_s += warm_s
+        cold_total_s += cold_s
+        warm_rows.append(
+            {
+                "instance": label,
+                "players": len(players),
+                "warm_s": round(warm_s, 4),
+                "cold_s": round(cold_s, 4),
+                "speedup": round(cold_s / warm_s, 2),
+                "identical_strategies": identical,
+            }
+        )
+
+    return {
+        "benchmark": "large-n scaling layer: blocked metrics + warm-started covers",
+        "metrics": {
+            "family": "barabasi-albert(m=2)",
+            "n": SCALING_N,
+            "block_size": SCALING_BLOCK,
+            "dense_s": round(dense_s, 4),
+            "blocked_s": round(blocked_s, 4),
+            "dense_peak_mb": round(dense_peak / 2**20, 1),
+            "blocked_peak_mb": round(blocked_peak / 2**20, 1),
+            "dense_matrix_mb": round(dense_matrix_bytes / 2**20, 1),
+            "peak_ratio": round(dense_peak / blocked_peak, 1),
+            "identical_metrics": dense_metrics == blocked_metrics,
+        },
+        "warm_start": {
+            "solver": "branch_and_bound",
+            "instances": warm_rows,
+            "warm_s": round(warm_total_s, 4),
+            "cold_s": round(cold_total_s, 4),
+            "speedup": round(cold_total_s / warm_total_s, 2),
+            "identical_strategies": all_identical,
+        },
+    }
+
+
+def test_bench_scaling(benchmark):
+    report = benchmark.pedantic(_run_scaling_benchmark, rounds=1, iterations=1)
+    SCALING_OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(json.dumps(report, indent=2))
+    metrics = report["metrics"]
+    # Blocked sweep: same numbers, without ever holding the (n, n) matrix —
+    # peak must stay clearly below the dense matrix alone, and far below the
+    # dense code path (whose BFS scratch comes on top of the matrix).
+    assert metrics["identical_metrics"]
+    assert metrics["blocked_peak_mb"] < metrics["dense_matrix_mb"] / 2
+    assert metrics["blocked_peak_mb"] < metrics["dense_peak_mb"] / 8
+    # Warm starts must return bit-identical strategies, strictly faster.
+    warm = report["warm_start"]
+    assert warm["identical_strategies"]
+    assert warm["warm_s"] < warm["cold_s"]

@@ -27,6 +27,8 @@ import itertools
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.deviations import COST_EPS, view_cost, worst_case_delta
 from repro.core.games import GameSpec, UsageKind
 from repro.core.strategies import StrategyProfile
@@ -37,6 +39,8 @@ from repro.solvers.set_cover import SetCoverInstance, solve_set_cover
 
 __all__ = [
     "BestResponse",
+    "MaxCoverContext",
+    "max_cover_context",
     "best_response_max",
     "best_response_sum_exhaustive",
     "best_response_sum_local_search",
@@ -107,6 +111,37 @@ def _resolve_view_and_strategy(
     return view, current_strategy
 
 
+@dataclass(frozen=True, eq=False)
+class MaxCoverContext:
+    """Distance structure behind a player's MaxNCG set-cover instances.
+
+    Everything the ``h`` loop of :func:`best_response_max` derives from the
+    view *content* alone — the reduced-view distance matrix, its node order
+    and the forced (other-endpoint buyer) candidate indices.  It is
+    independent of the player's own current strategy, so the engine caches
+    one context per (player, view token) and reuses it across activations:
+    a player re-activated with an unchanged neighbourhood but a different
+    strategy skips the ``without_node`` copy and the all-pairs BFS entirely.
+    """
+
+    order: list[Node]
+    dist: np.ndarray
+    forced: tuple[int, ...]
+
+
+def max_cover_context(view: View) -> MaxCoverContext:
+    """Build the set-cover context of ``view`` (pure function of content).
+
+    Distances inside the view with the player removed: these are the
+    distances available to reach each vertex after the first hop.
+    """
+    reduced = view.subgraph.without_node(view.player)
+    dist, order = distance_matrix(reduced)
+    index = {node: i for i, node in enumerate(order)}
+    forced = tuple(sorted(index[buyer] for buyer in view.buyers if buyer in index))
+    return MaxCoverContext(order=order, dist=dist, forced=forced)
+
+
 def best_response_max(
     profile: StrategyProfile | None,
     player: Node,
@@ -114,12 +149,25 @@ def best_response_max(
     solver: str = "milp",
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
+    cover_context: MaxCoverContext | None = None,
+    warm_start: bool = True,
 ) -> BestResponse:
     """Exact (or greedy, per ``solver``) best response in MaxNCG.
 
     Works both for the local-knowledge game (``game.k`` finite) and for the
     classical game (``game.k = FULL_KNOWLEDGE``) — in the latter case the
     view is the whole network and the result is a classical best response.
+
+    ``cover_context`` optionally injects a pre-built
+    :class:`MaxCoverContext` (the engine's per-view-token cache); it must
+    describe exactly ``view``'s content.  ``warm_start=True`` (the default)
+    seeds each eccentricity guess's set-cover solve with the previous
+    guess's solution — coverage ``dist <= h - 1`` grows monotonically in
+    ``h``, so the old cover stays feasible and becomes the incumbent that
+    prunes the next search.  Warm starting never changes the returned
+    strategy or cost, only the solve time; ``warm_start=False`` forces the
+    cold re-solve per ``h`` (the pre-scaling behaviour, kept for
+    benchmarking).
     """
     if game.usage is not UsageKind.MAX:
         raise ValueError("best_response_max requires a MaxNCG game spec")
@@ -135,16 +183,16 @@ def best_response_max(
         empty: frozenset[Node] = frozenset()
         return BestResponse(player, empty, game.alpha * 0, current_cost, exact, view.size)
 
-    # Distances inside the view with the player removed: these are the
-    # distances available to reach each vertex after the first hop.
-    reduced = view.subgraph.without_node(player)
-    dist, order = distance_matrix(reduced)
-    index = {node: i for i, node in enumerate(order)}
+    if cover_context is None:
+        cover_context = max_cover_context(view)
+    dist = cover_context.dist
+    order = cover_context.order
+    forced = cover_context.forced
     num_nodes = len(order)
-    forced = tuple(sorted(index[buyer] for buyer in view.buyers if buyer in index))
 
     best_cost = current_cost
     best_strategy = current
+    previous_selected: tuple[int, ...] | None = None
     # A response with eccentricity h costs at least h, so once h reaches the
     # incumbent cost no better solution can exist.
     max_h = num_nodes
@@ -158,9 +206,30 @@ def best_response_max(
             candidate_labels=order,
             element_labels=order,
         )
-        result = solve_set_cover(instance, method=solver)
+        if warm_start:
+            # Only covers with alpha * size + h < best_cost can beat the
+            # incumbent — anything larger is discarded by the cost check
+            # below — so cap the exact search at the largest useful size.
+            # An "infeasible" result then just means "nothing useful at this
+            # h"; a genuinely feasible cover for the next h's seed is still
+            # tracked through previous_selected.  While best_cost is still
+            # infinite (disconnected incumbent) every size is useful.
+            size_cap = (
+                int(math.ceil((best_cost - COST_EPS - h) / game.alpha))
+                if math.isfinite(best_cost)
+                else None
+            )
+            result = solve_set_cover(
+                instance,
+                method=solver,
+                upper_bound=size_cap,
+                warm_start=previous_selected,
+            )
+        else:
+            result = solve_set_cover(instance, method=solver)
         if not result.feasible:
             continue
+        previous_selected = result.selected
         cost = game.alpha * result.objective + h
         if cost < best_cost - COST_EPS:
             best_cost = cost
@@ -296,6 +365,7 @@ def best_response(
     sum_exhaustive_limit: int = 12,
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
+    cover_context: MaxCoverContext | None = None,
 ) -> BestResponse:
     """Dispatch to the appropriate best-response routine for the game kind.
 
@@ -305,11 +375,13 @@ def best_response(
     ``current_strategy`` may be injected to bypass the per-call view
     extraction (the incremental engine's cached path); the result is
     identical to the extract-from-profile path for equal view content.
+    ``cover_context`` is forwarded to :func:`best_response_max` (MaxNCG
+    only) to skip rebuilding the reduced-view distance structure.
     """
     if game.usage is UsageKind.MAX:
         return best_response_max(
             profile, player, game, solver=solver, view=view,
-            current_strategy=current_strategy,
+            current_strategy=current_strategy, cover_context=cover_context,
         )
     if view is None:
         view = extract_view(profile, player, game.k)

@@ -19,9 +19,9 @@ import numpy as np
 from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
 from repro.core.social import social_optimum
 from repro.core.strategies import StrategyProfile
-from repro.graphs.traversal import UNREACHABLE, distance_matrix
+from repro.graphs.traversal import UNREACHABLE, accumulate_bfs_distances
 
-__all__ = ["ProfileMetrics", "compute_profile_metrics"]
+__all__ = ["ProfileMetrics", "DistanceStatsAccumulator", "compute_profile_metrics"]
 
 
 @dataclass(frozen=True)
@@ -49,8 +49,52 @@ class ProfileMetrics:
         return asdict(self)
 
 
+class DistanceStatsAccumulator:
+    """Fold blocked BFS rows into the per-source statistics the metrics need.
+
+    One instance accumulates, block by block, everything
+    :func:`compute_profile_metrics` previously read off the dense distance
+    matrix: per-source usage (max or sum of finite distances), per-source
+    full-reachability flags, per-source view sizes at radius ``view_radius``
+    and the running graph diameter.  Only ``O(n)`` per-source vectors and a
+    scalar survive between blocks, so the sweep never holds more than one
+    ``(block_size, n)`` distance slice alive (the
+    :class:`~repro.graphs.traversal.DistanceBlockConsumer` contract).
+    """
+
+    def __init__(
+        self, num_sources: int, usage: UsageKind, view_radius: int | None = None
+    ) -> None:
+        self.usage = usage
+        self.view_radius = view_radius
+        self.usage_rows = np.zeros(num_sources, dtype=np.int64)
+        self.all_reached = np.zeros(num_sources, dtype=bool)
+        self.view_sizes = np.zeros(num_sources, dtype=np.int64)
+        self.diameter = 0
+
+    def process_block(
+        self, start: int, sources: np.ndarray, dist_block: np.ndarray
+    ) -> None:
+        stop = start + dist_block.shape[0]
+        reachable = dist_block != UNREACHABLE
+        finite = np.where(reachable, dist_block, 0)
+        self.all_reached[start:stop] = reachable.all(axis=1)
+        if self.usage is UsageKind.MAX:
+            self.usage_rows[start:stop] = finite.max(axis=1, initial=0)
+        else:
+            self.usage_rows[start:stop] = finite.sum(axis=1, dtype=np.int64)
+        self.diameter = max(self.diameter, int(finite.max(initial=0)))
+        if self.view_radius is not None:
+            # UNREACHABLE is int32-max, so the comparison naturally excludes
+            # unreached nodes from the view counts.
+            self.view_sizes[start:stop] = (dist_block <= self.view_radius).sum(axis=1)
+
+
 def compute_profile_metrics(
-    profile: StrategyProfile, game: GameSpec, include_views: bool = True
+    profile: StrategyProfile,
+    game: GameSpec,
+    include_views: bool = True,
+    block_size: int | None = None,
 ) -> ProfileMetrics:
     """Compute the full metric snapshot of ``profile`` under ``game``.
 
@@ -58,9 +102,15 @@ def compute_profile_metrics(
     when recording every round of a long dynamics run.
 
     Every distance-derived quantity (player usages, diameter, view sizes)
-    is read off a single batched-BFS distance matrix instead of ``2n``
-    independent Python traversals plus ``n`` induced-subgraph builds — one
-    CSR export and one :func:`batched_bfs_distances` sweep serve them all.
+    is folded out of a blocked batched-BFS sweep
+    (:func:`~repro.graphs.traversal.accumulate_bfs_distances`) instead of a
+    dense all-pairs matrix: one CSR export, then one kernel call per source
+    block of at most ``block_size`` rows (default
+    :data:`~repro.graphs.traversal.DEFAULT_BLOCK_SIZE`), with running
+    max/sum/eccentricity reductions between blocks.  Peak memory is
+    ``O(block_size * n)`` — no ``(n, n)`` array is ever allocated for
+    ``n > block_size`` — and the numbers are bit-identical across block
+    sizes because each source's BFS is independent.
     """
     graph = profile.graph()
     n = profile.num_players()
@@ -68,15 +118,24 @@ def compute_profile_metrics(
     bought_counts = [profile.num_bought_edges(player) for player in profile]
     bought = bought_counts or [0]
 
-    dist, order = distance_matrix(graph)
-    reachable = dist != UNREACHABLE
-    all_reached = reachable.all(axis=1) if n else np.zeros(0, dtype=bool)
-    if game.usage is UsageKind.MAX:
-        usage_rows = np.where(reachable, dist, 0).max(axis=1) if n else np.zeros(0)
+    want_views = include_views and n > 0 and game.k != FULL_KNOWLEDGE
+    stats = DistanceStatsAccumulator(
+        n, game.usage, view_radius=int(game.k) if want_views else None
+    )
+    if n > 0:
+        indptr, indices, order = graph.to_csr_arrays()
+        accumulate_bfs_distances(
+            indptr,
+            indices,
+            np.arange(n, dtype=np.int64),
+            stats,
+            block_size=block_size,
+        )
     else:
-        usage_rows = np.where(reachable, dist, 0).sum(axis=1) if n else np.zeros(0)
+        order = []
+    all_reached = stats.all_reached
     usages = {
-        node: float(usage_rows[i]) if all_reached[i] else math.inf
+        node: float(stats.usage_rows[i]) if all_reached[i] else math.inf
         for i, node in enumerate(order)
     }
     costs = {
@@ -92,7 +151,7 @@ def compute_profile_metrics(
         if not bool(all_reached.all()):
             lonely = order[int(np.flatnonzero(~all_reached)[0])]
             raise ValueError(f"graph is disconnected from node {lonely!r}")
-        graph_diameter = int(dist.max(initial=0))
+        graph_diameter = stats.diameter
     else:
         graph_diameter = 0
 
@@ -100,7 +159,7 @@ def compute_profile_metrics(
         if game.k == FULL_KNOWLEDGE:
             view_sizes = [n] * n
         else:
-            view_sizes = (dist <= int(game.k)).sum(axis=1).tolist()
+            view_sizes = stats.view_sizes.tolist()
     else:
         view_sizes = [0]
 

@@ -26,9 +26,14 @@ from __future__ import annotations
 
 import random
 
-from repro.core.best_response import BestResponse, best_response
+from repro.core.best_response import (
+    BestResponse,
+    MaxCoverContext,
+    best_response,
+    max_cover_context,
+)
 from repro.core.dynamics import DynamicsResult, RoundRecord
-from repro.core.games import GameSpec
+from repro.core.games import GameSpec, UsageKind
 from repro.core.metrics import compute_profile_metrics
 from repro.core.strategies import StrategyProfile
 from repro.engine.schedulers import Scheduler, make_scheduler
@@ -37,7 +42,13 @@ from repro.engine.views import IncrementalViewCache
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.graph import Node
 
-__all__ = ["coerce_profile", "DynamicsEngine"]
+__all__ = ["coerce_profile", "DynamicsEngine", "COVER_CONTEXT_CACHE_MAX_NODES"]
+
+#: Largest reduced-view node count whose :class:`MaxCoverContext` (a dense
+#: ``(v, v)`` int32 distance matrix) is worth pinning per player.  Beyond
+#: this the cache would hold up to ``n`` such matrices at once — ``O(n^3)``
+#: at full knowledge — so bigger contexts are rebuilt transiently instead.
+COVER_CONTEXT_CACHE_MAX_NODES: int = 512
 
 
 def coerce_profile(initial: StrategyProfile | OwnedGraph) -> StrategyProfile:
@@ -94,9 +105,14 @@ class DynamicsEngine:
             else make_scheduler(scheduler, workers=workers)
         )
         self._responses: dict[Node, tuple[int, frozenset[Node], BestResponse]] = {}
+        self._cover_contexts: dict[Node, tuple[int, MaxCoverContext]] = {}
         #: Instrumentation: solver invocations avoided by memoisation.
         self.responses_computed = 0
         self.responses_reused = 0
+        #: Instrumentation: reduced-view distance structures rebuilt vs reused
+        #: across activations of the same player (MaxNCG only).
+        self.cover_contexts_built = 0
+        self.cover_contexts_reused = 0
 
     # ------------------------------------------------------------------
     # Per-activation primitives (used by schedulers)
@@ -105,6 +121,59 @@ class DynamicsEngine:
         """Settled content version of the player's view (refreshes if stale)."""
         self.views.get(player)
         return self.views.token(player)
+
+    def cached_response(self, player: Node) -> BestResponse | None:
+        """The memoised best response of ``player`` if still valid, else ``None``.
+
+        Valid means neither the player's view content token nor her strategy
+        moved since the memo entry was written.  Settles the view first, so
+        the answer reflects the current state.
+        """
+        self.views.get(player)  # settles the content token
+        token = self.views.token(player)
+        strategy = self.state.strategy(player)
+        memo = self._responses.get(player)
+        if memo is not None and memo[0] == token and memo[1] == strategy:
+            return memo[2]
+        return None
+
+    def store_response(self, player: Node, response: BestResponse) -> None:
+        """Install an externally computed best response into the memo.
+
+        The response must have been evaluated against the player's *current*
+        view content and strategy (the parallel scheduler's worker fan-out
+        snapshots exactly that); the memo entry is keyed by the settled
+        token so later rounds can skip the player while nothing changes.
+        """
+        self.views.get(player)
+        token = self.views.token(player)
+        self._responses[player] = (token, self.state.strategy(player), response)
+
+    def _cover_context(self, player: Node, token: int) -> MaxCoverContext | None:
+        """Per-(player, view token) cache of the MaxNCG set-cover context.
+
+        The context (reduced-view distances, candidate order, forced
+        buyers) depends on view content only, so it survives strategy-only
+        changes that invalidate the best-response memo — e.g. a
+        ``set_strategy`` perturbation of the player herself.
+        """
+        if self.game.usage is not UsageKind.MAX:
+            return None
+        cached = self._cover_contexts.get(player)
+        if cached is not None and cached[0] == token:
+            self.cover_contexts_reused += 1
+            return cached[1]
+        view = self.views.get(player)
+        if view.size - 1 > COVER_CONTEXT_CACHE_MAX_NODES:
+            # One dense (v, v) matrix per player adds up to O(n * v^2)
+            # resident memory; let oversized views rebuild transiently (the
+            # pre-cache behaviour) instead of pinning them.
+            self._cover_contexts.pop(player, None)
+            return None
+        context = max_cover_context(view)
+        self._cover_contexts[player] = (token, context)
+        self.cover_contexts_built += 1
+        return context
 
     def peek_response(self, player: Node) -> BestResponse:
         """Best response of ``player`` against the current state (memoised).
@@ -127,6 +196,7 @@ class DynamicsEngine:
             solver=self.solver,
             view=view,
             current_strategy=strategy,
+            cover_context=self._cover_context(player, token),
         )
         self._responses[player] = (token, strategy, response)
         self.responses_computed += 1

@@ -174,30 +174,73 @@ class ParallelBatchScheduler(Scheduler):
     retry next round; a round with no applicable move is an equilibrium
     certificate identical to the sequential case, because every response
     was computed against the same profile nobody managed to change.
+
+    With ``dirty_only=True`` (the default) the fan-out is dirty-region
+    aware: a player whose view content token *and* strategy are unchanged
+    since her last evaluation still has a valid memoised best response — a
+    pure function of exactly that pair — so only invalidated players are
+    shipped to the workers.  In quiet late rounds this shrinks the batch to
+    the handful of players around the previous round's moves, cutting the
+    serial snapshot/pickle fraction along with the solves; trajectories are
+    identical to the round-start variant (``dirty_only=False``, the
+    pre-scaling behaviour) because the reused responses equal what a worker
+    would have recomputed.  ``evaluated_last_round`` / ``reused_last_round``
+    expose the split for tests and instrumentation.
     """
 
     name = "parallel_batch"
 
-    def __init__(self, workers: int | None = 1) -> None:
+    def __init__(self, workers: int | None = 1, dirty_only: bool = True) -> None:
         self.workers = workers
+        self.dirty_only = dirty_only
+        #: Players whose best response was recomputed in the latest round.
+        self.evaluated_last_round: list[Node] = []
+        #: Players served from the engine memo in the latest round.
+        self.reused_last_round: list[Node] = []
 
     def run_round(self, engine: "DynamicsEngine", round_index: int) -> int:
         players = engine.base_order
-        if resolve_workers(self.workers) == 1:
-            responses = [engine.peek_response(player) for player in players]
+        # Settle every dirty view in one blocked batched BFS up front: the
+        # memo validity test below needs settled tokens, and the workers'
+        # snapshot must reflect the current state anyway.
+        engine.views.refresh_dirty()
+        responses: dict[Node, BestResponse] = {}
+        stale: list[Node] = []
+        if self.dirty_only:
+            for player in players:
+                cached = engine.cached_response(player)
+                if cached is None:
+                    stale.append(player)
+                else:
+                    responses[player] = cached
         else:
-            worker = partial(
-                _snapshot_best_response,
-                profile=engine.state.to_profile(),
-                game=engine.game,
-                solver=engine.solver,
-            )
-            responses = parallel_map(worker, players, workers=self.workers)
+            stale = list(players)
+        self.evaluated_last_round = list(stale)
+        self.reused_last_round = [p for p in players if p in responses]
+        engine.responses_reused += len(self.reused_last_round)
+        if stale:
+            if resolve_workers(self.workers) == 1:
+                for player in stale:
+                    responses[player] = engine.peek_response(player)
+            else:
+                worker = partial(
+                    _snapshot_best_response,
+                    profile=engine.state.to_profile(),
+                    game=engine.game,
+                    solver=engine.solver,
+                )
+                for player, response in zip(
+                    stale, parallel_map(worker, stale, workers=self.workers)
+                ):
+                    responses[player] = response
+                    # Feed the memo so the next round's dirty test can skip
+                    # players this batch did not end up disturbing.
+                    engine.store_response(player, response)
         rank = {player: position for position, player in enumerate(players)}
         moves = [
-            (player, response)
-            for player, response in zip(players, responses)
-            if response.is_improving
+            (player, responses[player])
+            for player in players
+            if responses[player].is_improving
         ]
         moves.sort(key=lambda move: (-move[1].improvement, rank[move[0]]))
         start_tokens = {player: engine.view_token(player) for player, _ in moves}

@@ -38,9 +38,9 @@ from repro.graphs.graph import Node
 from repro.graphs.traversal import (
     UNREACHABLE,
     ball,
-    batched_bfs_distances,
     bfs_distances,
     bfs_distances_within,
+    iter_blocked_bfs_distances,
 )
 
 __all__ = ["IncrementalViewCache"]
@@ -108,12 +108,14 @@ class IncrementalViewCache:
     # Bulk refresh (batched CSR BFS)
     # ------------------------------------------------------------------
     def refresh_dirty(self) -> int:
-        """Rebuild every stale view in one batched multi-source BFS.
+        """Rebuild every stale view with blocked batched multi-source BFS.
 
         Returns the number of views rebuilt.  One CSR export plus one
-        :func:`batched_bfs_distances` call replaces ``len(dirty)``
-        independent Python BFS runs; used at engine start-up (everything is
-        dirty) and by schedulers that need all views at once.
+        batched kernel call per source block (at most
+        :data:`~repro.graphs.traversal.DEFAULT_BLOCK_SIZE` dirty players'
+        distance rows live at once) replaces ``len(dirty)`` independent
+        Python BFS runs; used at engine start-up (everything is dirty) and
+        by schedulers that need all views at once.
         """
         dirty = [p for p in self._state.players() if p in self._dirty or p not in self._views]
         if not dirty:
@@ -123,24 +125,29 @@ class IncrementalViewCache:
         index = {node: i for i, node in enumerate(order)}
         radius = None if self._k == FULL_KNOWLEDGE else int(self._k)
         sources = np.fromiter((index[p] for p in dirty), dtype=np.int64, count=len(dirty))
-        dist = batched_bfs_distances(indptr, indices, sources, radius=radius)
         # Nodes may be tuples (the torus construction), which np.asarray
         # would splat into a 2-D array; fill an object vector instead.
         order_array = np.empty(len(order), dtype=object)
         order_array[:] = order
-        for row, player in enumerate(dirty):
-            reached = dist[row] != UNREACHABLE
-            reached_nodes = order_array[reached]
-            distances = dict(
-                zip(reached_nodes.tolist(), dist[row][reached].tolist())
-            )
-            if radius is None:
-                frontier: set[Node] = set()
-                visible: set[Node] = set(order)
-            else:
-                frontier = set(order_array[dist[row] == radius].tolist())
-                visible = set(reached_nodes.tolist())
-            self._install(player, self._assemble(player, visible, distances, frontier))
+        for start, _, dist in iter_blocked_bfs_distances(
+            indptr, indices, sources, radius=radius
+        ):
+            for row in range(dist.shape[0]):
+                player = dirty[start + row]
+                reached = dist[row] != UNREACHABLE
+                reached_nodes = order_array[reached]
+                distances = dict(
+                    zip(reached_nodes.tolist(), dist[row][reached].tolist())
+                )
+                if radius is None:
+                    frontier: set[Node] = set()
+                    visible: set[Node] = set(order)
+                else:
+                    frontier = set(order_array[dist[row] == radius].tolist())
+                    visible = set(reached_nodes.tolist())
+                self._install(
+                    player, self._assemble(player, visible, distances, frontier)
+                )
         return len(dirty)
 
     # ------------------------------------------------------------------

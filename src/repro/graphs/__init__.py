@@ -23,6 +23,8 @@ from repro.graphs.traversal import (
     shortest_path,
     all_pairs_distances,
     batched_bfs_distances,
+    iter_blocked_bfs_distances,
+    accumulate_bfs_distances,
     distance_matrix,
 )
 from repro.graphs.properties import (
@@ -68,6 +70,8 @@ __all__ = [
     "shortest_path",
     "all_pairs_distances",
     "batched_bfs_distances",
+    "iter_blocked_bfs_distances",
+    "accumulate_bfs_distances",
     "distance_matrix",
     "eccentricity",
     "eccentricities",

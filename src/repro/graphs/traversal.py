@@ -10,13 +10,37 @@ provided:
 * a batched multi-source frontier BFS over a CSR adjacency layout
   (:func:`batched_bfs_distances`), which keeps the inner loop in NumPy and
   backs both :func:`distance_matrix` (all sources) and the incremental
-  engine's bulk view extraction (many sources, bounded radius).
+  engine's bulk view extraction (many sources, bounded radius), and
+* a blocked/streaming driver on top of it
+  (:func:`iter_blocked_bfs_distances` / :func:`accumulate_bfs_distances`)
+  for workloads whose source set is too large to materialise a dense
+  ``(len(sources), n)`` distance matrix at once.
+
+Memory model of the blocked driver
+----------------------------------
+``batched_bfs_distances`` over ``s`` sources allocates the full
+``(s, n)`` int32 distance matrix up front — ~400 MB for an all-pairs sweep
+at ``n = 10^4``, quadratic beyond that.  The blocked driver instead cuts the
+source set into blocks of at most ``block_size`` sources and runs one batched
+BFS per block, so peak memory is ``O(block_size * n)`` int32 for the live
+distance rows plus ``O(frontier incidences)`` transient scratch inside the
+kernel, *independent of the total number of sources*.  Every consumer that
+only needs per-source reductions (eccentricity, usage sums, view sizes,
+diameter — see :func:`repro.core.metrics.compute_profile_metrics`) should go
+through the accumulator API instead of :func:`distance_matrix`.
+
+The ``block_size`` knob trades Python-level loop overhead (one kernel call
+per block) against peak memory; :data:`DEFAULT_BLOCK_SIZE` (1024 source
+rows, i.e. ~40 MB of live rows at ``n = 10^4``) is a good default for
+anything from laptops to CI runners.  Results are bit-identical for every
+block size because each source's BFS is independent of its batch-mates.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Protocol
 
 import numpy as np
 
@@ -31,12 +55,30 @@ __all__ = [
     "shortest_path",
     "all_pairs_distances",
     "batched_bfs_distances",
+    "iter_blocked_bfs_distances",
+    "accumulate_bfs_distances",
+    "DistanceBlockConsumer",
     "distance_matrix",
     "UNREACHABLE",
+    "DEFAULT_BLOCK_SIZE",
 ]
 
 #: Sentinel distance used in dense matrices for unreachable pairs.
 UNREACHABLE: int = np.iinfo(np.int32).max
+
+#: Default number of source rows processed per blocked-BFS kernel call.
+#: Peak live memory of a blocked sweep is ``DEFAULT_BLOCK_SIZE * n`` int32
+#: entries (~40 MB at n = 10^4) regardless of the total source count.
+DEFAULT_BLOCK_SIZE: int = 1024
+
+#: Cap on the (frontier vertex, neighbour) incidences expanded per NumPy
+#: batch inside :func:`batched_bfs_distances`.  Wide BFS levels are cut into
+#: chunks of at most this many incidences, bounding the kernel's transient
+#: scratch (a handful of int64 arrays of this length, ~0.5 MB each at the
+#: default) independently of how many sources are in flight; chunking does
+#: not change results because pairs discovered by an earlier chunk are
+#: marked visited before the next chunk expands.
+MAX_EXPANSION_INCIDENCES: int = 1 << 16
 
 
 def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
@@ -166,12 +208,19 @@ def batched_bfs_distances(
     Notes
     -----
     All frontiers advance together: one level of every source's BFS is a
-    single batch of NumPy gather/scatter operations (``repeat`` to expand
+    batch of NumPy gather/scatter operations (``repeat`` to expand
     adjacency runs, a fancy-indexed visited test, ``unique`` to dedupe the
     next frontier), so the Python-level loop runs once per BFS *level*, not
     once per vertex.  This replaces the previous dense ``O(n^2)``
     boolean-matmul expansion and is what both :func:`distance_matrix` and
     the engine's bulk view extraction sit on.
+
+    Levels whose total incidence count exceeds
+    :data:`MAX_EXPANSION_INCIDENCES` are expanded chunk by chunk, so the
+    transient scratch stays bounded no matter how many sources run at once;
+    the distance marks written by one chunk deduplicate the next chunk's
+    rediscoveries, making the chunked expansion bit-identical to the
+    monolithic one.
     """
     n = len(indptr) - 1
     source_array = np.asarray(sources, dtype=np.int64)
@@ -181,10 +230,14 @@ def batched_bfs_distances(
         return dist
     if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
         raise IndexError("source index out of range")
-    row = np.arange(num_sources, dtype=np.int64)
+    # Frontier bookkeeping lives in int32 (row < num_sources, node < n, both
+    # far below 2^31): the frontier can reach num_sources * n pairs, so
+    # halving its footprint matters at scale.  Dedup keys are widened to
+    # int64 below because row * n + node can exceed int32.
+    row = np.arange(num_sources, dtype=np.int32)
     dist[row, source_array] = 0
     frontier_row = row
-    frontier_node = source_array.copy()
+    frontier_node = source_array.astype(np.int32)
     level = 0
     while frontier_node.size:
         level += 1
@@ -192,28 +245,144 @@ def batched_bfs_distances(
             break
         starts = indptr[frontier_node]
         counts = indptr[frontier_node + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        if int(counts.sum()) == 0:
             break
-        # Flat positions of every (frontier vertex, neighbour) incidence:
-        # for each frontier entry an arange(start, start + count), vectorised.
-        expanded_row = np.repeat(frontier_row, counts)
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        neighbours = indices[np.repeat(starts, counts) + offsets]
-        unvisited = dist[expanded_row, neighbours] == UNREACHABLE
-        if not unvisited.any():
+        cumulative = np.cumsum(counts)
+        next_rows: list[np.ndarray] = []
+        next_nodes: list[np.ndarray] = []
+        chunk_start = 0
+        while chunk_start < frontier_node.size:
+            base = int(cumulative[chunk_start - 1]) if chunk_start else 0
+            chunk_stop = int(
+                np.searchsorted(
+                    cumulative, base + MAX_EXPANSION_INCIDENCES, side="right"
+                )
+            )
+            # Always advance by at least one frontier vertex, even when a
+            # single vertex's adjacency run exceeds the expansion cap.
+            chunk_stop = max(chunk_stop, chunk_start + 1)
+            sub_counts = counts[chunk_start:chunk_stop]
+            total = int(sub_counts.sum())
+            if total == 0:
+                chunk_start = chunk_stop
+                continue
+            # Flat positions of every (frontier vertex, neighbour) incidence
+            # in this chunk: per frontier entry an arange(start, start +
+            # count), vectorised.
+            expanded_row = np.repeat(frontier_row[chunk_start:chunk_stop], sub_counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(sub_counts) - sub_counts, sub_counts
+            )
+            neighbours = indices[
+                np.repeat(starts[chunk_start:chunk_stop], sub_counts) + offsets
+            ].astype(np.int32)
+            unvisited = dist[expanded_row, neighbours] == UNREACHABLE
+            chunk_start = chunk_stop
+            if not unvisited.any():
+                continue
+            expanded_row = expanded_row[unvisited]
+            neighbours = neighbours[unvisited]
+            # The same (row, neighbour) pair can be produced by several
+            # frontier vertices; keep one representative per pair.  Across
+            # chunks the distance marks just written do the deduplication.
+            _, first = np.unique(
+                expanded_row.astype(np.int64) * n + neighbours, return_index=True
+            )
+            new_row = expanded_row[first]
+            new_node = neighbours[first]
+            dist[new_row, new_node] = level
+            next_rows.append(new_row)
+            next_nodes.append(new_node)
+        if not next_rows:
             break
-        expanded_row = expanded_row[unvisited]
-        neighbours = neighbours[unvisited]
-        # The same (row, neighbour) pair can be produced by several frontier
-        # vertices; keep one representative per pair.
-        _, first = np.unique(expanded_row * n + neighbours, return_index=True)
-        frontier_row = expanded_row[first]
-        frontier_node = neighbours[first]
-        dist[frontier_row, frontier_node] = level
+        if len(next_rows) == 1:
+            frontier_row, frontier_node = next_rows[0], next_nodes[0]
+        else:
+            frontier_row = np.concatenate(next_rows)
+            frontier_node = np.concatenate(next_nodes)
     return dist
+
+
+class DistanceBlockConsumer(Protocol):
+    """Accumulator protocol fed by :func:`accumulate_bfs_distances`.
+
+    ``process_block(start, sources, dist_block)`` receives the rows for
+    ``sources[start:start + dist_block.shape[0]]`` of the conceptual
+    ``(len(sources), n)`` distance matrix: ``dist_block[i, j]`` is the
+    distance from source ``start + i`` (in sweep order) to node ``j``, or
+    :data:`UNREACHABLE`.  Implementations fold each block into running
+    statistics (max/sum/eccentricity/counts) and must not retain a
+    reference to ``dist_block`` — the driver may reuse the buffer.
+    """
+
+    def process_block(
+        self, start: int, sources: np.ndarray, dist_block: np.ndarray
+    ) -> None: ...
+
+
+def iter_blocked_bfs_distances(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: Sequence[int] | np.ndarray,
+    radius: int | None = None,
+    block_size: int | None = None,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Stream :func:`batched_bfs_distances` results block by block.
+
+    Yields ``(start, source_block, dist_block)`` triples where
+    ``source_block = sources[start:start + dist_block.shape[0]]`` and
+    ``dist_block`` is the corresponding ``(block, n)`` int32 slice of the
+    conceptual full distance matrix.  Concatenating the blocks in order is
+    bit-identical to one unblocked :func:`batched_bfs_distances` call: each
+    source's BFS never interacts with its batch-mates, so blocking changes
+    memory usage only (see the module docstring for the memory model).
+
+    ``block_size`` caps the number of source rows live at once and defaults
+    to :data:`DEFAULT_BLOCK_SIZE`; it must be positive.  An empty source set
+    yields nothing.  Argument validation happens at call time (not on first
+    ``next``), so a bad block size or out-of-range source raises at the
+    call site.
+    """
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    source_array = np.asarray(sources, dtype=np.int64)
+    n = len(indptr) - 1
+    if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
+        raise IndexError("source index out of range")
+
+    def blocks() -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        for start in range(0, source_array.size, block_size):
+            block = source_array[start : start + block_size]
+            yield start, block, batched_bfs_distances(
+                indptr, indices, block, radius=radius
+            )
+
+    return blocks()
+
+
+def accumulate_bfs_distances(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: Sequence[int] | np.ndarray,
+    consumer: DistanceBlockConsumer,
+    radius: int | None = None,
+    block_size: int | None = None,
+) -> DistanceBlockConsumer:
+    """Drive a blocked BFS sweep through ``consumer`` and return it.
+
+    The streaming counterpart of "compute the full distance matrix, then
+    reduce it": ``consumer.process_block`` sees every row of the conceptual
+    matrix exactly once, in source order, without more than ``block_size``
+    rows ever being materialised (the per-profile metric sweep and the
+    large-n CI smoke run sit on this).
+    """
+    for start, block_sources, dist_block in iter_blocked_bfs_distances(
+        indptr, indices, sources, radius=radius, block_size=block_size
+    ):
+        consumer.process_block(start, block_sources, dist_block)
+    return consumer
 
 
 def _csr_for_order(graph: Graph, order: list[Node]) -> tuple[np.ndarray, np.ndarray]:

@@ -16,6 +16,7 @@ docstring for the rationale.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -141,9 +142,41 @@ def _trivial_or_none(instance: SetCoverInstance, solver: str) -> SetCoverResult 
     return None
 
 
-def greedy_set_cover(instance: SetCoverInstance) -> SetCoverResult:
+def _warm_positions(
+    instance: SetCoverInstance,
+    free: np.ndarray,
+    warm_start: Sequence[int],
+) -> list[int] | None:
+    """Map a warm-start selection to positions in ``free``, or ``None``.
+
+    A warm start is a set of *original* (non-forced) candidate indices that
+    formed a feasible cover of an easier instance — typically the previous
+    eccentricity guess's solution in the best-response ``h`` loop, where
+    coverage grows monotonically so the old cover stays feasible.  Anything
+    that fails validation (out-of-range/forced index, or no longer a cover)
+    is silently ignored: a warm start is an optimisation hint, never a
+    correctness input.
+    """
+    selection = {int(idx) for idx in warm_start}
+    position_of = {int(original): pos for pos, original in enumerate(free)}
+    if not selection or not selection.issubset(position_of):
+        return None
+    if not instance.is_feasible_selection(selection):
+        return None
+    return [position_of[idx] for idx in sorted(selection)]
+
+
+def greedy_set_cover(
+    instance: SetCoverInstance,
+    upper_bound: int | None = None,
+    warm_start: Sequence[int] | None = None,
+) -> SetCoverResult:
     """Classical greedy ``H_n``-approximation: repeatedly pick the candidate
-    covering the most still-uncovered elements."""
+    covering the most still-uncovered elements.
+
+    ``warm_start`` and ``upper_bound`` are accepted for interface uniformity
+    and ignored: greedy rebuilds its cover from scratch deterministically.
+    """
     trivial = _trivial_or_none(instance, "greedy")
     if trivial is not None:
         return trivial
@@ -162,15 +195,24 @@ def greedy_set_cover(instance: SetCoverInstance) -> SetCoverResult:
 
 
 def branch_and_bound_set_cover(
-    instance: SetCoverInstance, upper_bound: int | None = None
+    instance: SetCoverInstance,
+    upper_bound: int | None = None,
+    warm_start: Sequence[int] | None = None,
 ) -> SetCoverResult:
     """Exact branch-and-bound solver.
 
     Branches on the uncovered element with the fewest covering candidates
     (the most constrained element) and prunes with
 
-    * the best incumbent found so far (initialised from greedy), and
+    * the best incumbent found so far (initialised from greedy, tightened by
+      a feasible ``warm_start`` selection when one is supplied), and
     * the simple lower bound ``ceil(#uncovered / max coverage size)``.
+
+    A warm start never changes the returned objective (the search still
+    proves optimality); it only prunes earlier.  When the warm-start cover
+    ties the greedy incumbent it is preferred, so repeated solves over a
+    monotonically growing coverage (the best-response ``h`` loop) keep
+    returning the same selection until a strictly smaller cover appears.
 
     Intended for the moderate instance sizes of the experiments (views of at
     most a few hundred vertices); cross-checked against the MILP solver in
@@ -192,6 +234,11 @@ def branch_and_bound_set_cover(
         if greedy.feasible and greedy.objective <= best_size
         else None
     )
+    if warm_start is not None:
+        warm = _warm_positions(instance, free, warm_start)
+        if warm is not None and len(warm) <= best_size:
+            best_size = len(warm)
+            best_selection = warm
 
     cover_sizes = coverage.sum(axis=1)
     order_by_size = np.argsort(-cover_sizes)
@@ -233,13 +280,22 @@ def branch_and_bound_set_cover(
     return SetCoverResult(selected, len(selected), True, True, "branch_and_bound")
 
 
-def milp_set_cover(instance: SetCoverInstance) -> SetCoverResult:
+def milp_set_cover(
+    instance: SetCoverInstance,
+    upper_bound: int | None = None,
+    warm_start: Sequence[int] | None = None,
+) -> SetCoverResult:
     """Exact solve through ``scipy.optimize.milp`` (HiGHS backend).
 
     Formulation: minimise ``sum_c x_c`` subject to
     ``sum_{c covers e} x_c >= 1`` for every residual element ``e``,
     ``x_c in {0, 1}``, over the non-forced candidates only (forced
     candidates are folded into the residual instance).
+
+    ``scipy.optimize.milp`` exposes neither an incumbent-injection hook nor
+    an objective cutoff, so ``warm_start``/``upper_bound`` are only
+    forwarded to the branch-and-bound fallback taken on a HiGHS failure;
+    use ``method="branch_and_bound"`` to actually exploit warm starts.
     """
     trivial = _trivial_or_none(instance, "milp")
     if trivial is not None:
@@ -261,7 +317,9 @@ def milp_set_cover(instance: SetCoverInstance) -> SetCoverResult:
     )
     if not result.success or result.x is None:
         # HiGHS failure on a feasible instance; fall back to branch and bound.
-        return branch_and_bound_set_cover(instance)
+        return branch_and_bound_set_cover(
+            instance, upper_bound=upper_bound, warm_start=warm_start
+        )
     chosen = np.flatnonzero(np.round(result.x) >= 0.5)
     selected = tuple(int(free[idx]) for idx in chosen)
     return SetCoverResult(selected, len(selected), True, True, "milp")
@@ -275,12 +333,30 @@ SOLVERS = {
 }
 
 
-def solve_set_cover(instance: SetCoverInstance, method: str = "milp") -> SetCoverResult:
-    """Dispatch to one of the registered solvers (``milp`` by default)."""
+def solve_set_cover(
+    instance: SetCoverInstance,
+    method: str = "milp",
+    upper_bound: int | None = None,
+    warm_start: Sequence[int] | None = None,
+) -> SetCoverResult:
+    """Dispatch to one of the registered solvers (``milp`` by default).
+
+    ``warm_start`` optionally hands the solver a known-feasible selection of
+    original candidate indices (e.g. the previous solve of a monotonically
+    growing instance).  ``upper_bound`` is honoured by ``branch_and_bound``
+    only, where it caps the incumbent: covers *larger* than it are never
+    returned, an infeasible result means no cover within the cap exists,
+    but a greedy or warm incumbent of exactly the cap size may be returned
+    as-is.  ``greedy`` and ``milp`` ignore both hints and may return covers
+    of any size, so callers that only profit from covers up to size ``T``
+    must pass ``T + 1`` *and* re-check the returned objective regardless of
+    method (the best-response loop's cost test does exactly that).  Hints
+    never change a within-bound solution's objective.
+    """
     try:
         solver = SOLVERS[method]
     except KeyError as exc:
         raise ValueError(
             f"unknown solver {method!r}; available: {sorted(SOLVERS)}"
         ) from exc
-    return solver(instance)
+    return solver(instance, upper_bound=upper_bound, warm_start=warm_start)

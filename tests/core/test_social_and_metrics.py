@@ -134,3 +134,45 @@ class TestProfileMetrics:
     def test_unfairness_on_symmetric_network(self, cycle_profile):
         metrics = compute_profile_metrics(cycle_profile, MaxNCG(1.0, k=2))
         assert metrics.unfairness == pytest.approx(1.0)
+
+
+class TestBlockedMetrics:
+    """The streaming metric sweep: block-size invariance and memory ceiling."""
+
+    def test_block_size_invariance(self):
+        from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+
+        profile = StrategyProfile.from_owned_graph(
+            owned_connected_gnp_graph(40, 0.12, seed=3)
+        )
+        for game in (MaxNCG(1.5, k=2), SumNCG(2.0, k=3), MaxNCG(0.5)):
+            dense = compute_profile_metrics(profile, game, block_size=40)
+            for block_size in (1, 7, 16, 41, 1000):
+                assert compute_profile_metrics(profile, game, block_size=block_size) == dense
+
+    def test_invalid_block_size_rejected(self, star_profile):
+        with pytest.raises(ValueError):
+            compute_profile_metrics(star_profile, MaxNCG(1.0), block_size=0)
+
+    def test_no_dense_allocation_above_block_size(self):
+        """Acceptance: for n above the block size the sweep must never
+        materialise an (n, n) distance matrix — tracemalloc's peak has to
+        stay below the 4 n^2 bytes that single int32 allocation would cost
+        (with real headroom, since BFS scratch rides on top of any
+        hypothetical dense path)."""
+        import tracemalloc
+
+        from repro.graphs.generators.smallworld import owned_barabasi_albert
+
+        n, block_size = 2500, 64
+        profile = StrategyProfile.from_owned_graph(owned_barabasi_albert(n, 2, seed=0))
+        game = MaxNCG(1.0, k=2)
+        profile.graph()  # warm the profile's graph cache outside the traced window
+        tracemalloc.start()
+        metrics = compute_profile_metrics(profile, game, block_size=block_size)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        dense_bytes = 4 * n * n
+        assert peak < dense_bytes / 2
+        assert metrics.num_players == n
+        assert metrics.diameter > 0

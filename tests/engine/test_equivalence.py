@@ -7,6 +7,8 @@ cycled/converged flags, same per-round change counts — across instance
 families (Erdős–Rényi, torus, tree) and both games (MaxNCG, SumNCG).
 """
 
+import random
+
 import pytest
 
 from repro.core.dynamics import (
@@ -17,6 +19,8 @@ from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
 from repro.core.strategies import StrategyProfile
 from repro.engine.core import DynamicsEngine
 from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.high_girth import owned_high_girth_graph
+from repro.graphs.generators.smallworld import owned_watts_strogatz
 from repro.graphs.generators.torus import TorusParameters, stretched_torus
 from repro.graphs.generators.trees import random_owned_tree
 
@@ -56,6 +60,45 @@ def test_engine_matches_reference_across_matrix(ordering):
                 owned, game, solver="branch_and_bound", ordering=ordering, seed=13
             )
             assert_same_trajectory(engine_result, reference_result)
+
+
+@pytest.mark.parametrize(
+    "family, make_owned",
+    [
+        ("high_girth", lambda: owned_high_girth_graph(96, 3, 8, seed=2)),
+        ("watts_strogatz", lambda: owned_watts_strogatz(96, 4, 0.2, seed=9)),
+    ],
+)
+def test_scaling_families_stress_bit_identical(family, make_owned):
+    """Large-n stress: high-girth and small-world instances under the new
+    blocked/warm-started kernels must stay bit-identical engine-vs-reference.
+
+    n = 96 is the largest these two families afford inside the tier-1 time
+    budget with the exact branch-and-bound solver.  High-girth instances are
+    born local-knowledge equilibria (that is the paper's Lemma 3.2 point),
+    so a few strategies are perturbed first to force genuine multi-round
+    repair dynamics down both code paths.
+    """
+    owned = make_owned()
+    profile = StrategyProfile.from_owned_graph(owned)
+    rng = random.Random(5)
+    players = profile.players()
+    for player in rng.sample(players, 4):
+        other = rng.choice([p for p in players if p != player])
+        # Additions only: removals could disconnect the graph, which the
+        # metric sweep of a dynamics run rejects.
+        profile = profile.with_strategy(player, profile.strategy(player) | {other})
+    game = MaxNCG(2.0, k=3)
+    for ordering in ("fixed", "shuffled"):
+        engine_result = best_response_dynamics(
+            profile, game, solver="branch_and_bound", ordering=ordering, seed=17
+        )
+        reference_result = best_response_dynamics_reference(
+            profile, game, solver="branch_and_bound", ordering=ordering, seed=17
+        )
+        assert_same_trajectory(engine_result, reference_result)
+        assert engine_result.converged
+        assert engine_result.total_changes > 0
 
 
 def test_equivalence_with_milp_solver():

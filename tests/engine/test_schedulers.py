@@ -133,3 +133,59 @@ class TestParallelBatch:
         result = engine.run()
         assert result.converged
         assert is_equilibrium(result.final_profile, game)
+
+    def test_dirty_aware_reaches_same_fixed_point_as_round_start_variant(self):
+        game = MaxNCG(0.5, k=2)
+        for seed in (4, 7):
+            owned = random_owned_tree(24, seed=seed)
+            dirty = DynamicsEngine(
+                owned, game, scheduler=ParallelBatchScheduler(workers=1, dirty_only=True)
+            ).run()
+            legacy = DynamicsEngine(
+                owned, game, scheduler=ParallelBatchScheduler(workers=1, dirty_only=False)
+            ).run()
+            assert dirty.final_profile == legacy.final_profile
+            assert dirty.rounds == legacy.rounds
+            assert dirty.total_changes == legacy.total_changes
+            assert dirty.converged and legacy.converged
+            assert is_equilibrium(dirty.final_profile, game)
+
+    def test_dirty_aware_skips_clean_players_without_reevaluating(self):
+        game = MaxNCG(0.5, k=2)
+        scheduler = ParallelBatchScheduler(workers=1, dirty_only=True)
+        engine = DynamicsEngine(
+            random_owned_tree(24, seed=4), game, scheduler=scheduler
+        )
+        all_players = set(engine.base_order)
+        changes = scheduler.run_round(engine, 1)
+        # Round 1: no memos exist yet, so everyone is evaluated.
+        assert set(scheduler.evaluated_last_round) == all_players
+        assert scheduler.reused_last_round == []
+        assert changes > 0  # otherwise the instance certifies trivially
+        saw_reuse = False
+        round_index = 2
+        while changes:
+            computed_before = engine.responses_computed
+            changes = scheduler.run_round(engine, round_index)
+            # Evaluated/reused partition the players, and the engine solved
+            # exactly one best response per evaluated player: reused (clean)
+            # players were served from the memo, not recomputed.
+            assert (
+                set(scheduler.evaluated_last_round)
+                | set(scheduler.reused_last_round)
+            ) == all_players
+            assert not set(scheduler.evaluated_last_round) & set(
+                scheduler.reused_last_round
+            )
+            assert (
+                engine.responses_computed - computed_before
+                == len(scheduler.evaluated_last_round)
+            )
+            saw_reuse = saw_reuse or bool(scheduler.reused_last_round)
+            round_index += 1
+            assert round_index < 100  # convergence guard
+        # The quiet certifying round (and typically earlier ones) must have
+        # skipped the players untouched by the previous round's moves.
+        assert saw_reuse
+        assert scheduler.reused_last_round
+        assert is_equilibrium(engine.state.to_profile(), game)

@@ -1,11 +1,17 @@
 """Tests for BFS traversals and distance computations."""
 
+import random
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.graphs.generators.erdos_renyi import gnp_random_graph
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import (
     UNREACHABLE,
+    accumulate_bfs_distances,
     all_pairs_distances,
     ball,
     batched_bfs_distances,
@@ -14,6 +20,7 @@ from repro.graphs.traversal import (
     connected_components,
     distance_matrix,
     is_connected,
+    iter_blocked_bfs_distances,
     shortest_path,
 )
 
@@ -177,3 +184,94 @@ class TestBatchedBfs:
         dist = batched_bfs_distances(indptr, indices, [2], radius=0)
         assert (dist != UNREACHABLE).sum() == 1
         assert dist[0, 2] == 0
+
+
+@st.composite
+def bfs_workloads(draw, max_nodes: int = 14):
+    """(graph, sources, radius, block_size) covering the blocked-BFS space.
+
+    Graphs are arbitrary G(n, p) samples, frequently disconnected at the
+    low-p end; source lists may be empty, repeat nodes and come in any
+    order; block sizes run from degenerate (1) past the source count.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.0, max_value=0.6))
+    graph = gnp_random_graph(n, p, random.Random(seed))
+    sources = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=0, max_size=2 * n)
+    )
+    radius = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=n)))
+    block_size = draw(st.integers(min_value=1, max_value=2 * n + 2))
+    return graph, sources, radius, block_size
+
+
+class _CollectBlocks:
+    """DistanceBlockConsumer that reassembles the full matrix for checking."""
+
+    def __init__(self) -> None:
+        self.blocks: list[tuple[int, np.ndarray]] = []
+
+    def process_block(self, start, sources, dist_block):
+        self.blocks.append((start, dist_block.copy()))
+
+
+class TestBlockedBfsProperties:
+    @given(bfs_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_blocked_equals_unblocked_equals_naive(self, workload):
+        graph, sources, radius, block_size = workload
+        indptr, indices, order = graph.to_csr_arrays()
+        reference = batched_bfs_distances(indptr, indices, sources, radius=radius)
+        stacked = np.full_like(reference, UNREACHABLE)
+        for start, block_sources, block in iter_blocked_bfs_distances(
+            indptr, indices, sources, radius=radius, block_size=block_size
+        ):
+            assert block.shape == (len(block_sources), len(order))
+            assert len(block_sources) <= block_size
+            stacked[start : start + block.shape[0]] = block
+        assert np.array_equal(stacked, reference)
+        # Naive per-source dict BFS agrees entry by entry (including the
+        # UNREACHABLE marker on disconnected graphs).
+        for row, source in enumerate(sources):
+            expected = (
+                bfs_distances(graph, order[source])
+                if radius is None
+                else bfs_distances_within(graph, order[source], radius)
+            )
+            for column, node in enumerate(order):
+                assert reference[row, column] == expected.get(node, UNREACHABLE)
+
+    @given(bfs_workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_accumulator_sees_every_row_once(self, workload):
+        graph, sources, radius, block_size = workload
+        indptr, indices, _ = graph.to_csr_arrays()
+        collector = accumulate_bfs_distances(
+            indptr, indices, sources, _CollectBlocks(),
+            radius=radius, block_size=block_size,
+        )
+        starts = [start for start, _ in collector.blocks]
+        sizes = [block.shape[0] for _, block in collector.blocks]
+        assert starts == sorted(starts)
+        assert sum(sizes) == len(sources)
+        if sources:
+            reference = batched_bfs_distances(indptr, indices, sources, radius=radius)
+            reassembled = np.concatenate([b for _, b in collector.blocks])
+            assert np.array_equal(reassembled, reference)
+        else:
+            assert collector.blocks == []
+
+    def test_empty_sources_yield_no_blocks(self, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        assert list(iter_blocked_bfs_distances(indptr, indices, [])) == []
+
+    def test_invalid_block_size_rejected_at_call_time(self, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        with pytest.raises(ValueError):
+            iter_blocked_bfs_distances(indptr, indices, [0], block_size=0)
+
+    def test_out_of_range_source_rejected_at_call_time(self, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        with pytest.raises(IndexError):
+            iter_blocked_bfs_distances(indptr, indices, [99], block_size=2)

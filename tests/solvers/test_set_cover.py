@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.solvers.set_cover import (
     SOLVERS,
@@ -143,6 +145,89 @@ class TestGreedy:
             assert greedy.objective >= exact.objective
             harmonic = np.log(num_elements) + 1
             assert greedy.objective <= harmonic * exact.objective + 1e-9
+
+
+@st.composite
+def monotone_instance_chains(draw):
+    """A chain of instances whose coverage only ever grows.
+
+    Mirrors the best-response ``h`` loop: same candidates and elements
+    throughout, each step OR-ing extra coverage onto the previous matrix
+    (``dist <= h - 1`` grows pointwise in ``h``), with an optional shared
+    forced set.
+    """
+    num_candidates = draw(st.integers(min_value=2, max_value=8))
+    num_elements = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    steps = draw(st.integers(min_value=2, max_value=5))
+    forced = (0,) if draw(st.booleans()) else ()
+    rng = np.random.default_rng(seed)
+    coverage = rng.random((num_candidates, num_elements)) < 0.25
+    chain = []
+    for _ in range(steps):
+        coverage = coverage | (rng.random(coverage.shape) < 0.25)
+        chain.append(SetCoverInstance(coverage=coverage.copy(), forced=forced))
+    return chain
+
+
+class TestWarmStart:
+    @given(monotone_instance_chains())
+    @settings(max_examples=60, deadline=None)
+    def test_warm_cost_equals_cold_cost_along_monotone_chain(self, chain):
+        """Seeding each solve with the previous solution never changes cost."""
+        previous = None
+        for instance in chain:
+            cold = branch_and_bound_set_cover(instance)
+            warm = branch_and_bound_set_cover(instance, warm_start=previous)
+            assert warm.feasible == cold.feasible
+            if cold.feasible:
+                assert warm.objective == cold.objective
+                assert instance.is_feasible_selection(set(warm.selected))
+                previous = warm.selected
+
+    @given(monotone_instance_chains())
+    @settings(max_examples=30, deadline=None)
+    def test_warm_start_agrees_across_solvers(self, chain):
+        previous = None
+        for instance in chain:
+            milp = solve_set_cover(instance, "milp", warm_start=previous)
+            bnb = solve_set_cover(instance, "branch_and_bound", warm_start=previous)
+            assert milp.feasible == bnb.feasible
+            if bnb.feasible:
+                assert milp.objective == bnb.objective
+                previous = bnb.selected
+
+    def test_garbage_warm_start_is_ignored(self):
+        instance = make_instance([{0}, {1}, {0, 1}], 2)
+        for junk in [(), (99,), (0,)]:  # empty, out of range, not a cover
+            result = branch_and_bound_set_cover(instance, warm_start=junk)
+            assert result.feasible
+            assert result.objective == 1
+
+    def test_forced_index_in_warm_start_is_ignored(self):
+        instance = make_instance([{0, 1}, {0}, {1}], 2, forced=(0,))
+        result = branch_and_bound_set_cover(instance, warm_start=(0,))
+        assert result.feasible
+        assert result.objective == 0
+
+    def test_warm_start_preferred_on_ties(self):
+        # Two optimal covers of size 1: greedy picks candidate 0 (first
+        # argmax), the warm start pins candidate 1.
+        instance = make_instance([{0, 1}, {0, 1}], 2)
+        cold = branch_and_bound_set_cover(instance)
+        warm = branch_and_bound_set_cover(instance, warm_start=(1,))
+        assert cold.selected == (0,)
+        assert warm.selected == (1,)
+        assert warm.objective == cold.objective
+
+    def test_upper_bound_below_optimum_reports_infeasible(self):
+        # The caller's "only covers of size < 2 are useful" contract: the
+        # optimum is 2, so a capped search comes back empty-handed.
+        instance = make_instance([{0}, {1}], 2)
+        result = branch_and_bound_set_cover(instance, upper_bound=1)
+        assert not result.feasible
+        uncapped = branch_and_bound_set_cover(instance)
+        assert uncapped.feasible and uncapped.objective == 2
 
 
 class TestCrossSolverAgreement:
