@@ -31,6 +31,7 @@ from repro.analysis.bounds import (
     sum_lower_bound_torus,
 )
 from repro.core.costs import social_cost
+from repro.core.best_response import ENGINE_DEFAULT_SOLVER
 from repro.core.equilibria import certify_equilibrium
 from repro.core.games import GameSpec, MaxNCG, SumNCG
 from repro.core.social import social_optimum
@@ -114,7 +115,7 @@ def certify_profile(
     predicted_lower_bound: float | None = None,
     max_players: int | None = None,
     representative_players: list | None = None,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     seed: int = 0,
 ) -> CertificateResult:
     """Certify that an owned graph is an equilibrium of ``game`` and measure its PoA."""
@@ -148,7 +149,7 @@ def certify_cycle_lemma_3_1(
     alpha: float,
     k: int,
     max_players: int | None = None,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> CertificateResult:
     """Lemma 3.1: the single-owner cycle is an LKE whenever ``α >= k - 1``."""
     if n < 2 * k + 2:
@@ -172,7 +173,7 @@ def certify_high_girth_lemma_3_2(
     k: int,
     seed: int = 0,
     max_players: int | None = None,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     game: GameSpec | None = None,
 ) -> CertificateResult:
     """Lemma 3.2 / Theorem 4.3: a girth ``>= 2k + 2`` near-regular graph is stable.
@@ -201,7 +202,7 @@ def certify_torus_theorem_3_12(
     n_target: int,
     params: TorusParameters | None = None,
     max_players: int | None = None,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> CertificateResult:
     """Theorem 3.12: the stretched torus is an LKE of MaxNCG for ``1 < α <= k``."""
     chosen = params if params is not None else torus_parameters_for_theorem_3_12(alpha, k, n_target)
@@ -228,7 +229,7 @@ def certify_sum_torus_lemma_4_1(
     n_target: int,
     params: TorusParameters | None = None,
     max_players: int | None = None,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> CertificateResult:
     """Lemma 4.1 / Theorem 4.2: the ``d = 2, ℓ = 2`` torus is a SumNCG LKE for ``α >= 4k³``."""
     chosen = params if params is not None else torus_parameters_for_lemma_4_1(k, n_target)

@@ -14,6 +14,7 @@ Examples
     python -m repro view-models --smoke       # extension: discovery view models
     python -m repro beliefs --smoke           # extension: Bayesian deviation rule
     python -m repro move-sets --smoke         # extension: swap / greedy move sets
+    python -m repro robustness --smoke --store out/store   # extension: attack/recovery sweep
 
 ``--smoke`` selects the reduced grids (CI-sized); without it the full paper
 grids are used, which for the simulation figures can take hours.
@@ -25,6 +26,7 @@ import argparse
 import sys
 from collections.abc import Callable, Sequence
 
+from repro.core.best_response import ENGINE_DEFAULT_SOLVER
 from repro.experiments.ablations import (
     AblationConfig,
     ordering_ablation,
@@ -56,16 +58,20 @@ from repro.experiments.extensions import (
     BeliefStudyConfig,
     FamilyStudyConfig,
     MoveSetStudyConfig,
+    RobustnessStudyConfig,
     SumDynamicsConfig,
     ViewModelStudyConfig,
+    aggregate_robustness_rows,
     generate_anatomy_study,
     generate_belief_study,
     generate_family_study,
     generate_move_set_study,
+    generate_robustness_study,
     generate_sum_dynamics,
     generate_view_model_study,
 )
 from repro.experiments.io import format_table, write_csv, write_json
+from repro.experiments.store import ExperimentStore
 from repro.experiments.tables import (
     Table1Config,
     Table2Config,
@@ -134,12 +140,30 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--n", type=int, default=100)
     certify.add_argument("--degree", type=int, default=3, help="degree of the high-girth graph")
     certify.add_argument("--max-players", type=int, default=None)
-    certify.add_argument("--solver", default="milp")
+    certify.add_argument("--solver", default=ENGINE_DEFAULT_SOLVER)
     _add_output_options(certify)
 
     ablation = subparsers.add_parser("ablation", help="run a design-choice ablation")
     ablation.add_argument("--study", choices=sorted(_ABLATIONS), required=True)
     _add_common_options(ablation)
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="perturbation & recovery sweep with certified equilibria (extension)",
+    )
+    robustness.add_argument(
+        "--store",
+        default=None,
+        help="persist the per-shock rows (and a base-equilibrium checkpoint) "
+        "into this ExperimentStore directory",
+    )
+    robustness.add_argument(
+        "--per-shock",
+        action="store_true",
+        help="print the raw per-shock rows instead of the per-(family, operator) "
+        "aggregates (CSV/JSON/store always receive the per-shock rows)",
+    )
+    _add_common_options(robustness)
     return parser
 
 
@@ -219,6 +243,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         cfg = AblationConfig.smoke(workers=args.workers) if args.smoke else AblationConfig.paper(workers=args.workers)
         rows = _ABLATIONS[args.study](cfg)
         _emit(rows, args, title=f"ablation: {args.study}")
+        return 0
+
+    if args.command == "robustness":
+        cfg = (
+            RobustnessStudyConfig.smoke(workers=args.workers)
+            if args.smoke
+            else RobustnessStudyConfig.paper(workers=args.workers)
+        )
+        store = ExperimentStore(args.store) if args.store else None
+        rows = generate_robustness_study(cfg, store=store)
+        if args.csv:
+            write_csv(rows, args.csv)
+        if args.json:
+            write_json(rows, args.json)
+        if not args.quiet:
+            display = rows if args.per_shock else aggregate_robustness_rows(rows)
+            print(format_table(display, title="robustness"))
         return 0
 
     factories, generator = _EXPERIMENTS[args.command]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,9 +36,14 @@ from repro.core.strategies import StrategyProfile
 from repro.core.views import View, extract_view
 from repro.graphs.graph import Node
 from repro.graphs.traversal import distance_matrix
-from repro.solvers.set_cover import SetCoverInstance, solve_set_cover
+from repro.solvers.set_cover import (
+    WARM_START_SOLVERS,
+    SetCoverInstance,
+    solve_set_cover,
+)
 
 __all__ = [
+    "ENGINE_DEFAULT_SOLVER",
     "BestResponse",
     "MaxCoverContext",
     "max_cover_context",
@@ -46,6 +52,14 @@ __all__ = [
     "best_response_sum_local_search",
     "best_response",
 ]
+
+#: Default solver of the engine path (:class:`repro.engine.DynamicsEngine`,
+#: :func:`repro.core.dynamics.best_response_dynamics` and the sweep
+#: configuration).  Branch and bound is the only exact solver that consumes
+#: the warm-start / upper-bound machinery, which is where the 5-600x
+#: re-solve speedup of the scaling layer lives; ``milp`` stays available
+#: opt-in for cross-checking.
+ENGINE_DEFAULT_SOLVER: str = "branch_and_bound"
 
 
 @dataclass(frozen=True)
@@ -146,11 +160,11 @@ def best_response_max(
     profile: StrategyProfile | None,
     player: Node,
     game: GameSpec,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
     cover_context: MaxCoverContext | None = None,
-    warm_start: bool = True,
+    warm_start: bool | None = None,
 ) -> BestResponse:
     """Exact (or greedy, per ``solver``) best response in MaxNCG.
 
@@ -160,17 +174,38 @@ def best_response_max(
 
     ``cover_context`` optionally injects a pre-built
     :class:`MaxCoverContext` (the engine's per-view-token cache); it must
-    describe exactly ``view``'s content.  ``warm_start=True`` (the default)
-    seeds each eccentricity guess's set-cover solve with the previous
-    guess's solution — coverage ``dist <= h - 1`` grows monotonically in
-    ``h``, so the old cover stays feasible and becomes the incumbent that
-    prunes the next search.  Warm starting never changes the returned
-    strategy or cost, only the solve time; ``warm_start=False`` forces the
-    cold re-solve per ``h`` (the pre-scaling behaviour, kept for
-    benchmarking).
+    describe exactly ``view``'s content.  ``warm_start=True`` seeds each
+    eccentricity guess's set-cover solve with the previous guess's
+    solution — coverage ``dist <= h - 1`` grows monotonically in ``h``, so
+    the old cover stays feasible and becomes the incumbent that prunes the
+    next search.  Warm starting never changes the returned strategy or
+    cost, only the solve time; ``warm_start=False`` forces the cold
+    re-solve per ``h`` (the pre-scaling behaviour, kept for benchmarking).
+
+    The default ``warm_start=None`` means *auto*: warm-start exactly when
+    the solver can consume the hints (see
+    :data:`repro.solvers.set_cover.WARM_START_SOLVERS`), silently cold
+    otherwise — so the opt-in ``milp`` cross-check stays usable
+    warning-free.  *Explicitly* requesting ``warm_start=True`` on a solver
+    that cannot consume it warns loudly and takes the cold path
+    (``greedy`` stays quiet — it has no exact search to prune, so warm
+    starts are meaningless there).
     """
     if game.usage is not UsageKind.MAX:
         raise ValueError("best_response_max requires a MaxNCG game spec")
+    if warm_start is None:
+        warm_start = solver in WARM_START_SOLVERS
+    elif warm_start and solver not in WARM_START_SOLVERS:
+        warm_start = False
+        if solver != "greedy":
+            warnings.warn(
+                f"best-response solver {solver!r} cannot consume warm starts; "
+                "each eccentricity guess re-solves its set cover cold (use "
+                f"the engine default solver {ENGINE_DEFAULT_SOLVER!r} for the "
+                "warm-start speedup)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     view, current = _resolve_view_and_strategy(
         profile, player, game, view, current_strategy
     )
@@ -361,7 +396,7 @@ def best_response(
     profile: StrategyProfile | None,
     player: Node,
     game: GameSpec,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     sum_exhaustive_limit: int = 12,
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,

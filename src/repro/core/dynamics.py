@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.core.best_response import best_response
+from repro.core.best_response import ENGINE_DEFAULT_SOLVER, best_response
 from repro.core.games import GameSpec
 from repro.core.metrics import ProfileMetrics, compute_profile_metrics
 from repro.core.strategies import StrategyProfile
@@ -50,7 +50,18 @@ class RoundRecord:
 
 @dataclass
 class DynamicsResult:
-    """Outcome of a best-response dynamics run."""
+    """Outcome of a best-response dynamics run.
+
+    ``certified`` records whether the reported convergence is backed by an
+    equilibrium certificate — a full no-improving-deviation sweep over the
+    players (the quiet round itself for round-robin schedules, an explicit
+    :meth:`repro.engine.DynamicsEngine.certify` pass for randomized ones).
+    It is ``True`` exactly when ``converged`` is: a run that cycles or hits
+    the round cap never claims an equilibrium, and a quiet round under a
+    non-certifying scheduler is not believed until the sweep confirms it.
+    (With an approximate solver the certificate is heuristic, like
+    :func:`repro.core.equilibria.certify_equilibrium`.)
+    """
 
     game: GameSpec
     initial_profile: StrategyProfile
@@ -59,6 +70,7 @@ class DynamicsResult:
     cycled: bool
     rounds: int
     total_changes: int
+    certified: bool = False
     round_records: list[RoundRecord] = field(default_factory=list)
     initial_metrics: ProfileMetrics | None = None
     final_metrics: ProfileMetrics | None = None
@@ -88,7 +100,7 @@ def _initial_profile(initial: StrategyProfile | OwnedGraph) -> StrategyProfile:
 def best_response_dynamics(
     initial: StrategyProfile | OwnedGraph,
     game: GameSpec,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     max_rounds: int = 100,
     collect_round_metrics: bool = False,
     ordering: str = "fixed",
@@ -105,9 +117,11 @@ def best_response_dynamics(
     game:
         Game specification (α, usage kind, knowledge radius k).
     solver:
-        Best-response solver for MaxNCG (``"milp"``, ``"branch_and_bound"``
-        or ``"greedy"``); SumNCG ignores it and uses the exhaustive /
-        local-search dispatcher.
+        Best-response solver for MaxNCG: ``"branch_and_bound"`` (the
+        default — the only exact solver that consumes the warm-start
+        machinery), ``"milp"`` (opt-in cross-check; warns because warm
+        starts die on it) or ``"greedy"`` (approximate); SumNCG ignores it
+        and uses the exhaustive / local-search dispatcher.
     max_rounds:
         Hard cap on the number of rounds; hitting the cap without
         convergence yields ``converged=False, cycled=False``.
@@ -152,7 +166,7 @@ def best_response_dynamics(
 def best_response_dynamics_reference(
     initial: StrategyProfile | OwnedGraph,
     game: GameSpec,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     max_rounds: int = 100,
     collect_round_metrics: bool = False,
     ordering: str = "fixed",
@@ -228,6 +242,8 @@ def best_response_dynamics_reference(
         cycled=cycled,
         rounds=rounds_run,
         total_changes=total_changes,
+        # A quiet round of the full round-robin pass *is* the certificate.
+        certified=converged,
         round_records=round_records,
         initial_metrics=initial_metrics,
         final_metrics=final_metrics,

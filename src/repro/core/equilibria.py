@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.best_response import BestResponse, best_response
+from repro.core.best_response import ENGINE_DEFAULT_SOLVER, BestResponse, best_response
 from repro.core.games import GameSpec
 from repro.core.strategies import StrategyProfile
 from repro.graphs.graph import Node
@@ -52,7 +52,7 @@ def find_improving_deviation(
     profile: StrategyProfile,
     player: Node,
     game: GameSpec,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> BestResponse | None:
     """Return an improving deviation of ``player`` (or ``None`` if none found)."""
     response = best_response(profile, player, game, solver=solver)
@@ -60,7 +60,7 @@ def find_improving_deviation(
 
 
 def improving_players(
-    profile: StrategyProfile, game: GameSpec, solver: str = "milp"
+    profile: StrategyProfile, game: GameSpec, solver: str = ENGINE_DEFAULT_SOLVER
 ) -> list[Node]:
     """Return the players that currently have an improving deviation."""
     return [
@@ -73,7 +73,7 @@ def improving_players(
 def certify_equilibrium(
     profile: StrategyProfile,
     game: GameSpec,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     players: list[Node] | None = None,
     stop_at_first: bool = False,
 ) -> EquilibriumReport:
@@ -99,7 +99,7 @@ def certify_equilibrium(
 
 
 def is_equilibrium(
-    profile: StrategyProfile, game: GameSpec, solver: str = "milp"
+    profile: StrategyProfile, game: GameSpec, solver: str = ENGINE_DEFAULT_SOLVER
 ) -> bool:
     """Shorthand: ``True`` iff no player has an improving deviation.
 

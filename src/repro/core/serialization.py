@@ -120,6 +120,7 @@ def dynamics_result_to_dict(result: DynamicsResult) -> dict:
         "final_profile": profile_to_dict(result.final_profile),
         "converged": result.converged,
         "cycled": result.cycled,
+        "certified": result.certified,
         "rounds": result.rounds,
         "total_changes": result.total_changes,
         "final_metrics": final_metrics,

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.best_response import (
+    ENGINE_DEFAULT_SOLVER,
     BestResponse,
     best_response_max,
     best_response_sum_exhaustive,
@@ -41,7 +42,7 @@ def best_response_under_model(
     player: Node,
     game: GameSpec,
     model: ViewModel,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
     sum_exhaustive_limit: int = 12,
 ) -> BestResponse:
     """Best response of ``player`` when her knowledge comes from ``model``.
@@ -65,7 +66,7 @@ def improving_players_under_model(
     profile: StrategyProfile,
     game: GameSpec,
     model: ViewModel,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> list[Node]:
     """Players that hold a worst-case improving deviation under ``model``."""
     result: list[Node] = []
@@ -80,7 +81,7 @@ def is_equilibrium_under_model(
     profile: StrategyProfile,
     game: GameSpec,
     model: ViewModel,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> bool:
     """Whether ``profile`` is stable when every player observes via ``model``."""
     for player in profile:
@@ -143,7 +144,7 @@ def compare_view_models(
     game: GameSpec,
     models: list[ViewModel],
     check_stability: bool = True,
-    solver: str = "milp",
+    solver: str = ENGINE_DEFAULT_SOLVER,
 ) -> list[ModelComparison]:
     """Summarise what each model reveals (and whether the profile is stable).
 

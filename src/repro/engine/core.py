@@ -25,14 +25,17 @@ total changes) — this is enforced by the equivalence suite in
 from __future__ import annotations
 
 import random
+import warnings
 
 from repro.core.best_response import (
+    ENGINE_DEFAULT_SOLVER,
     BestResponse,
     MaxCoverContext,
     best_response,
     max_cover_context,
 )
 from repro.core.dynamics import DynamicsResult, RoundRecord
+from repro.core.equilibria import EquilibriumReport
 from repro.core.games import GameSpec, UsageKind
 from repro.core.metrics import compute_profile_metrics
 from repro.core.strategies import StrategyProfile
@@ -41,6 +44,7 @@ from repro.engine.state import NetworkState
 from repro.engine.views import IncrementalViewCache
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.graph import Node
+from repro.solvers.set_cover import WARM_START_SOLVERS
 
 __all__ = ["coerce_profile", "DynamicsEngine", "COVER_CONTEXT_CACHE_MAX_NODES"]
 
@@ -77,10 +81,11 @@ class DynamicsEngine:
         self,
         initial: StrategyProfile | OwnedGraph,
         game: GameSpec,
-        solver: str = "milp",
+        solver: str = ENGINE_DEFAULT_SOLVER,
         scheduler: str | Scheduler = "fixed",
         max_rounds: int = 100,
         collect_round_metrics: bool = False,
+        collect_metrics: bool = True,
         seed: int | None = None,
         player_order: list[Node] | None = None,
         workers: int | None = 1,
@@ -88,8 +93,25 @@ class DynamicsEngine:
         profile = coerce_profile(initial)
         self.game = game
         self.solver = solver
+        if (
+            game.usage is UsageKind.MAX
+            and solver not in WARM_START_SOLVERS
+            and solver != "greedy"
+        ):
+            # The engine re-solves best responses all run long, which is
+            # exactly where the warm-start machinery pays off; an exact
+            # solver without an incumbent hook silently forfeits it.
+            warnings.warn(
+                f"solver {solver!r} cannot consume the warm-start/upper-bound "
+                "hints; every activation re-solves its set covers cold (the "
+                f"engine default {ENGINE_DEFAULT_SOLVER!r} gets the warm-start "
+                "speedup)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.max_rounds = max_rounds
         self.collect_round_metrics = collect_round_metrics
+        self.collect_metrics = collect_metrics
         self.rng = random.Random(seed)
         self.state = NetworkState.from_profile(profile)
         self.views = IncrementalViewCache(self.state, game.k)
@@ -230,6 +252,47 @@ class DynamicsEngine:
         return False
 
     # ------------------------------------------------------------------
+    # Certification
+    # ------------------------------------------------------------------
+    def certify(self, stop_at_first: bool = False) -> EquilibriumReport:
+        """Prove (or refute) that the *current* profile is an equilibrium.
+
+        One sweep over all players that shows no improving deviation exists —
+        the LKE certificate for finite ``game.k``, the NE certificate under
+        full knowledge.  The sweep rides the engine caches: views settle
+        through one blocked batched BFS and every player whose (view token,
+        strategy) pair is unchanged since her last evaluation is answered
+        from the best-response memo, so certifying a freshly converged run
+        costs no additional solver calls at all, and certifying after a
+        localized perturbation costs O(dirty ball), not O(n).
+
+        This is the pass that backs ``random_sequential`` (and any other
+        ``certifies_convergence = False`` scheduler) inside :meth:`run` — a
+        quiet round under randomized activation only means no *sampled*
+        player improved — and the robustness scenario suite calls it after
+        every recovery so no reported equilibrium is ever uncertified.
+
+        ``stop_at_first=True`` aborts at the first improving player (enough
+        to refute).  The report's exactness sets mirror the solver: with an
+        approximate solver (``greedy``) a positive answer is heuristic only,
+        exactly as in :func:`repro.core.equilibria.certify_equilibrium`.
+        """
+        self.views.refresh_dirty()
+        report = EquilibriumReport(is_equilibrium=True)
+        for player in self.base_order:
+            response = self.peek_response(player)
+            if response.exact:
+                report.checked_exactly.add(player)
+            else:
+                report.checked_heuristically.add(player)
+            if response.is_improving:
+                report.improving[player] = response
+                report.is_equilibrium = False
+                if stop_at_first:
+                    return report
+        return report
+
+    # ------------------------------------------------------------------
     # The round loop
     # ------------------------------------------------------------------
     def run(self) -> DynamicsResult:
@@ -239,14 +302,31 @@ class DynamicsEngine:
         to *reach* the stable network, so the certifying all-quiet round is
         not counted (``rounds = round_index - 1`` on convergence).
 
+        Convergence is only ever reported with a certificate behind it: for
+        schedulers whose quiet round visits every player the round itself is
+        the certificate, and for the rest (``certifies_convergence =
+        False``, e.g. ``random_sequential``) the quiet round must survive an
+        explicit :meth:`certify` sweep — otherwise the run keeps going.  The
+        returned :attr:`DynamicsResult.certified` flag records exactly this:
+        it is ``True`` iff ``converged`` is, and never on a cycle or a
+        ``max_rounds`` bail-out.
+
         ``run`` may be called again after :meth:`set_strategy`
         perturbations; each call is a fresh dynamics run (own cycle
         detector, own round count) starting from the *current* state, with
-        all still-valid caches carried over.
+        all still-valid caches carried over.  The two full metric sweeps
+        bookending every run are O(n · edges) regardless of how local the
+        dynamics were — ``collect_metrics=False`` skips them (the result's
+        ``initial_metrics`` / ``final_metrics`` are ``None``), which is what
+        keeps a warm replay after a localized shock at O(dirty ball).
         """
         game = self.game
         initial_profile = self.state.to_profile()
-        initial_metrics = compute_profile_metrics(initial_profile, game)
+        initial_metrics = (
+            compute_profile_metrics(initial_profile, game)
+            if self.collect_metrics
+            else None
+        )
         # Bulk-build all views with one batched CSR BFS instead of n
         # sequential Python traversals.
         self.views.refresh_dirty()
@@ -254,6 +334,7 @@ class DynamicsEngine:
         seen_profiles: dict[tuple, int] = {self.state.canonical_key(): 0}
         total_changes = 0
         converged = False
+        certified = False
         cycled = False
         rounds_run = 0
         for round_index in range(1, self.max_rounds + 1):
@@ -269,8 +350,9 @@ class DynamicsEngine:
                     )
                 )
             if changes == 0:
-                if not self.scheduler.certifies_convergence and any(
-                    self.peek_response(p).is_improving for p in self.base_order
+                if (
+                    not self.scheduler.certifies_convergence
+                    and not self.certify(stop_at_first=True).is_equilibrium
                 ):
                     # The quiet round was sampling luck, not an equilibrium
                     # (the certification sweep found an improving player):
@@ -279,6 +361,7 @@ class DynamicsEngine:
                     # ``seen_profiles``.
                     continue
                 converged = True
+                certified = True
                 rounds_run = round_index - 1
                 break
             if self.scheduler.detects_cycles:
@@ -296,7 +379,12 @@ class DynamicsEngine:
             cycled=cycled,
             rounds=rounds_run,
             total_changes=total_changes,
+            certified=certified,
             round_records=round_records,
             initial_metrics=initial_metrics,
-            final_metrics=compute_profile_metrics(final_profile, game),
+            final_metrics=(
+                compute_profile_metrics(final_profile, game)
+                if self.collect_metrics
+                else None
+            ),
         )

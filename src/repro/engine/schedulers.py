@@ -57,8 +57,10 @@ class Scheduler(ABC):
     ``certifies_convergence`` says whether a zero-change round proves an
     equilibrium (every player was activated and declined to move).  When
     ``False`` the engine follows a quiet round with an explicit
-    certification sweep over all players — cheap, since it rides the
-    best-response memo — before declaring convergence.
+    :meth:`repro.engine.DynamicsEngine.certify` sweep over all players —
+    cheap, since it rides the best-response memo — before declaring
+    convergence; either way :attr:`DynamicsResult.certified` is only set
+    once a full no-improving-deviation pass stands behind the result.
     """
 
     name: str = "abstract"
@@ -112,9 +114,11 @@ class RandomSequentialScheduler(_SequentialScheduler):
     A round of all-misses does not certify an equilibrium the way a full
     round-robin pass does (an improving player may simply never have been
     drawn), so ``certifies_convergence = False`` makes the engine confirm a
-    quiet round with a full certification sweep before reporting
-    convergence; profile repeats are likewise not evidence of a
-    best-response cycle, hence ``detects_cycles = False``.
+    quiet round with an explicit ``engine.certify()`` sweep before
+    reporting convergence — ``DynamicsResult`` therefore never carries a
+    ``converged=True, certified=True`` verdict off the back of sampling
+    luck; profile repeats are likewise not evidence of a best-response
+    cycle, hence ``detects_cycles = False``.
     """
 
     name = "random_sequential"

@@ -69,7 +69,9 @@ class SweepSettings:
     num_seeds:
         Number of independent random instances per parameter cell.
     solver:
-        Best-response solver (``"milp"``, ``"branch_and_bound"``, ``"greedy"``).
+        Best-response solver (``"branch_and_bound"`` — the engine default,
+        the only exact solver that consumes warm starts — ``"milp"``,
+        ``"greedy"``).
     max_rounds:
         Round cap of the dynamics (the paper's runs converge within ~8).
     workers:
@@ -80,13 +82,15 @@ class SweepSettings:
     """
 
     num_seeds: int = PAPER_NUM_SEEDS
-    solver: str = "milp"
+    #: Mirrors :data:`repro.core.best_response.ENGINE_DEFAULT_SOLVER` (kept
+    #: literal so this module stays import-free).
+    solver: str = "branch_and_bound"
     max_rounds: int = 60
     workers: int = 1
     base_seed: int = 0
 
     @classmethod
-    def paper(cls, workers: int = 1, solver: str = "milp") -> "SweepSettings":
+    def paper(cls, workers: int = 1, solver: str = "branch_and_bound") -> "SweepSettings":
         return cls(num_seeds=PAPER_NUM_SEEDS, solver=solver, workers=workers)
 
     @classmethod

@@ -20,7 +20,12 @@ the headline findings move:
   worst-case players survive Bayesian (expected-cost) scrutiny;
 * :mod:`~repro.experiments.extensions.anatomy` — the full structural report
   (cut structure, hub concentration, cost split) of the stable networks
-  across the (α, k) grid.
+  across the (α, k) grid;
+* :mod:`~repro.experiments.extensions.robustness` — perturbation & recovery
+  scenarios: shock a certified equilibrium through the engine's
+  ``set_strategy`` API (edge failures, hub attacks, player resets,
+  shortcut injection), warm-replay the dynamics and certify the landing
+  point, measuring rounds-to-recover, shock radius and warm-vs-cold cost.
 
 Every study exposes a ``*Config`` dataclass with ``paper()`` / ``smoke()``
 constructors and a ``generate_*`` function returning a list of flat row
@@ -38,6 +43,13 @@ from repro.experiments.extensions.view_models import (
 )
 from repro.experiments.extensions.beliefs import BeliefStudyConfig, generate_belief_study
 from repro.experiments.extensions.anatomy import AnatomyStudyConfig, generate_anatomy_study
+from repro.experiments.extensions.robustness import (
+    PERTURBATIONS,
+    RobustnessStudyConfig,
+    aggregate_robustness_rows,
+    apply_perturbation,
+    generate_robustness_study,
+)
 
 __all__ = [
     "build_extension_instance",
@@ -54,4 +66,9 @@ __all__ = [
     "generate_belief_study",
     "AnatomyStudyConfig",
     "generate_anatomy_study",
+    "PERTURBATIONS",
+    "RobustnessStudyConfig",
+    "aggregate_robustness_rows",
+    "apply_perturbation",
+    "generate_robustness_study",
 ]

@@ -1,0 +1,629 @@
+"""Perturbation & recovery scenarios: how stable are the stable networks?
+
+The paper's central objects are *equilibria of best-response dynamics* —
+LKEs under the k-local view model, NEs under full knowledge.  The natural
+next question is their stability: if an adversary (or a failure) edits a
+few strategies at an equilibrium, who re-moves, how far does the shock
+propagate through the k-local views, and does the dynamics land back in a
+certified equilibrium?  This module sweeps exactly that, in the
+experimental-analysis style of the figure harnesses: perturbation
+operators x instance families x shock intensities, with per-shock recovery
+trajectories recorded through :mod:`repro.experiments.store`.
+
+Mapping to the paper's concepts
+-------------------------------
+* **Shocks are strategy edits.**  The game state *is* the strategy profile
+  (Section 2: the network is induced by what the players buy), so every
+  operator perturbs through :meth:`repro.engine.DynamicsEngine.set_strategy`
+  — edge deletions are owner strategy edits, never raw graph surgery.  The
+  engine turns each edit into an edge delta and invalidates only the dirty
+  region, so a localized shock costs O(ball around the shock), not O(n).
+* **k-local views bound the blast radius.**  A player re-moves only if the
+  shock changed something inside her radius-k view (Proposition 2.1/2.2),
+  which is why warm recovery from a local shock is much cheaper than a cold
+  restart — the subsystem measures that ratio per shock.
+* **Every reported equilibrium is certified.**  After each recovery the
+  suite calls :meth:`repro.engine.DynamicsEngine.certify` — a full
+  no-improving-deviation sweep, i.e. the LKE definition itself — so no row
+  ever claims an equilibrium off the back of a lucky quiet round.
+* **Connectivity is preserved by construction.**  Disconnection makes
+  every cost infinite (the paper's games assume a connected start), so the
+  deletion operators only drop bought edges whose removal keeps the network
+  connected: ownership flips of double-bought edges are always safe, and
+  topology-changing drops are screened against the current bridge set
+  (recomputed after every single drop).
+
+Operators
+---------
+``drop_random_edges``
+    Random edge failure: uniformly chosen droppable (non-bridge or
+    double-bought) owned edges are removed via owner strategy edits.
+``hub_attack``
+    Greedy targeted attack: always removes the droppable edge whose owner
+    has the highest betweenness centrality — the adversary dismantles the
+    hub structure the dynamics builds (Figure 8's max-degree players).
+``reset_player``
+    Single-player strategy reset: one random player loses every droppable
+    bought edge (bridges are kept, see above).
+``multi_reset``
+    Batched multi-player shock: ``intensity`` distinct players are reset
+    back to back before the dynamics may react — the synchronous-failure
+    scenario.
+``add_shortcuts``
+    Redundant shortcut injection: random players are saddled with extra
+    edges towards distance-2 targets.  Additions never disconnect, so this
+    operator exercises tree-like equilibria (where every edge is a bridge
+    and nothing is droppable) too; recovery consists of dropping the
+    redundant edges again.
+
+Each scenario converges an engine once, then alternates shock -> warm
+re-``run`` -> ``certify`` while timing a cold restart
+(:class:`~repro.engine.DynamicsEngine` built from the shocked profile) on
+the side, recording rounds-to-recover, players touched, social-cost drift,
+pre/post equilibrium distance and the warm-vs-cold speedup per shock.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.analysis.statistics import summarize
+from repro.core.costs import social_cost
+from repro.core.dynamics import DynamicsResult
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG
+from repro.core.metrics import compute_profile_metrics
+from repro.core.strategies import StrategyProfile
+from repro.engine.core import DynamicsEngine
+from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
+from repro.experiments.extensions.instances import build_extension_instance
+from repro.experiments.store import ExperimentStore
+from repro.graphs.algorithms import betweenness_centrality, bridges
+from repro.graphs.graph import Node
+from repro.graphs.traversal import bfs_distances_within, is_connected
+from repro.parallel.pool import parallel_map
+
+__all__ = [
+    "ShockRecord",
+    "PERTURBATIONS",
+    "apply_perturbation",
+    "RobustnessStudyConfig",
+    "generate_robustness_study",
+    "aggregate_robustness_rows",
+]
+
+
+@dataclass(frozen=True)
+class ShockRecord:
+    """What one perturbation operator actually did to the engine state."""
+
+    operator: str
+    players: tuple[Node, ...]  #: players whose strategies were edited
+    edges_dropped: int
+    edges_added: int
+
+    @property
+    def size(self) -> int:
+        return self.edges_dropped + self.edges_added
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+
+# ----------------------------------------------------------------------
+# Droppable-edge screening (connectivity preservation)
+# ----------------------------------------------------------------------
+def _droppable_pairs(
+    engine: DynamicsEngine, owner: Node | None = None
+) -> list[tuple[Node, Node]]:
+    """Owned ``(owner, target)`` pairs safe to drop one at a time.
+
+    A pair is droppable when removing it keeps the network connected:
+    either the edge is double-bought (dropping one ownership is a pure
+    flip, no topology change) or it is not a bridge of the current graph.
+    The bridge set is recomputed by the callers after every applied drop —
+    two individually non-bridge edges may well disconnect jointly.
+    """
+    state = engine.state
+    bridge_set = {frozenset(edge) for edge in bridges(state.graph)}
+    owners = [owner] if owner is not None else state.players()
+    pairs: list[tuple[Node, Node]] = []
+    for player in owners:
+        for target in sorted(state.strategy(player), key=repr):
+            if player in state.strategy(target):  # double-bought: ownership flip
+                pairs.append((player, target))
+            elif frozenset((player, target)) not in bridge_set:
+                pairs.append((player, target))
+    return pairs
+
+
+def _drop(engine: DynamicsEngine, pair: tuple[Node, Node]) -> None:
+    player, target = pair
+    engine.set_strategy(player, engine.state.strategy(player) - {target})
+
+
+# ----------------------------------------------------------------------
+# Perturbation operators
+# ----------------------------------------------------------------------
+def drop_random_edges(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Remove up to ``intensity`` uniformly random droppable owned edges."""
+    touched: list[Node] = []
+    dropped = 0
+    for _ in range(intensity):
+        candidates = _droppable_pairs(engine)
+        if not candidates:
+            break
+        pair = rng.choice(candidates)
+        _drop(engine, pair)
+        touched.append(pair[0])
+        dropped += 1
+    return ShockRecord("drop_random_edges", tuple(dict.fromkeys(touched)), dropped, 0)
+
+
+def hub_attack(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Greedy attack on high-centrality owners.
+
+    Repeatedly removes the droppable edge whose *owner* has the highest
+    betweenness centrality in the pre-shock network (deterministic given
+    the state; ``rng`` is part of the operator interface but unused).
+    """
+    centrality = betweenness_centrality(engine.state.graph)
+    touched: list[Node] = []
+    dropped = 0
+    for _ in range(intensity):
+        candidates = _droppable_pairs(engine)
+        if not candidates:
+            break
+        pair = max(candidates, key=lambda p: (centrality[p[0]], repr(p)))
+        _drop(engine, pair)
+        touched.append(pair[0])
+        dropped += 1
+    return ShockRecord("hub_attack", tuple(dict.fromkeys(touched)), dropped, 0)
+
+
+def _reset_players(
+    engine: DynamicsEngine, rng: random.Random, num_players: int, name: str
+) -> ShockRecord:
+    """Strip ``num_players`` distinct random players of every droppable edge."""
+    touched: list[Node] = []
+    dropped = 0
+    for _ in range(num_players):
+        eligible = sorted(
+            {pair[0] for pair in _droppable_pairs(engine)} - set(touched), key=repr
+        )
+        if not eligible:
+            break
+        player = rng.choice(eligible)
+        while True:
+            mine = _droppable_pairs(engine, owner=player)
+            if not mine:
+                break
+            _drop(engine, mine[0])
+            dropped += 1
+        touched.append(player)
+    return ShockRecord(name, tuple(touched), dropped, 0)
+
+
+def reset_player(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Reset one random player's strategy (``intensity`` is ignored)."""
+    return _reset_players(engine, rng, 1, "reset_player")
+
+
+def multi_reset(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Batched shock: reset ``max(intensity, 2)`` distinct players at once."""
+    return _reset_players(engine, rng, max(intensity, 2), "multi_reset")
+
+
+def add_shortcuts(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Saddle random players with redundant edges to distance-2 targets."""
+    players = engine.state.players()
+    touched: list[Node] = []
+    added = 0
+    for _ in range(intensity):
+        for _attempt in range(8):
+            player = rng.choice(players)
+            near = bfs_distances_within(engine.state.graph, player, 2)
+            ring = sorted((q for q, d in near.items() if d == 2), key=repr)
+            if not ring:
+                continue
+            target = rng.choice(ring)
+            engine.set_strategy(player, engine.state.strategy(player) | {target})
+            touched.append(player)
+            added += 1
+            break
+    return ShockRecord("add_shortcuts", tuple(dict.fromkeys(touched)), 0, added)
+
+
+#: Operator registry (name -> callable(engine, rng, intensity) -> ShockRecord).
+PERTURBATIONS = {
+    "drop_random_edges": drop_random_edges,
+    "hub_attack": hub_attack,
+    "reset_player": reset_player,
+    "multi_reset": multi_reset,
+    "add_shortcuts": add_shortcuts,
+}
+
+
+def apply_perturbation(
+    engine: DynamicsEngine, name: str, rng: random.Random, intensity: int = 1
+) -> ShockRecord:
+    """Apply the registered operator ``name`` to ``engine`` and report it.
+
+    Every operator edits strategies exclusively through
+    :meth:`~repro.engine.DynamicsEngine.set_strategy` and leaves the induced
+    network connected; the returned record says what actually happened
+    (operators degrade to smaller — possibly empty — shocks when the
+    instance offers no safe edit of the requested kind).
+    """
+    try:
+        operator = PERTURBATIONS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown perturbation {name!r}; available: {sorted(PERTURBATIONS)}"
+        ) from exc
+    record = operator(engine, rng, intensity)
+    if not is_connected(engine.state.graph):  # pragma: no cover - safety net
+        raise AssertionError(f"perturbation {name!r} disconnected the network")
+    return record
+
+
+# ----------------------------------------------------------------------
+# The scenario sweep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RobustnessStudyConfig:
+    """Parameter grid of the perturbation & recovery study."""
+
+    families: tuple[str, ...] = ("tree", "gnp", "watts-strogatz", "barabasi-albert")
+    operators: tuple[str, ...] = (
+        "drop_random_edges",
+        "hub_attack",
+        "reset_player",
+        "multi_reset",
+        "add_shortcuts",
+    )
+    n: int = 50
+    alphas: tuple[float, ...] = (0.5, 2.0)
+    ks: tuple[int, ...] = (2, 3)
+    #: Sequential shocks per (instance, operator); each recovery's
+    #: equilibrium is the next shock's starting point.
+    shocks_per_instance: int = 3
+    #: Edits per shock (edges for the edge operators, players for
+    #: ``multi_reset``; ``reset_player`` always touches exactly one).
+    intensity: int = 2
+    settings: SweepSettings = field(default_factory=SweepSettings.paper)
+
+    @classmethod
+    def paper(cls, workers: int = 1) -> "RobustnessStudyConfig":
+        return cls(settings=SweepSettings.paper(workers=workers))
+
+    @classmethod
+    def smoke(cls, workers: int = 1) -> "RobustnessStudyConfig":
+        """CI grid: still >= 3 families x >= 3 operators, but tiny instances.
+
+        Unlike the other smoke grids this one keeps the exact
+        branch-and-bound solver: certification is the point of the study,
+        and a greedy certificate proves nothing.
+        """
+        return cls(
+            families=("tree", "gnp", "watts-strogatz"),
+            operators=("drop_random_edges", "reset_player", "add_shortcuts"),
+            n=12,
+            alphas=(0.5,),
+            ks=(2,),
+            shocks_per_instance=2,
+            intensity=1,
+            settings=SweepSettings.smoke(workers=workers, solver="branch_and_bound"),
+        )
+
+
+def _profile_distance(a: StrategyProfile, b: StrategyProfile) -> tuple[int, int]:
+    """(players whose strategy differs, symmetric difference of edge sets)."""
+    moved = sum(1 for p in a.players() if a.strategy(p) != b.strategy(p))
+    edges_a = {frozenset(edge) for edge in a.graph().edges()}
+    edges_b = {frozenset(edge) for edge in b.graph().edges()}
+    return moved, len(edges_a ^ edges_b)
+
+
+def _restore(engine: DynamicsEngine, profile: StrategyProfile) -> None:
+    """Warm-replay the engine back onto ``profile`` via ``set_strategy``."""
+    for player in profile.players():
+        if engine.state.strategy(player) != profile.strategy(player):
+            engine.set_strategy(player, profile.strategy(player))
+
+
+def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
+    """One instance's shock/recovery rows plus its certified base run.
+
+    Picklable sweep work item.  The second element is the pre-shock
+    converged :class:`DynamicsResult` (``None`` when the base dynamics
+    failed to certify) so the caller can checkpoint a base equilibrium
+    without re-running the dynamics it already paid for.
+    """
+    (family, n, alpha, k, seed, operators, shocks, intensity, solver, max_rounds) = task
+    owned = build_extension_instance(family, n, seed)
+    k_value = FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k
+    game: GameSpec = MaxNCG(alpha=alpha, k=k_value)
+    # Metric sweeps are O(n · edges) bookends on every `run`; computing
+    # social costs explicitly (outside the timed windows) keeps the warm
+    # replay at O(dirty ball) and the warm-vs-cold timing honest.
+    engine = DynamicsEngine(
+        owned, game, solver=solver, max_rounds=max_rounds, collect_metrics=False
+    )
+    base_result = engine.run()
+    base_info = {
+        "family": family,
+        "n": owned.graph.number_of_nodes(),
+        "alpha": alpha,
+        "k": k,
+        "seed": seed,
+    }
+    if not base_result.converged:
+        # The pre-shock dynamics cycled or timed out: there is no
+        # equilibrium to perturb.  One honest row instead of fake shocks.
+        return [
+            {
+                **base_info,
+                "operator": "none",
+                "shock_index": -1,
+                "shock_players": 0,
+                "shock_edges_dropped": 0,
+                "shock_edges_added": 0,
+                "converged": False,
+                "certified": False,
+            }
+        ], None
+    base_profile = engine.state.to_profile()
+    base_cost = social_cost(base_profile, game)
+    rows: list[dict] = []
+    for operator in operators:
+        # Warm-replay back to the base equilibrium so operators see the
+        # same starting point regardless of what earlier ones did.
+        _restore(engine, base_profile)
+        pre_profile = base_profile
+        pre_cost = base_cost
+        rng = random.Random(f"robustness:{family}:{alpha}:{k}:{seed}:{operator}")
+        for shock_index in range(shocks):
+            record = apply_perturbation(engine, operator, rng, intensity)
+            if record.is_empty:
+                # No safe edit existed (e.g. deletions on an all-bridges
+                # tree equilibrium): the state still *is* the certified
+                # ``pre_profile``, so recovering it warm and cold would
+                # only time engine construction.  One cheap honest row;
+                # the aggregates exclude it from every recovery statistic.
+                rows.append(
+                    {
+                        **base_info,
+                        "operator": record.operator,
+                        "shock_index": shock_index,
+                        "shock_empty": True,
+                        "shock_players": 0,
+                        "shock_edges_dropped": 0,
+                        "shock_edges_added": 0,
+                        "pre_social_cost": pre_cost,
+                        "shock_social_cost": pre_cost,
+                        "recovered_social_cost": pre_cost,
+                        "social_cost_delta": 0.0,
+                        "rounds_to_recover": 0,
+                        "recovery_changes": 0,
+                        "moved_players": 0,
+                        "strategy_distance": 0,
+                        "edge_distance": 0,
+                        "recovered_to_same": True,
+                        "converged": True,
+                        "certified": True,
+                        # The standing certificate is the solver's: exact
+                        # unless the best responses were greedy.
+                        "certified_exact": solver != "greedy",
+                        "warm_equals_cold": True,
+                        "warm_s": 0.0,
+                        "cold_s": 0.0,
+                        "warm_speedup": 1.0,
+                    }
+                )
+                continue
+            shock_profile = engine.state.to_profile()
+            shock_cost = social_cost(shock_profile, game)
+
+            start = time.perf_counter()
+            result = engine.run()
+            warm_s = time.perf_counter() - start
+            # A cycled/capped run is not an equilibrium by definition —
+            # sweeping it would pay up to n stale-memo solver calls just
+            # to learn what `result.certified` already says.
+            report = engine.certify() if result.converged else None
+            recovered = engine.state.to_profile()
+
+            cold_engine = DynamicsEngine(
+                shock_profile,
+                game,
+                solver=solver,
+                max_rounds=max_rounds,
+                collect_metrics=False,
+            )
+            start = time.perf_counter()
+            cold_result = cold_engine.run()
+            cold_s = time.perf_counter() - start
+
+            moved_in_recovery, _ = _profile_distance(shock_profile, recovered)
+            strategy_distance, edge_distance = _profile_distance(pre_profile, recovered)
+            recovered_cost = social_cost(recovered, game)
+            rows.append(
+                {
+                    **base_info,
+                    "operator": record.operator,
+                    "shock_index": shock_index,
+                    "shock_empty": record.is_empty,
+                    "shock_players": len(record.players),
+                    "shock_edges_dropped": record.edges_dropped,
+                    "shock_edges_added": record.edges_added,
+                    "pre_social_cost": pre_cost,
+                    "shock_social_cost": shock_cost,
+                    "recovered_social_cost": recovered_cost,
+                    "social_cost_delta": recovered_cost - pre_cost,
+                    "rounds_to_recover": result.rounds,
+                    "recovery_changes": result.total_changes,
+                    "moved_players": moved_in_recovery,
+                    "strategy_distance": strategy_distance,
+                    "edge_distance": edge_distance,
+                    "recovered_to_same": recovered == pre_profile,
+                    "converged": result.converged,
+                    "certified": report is not None
+                    and result.certified
+                    and report.is_equilibrium,
+                    "certified_exact": report is not None and report.all_exact,
+                    "warm_equals_cold": (
+                        recovered == cold_result.final_profile
+                        and result.rounds == cold_result.rounds
+                    ),
+                    "warm_s": round(warm_s, 6),
+                    "cold_s": round(cold_s, 6),
+                    "warm_speedup": round(cold_s / max(warm_s, 1e-9), 2),
+                }
+            )
+            if not result.converged:
+                # The warm recovery cycled or hit the round cap: the state
+                # is not an equilibrium, so chaining further shocks from it
+                # would measure drift against a junk baseline.  The honest
+                # row above (converged=False) stands; the operator's
+                # remaining shock slots are abandoned.
+                break
+            pre_profile = recovered
+            pre_cost = recovered_cost
+    return rows, (base_result if base_result.certified else None)
+
+
+def generate_robustness_study(
+    config: RobustnessStudyConfig | None = None,
+    store: ExperimentStore | str | None = None,
+    experiment_name: str = "robustness",
+) -> list[dict]:
+    """Run the perturbation & recovery sweep; one row per shock.
+
+    When ``store`` is given (an :class:`ExperimentStore` or a directory
+    path), the per-shock rows and the flattened configuration are persisted
+    under ``experiment_name``, plus one checkpoint of a representative base
+    equilibrium — the first instance's own certified pre-shock run, reused
+    from the sweep rather than re-converged — so a later session can reload
+    both the trajectory series and a concrete certified profile without
+    re-running the dynamics.  (No checkpoint is written when that base run
+    failed to certify: a cycling or capped run is not a base equilibrium.)
+    """
+    cfg = config if config is not None else RobustnessStudyConfig.paper()
+    tasks = [
+        (
+            family,
+            cfg.n,
+            alpha,
+            k,
+            cfg.settings.base_seed + seed,
+            cfg.operators,
+            cfg.shocks_per_instance,
+            cfg.intensity,
+            cfg.settings.solver,
+            cfg.settings.max_rounds,
+        )
+        for family in cfg.families
+        for alpha in cfg.alphas
+        for k in cfg.ks
+        for seed in range(cfg.settings.num_seeds)
+    ]
+    nested = parallel_map(_instance_rows, tasks, workers=cfg.settings.workers)
+    rows = [row for instance_rows, _ in nested for row in instance_rows]
+    if store is not None:
+        if not isinstance(store, ExperimentStore):
+            store = ExperimentStore(store)
+        store.save_rows(experiment_name, rows, config=asdict(cfg))
+        family, _, alpha, k, seed = tasks[0][:5]
+        checkpoint_result = nested[0][1]
+        # Only a certified equilibrium earns the "base" label; a cycling or
+        # capped run would silently ship a non-equilibrium checkpoint.
+        if checkpoint_result is not None:
+            # The sweep engines skip metric sweeps; backfill the headline
+            # metrics for the checkpoint document (one O(n · edges) pass,
+            # no dynamics re-run).
+            checkpoint_result.final_metrics = compute_profile_metrics(
+                checkpoint_result.final_profile, checkpoint_result.game
+            )
+            store.save_checkpoint(
+                experiment_name,
+                f"base-{family}-a{alpha}-k{k}-s{seed}",
+                checkpoint_result,
+            )
+    return rows
+
+
+def aggregate_robustness_rows(rows: list[dict]) -> list[dict]:
+    """One summary row per (family, operator, alpha, k) cell.
+
+    Means carry the ±CI half-widths of :func:`repro.analysis.statistics.summarize`.
+    Two row classes are excluded from the recovery statistics so they
+    cannot masquerade as recoveries:
+
+    * **empty shocks** — the operator found no safe edit, e.g. edge
+      deletion on an all-bridges tree equilibrium.  They are counted
+      (``empty_shocks``) but measure nothing; a cell where *every* shock
+      was empty reports NaN fractions rather than a perfect score.
+    * **unrecovered shocks** — the warm re-run cycled or hit the round
+      cap.  They drag ``certified_fraction`` down but stay out of the
+      means: ``rounds_to_recover == max_rounds`` is a cap, not a
+      recovery time.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        if row["operator"] == "none":
+            continue
+        groups.setdefault(
+            (row["family"], row["operator"], row["alpha"], row["k"]), []
+        ).append(row)
+    aggregated: list[dict] = []
+    for (family, operator, alpha, k), bucket in sorted(
+        groups.items(), key=lambda kv: tuple(map(repr, kv[0]))
+    ):
+        real = [r for r in bucket if not r.get("shock_empty")]
+        recovered = [r for r in real if r.get("converged")]
+        out: dict = {
+            "family": family,
+            "operator": operator,
+            "alpha": alpha,
+            "k": k,
+            "num_shocks": len(bucket),
+            "empty_shocks": len(bucket) - len(real),
+        }
+        if real:
+            out["certified_fraction"] = sum(r["certified"] for r in real) / len(real)
+            out["recovered_to_same_fraction"] = sum(
+                r["recovered_to_same"] for r in real
+            ) / len(real)
+        else:
+            out["certified_fraction"] = float("nan")
+            out["recovered_to_same_fraction"] = float("nan")
+        for metric in (
+            "rounds_to_recover",
+            "moved_players",
+            "social_cost_delta",
+            "edge_distance",
+            "warm_speedup",
+        ):
+            finite = [
+                float(r[metric])
+                for r in recovered
+                if r[metric] == r[metric] and abs(r[metric]) != float("inf")
+            ]
+            summary = summarize(finite)
+            out[f"{metric}_mean"] = summary.mean
+            out[f"{metric}_ci"] = summary.half_width
+        aggregated.append(out)
+    return aggregated

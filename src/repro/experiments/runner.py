@@ -23,6 +23,7 @@ import pstats
 from dataclasses import dataclass, field
 from functools import partial
 
+from repro.core.best_response import ENGINE_DEFAULT_SOLVER
 from repro.core.dynamics import best_response_dynamics
 from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG, SumNCG
 from repro.core.metrics import ProfileMetrics
@@ -52,7 +53,7 @@ class RunSpec:
     seed: int
     p: float | None = None
     usage: str = "max"
-    solver: str = "milp"
+    solver: str = ENGINE_DEFAULT_SOLVER  # the warm-start-capable engine default
     max_rounds: int = 60
     ordering: str = "fixed"
     ownership: str = "fair_coin"
@@ -77,6 +78,9 @@ class RunResult:
     total_changes: int
     initial_metrics: ProfileMetrics
     final_metrics: ProfileMetrics
+    #: Convergence backed by a full no-improving-deviation sweep (see
+    #: :attr:`repro.core.dynamics.DynamicsResult.certified`).
+    certified: bool = False
 
     def as_row(self) -> dict:
         """Flatten into a CSV-friendly dictionary."""
@@ -91,6 +95,7 @@ class RunResult:
             "solver": self.spec.solver,
             "converged": self.converged,
             "cycled": self.cycled,
+            "certified": self.certified,
             "rounds": self.rounds,
             "total_changes": self.total_changes,
         }
@@ -143,6 +148,7 @@ def run_single(spec: RunSpec, collect_round_metrics: bool = False) -> RunResult:
         total_changes=result.total_changes,
         initial_metrics=result.initial_metrics,
         final_metrics=result.final_metrics,
+        certified=result.certified,
     )
 
 

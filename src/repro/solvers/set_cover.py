@@ -16,6 +16,7 @@ docstring for the rationale.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -29,7 +30,16 @@ __all__ = [
     "milp_set_cover",
     "solve_set_cover",
     "SOLVERS",
+    "WARM_START_SOLVERS",
 ]
+
+#: Solvers that actually consume ``warm_start`` / ``upper_bound`` hints.
+#: ``milp`` (scipy's HiGHS front-end) exposes neither an incumbent-injection
+#: hook nor an objective cutoff, and ``greedy`` rebuilds its cover from
+#: scratch deterministically, so hints handed to either are dead weight —
+#: :func:`solve_set_cover` warns loudly when an exact solver silently drops
+#: them (greedy is exempt: an approximation has no search to prune).
+WARM_START_SOLVERS: frozenset[str] = frozenset({"branch_and_bound"})
 
 
 @dataclass
@@ -352,6 +362,12 @@ def solve_set_cover(
     must pass ``T + 1`` *and* re-check the returned objective regardless of
     method (the best-response loop's cost test does exactly that).  Hints
     never change a within-bound solution's objective.
+
+    Passing hints to an exact solver that cannot consume them
+    (``milp``) raises a :class:`RuntimeWarning`: the caller asked for a
+    warm-started solve and would silently get cold re-solves instead.
+    ``greedy`` stays quiet — it has no search to prune, so hints are
+    meaningless rather than lost performance.
     """
     try:
         solver = SOLVERS[method]
@@ -359,4 +375,16 @@ def solve_set_cover(
         raise ValueError(
             f"unknown solver {method!r}; available: {sorted(SOLVERS)}"
         ) from exc
+    if (
+        (warm_start is not None or upper_bound is not None)
+        and method not in WARM_START_SOLVERS
+        and method != "greedy"
+    ):
+        warnings.warn(
+            f"set-cover solver {method!r} cannot consume warm_start/upper_bound "
+            "hints (they are only honoured on its branch-and-bound fallback); "
+            "use method='branch_and_bound' to exploit warm starts",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return solver(instance, upper_bound=upper_bound, warm_start=warm_start)

@@ -1,0 +1,319 @@
+"""Certification and perturbation-replay guarantees of the engine.
+
+Three contracts from the robustness PR:
+
+* :meth:`DynamicsEngine.certify` is a real equilibrium certificate — it
+  agrees with the reference :func:`repro.core.equilibria.certify_equilibrium`
+  sweep, refutes non-equilibria, and rides the best-response memo (a
+  freshly converged run certifies with zero extra solver calls);
+* a quiet round under a non-certifying scheduler is *not* believed: the
+  run only reports ``converged=True`` (and the new ``certified`` flag) once
+  a full no-improving-deviation sweep stands behind it;
+* :meth:`DynamicsEngine.set_strategy` perturbations evict every stale
+  memo entry, so a warm replay is bit-for-bit the run a cold engine would
+  produce from the perturbed profile.
+"""
+
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import ENGINE_DEFAULT_SOLVER, best_response_max
+from repro.core.equilibria import certify_equilibrium, is_equilibrium
+from repro.core.games import MaxNCG, SumNCG
+from repro.core.serialization import dynamics_result_to_dict
+from repro.engine.core import DynamicsEngine
+from repro.engine.schedulers import Scheduler
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+from repro.graphs.traversal import bfs_distances_within, is_connected
+
+GAME = MaxNCG(0.5, k=2)
+
+
+def assert_same_trajectory(a, b):
+    assert a.final_profile == b.final_profile
+    assert a.rounds == b.rounds
+    assert a.converged == b.converged
+    assert a.cycled == b.cycled
+    assert a.total_changes == b.total_changes
+    assert a.certified == b.certified
+
+
+def _add_local_shortcut(engine: DynamicsEngine, rng: random.Random) -> bool:
+    """Saddle one random player with an edge to a distance-2 node (if any)."""
+    players = engine.state.players()
+    for _ in range(8):
+        player = rng.choice(players)
+        near = bfs_distances_within(engine.state.graph, player, 2)
+        ring = sorted((q for q, d in near.items() if d == 2), key=repr)
+        if ring:
+            target = rng.choice(ring)
+            engine.set_strategy(player, engine.state.strategy(player) | {target})
+            return True
+    return False
+
+
+class TestCertify:
+    def test_converged_run_certifies_for_free(self):
+        engine = DynamicsEngine(random_owned_tree(16, seed=1), GAME)
+        result = engine.run()
+        assert result.converged and result.certified
+        computed = engine.responses_computed
+        report = engine.certify()
+        assert report.is_equilibrium
+        # The sweep rides the memo: nothing changed since the certifying
+        # quiet round, so no solver call is spent on the certificate.
+        assert engine.responses_computed == computed
+        assert report.all_exact
+        assert report.checked_exactly == set(engine.base_order)
+
+    def test_refutes_non_equilibrium_start(self):
+        owned = random_owned_tree(12, seed=0)
+        engine = DynamicsEngine(owned, GAME)
+        assert not is_equilibrium(engine.state.to_profile(), GAME)
+        report = engine.certify()
+        assert not report.is_equilibrium
+        assert report.improving
+        for player, response in report.improving.items():
+            assert response.is_improving
+            assert engine.state.strategy(player) != response.strategy
+
+    def test_stop_at_first_aborts_after_one_refutation(self):
+        engine = DynamicsEngine(random_owned_tree(12, seed=0), GAME)
+        report = engine.certify(stop_at_first=True)
+        assert not report.is_equilibrium
+        assert len(report.improving) == 1
+
+    def test_agrees_with_reference_certifier(self):
+        for seed in (0, 3, 7):
+            owned = random_owned_tree(13, seed=seed)
+            engine = DynamicsEngine(owned, GAME)
+            profile = engine.state.to_profile()
+            engine_report = engine.certify()
+            reference = certify_equilibrium(profile, GAME)
+            assert engine_report.is_equilibrium == reference.is_equilibrium
+            assert set(engine_report.improving) == set(reference.improving)
+
+    def test_certifies_after_perturbation(self):
+        engine = DynamicsEngine(random_owned_tree(14, seed=4), GAME)
+        engine.run()
+        assert engine.certify().is_equilibrium
+        assert _add_local_shortcut(engine, random.Random(5))
+        # A redundant shortcut is an improving drop for its owner.
+        assert not engine.certify().is_equilibrium
+        engine.run()
+        assert engine.certify().is_equilibrium
+
+
+class _QuietFirstRoundScheduler(Scheduler):
+    """Adversarial scheduler: round 1 activates *nobody* (a quiet round by
+    construction, on a profile that is not an equilibrium), later rounds are
+    plain round-robin.  Without the certification gate the engine would
+    declare convergence at the fake quiet round."""
+
+    name = "quiet_first_round"
+    detects_cycles = False
+    certifies_convergence = False
+
+    def run_round(self, engine, round_index):
+        if round_index == 1:
+            return 0
+        return sum(engine.activate(player) for player in engine.base_order)
+
+
+class TestQuietRoundIsNotBelieved:
+    def test_fake_quiet_round_does_not_converge(self):
+        owned = random_owned_tree(12, seed=0)
+        engine = DynamicsEngine(owned, GAME, scheduler=_QuietFirstRoundScheduler())
+        assert not is_equilibrium(engine.state.to_profile(), GAME)
+        result = engine.run()
+        # The round-1 quiet round failed certification, so the run went on
+        # and the reported equilibrium is a real one.
+        assert result.converged and result.certified
+        assert result.total_changes > 0
+        assert result.rounds >= 2
+        assert is_equilibrium(result.final_profile, GAME)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_random_sequential_never_overstates_convergence(self, seed):
+        engine = DynamicsEngine(
+            random_owned_tree(12, seed=seed),
+            GAME,
+            scheduler="random_sequential",
+            seed=seed,
+        )
+        result = engine.run()
+        assert result.certified == result.converged
+        if result.converged:
+            assert is_equilibrium(result.final_profile, GAME)
+
+    def test_uncertified_outcomes_carry_certified_false(self):
+        # A round cap below the convergence point must not claim a
+        # certificate.
+        engine = DynamicsEngine(random_owned_tree(12, seed=0), GAME, max_rounds=1)
+        result = engine.run()
+        assert not result.converged
+        assert not result.certified
+
+    def test_certified_flag_serializes(self):
+        engine = DynamicsEngine(random_owned_tree(10, seed=2), GAME)
+        payload = dynamics_result_to_dict(engine.run())
+        assert payload["certified"] is True
+
+
+class TestSetStrategyInvalidation:
+    def test_perturbed_player_memo_is_evicted(self):
+        engine = DynamicsEngine(random_owned_tree(14, seed=3), GAME)
+        engine.run()
+        player = max(
+            engine.base_order, key=lambda p: (len(engine.state.strategy(p)), repr(p))
+        )
+        assert engine.cached_response(player) is not None
+        target = sorted(engine.state.strategy(player), key=repr)[0]
+        engine.set_strategy(player, engine.state.strategy(player) - {target})
+        # Her own strategy moved, so the memo entry must not answer for the
+        # perturbed state even if her view content token survived.
+        assert engine.cached_response(player) is None
+
+    def test_every_changed_view_token_drops_the_memo(self):
+        engine = DynamicsEngine(random_owned_tree(16, seed=6), GAME)
+        engine.run()
+        tokens = {p: engine.view_token(p) for p in engine.base_order}
+        rng = random.Random(9)
+        assert _add_local_shortcut(engine, rng)
+        for player in engine.base_order:
+            if engine.view_token(player) != tokens[player]:
+                assert engine.cached_response(player) is None
+
+    def test_warm_replay_is_bit_for_bit_a_cold_engine(self):
+        for family_seed, owned in (
+            (0, random_owned_tree(18, seed=10)),
+            (1, owned_connected_gnp_graph(14, 0.25, seed=11)),
+        ):
+            engine = DynamicsEngine(owned, GAME)
+            engine.run()
+            rng = random.Random(family_seed)
+            assert _add_local_shortcut(engine, rng)
+            shock_profile = engine.state.to_profile()
+            warm = engine.run()
+            cold = DynamicsEngine(shock_profile, GAME).run()
+            assert_same_trajectory(warm, cold)
+            assert warm.certified
+            assert engine.certify().is_equilibrium
+
+
+class TestWarmReplayProperty:
+    @given(
+        n=st.integers(min_value=8, max_value=14),
+        instance_seed=st.integers(min_value=0, max_value=10_000),
+        shock_seed=st.integers(min_value=0, max_value=10_000),
+        alpha=st.sampled_from([0.5, 2.0]),
+        num_shocks=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_warm_replay_matches_cold_engine(
+        self, n, instance_seed, shock_seed, alpha, num_shocks
+    ):
+        """Random shocks on random instances: warm ``set_strategy`` +
+        ``run`` + ``certify`` reaches exactly the certified profile of a
+        cold engine started from the perturbed profile."""
+        game = MaxNCG(alpha, k=2)
+        engine = DynamicsEngine(random_owned_tree(n, seed=instance_seed), game)
+        base = engine.run()
+        assert base.certified == base.converged
+        rng = random.Random(shock_seed)
+        shocked = 0
+        for _ in range(num_shocks):
+            shocked += _add_local_shortcut(engine, rng)
+        if not shocked:
+            return
+        assert is_connected(engine.state.graph)
+        shock_profile = engine.state.to_profile()
+        warm = engine.run()
+        cold = DynamicsEngine(shock_profile, game).run()
+        assert_same_trajectory(warm, cold)
+        if warm.converged:
+            assert engine.certify().is_equilibrium
+
+
+class TestCollectMetricsFlag:
+    def test_metrics_skipped_but_trajectory_identical(self):
+        owned = random_owned_tree(14, seed=8)
+        with_metrics = DynamicsEngine(owned, GAME).run()
+        lean = DynamicsEngine(owned, GAME, collect_metrics=False).run()
+        assert lean.initial_metrics is None
+        assert lean.final_metrics is None
+        assert with_metrics.initial_metrics is not None
+        assert with_metrics.final_metrics is not None
+        # Skipping the O(n * edges) bookend sweeps changes nothing about
+        # the dynamics themselves.
+        assert lean.final_profile == with_metrics.final_profile
+        assert lean.rounds == with_metrics.rounds
+        assert lean.total_changes == with_metrics.total_changes
+        assert lean.certified == with_metrics.certified
+
+    def test_metrics_free_result_serializes(self):
+        engine = DynamicsEngine(
+            random_owned_tree(10, seed=2), GAME, collect_metrics=False
+        )
+        payload = dynamics_result_to_dict(engine.run())
+        assert payload["final_metrics"] is None
+        assert payload["certified"] is True
+
+
+class TestWarmStartSolverGuards:
+    def test_engine_warns_on_warm_start_blind_solver(self):
+        owned = random_owned_tree(8, seed=0)
+        with pytest.warns(RuntimeWarning, match="cannot consume"):
+            DynamicsEngine(owned, GAME, solver="milp")
+
+    @pytest.mark.parametrize("solver", [ENGINE_DEFAULT_SOLVER, "greedy"])
+    def test_engine_stays_quiet_on_capable_or_heuristic_solvers(self, solver):
+        owned = random_owned_tree(8, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DynamicsEngine(owned, GAME, solver=solver)
+
+    def test_engine_stays_quiet_for_sum_games(self):
+        # SumNCG never routes through the set-cover machinery, so `milp`
+        # loses nothing there.
+        owned = random_owned_tree(8, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DynamicsEngine(owned, SumNCG(2.0, k=2), solver="milp")
+
+    def test_best_response_max_warns_and_degrades_to_cold(self):
+        profile = DynamicsEngine(random_owned_tree(10, seed=1), GAME).state.to_profile()
+        player = profile.players()[0]
+        with pytest.warns(RuntimeWarning, match="cannot consume warm starts"):
+            degraded = best_response_max(
+                profile, player, GAME, solver="milp", warm_start=True
+            )
+        exact = best_response_max(profile, player, GAME, warm_start=True)
+        # Both solvers are exact, so the degraded path still answers
+        # correctly — it just forfeits the warm-start pruning.
+        assert degraded.view_cost == pytest.approx(exact.view_cost)
+        assert degraded.is_improving == exact.is_improving
+
+    def test_best_response_max_greedy_is_silent(self):
+        profile = DynamicsEngine(random_owned_tree(10, seed=1), GAME).state.to_profile()
+        player = profile.players()[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            best_response_max(profile, player, GAME, solver="greedy", warm_start=True)
+
+    def test_auto_warm_start_keeps_milp_cross_check_usable(self):
+        # The default (warm_start=None, "auto") silently takes the cold
+        # path on milp, so the opt-in cross-check solver works under
+        # -W error without the caller having to know about warm starts.
+        profile = DynamicsEngine(random_owned_tree(10, seed=1), GAME).state.to_profile()
+        player = profile.players()[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            via_milp = best_response_max(profile, player, GAME, solver="milp")
+        via_default = best_response_max(profile, player, GAME)
+        assert via_milp.view_cost == pytest.approx(via_default.view_cost)

@@ -1,0 +1,289 @@
+"""Tests for the perturbation & recovery scenario suite (robustness extension)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.games import MaxNCG
+from repro.engine.core import DynamicsEngine
+from repro.experiments.config import SweepSettings
+from repro.experiments.extensions import (
+    PERTURBATIONS,
+    RobustnessStudyConfig,
+    aggregate_robustness_rows,
+    apply_perturbation,
+    generate_robustness_study,
+)
+from repro.experiments.extensions.instances import build_extension_instance
+from repro.experiments.store import ExperimentStore
+from repro.graphs.traversal import is_connected
+
+import random
+
+GAME = MaxNCG(0.5, k=2)
+
+
+def _converged_engine(family: str = "gnp", n: int = 16, seed: int = 0) -> DynamicsEngine:
+    engine = DynamicsEngine(build_extension_instance(family, n, seed), GAME)
+    result = engine.run()
+    assert result.certified
+    return engine
+
+
+def _bought_edges(engine: DynamicsEngine) -> int:
+    return sum(len(engine.state.strategy(p)) for p in engine.state.players())
+
+
+class TestOperators:
+    def test_registry_contents(self):
+        assert set(PERTURBATIONS) == {
+            "drop_random_edges",
+            "hub_attack",
+            "reset_player",
+            "multi_reset",
+            "add_shortcuts",
+        }
+
+    def test_unknown_operator_rejected(self):
+        engine = _converged_engine()
+        with pytest.raises(ValueError, match="unknown perturbation"):
+            apply_perturbation(engine, "meteor_strike", random.Random(0))
+
+    @pytest.mark.parametrize("name", sorted(PERTURBATIONS))
+    def test_operator_preserves_connectivity_and_reports_truthfully(self, name):
+        engine = _converged_engine()
+        before = _bought_edges(engine)
+        record = apply_perturbation(engine, name, random.Random(3), intensity=2)
+        assert record.operator == name
+        assert is_connected(engine.state.graph)
+        after = _bought_edges(engine)
+        # The record's ledger must match the state's: drops remove bought
+        # edges, additions add them, nothing else moves.
+        assert after - before == record.edges_added - record.edges_dropped
+        assert record.size == record.edges_dropped + record.edges_added
+        if record.is_empty:
+            assert not record.players
+
+    def test_edge_drops_never_touch_lone_bridges(self):
+        # On a tree every edge is a single-bought bridge: the deletion
+        # operators must degrade to empty shocks rather than disconnect.
+        engine = DynamicsEngine(build_extension_instance("tree", 12, 0), GAME)
+        # Perturb before running: the initial tree profile is maximally
+        # bridge-bound.
+        for name in ("drop_random_edges", "hub_attack", "reset_player"):
+            record = apply_perturbation(engine, name, random.Random(1), intensity=3)
+            assert record.edges_dropped == 0
+            assert is_connected(engine.state.graph)
+
+    def test_multi_reset_touches_distinct_players(self):
+        engine = _converged_engine(n=18, seed=2)
+        record = apply_perturbation(engine, "multi_reset", random.Random(4), intensity=3)
+        assert len(record.players) == len(set(record.players))
+
+    def test_add_shortcuts_targets_distance_two(self):
+        engine = _converged_engine(family="tree", n=14, seed=1)
+        record = apply_perturbation(engine, "add_shortcuts", random.Random(5), intensity=2)
+        assert record.edges_added >= 1
+        assert record.edges_dropped == 0
+        # Recovery drops the redundant shortcuts again and re-certifies.
+        result = engine.run()
+        assert result.certified
+        assert engine.certify().is_equilibrium
+
+
+def _tiny_config() -> RobustnessStudyConfig:
+    return RobustnessStudyConfig(
+        families=("tree", "gnp"),
+        operators=("drop_random_edges", "add_shortcuts"),
+        n=10,
+        alphas=(0.5,),
+        ks=(2,),
+        shocks_per_instance=1,
+        intensity=1,
+        settings=SweepSettings(num_seeds=1, solver="branch_and_bound", max_rounds=60),
+    )
+
+
+class TestSweep:
+    def test_rows_certified_and_warm_equals_cold(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        rows = generate_robustness_study(_tiny_config(), store=store)
+        shocks = [row for row in rows if row["operator"] != "none"]
+        assert shocks
+        for row in shocks:
+            if row["converged"]:
+                assert row["certified"]
+                assert row["certified_exact"]
+                # The warm replay is bit-for-bit the cold engine's run.
+                assert row["warm_equals_cold"]
+            assert row["rounds_to_recover"] >= 0
+            assert row["shock_players"] >= 0
+            assert row["recovered_to_same"] == (row["strategy_distance"] == 0)
+            assert row["shock_empty"] == (
+                row["shock_edges_dropped"] + row["shock_edges_added"] == 0
+            )
+
+    def test_store_round_trip_and_checkpoint(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        rows = generate_robustness_study(_tiny_config(), store=store)
+        loaded = store.load_rows("robustness")
+        assert loaded == rows
+        config = store.load_config("robustness")
+        assert config["families"] == ["tree", "gnp"]
+        labels = store.list_checkpoints("robustness")
+        assert labels
+        profile, game, meta = store.load_checkpoint("robustness", labels[0])
+        assert meta["certified"]
+        assert profile.players()
+
+    def test_sequential_shocks_chain_from_recovered_profiles(self):
+        cfg = RobustnessStudyConfig(
+            families=("gnp",),
+            operators=("add_shortcuts",),
+            n=12,
+            alphas=(0.5,),
+            ks=(2,),
+            shocks_per_instance=3,
+            intensity=1,
+            settings=SweepSettings(num_seeds=1, solver="branch_and_bound", max_rounds=60),
+        )
+        rows = generate_robustness_study(cfg)
+        indices = [row["shock_index"] for row in rows if row["operator"] != "none"]
+        assert indices == [0, 1, 2]
+
+
+class TestAggregation:
+    def test_one_row_per_cell_with_summaries(self):
+        rows = generate_robustness_study(_tiny_config())
+        aggregated = aggregate_robustness_rows(rows)
+        cells = {(r["family"], r["operator"]) for r in aggregated}
+        assert cells == {
+            ("tree", "drop_random_edges"),
+            ("tree", "add_shortcuts"),
+            ("gnp", "drop_random_edges"),
+            ("gnp", "add_shortcuts"),
+        }
+        for row in aggregated:
+            assert row["num_shocks"] >= 1
+            assert 0 <= row["empty_shocks"] <= row["num_shocks"]
+            if row["empty_shocks"] == row["num_shocks"]:
+                # All-empty cells measured nothing; a perfect score here
+                # would be a lie.
+                assert row["certified_fraction"] != row["certified_fraction"]
+            else:
+                assert 0.0 <= row["certified_fraction"] <= 1.0
+                assert 0.0 <= row["recovered_to_same_fraction"] <= 1.0
+            for metric in (
+                "rounds_to_recover",
+                "moved_players",
+                "social_cost_delta",
+                "edge_distance",
+                "warm_speedup",
+            ):
+                assert f"{metric}_mean" in row
+                assert f"{metric}_ci" in row
+
+    def test_unconverged_marker_rows_are_excluded(self):
+        rows = [
+            {"operator": "none", "family": "tree", "alpha": 0.5, "k": 2},
+        ]
+        assert aggregate_robustness_rows(rows) == []
+
+    def test_empty_and_unrecovered_shocks_do_not_pollute_recovery_means(self):
+        def row(empty, speedup, converged=True, rounds=2):
+            return {
+                "family": "tree",
+                "operator": "drop_random_edges",
+                "alpha": 0.5,
+                "k": 2,
+                "shock_empty": empty,
+                "converged": converged,
+                "certified": converged,
+                "recovered_to_same": empty,
+                "rounds_to_recover": 0 if empty else rounds,
+                "moved_players": 0 if empty else 3,
+                "social_cost_delta": 0.0,
+                "edge_distance": 0 if empty else 1,
+                "warm_speedup": speedup,
+            }
+
+        # Two no-op shocks with inflated "speedups", one capped run at the
+        # round limit, and one real recovery: the means must reflect only
+        # the real one, while the capped run still drags the certified
+        # fraction down.
+        aggregated = aggregate_robustness_rows(
+            [
+                row(True, 40.0),
+                row(True, 50.0),
+                row(False, 1.0, converged=False, rounds=60),
+                row(False, 6.0),
+            ]
+        )
+        (cell,) = aggregated
+        assert cell["num_shocks"] == 4
+        assert cell["empty_shocks"] == 2
+        assert cell["warm_speedup_mean"] == pytest.approx(6.0)
+        assert cell["rounds_to_recover_mean"] == pytest.approx(2.0)
+        assert cell["certified_fraction"] == pytest.approx(0.5)
+
+    def test_all_empty_cell_reports_nan_fractions(self):
+        rows = [
+            {
+                "family": "tree",
+                "operator": "hub_attack",
+                "alpha": 0.5,
+                "k": 2,
+                "shock_empty": True,
+                "converged": True,
+                "certified": True,
+                "recovered_to_same": True,
+                "rounds_to_recover": 0,
+                "moved_players": 0,
+                "social_cost_delta": 0.0,
+                "edge_distance": 0,
+                "warm_speedup": 9.0,
+            }
+        ]
+        (cell,) = aggregate_robustness_rows(rows)
+        assert cell["empty_shocks"] == cell["num_shocks"] == 1
+        assert cell["certified_fraction"] != cell["certified_fraction"]  # NaN
+        assert cell["warm_speedup_mean"] != cell["warm_speedup_mean"]  # NaN
+
+
+class TestCLI:
+    def test_parser_accepts_robustness(self):
+        args = build_parser().parse_args(
+            ["robustness", "--smoke", "--store", "out/s", "--per-shock"]
+        )
+        assert args.command == "robustness"
+        assert args.store == "out/s"
+        assert args.per_shock
+
+    def test_smoke_sweep_end_to_end(self, tmp_path, capsys):
+        """The acceptance path: >= 3 families x >= 3 operators from the CLI,
+        with every reported equilibrium certified and the store intact."""
+        csv_path = tmp_path / "rob.csv"
+        json_path = tmp_path / "rob.json"
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "robustness",
+                "--smoke",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+                "--store",
+                str(store_dir),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists() and json_path.exists()
+        out = capsys.readouterr().out
+        assert "robustness" in out
+        cfg = RobustnessStudyConfig.smoke()
+        assert len(cfg.families) >= 3 and len(cfg.operators) >= 3
+        rows = ExperimentStore(store_dir).load_rows("robustness")
+        shocks = [row for row in rows if row["operator"] != "none"]
+        assert {row["family"] for row in shocks} == set(cfg.families)
+        assert {row["operator"] for row in shocks} == set(cfg.operators)
+        assert all(row["certified"] for row in shocks if row["converged"])

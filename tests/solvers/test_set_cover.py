@@ -246,3 +246,56 @@ class TestCrossSolverAgreement:
                 assert milp.objective == bnb.objective
                 assert instance.is_feasible_selection(set(milp.selected))
                 assert instance.is_feasible_selection(set(bnb.selected))
+
+
+class TestWarmStartHintGuards:
+    """Hints handed to a solver that cannot consume them must warn loudly.
+
+    The engine path defaults to ``branch_and_bound`` precisely because it is
+    the only exact solver honouring ``warm_start`` / ``upper_bound``; a
+    silent fallthrough on ``milp`` is the bug this PR fixes.
+    """
+
+    def _instance(self):
+        return make_instance([{0, 1}, {1, 2}, {0, 2}], 3)
+
+    def test_warm_start_solvers_registry(self):
+        from repro.solvers.set_cover import WARM_START_SOLVERS
+
+        assert WARM_START_SOLVERS == {"branch_and_bound"}
+        assert WARM_START_SOLVERS <= set(SOLVERS)
+
+    @pytest.mark.parametrize("hint", [{"warm_start": [0, 1]}, {"upper_bound": 2}])
+    def test_milp_warns_on_dead_hints(self, hint):
+        with pytest.warns(RuntimeWarning, match="cannot consume"):
+            result = solve_set_cover(self._instance(), method="milp", **hint)
+        assert result.feasible
+        assert result.objective == 2
+
+    def test_greedy_accepts_hints_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = solve_set_cover(
+                self._instance(), method="greedy", warm_start=[0, 1], upper_bound=3
+            )
+        assert result.feasible
+
+    def test_branch_and_bound_consumes_hints_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = solve_set_cover(
+                self._instance(), method="branch_and_bound", warm_start=[0, 1]
+            )
+        assert result.feasible
+        assert result.objective == 2
+
+    def test_no_hints_no_warning_on_milp(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            solve_set_cover(self._instance(), method="milp")
