@@ -147,7 +147,10 @@ def structure_report(profile: StrategyProfile, game: GameSpec) -> StructureRepor
         hubs_in_median = False
 
     building = [building_cost(profile, player, game.alpha) for player in profile] or [0.0]
-    usage = [usage_cost(graph, player, game.usage) for player in profile] or [0.0]
+    usage = [
+        usage_cost(graph, player, game.usage, cost_model=game.cost_model)
+        for player in profile
+    ] or [0.0]
     finite_usage = [value for value in usage if value != float("inf")]
     total_building = sum(building)
     total_usage = sum(finite_usage)

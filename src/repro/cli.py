@@ -15,6 +15,8 @@ Examples
     python -m repro beliefs --smoke           # extension: Bayesian deviation rule
     python -m repro move-sets --smoke         # extension: swap / greedy move sets
     python -m repro robustness --smoke --store out/store   # extension: attack/recovery sweep
+    python -m repro robustness --smoke --cost-model tolerant   # + disconnecting attacks (finite beta costs)
+    python -m repro robustness --smoke --usage sum        # perturb SumNCG equilibria (engine path)
 
 ``--smoke`` selects the reduced grids (CI-sized); without it the full paper
 grids are used, which for the simulation figures can take hours.
@@ -163,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw per-shock rows instead of the per-(family, operator) "
         "aggregates (CSV/JSON/store always receive the per-shock rows)",
     )
+    robustness.add_argument(
+        "--usage",
+        choices=["max", "sum"],
+        default="max",
+        help="which game the sweep perturbs (SumNCG runs on the engine-grade "
+        "seeded exhaustive / local-search dispatch)",
+    )
+    robustness.add_argument(
+        "--cost-model",
+        choices=["strict", "tolerant"],
+        default="strict",
+        help="disconnection semantics: 'tolerant' prices unreachable nodes at "
+        "a finite beta each and admits the disconnecting operators "
+        "(component_split, isolation_attack) into the grid",
+    )
+    robustness.add_argument(
+        "--beta",
+        type=float,
+        default=None,
+        help="tolerant model's per-unreachable-node penalty (default: 2n)",
+    )
     _add_common_options(robustness)
     return parser
 
@@ -246,11 +269,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "robustness":
+        if args.beta is not None and args.cost_model != "tolerant":
+            parser.error("--beta only applies to --cost-model tolerant")
         cfg = (
             RobustnessStudyConfig.smoke(workers=args.workers)
             if args.smoke
             else RobustnessStudyConfig.paper(workers=args.workers)
         )
+        if args.usage != "max":
+            cfg = cfg.with_usage(args.usage)
+        if args.cost_model != "strict":
+            cfg = cfg.with_cost_model(args.cost_model, penalty_beta=args.beta)
         store = ExperimentStore(args.store) if args.store else None
         rows = generate_robustness_study(cfg, store=store)
         if args.csv:

@@ -5,6 +5,8 @@ both in their classical full-knowledge form and in the paper's
 *local-knowledge* form in which each player only sees her k-neighbourhood:
 
 * :mod:`repro.core.strategies` — strategy profiles and the graphs they induce;
+* :mod:`repro.core.cost_models` — pluggable usage semantics for unreachable
+  nodes (the paper's strict ``inf`` vs the disconnection-tolerant β-penalty);
 * :mod:`repro.core.costs` — player costs (Eqs. (1)-(2)) and social cost;
 * :mod:`repro.core.games` — game specifications (α, usage kind, radius k);
 * :mod:`repro.core.views` — k-neighbourhood views (Section 2);
@@ -19,6 +21,13 @@ both in their classical full-knowledge form and in the paper's
 """
 
 from repro.core.strategies import StrategyProfile
+from repro.core.cost_models import (
+    CostModel,
+    StrictCosts,
+    TolerantCosts,
+    STRICT,
+    resolve_cost_model,
+)
 from repro.core.games import GameSpec, MaxNCG, SumNCG, UsageKind, FULL_KNOWLEDGE
 from repro.core.costs import (
     building_cost,
@@ -90,6 +99,11 @@ from repro.core.social import (
 
 __all__ = [
     "StrategyProfile",
+    "CostModel",
+    "StrictCosts",
+    "TolerantCosts",
+    "STRICT",
+    "resolve_cost_model",
     "GameSpec",
     "MaxNCG",
     "SumNCG",

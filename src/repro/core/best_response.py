@@ -15,10 +15,30 @@ branch-and-bound) or greedily (ablation).
 SumNCG
 ------
 The paper does not run SumNCG experiments because the best response is
-NP-hard even to approximate conveniently; we provide an exhaustive solver
-for small views (used by the tests and by tiny demos) and a hill-climbing
-local search (add / drop / swap moves) honouring the Proposition 2.2
-frontier constraint for larger instances.
+NP-hard even to approximate conveniently.  This module makes the sum game
+engine-grade anyway: :func:`best_response` routes small strategy spaces
+(``<=`` :data:`SUM_EXHAUSTIVE_LIMIT` candidates) through a hill-climbing
+local search whose result *seeds* the exact exhaustive enumeration — the
+seed's cost is a feasible incumbent, so whole subset-size classes whose
+usage lower bound cannot beat it are skipped without a single BFS — and
+larger spaces through the local search alone (flagged ``exact=False``).
+Seeding and pruning never change the returned strategy, only the solve
+time, which is what lets :class:`repro.engine.DynamicsEngine` memoise sum
+best responses per (view token, strategy) exactly like the max game.
+
+Cost models
+-----------
+Both games evaluate in-view costs under the game's
+:class:`~repro.core.cost_models.CostModel`.  Under the strict model a move
+that disconnects part of the view is never improving (infinite usage).
+Under a tolerant model every abandoned vertex is priced at ``β``, and
+:func:`best_response_max` gains a second, *partial-cover* search regime:
+the reduced view ``H \\ {u}`` splits into connected components, components
+containing a buyer are always reached (their edges exist regardless of
+``u``'s strategy) and must be covered within the eccentricity guess, while
+buyer-free components may be abandoned wholesale at a one-off ``max``
+penalty of ``β`` — so isolation attacks and component splits have exact,
+finite best responses.
 """
 
 from __future__ import annotations
@@ -35,7 +55,7 @@ from repro.core.games import GameSpec, UsageKind
 from repro.core.strategies import StrategyProfile
 from repro.core.views import View, extract_view
 from repro.graphs.graph import Node
-from repro.graphs.traversal import distance_matrix
+from repro.graphs.traversal import UNREACHABLE, distance_matrix
 from repro.solvers.set_cover import (
     WARM_START_SOLVERS,
     SetCoverInstance,
@@ -44,6 +64,7 @@ from repro.solvers.set_cover import (
 
 __all__ = [
     "ENGINE_DEFAULT_SOLVER",
+    "SUM_EXHAUSTIVE_LIMIT",
     "BestResponse",
     "MaxCoverContext",
     "max_cover_context",
@@ -60,6 +81,14 @@ __all__ = [
 #: re-solve speedup of the scaling layer lives; ``milp`` stays available
 #: opt-in for cross-checking.
 ENGINE_DEFAULT_SOLVER: str = "branch_and_bound"
+
+#: Largest SumNCG strategy space the :func:`best_response` dispatch solves
+#: exactly (local-search seed + pruned exhaustive cross-check); beyond it
+#: the hill-climbing local search alone answers, flagged ``exact=False``.
+#: The enumeration is ``O(2^m)`` BFS calls worst case, so
+#: :func:`best_response_sum_exhaustive` warns whenever it is asked to
+#: enumerate a space larger than this.
+SUM_EXHAUSTIVE_LIMIT: int = 12
 
 
 @dataclass(frozen=True)
@@ -154,6 +183,96 @@ def max_cover_context(view: View) -> MaxCoverContext:
     index = {node: i for i, node in enumerate(order)}
     forced = tuple(sorted(index[buyer] for buyer in view.buyers if buyer in index))
     return MaxCoverContext(order=order, dist=dist, forced=forced)
+
+
+def _tolerant_partial_max(
+    game: GameSpec,
+    dist: np.ndarray,
+    order: list[Node],
+    forced: tuple[int, ...],
+    solver: str,
+    warm_start: bool,
+    best_cost: float,
+    best_strategy: frozenset[Node],
+    exact: bool,
+) -> tuple[float, frozenset[Node], bool]:
+    """Partial-cover regime of the tolerant-model MaxNCG best response.
+
+    Under a finite unreachable penalty ``β`` the player may leave whole
+    connected components of the reduced view ``H \\ {u}`` unreached: her
+    usage becomes ``max(h, β)`` where ``h`` bounds the eccentricity over
+    the *reached* part.  Because the penalty enters a ``max`` (not a sum),
+    abandoning one component costs the same as abandoning all of them, so
+    the optimal partial strategy reaches exactly the components that are
+    reached regardless of her choices — the ones holding a buyer, whose
+    edge towards ``u`` exists whatever she plays — and covers those within
+    ``h - 1`` of a bought target or a buyer.  Selecting a vertex in a
+    buyer-free component is always dominated: it re-attaches the whole
+    component (which must then be covered too) without reducing the ``β``
+    term, since *some* component stays abandoned in this regime (reaching
+    everything is the ordinary full-cover loop).
+
+    Updates and returns the ``(best_cost, best_strategy, exact)`` incumbent;
+    strictly-better-only updates keep strict-model tie-breaking untouched.
+    """
+    if dist.shape[0] == 0:
+        return best_cost, best_strategy, exact
+    beta = game.cost_model.unreachable_distance
+    # Component label per reduced-view node: the smallest index it reaches
+    # (rows always contain the finite self-distance, so argmax is well
+    # defined and canonical).
+    labels = (dist != UNREACHABLE).argmax(axis=1)
+    forced_labels = {int(labels[i]) for i in forced}
+    if not (set(int(label) for label in np.unique(labels)) - forced_labels):
+        return best_cost, best_strategy, exact  # nothing is abandonable
+    if not forced:
+        # No buyers: the empty strategy reaches nobody, her in-view
+        # eccentricity over the reached part ({u} alone) is 0 and the
+        # abandoned rest costs one β — the cheapest possible partial reply.
+        if beta < best_cost - COST_EPS:
+            return beta, frozenset(), exact
+        return best_cost, best_strategy, exact
+    keep = np.flatnonzero(np.isin(labels, sorted(forced_labels)))
+    sub_dist = dist[np.ix_(keep, keep)]
+    sub_labels = [order[i] for i in keep]
+    position = {int(original): pos for pos, original in enumerate(keep)}
+    sub_forced = tuple(sorted(position[i] for i in forced))
+    previous_selected: tuple[int, ...] | None = None
+    for h in range(1, len(sub_labels) + 1):
+        usage = max(float(h), beta)
+        if usage >= best_cost - COST_EPS:
+            break  # usage alone already loses; it only grows with h
+        coverage = sub_dist <= (h - 1)
+        instance = SetCoverInstance(
+            coverage=coverage,
+            forced=sub_forced,
+            candidate_labels=sub_labels,
+            element_labels=sub_labels,
+        )
+        if warm_start:
+            size_cap = (
+                int(math.ceil((best_cost - COST_EPS - usage) / game.alpha))
+                if math.isfinite(best_cost)
+                else None
+            )
+            result = solve_set_cover(
+                instance,
+                method=solver,
+                upper_bound=size_cap,
+                warm_start=previous_selected,
+            )
+        else:
+            result = solve_set_cover(instance, method=solver)
+        if not result.feasible:
+            continue
+        previous_selected = result.selected
+        cost = game.alpha * result.objective + usage
+        if cost < best_cost - COST_EPS:
+            best_cost = cost
+            best_strategy = frozenset(result.selected_labels(instance))
+            if not result.optimal:
+                exact = False
+    return best_cost, best_strategy, exact
 
 
 def best_response_max(
@@ -271,6 +390,17 @@ def best_response_max(
             best_strategy = frozenset(result.selected_labels(instance))
             if not result.optimal:
                 exact = False
+    if game.cost_model.is_finite:
+        # Disconnection-tolerant models admit a second regime: abandon the
+        # buyer-free components of the reduced view and pay the β penalty
+        # instead of covering them (see :func:`_tolerant_partial_max`).
+        # Strictly-better-only updates leave strict behaviour bit-for-bit
+        # intact — under the strict model this regime costs inf and the
+        # call is skipped entirely.
+        best_cost, best_strategy, exact = _tolerant_partial_max(
+            game, dist, order, forced, solver, warm_start,
+            best_cost, best_strategy, exact,
+        )
     return BestResponse(
         player=player,
         strategy=best_strategy,
@@ -288,6 +418,8 @@ def best_response_sum_exhaustive(
     max_candidates: int = 16,
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
+    warm_start: frozenset[Node] | None = None,
+    prune: bool = True,
 ) -> BestResponse:
     """Exact best response in SumNCG by exhaustive enumeration.
 
@@ -295,7 +427,22 @@ def best_response_sum_exhaustive(
     Proposition 2.2 forbidden moves, and keeps the cheapest.  The strategy
     space must contain at most ``max_candidates`` nodes (the enumeration is
     exponential); larger instances should use
-    :func:`best_response_sum_local_search`.
+    :func:`best_response_sum_local_search`.  Asking for a space beyond
+    :data:`SUM_EXHAUSTIVE_LIMIT` raises a :class:`RuntimeWarning` before the
+    ``2^m`` enumeration starts — the engine dispatch never does this, so a
+    warning always marks an explicit oversized request.
+
+    ``warm_start`` optionally hands over a known strategy (typically the
+    local-search reply the :func:`best_response` dispatch just computed).
+    Its cost becomes a pruning incumbent: a whole subset-size class is
+    skipped when even its usage lower bound — every visible node at
+    distance 1 if adjacent-after-move, else at ``min(2, β)`` — cannot beat
+    a known reply.  Like the max game's warm starts, seeding and pruning
+    never change the returned strategy or cost (only candidates strictly
+    worse than a known feasible reply are skipped; ties always survive to
+    be resolved in canonical enumeration order); ``prune=False`` forces the
+    pre-scaling full enumeration, kept for benchmarking
+    (``benchmarks/test_bench_sum.py``).
     """
     if game.usage is not UsageKind.SUM:
         raise ValueError("best_response_sum_exhaustive requires a SumNCG game spec")
@@ -308,10 +455,45 @@ def best_response_sum_exhaustive(
             f"strategy space has {len(candidates)} nodes > max_candidates={max_candidates}; "
             "use best_response_sum_local_search instead"
         )
+    if len(candidates) > SUM_EXHAUSTIVE_LIMIT:
+        warnings.warn(
+            f"exhaustive SumNCG best response over {len(candidates)} candidates "
+            f"enumerates 2^{len(candidates)} strategies (dispatch limit is "
+            f"{SUM_EXHAUSTIVE_LIMIT}); consider best_response_sum_local_search",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     current_cost = view_cost(view, current, game)
     best_cost = current_cost
     best_strategy = current
+    num_others = len(candidates)
+    num_buyers = len(view.buyers)
+    # Any node not adjacent after the move sits at distance >= 2 if reached,
+    # or costs the unreachable penalty beta >= 1 — so min(2, beta) lower
+    # bounds its contribution (= 2 under the strict model).
+    far_cost = min(2.0, game.cost_model.unreachable_distance)
+    # Cost of the cheapest *known* reply: the incumbent strategy, tightened
+    # by the warm-start seed.  Always >= the optimum, so classes pruned
+    # against it are strictly worse than the returned reply.
+    prune_cost = current_cost
+    if warm_start is not None:
+        warm = frozenset(warm_start)
+        if warm != current and warm.issubset(view.strategy_space):
+            delta = worst_case_delta(view, current, warm, game)
+            if not math.isinf(delta):
+                prune_cost = min(prune_cost, current_cost + delta)
     for size in range(len(candidates) + 1):
+        if prune:
+            if game.alpha * size + num_others > prune_cost + COST_EPS:
+                # Even an everything-adjacent reply of this size is dearer
+                # than a known one; building cost only grows from here.
+                break
+            near_max = min(size + num_buyers, num_others)
+            class_bound = (
+                game.alpha * size + near_max + (num_others - near_max) * far_cost
+            )
+            if class_bound > prune_cost + COST_EPS:
+                continue
         for combo in itertools.combinations(candidates, size):
             candidate_strategy = frozenset(combo)
             if candidate_strategy == current:
@@ -323,6 +505,7 @@ def best_response_sum_exhaustive(
             if cost < best_cost - COST_EPS:
                 best_cost = cost
                 best_strategy = candidate_strategy
+                prune_cost = min(prune_cost, best_cost)
     return BestResponse(
         player=player,
         strategy=best_strategy,
@@ -340,13 +523,21 @@ def best_response_sum_local_search(
     max_iterations: int = 200,
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
+    seed_strategy: frozenset[Node] | None = None,
 ) -> BestResponse:
     """Hill-climbing best-*reply* heuristic for SumNCG.
 
-    Repeatedly applies the best single add / drop / swap move (among the
-    Proposition 2.2 allowed ones) until no single move improves the in-view
-    cost.  The result is a local optimum, not necessarily a best response,
-    and is flagged ``exact=False``.
+    Repeatedly applies the first improving single add / drop / swap move
+    (among the Proposition 2.2 allowed ones) until no single move improves
+    the in-view cost.  The result is a local optimum, not necessarily a
+    best response, and is flagged ``exact=False``.
+
+    The climb starts from the *incumbent* strategy — which on the engine
+    path is the player's previous best response, so a re-activation after a
+    localized change resumes from an almost-converged point instead of
+    restarting.  ``seed_strategy`` optionally restarts the climb from a
+    different known-good strategy instead (a warm replay hint); an invalid
+    or non-improving seed is ignored, never trusted.
     """
     if game.usage is not UsageKind.SUM:
         raise ValueError("best_response_sum_local_search requires a SumNCG game spec")
@@ -357,6 +548,13 @@ def best_response_sum_local_search(
     current_cost = view_cost(view, current, game)
     best_strategy = current
     best_cost = current_cost
+    if seed_strategy is not None:
+        seed = frozenset(seed_strategy)
+        if seed != current and seed.issubset(view.strategy_space):
+            delta = worst_case_delta(view, current, seed, game)
+            if not math.isinf(delta) and current_cost + delta < best_cost - COST_EPS:
+                best_strategy = seed
+                best_cost = current_cost + delta
 
     for _ in range(max_iterations):
         improved = False
@@ -397,33 +595,44 @@ def best_response(
     player: Node,
     game: GameSpec,
     solver: str = ENGINE_DEFAULT_SOLVER,
-    sum_exhaustive_limit: int = 12,
+    sum_exhaustive_limit: int = SUM_EXHAUSTIVE_LIMIT,
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
     cover_context: MaxCoverContext | None = None,
 ) -> BestResponse:
     """Dispatch to the appropriate best-response routine for the game kind.
 
-    MaxNCG always uses the dominating-set reduction; SumNCG uses exhaustive
-    enumeration when the strategy space is small (``<= sum_exhaustive_limit``
-    candidates) and local search otherwise.  ``view`` and
-    ``current_strategy`` may be injected to bypass the per-call view
-    extraction (the incremental engine's cached path); the result is
-    identical to the extract-from-profile path for equal view content.
-    ``cover_context`` is forwarded to :func:`best_response_max` (MaxNCG
-    only) to skip rebuilding the reduced-view distance structure.
+    MaxNCG always uses the dominating-set reduction.  SumNCG is exact when
+    the strategy space is small (``<= sum_exhaustive_limit`` candidates,
+    default :data:`SUM_EXHAUSTIVE_LIMIT`): a warm-started local-search
+    climb from the incumbent strategy runs first and its reply *seeds* the
+    exhaustive enumeration as a pruning incumbent — same answer as the cold
+    enumeration, a fraction of the BFS calls.  Larger spaces get the local
+    search alone (``exact=False``).  This is the routine behind
+    :meth:`repro.engine.DynamicsEngine.peek_response`, so both regimes ride
+    the engine's per-(view token, strategy) memo.
+
+    ``view`` and ``current_strategy`` may be injected to bypass the
+    per-call view extraction (the incremental engine's cached path); the
+    result is identical to the extract-from-profile path for equal view
+    content.  ``cover_context`` is forwarded to :func:`best_response_max`
+    (MaxNCG only) to skip rebuilding the reduced-view distance structure.
     """
     if game.usage is UsageKind.MAX:
         return best_response_max(
             profile, player, game, solver=solver, view=view,
             current_strategy=current_strategy, cover_context=cover_context,
         )
-    if view is None:
-        view = extract_view(profile, player, game.k)
+    view, current_strategy = _resolve_view_and_strategy(
+        profile, player, game, view, current_strategy
+    )
     if len(view.strategy_space) <= sum_exhaustive_limit:
+        seed = best_response_sum_local_search(
+            profile, player, game, view=view, current_strategy=current_strategy
+        )
         return best_response_sum_exhaustive(
             profile, player, game, max_candidates=sum_exhaustive_limit, view=view,
-            current_strategy=current_strategy,
+            current_strategy=current_strategy, warm_start=seed.strategy,
         )
     return best_response_sum_local_search(
         profile, player, game, view=view, current_strategy=current_strategy

@@ -1,0 +1,218 @@
+"""Pluggable usage/cost semantics: what a player pays for unreachable nodes.
+
+Every cost in the library reduces to one question: given the distances a
+player *can* realise and the set of nodes she cannot reach at all, what is
+her usage?  The paper's answer (Eqs. (1)-(2)) is ``math.inf`` — the games
+assume a connected starting network and infinite costs make disconnecting
+moves never profitable, which Section 2's propositions rely on.  That
+answer is a *choice*, and hard-coding it everywhere blocked two scenario
+classes: perturbation operators that genuinely split the network (a player
+in a k-local game can never see, let alone re-buy, the other component, so
+a split is permanent and every strict cost is ``inf`` forever) and any
+best-response analysis of isolation attacks.
+
+This module makes the choice explicit.  A :class:`CostModel` assigns one
+*distance* ``unreachable_distance`` to every node a player cannot reach —
+``math.inf`` for the paper's strict semantics, a finite penalty ``β`` for
+the disconnection-tolerant variant — and every usage in the library is an
+aggregate over realised distances plus that stand-in:
+
+* **MaxNCG**:  ``usage = max(ecc_reached, unreachable_distance)`` when
+  anything is unreached, else ``ecc_reached``;
+* **SumNCG**:  ``usage = sum_reached + unreachable_distance · #unreached``.
+
+On a connected network (``#unreached == 0``) every model agrees exactly —
+the strict semantics are reproduced bit-for-bit — so the model only matters
+at the disconnection boundary, which is precisely where the strict game
+stops being defined.
+
+The models are small frozen dataclasses: hashable (they ride inside
+:class:`~repro.core.games.GameSpec`, which is used as a dictionary key),
+picklable (they cross process boundaries in sweep tasks) and
+JSON-serialisable (:func:`cost_model_to_payload` /
+:func:`cost_model_from_payload`, used by the game-spec codec).
+
+This module deliberately imports nothing from the rest of the package —
+:mod:`repro.core.games` imports *it*, so it sits below every other layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CostModel",
+    "StrictCosts",
+    "TolerantCosts",
+    "STRICT",
+    "resolve_cost_model",
+    "cost_model_to_payload",
+    "cost_model_from_payload",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Base protocol of the usage/cost semantics.
+
+    Subclasses only pin :attr:`unreachable_distance` (and a :attr:`name`);
+    the aggregation rules live here so every model is guaranteed to agree
+    with every other model whenever nothing is unreached.
+    """
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def unreachable_distance(self) -> float:
+        """The distance charged for a node the player cannot reach."""
+        raise NotImplementedError
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether disconnected configurations still have finite costs."""
+        return math.isfinite(self.unreachable_distance)
+
+    # ------------------------------------------------------------------
+    # Scalar aggregation (dict-of-distances call sites)
+    # ------------------------------------------------------------------
+    def usage_max(self, finite_eccentricity: float, unreached: int) -> float:
+        """MaxNCG usage: eccentricity with unreachable nodes at the penalty.
+
+        ``finite_eccentricity`` is the maximum over the *reached* nodes
+        (0 when the player reaches nobody but herself).
+        """
+        if unreached <= 0:
+            return float(finite_eccentricity)
+        return float(max(finite_eccentricity, self.unreachable_distance))
+
+    def usage_sum(self, finite_sum: float, unreached: int) -> float:
+        """SumNCG usage: realised distances plus β per unreachable node."""
+        if unreached <= 0:
+            return float(finite_sum)
+        return float(finite_sum + self.unreachable_distance * unreached)
+
+    # ------------------------------------------------------------------
+    # Vectorised aggregation (the blocked metric accumulator)
+    # ------------------------------------------------------------------
+    def fold_max(self, finite_rows: np.ndarray, unreached_rows: np.ndarray) -> np.ndarray:
+        """Per-source :meth:`usage_max` over integer reduction rows."""
+        usages = finite_rows.astype(np.float64)
+        mask = unreached_rows > 0
+        if mask.any():
+            usages[mask] = np.maximum(usages[mask], self.unreachable_distance)
+        return usages
+
+    def fold_sum(self, finite_rows: np.ndarray, unreached_rows: np.ndarray) -> np.ndarray:
+        """Per-source :meth:`usage_sum` over integer reduction rows."""
+        usages = finite_rows.astype(np.float64)
+        mask = unreached_rows > 0
+        if mask.any():
+            usages[mask] += self.unreachable_distance * unreached_rows[mask]
+        return usages
+
+    # ------------------------------------------------------------------
+    def key(self) -> tuple:
+        """Hashable identity for memo keys, labels and cache partitions."""
+        return (self.name,)
+
+    def label(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class StrictCosts(CostModel):
+    """The paper's semantics: any unreachable node makes the usage infinite."""
+
+    @property
+    def name(self) -> str:
+        return "strict"
+
+    @property
+    def unreachable_distance(self) -> float:
+        return math.inf
+
+
+@dataclass(frozen=True)
+class TolerantCosts(CostModel):
+    """Disconnection-tolerant semantics: each unreachable node costs ``β``.
+
+    ``β`` is a *distance*: an unreachable node is treated as sitting ``β``
+    hops away.  It must be finite and at least 1 (closer than an adjacent
+    node would make disconnection preferable to connection even on
+    reachable nodes, which breaks every lower bound the solvers prune
+    with).  A ``β`` no smaller than the largest possible finite distance
+    (``n - 1``; the robustness sweep defaults to ``2n``) additionally
+    guarantees that disconnecting is never *cheaper per node* than any
+    connected alternative.
+    """
+
+    beta: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.beta) and self.beta >= 1):
+            raise ValueError(
+                f"tolerant penalty beta must be finite and >= 1, got {self.beta!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "tolerant"
+
+    @property
+    def unreachable_distance(self) -> float:
+        return float(self.beta)
+
+    def key(self) -> tuple:
+        return (self.name, float(self.beta))
+
+    def label(self) -> str:
+        return f"tolerant(beta={self.beta:g})"
+
+
+#: The default model everywhere: the paper's strict semantics.
+STRICT: CostModel = StrictCosts()
+
+
+def resolve_cost_model(
+    model: CostModel | str | None, beta: float | None = None
+) -> CostModel:
+    """Coerce a config/CLI value into a :class:`CostModel`.
+
+    Accepts a ready model (returned as-is), ``None``/``"strict"`` (the
+    default), or ``"tolerant"`` with ``beta`` supplying the penalty.
+    """
+    if model is None:
+        return STRICT
+    if isinstance(model, CostModel):
+        return model
+    if model == "strict":
+        return STRICT
+    if model == "tolerant":
+        if beta is None:
+            raise ValueError("tolerant cost model needs a penalty beta")
+        return TolerantCosts(beta=float(beta))
+    raise ValueError(f"unknown cost model {model!r}; expected 'strict' or 'tolerant'")
+
+
+def cost_model_to_payload(model: CostModel) -> dict:
+    """JSON-serialisable representation (inverse of :func:`cost_model_from_payload`)."""
+    payload: dict = {"name": model.name}
+    if isinstance(model, TolerantCosts):
+        payload["beta"] = float(model.beta)
+    return payload
+
+
+def cost_model_from_payload(payload: dict | None) -> CostModel:
+    """Decode a payload written by :func:`cost_model_to_payload`.
+
+    ``None`` (documents written before the cost-model layer existed) decodes
+    to the strict model, so every historical checkpoint keeps loading.
+    """
+    if payload is None:
+        return STRICT
+    return resolve_cost_model(payload.get("name"), beta=payload.get("beta"))

@@ -15,6 +15,17 @@ seemingly infinite maximisation into a finite computation:
   improving, because arbitrarily many invisible vertices could hang behind
   it; for every other strategy the worst case is again ``H``, with the status
   replacing the eccentricity.
+
+In-view costs are evaluated under the game's
+:class:`~repro.core.cost_models.CostModel`: with the paper's strict model a
+move that disconnects part of the view costs ``math.inf`` (never improving),
+while a tolerant model prices the abandoned vertices at ``β`` each, so
+deliberately cutting an expensive branch loose can be a rational deviation.
+The Proposition 2.2 frontier guard is kept *unchanged* under tolerant
+models: pushing a frontier vertex farther away still risks unboundedly many
+invisible vertices behind it, and a conservative rule stays sound (with a
+small ``β`` it may exclude some genuinely improving disconnect-the-frontier
+moves; the guard errs on the paper's side).
 """
 
 from __future__ import annotations
@@ -76,12 +87,13 @@ def view_cost(
     """
     network = graph if graph is not None else modified_view_graph(view, strategy)
     distances = bfs_distances(network, view.player)
-    if len(distances) < network.number_of_nodes():
-        usage = math.inf
-    elif game.usage is UsageKind.MAX:
-        usage = float(max(distances.values(), default=0))
+    unreached = network.number_of_nodes() - len(distances)
+    if game.usage is UsageKind.MAX:
+        usage = game.cost_model.usage_max(
+            float(max(distances.values(), default=0)), unreached
+        )
     else:
-        usage = float(sum(distances.values()))
+        usage = game.cost_model.usage_sum(float(sum(distances.values())), unreached)
     return game.alpha * len(strategy) + usage
 
 

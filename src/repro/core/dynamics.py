@@ -59,8 +59,15 @@ class DynamicsResult:
     It is ``True`` exactly when ``converged`` is: a run that cycles or hits
     the round cap never claims an equilibrium, and a quiet round under a
     non-certifying scheduler is not believed until the sweep confirms it.
-    (With an approximate solver the certificate is heuristic, like
-    :func:`repro.core.equilibria.certify_equilibrium`.)
+
+    A certificate is only as strong as the best responses behind it:
+    ``certified_exact`` is ``True`` when every player in the certifying
+    sweep was answered by an *exact* solver, and ``False`` when any answer
+    was heuristic — a greedy MaxNCG solve, or a SumNCG strategy space above
+    the exhaustive limit where only the local search speaks (mirroring
+    :attr:`repro.core.equilibria.EquilibriumReport.all_exact`).  A
+    heuristic certificate still means "no improving move *was found*",
+    never "none exists".
     """
 
     game: GameSpec
@@ -71,6 +78,7 @@ class DynamicsResult:
     rounds: int
     total_changes: int
     certified: bool = False
+    certified_exact: bool = False
     round_records: list[RoundRecord] = field(default_factory=list)
     initial_metrics: ProfileMetrics | None = None
     final_metrics: ProfileMetrics | None = None
@@ -107,6 +115,7 @@ def best_response_dynamics(
     seed: int | None = None,
     player_order: list[Node] | None = None,
     workers: int | None = 1,
+    sum_exhaustive_limit: int | None = None,
 ) -> DynamicsResult:
     """Run the best-response dynamics until convergence.
 
@@ -141,7 +150,12 @@ def best_response_dynamics(
     workers:
         Process count for the ``parallel_batch`` scheduler's best-response
         fan-out (ignored by the sequential schedulers).
+    sum_exhaustive_limit:
+        SumNCG exact/heuristic dispatch threshold (``None`` keeps
+        :data:`repro.core.best_response.SUM_EXHAUSTIVE_LIMIT`); ignored by
+        MaxNCG games.
     """
+    from repro.core.best_response import SUM_EXHAUSTIVE_LIMIT
     from repro.engine.core import DynamicsEngine
     from repro.engine.schedulers import SCHEDULERS
 
@@ -159,6 +173,9 @@ def best_response_dynamics(
         seed=seed,
         player_order=player_order,
         workers=workers,
+        sum_exhaustive_limit=(
+            SUM_EXHAUSTIVE_LIMIT if sum_exhaustive_limit is None else sum_exhaustive_limit
+        ),
     )
     return engine.run()
 
@@ -197,14 +214,17 @@ def best_response_dynamics_reference(
     cycled = False
     rounds_run = 0
 
+    certified_exact = False
     for round_index in range(1, max_rounds + 1):
         rounds_run = round_index
         order = list(base_order)
         if ordering == "shuffled":
             rng.shuffle(order)
         changes_this_round = 0
+        round_all_exact = True
         for player in order:
             response = best_response(profile, player, game, solver=solver)
+            round_all_exact = round_all_exact and response.exact
             if response.is_improving:
                 profile = profile.with_strategy(player, response.strategy)
                 changes_this_round += 1
@@ -219,6 +239,9 @@ def best_response_dynamics_reference(
             )
         if changes_this_round == 0:
             converged = True
+            # The quiet round is the certificate; its strength is its
+            # weakest answer.
+            certified_exact = round_all_exact
             # The equilibrium was reached at the end of the *previous*
             # round; the paper counts rounds needed to reach the stable
             # network, so the certifying all-quiet round is not counted.
@@ -244,6 +267,7 @@ def best_response_dynamics_reference(
         total_changes=total_changes,
         # A quiet round of the full round-robin pass *is* the certificate.
         certified=converged,
+        certified_exact=converged and certified_exact,
         round_records=round_records,
         initial_metrics=initial_metrics,
         final_metrics=final_metrics,

@@ -1,13 +1,17 @@
 """Game specifications.
 
-A game is determined by three ingredients:
+A game is determined by four ingredients:
 
 * the edge price ``α > 0``;
 * the *usage kind*: eccentricity (MaxNCG, Eq. (2)) or sum of distances
   (SumNCG, Eq. (1));
 * the knowledge radius ``k``: each player knows the network only up to
   distance ``k`` from herself.  ``k = FULL_KNOWLEDGE`` recovers the classical
-  full-information games, whose equilibria are ordinary Nash equilibria.
+  full-information games, whose equilibria are ordinary Nash equilibria;
+* the :class:`~repro.core.cost_models.CostModel` deciding what unreachable
+  nodes cost — the paper's strict ``math.inf`` semantics by default, or the
+  disconnection-tolerant β-penalty variant that keeps component splits and
+  isolation attacks priced (models agree exactly on connected networks).
 
 :class:`GameSpec` is a plain frozen dataclass so that game descriptions can
 be used as dictionary keys, serialised into experiment records, and shipped
@@ -18,7 +22,9 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+
+from repro.core.cost_models import STRICT, CostModel
 
 __all__ = ["UsageKind", "GameSpec", "MaxNCG", "SumNCG", "FULL_KNOWLEDGE"]
 
@@ -51,17 +57,23 @@ class GameSpec:
         Knowledge radius; ``math.inf`` (:data:`FULL_KNOWLEDGE`) for the
         classical game.  The paper's experiments encode full knowledge as
         ``k = 1000``, which for the instance sizes involved is equivalent.
+    cost_model:
+        Usage semantics for unreachable nodes
+        (:data:`~repro.core.cost_models.STRICT` — the paper — by default).
     """
 
     alpha: float
     usage: UsageKind
     k: float = FULL_KNOWLEDGE
+    cost_model: CostModel = field(default=STRICT)
 
     def __post_init__(self) -> None:
         if not self.alpha > 0:
             raise ValueError("alpha must be positive")
         if not (self.k == FULL_KNOWLEDGE or (self.k == int(self.k) and self.k >= 1)):
             raise ValueError("k must be a positive integer or FULL_KNOWLEDGE")
+        if not isinstance(self.cost_model, CostModel):
+            raise ValueError("cost_model must be a repro.core.cost_models.CostModel")
 
     # ------------------------------------------------------------------
     @property
@@ -84,17 +96,33 @@ class GameSpec:
     def with_alpha(self, alpha: float) -> "GameSpec":
         return replace(self, alpha=alpha)
 
+    def with_cost_model(self, cost_model: CostModel) -> "GameSpec":
+        """Return the same game under different disconnection semantics."""
+        return replace(self, cost_model=cost_model)
+
     def label(self) -> str:
-        """Short human-readable identifier (used in experiment records)."""
+        """Short human-readable identifier (used in experiment records).
+
+        Strict-model labels are unchanged from the pre-cost-model layout so
+        historical experiment records keep matching; tolerant models append
+        their β marker.
+        """
         k_label = "inf" if not self.is_local else str(int(self.k))
-        return f"{self.usage.value}ncg(alpha={self.alpha:g}, k={k_label})"
+        base = f"{self.usage.value}ncg(alpha={self.alpha:g}, k={k_label})"
+        if self.cost_model == STRICT:
+            return base
+        return f"{base}[{self.cost_model.label()}]"
 
 
-def MaxNCG(alpha: float, k: float = FULL_KNOWLEDGE) -> GameSpec:
+def MaxNCG(
+    alpha: float, k: float = FULL_KNOWLEDGE, cost_model: CostModel = STRICT
+) -> GameSpec:
     """The eccentricity-based game of Eq. (2), optionally with local knowledge."""
-    return GameSpec(alpha=alpha, usage=UsageKind.MAX, k=k)
+    return GameSpec(alpha=alpha, usage=UsageKind.MAX, k=k, cost_model=cost_model)
 
 
-def SumNCG(alpha: float, k: float = FULL_KNOWLEDGE) -> GameSpec:
+def SumNCG(
+    alpha: float, k: float = FULL_KNOWLEDGE, cost_model: CostModel = STRICT
+) -> GameSpec:
     """The sum-of-distances game of Eq. (1), optionally with local knowledge."""
-    return GameSpec(alpha=alpha, usage=UsageKind.SUM, k=k)
+    return GameSpec(alpha=alpha, usage=UsageKind.SUM, k=k, cost_model=cost_model)

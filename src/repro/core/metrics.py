@@ -16,6 +16,7 @@ from dataclasses import dataclass, asdict
 
 import numpy as np
 
+from repro.core.cost_models import STRICT, CostModel
 from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
 from repro.core.social import social_optimum
 from repro.core.strategies import StrategyProfile
@@ -26,7 +27,14 @@ __all__ = ["ProfileMetrics", "DistanceStatsAccumulator", "compute_profile_metric
 
 @dataclass(frozen=True)
 class ProfileMetrics:
-    """Snapshot of the network-level statistics of one strategy profile."""
+    """Snapshot of the network-level statistics of one strategy profile.
+
+    ``unreachable_pairs`` counts the ordered (source, target) pairs with no
+    connecting path; it is 0 on every connected profile and only ever
+    non-zero under a disconnection-tolerant cost model (the strict model
+    refuses to price a disconnected profile at all).  ``diameter`` is the
+    largest *finite* distance in either case.
+    """
 
     num_players: int
     num_edges: int
@@ -44,6 +52,7 @@ class ProfileMetrics:
     max_player_cost: float
     min_player_cost: float
     unfairness: float  #: max player cost / min player cost (Figure 9)
+    unreachable_pairs: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return asdict(self)
@@ -55,22 +64,38 @@ class DistanceStatsAccumulator:
     One instance accumulates, block by block, everything
     :func:`compute_profile_metrics` previously read off the dense distance
     matrix: per-source usage (max or sum of finite distances), per-source
-    full-reachability flags, per-source view sizes at radius ``view_radius``
+    unreached-node counts, per-source view sizes at radius ``view_radius``
     and the running graph diameter.  Only ``O(n)`` per-source vectors and a
     scalar survive between blocks, so the sweep never holds more than one
     ``(block_size, n)`` distance slice alive (the
     :class:`~repro.graphs.traversal.DistanceBlockConsumer` contract).
+
+    The final per-source usages are produced by :meth:`usage_values`, which
+    folds the unreached counts through ``cost_model`` in one vectorised pass
+    — ``math.inf`` rows under the strict model, ``β``-penalised rows under a
+    tolerant one — so disconnection semantics ride the same streaming sweep
+    instead of a second pass over a dense matrix.
     """
 
     def __init__(
-        self, num_sources: int, usage: UsageKind, view_radius: int | None = None
+        self,
+        num_sources: int,
+        usage: UsageKind,
+        view_radius: int | None = None,
+        cost_model: CostModel = STRICT,
     ) -> None:
         self.usage = usage
         self.view_radius = view_radius
+        self.cost_model = cost_model
         self.usage_rows = np.zeros(num_sources, dtype=np.int64)
-        self.all_reached = np.zeros(num_sources, dtype=bool)
+        self.unreached_rows = np.zeros(num_sources, dtype=np.int64)
         self.view_sizes = np.zeros(num_sources, dtype=np.int64)
         self.diameter = 0
+
+    @property
+    def all_reached(self) -> np.ndarray:
+        """Per-source full-reachability flags (kept for downstream callers)."""
+        return self.unreached_rows == 0
 
     def process_block(
         self, start: int, sources: np.ndarray, dist_block: np.ndarray
@@ -78,7 +103,7 @@ class DistanceStatsAccumulator:
         stop = start + dist_block.shape[0]
         reachable = dist_block != UNREACHABLE
         finite = np.where(reachable, dist_block, 0)
-        self.all_reached[start:stop] = reachable.all(axis=1)
+        self.unreached_rows[start:stop] = (~reachable).sum(axis=1)
         if self.usage is UsageKind.MAX:
             self.usage_rows[start:stop] = finite.max(axis=1, initial=0)
         else:
@@ -88,6 +113,12 @@ class DistanceStatsAccumulator:
             # UNREACHABLE is int32-max, so the comparison naturally excludes
             # unreached nodes from the view counts.
             self.view_sizes[start:stop] = (dist_block <= self.view_radius).sum(axis=1)
+
+    def usage_values(self) -> np.ndarray:
+        """Per-source usages with the cost model's unreachable penalty folded in."""
+        if self.usage is UsageKind.MAX:
+            return self.cost_model.fold_max(self.usage_rows, self.unreached_rows)
+        return self.cost_model.fold_sum(self.usage_rows, self.unreached_rows)
 
 
 def compute_profile_metrics(
@@ -120,7 +151,10 @@ def compute_profile_metrics(
 
     want_views = include_views and n > 0 and game.k != FULL_KNOWLEDGE
     stats = DistanceStatsAccumulator(
-        n, game.usage, view_radius=int(game.k) if want_views else None
+        n,
+        game.usage,
+        view_radius=int(game.k) if want_views else None,
+        cost_model=game.cost_model,
     )
     if n > 0:
         indptr, indices, order = graph.to_csr_arrays()
@@ -133,11 +167,8 @@ def compute_profile_metrics(
         )
     else:
         order = []
-    all_reached = stats.all_reached
-    usages = {
-        node: float(stats.usage_rows[i]) if all_reached[i] else math.inf
-        for i, node in enumerate(order)
-    }
+    usage_values = stats.usage_values()
+    usages = {node: float(usage_values[i]) for i, node in enumerate(order)}
     costs = {
         player: game.alpha * count + usages[player]
         for player, count in zip(profile, bought_counts)
@@ -147,8 +178,13 @@ def compute_profile_metrics(
     min_cost = min(cost_values)
     unfairness = math.inf if min_cost == 0 else max_cost / min_cost
 
+    unreachable_pairs = int(stats.unreached_rows.sum()) if n > 0 else 0
     if n > 0:
-        if not bool(all_reached.all()):
+        if unreachable_pairs and not game.cost_model.is_finite:
+            # The strict model does not price disconnected profiles; a
+            # tolerant model reports them (finite costs, finite diameter
+            # over the realised distances, unreachable_pairs > 0) instead.
+            all_reached = stats.all_reached
             lonely = order[int(np.flatnonzero(~all_reached)[0])]
             raise ValueError(f"graph is disconnected from node {lonely!r}")
         graph_diameter = stats.diameter
@@ -184,4 +220,5 @@ def compute_profile_metrics(
         max_player_cost=max_cost,
         min_player_cost=min_cost,
         unfairness=unfairness,
+        unreachable_pairs=unreachable_pairs,
     )

@@ -20,6 +20,11 @@ import json
 import math
 from pathlib import Path
 
+from repro.core.cost_models import (
+    STRICT,
+    cost_model_from_payload,
+    cost_model_to_payload,
+)
 from repro.core.dynamics import DynamicsResult
 from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
 from repro.core.strategies import StrategyProfile
@@ -68,14 +73,22 @@ def profile_from_dict(payload: dict) -> StrategyProfile:
 # Game specifications
 # ----------------------------------------------------------------------
 def game_to_dict(game: GameSpec) -> dict:
-    """JSON-serialisable representation of a game specification."""
-    return {
+    """JSON-serialisable representation of a game specification.
+
+    The ``cost_model`` key is only emitted for non-strict models, so
+    strict-game documents are byte-identical to the pre-cost-model format
+    (and historical documents without the key decode to the strict model).
+    """
+    payload = {
         "format": "repro-game-spec",
         "version": 1,
         "alpha": game.alpha,
         "usage": game.usage.value,
         "k": None if game.k == FULL_KNOWLEDGE else int(game.k),
     }
+    if game.cost_model != STRICT:
+        payload["cost_model"] = cost_model_to_payload(game.cost_model)
+    return payload
 
 
 def game_from_dict(payload: dict) -> GameSpec:
@@ -87,6 +100,7 @@ def game_from_dict(payload: dict) -> GameSpec:
         alpha=float(payload["alpha"]),
         usage=UsageKind(payload["usage"]),
         k=FULL_KNOWLEDGE if k is None else float(k),
+        cost_model=cost_model_from_payload(payload.get("cost_model")),
     )
 
 
@@ -121,6 +135,7 @@ def dynamics_result_to_dict(result: DynamicsResult) -> dict:
         "converged": result.converged,
         "cycled": result.cycled,
         "certified": result.certified,
+        "certified_exact": result.certified_exact,
         "rounds": result.rounds,
         "total_changes": result.total_changes,
         "final_metrics": final_metrics,

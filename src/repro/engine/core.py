@@ -29,6 +29,7 @@ import warnings
 
 from repro.core.best_response import (
     ENGINE_DEFAULT_SOLVER,
+    SUM_EXHAUSTIVE_LIMIT,
     BestResponse,
     MaxCoverContext,
     best_response,
@@ -89,10 +90,16 @@ class DynamicsEngine:
         seed: int | None = None,
         player_order: list[Node] | None = None,
         workers: int | None = 1,
+        sum_exhaustive_limit: int = SUM_EXHAUSTIVE_LIMIT,
     ) -> None:
         profile = coerce_profile(initial)
         self.game = game
         self.solver = solver
+        #: SumNCG exact/heuristic dispatch threshold (strategy-space size up
+        #: to which best responses are solved exactly; see
+        #: :data:`repro.core.best_response.SUM_EXHAUSTIVE_LIMIT`).  Ignored
+        #: by MaxNCG games.
+        self.sum_exhaustive_limit = sum_exhaustive_limit
         if (
             game.usage is UsageKind.MAX
             and solver not in WARM_START_SOLVERS
@@ -202,7 +209,14 @@ class DynamicsEngine:
 
         A best response is a pure function of (view content, own strategy,
         game, solver), so a memo entry stays valid exactly while the
-        player's view content token and strategy both stand still.
+        player's view content token and strategy both stand still.  The
+        game — and with it the cost model deciding what unreachable nodes
+        cost — is fixed per engine, so every memo and cover-context entry
+        implicitly carries ``self.game.cost_model.key()``; entries can never
+        leak across models.  Both MaxNCG regimes (full cover and, under a
+        tolerant model, component abandonment) and both SumNCG regimes
+        (seeded exhaustive below ``sum_exhaustive_limit``, local search
+        above) ride this same memo.
         """
         view = self.views.get(player)  # settles the content token
         token = self.views.token(player)
@@ -216,6 +230,7 @@ class DynamicsEngine:
             player,
             self.game,
             solver=self.solver,
+            sum_exhaustive_limit=self.sum_exhaustive_limit,
             view=view,
             current_strategy=strategy,
             cover_context=self._cover_context(player, token),
@@ -335,6 +350,7 @@ class DynamicsEngine:
         total_changes = 0
         converged = False
         certified = False
+        certified_exact = False
         cycled = False
         rounds_run = 0
         for round_index in range(1, self.max_rounds + 1):
@@ -362,6 +378,13 @@ class DynamicsEngine:
                     continue
                 converged = True
                 certified = True
+                # Certificate strength: exact iff every player's certifying
+                # answer came from an exact solver.  The quiet round (or the
+                # certify sweep above) just evaluated every player, so these
+                # are pure memo rides — no additional solver calls.
+                certified_exact = all(
+                    self.peek_response(player).exact for player in self.base_order
+                )
                 rounds_run = round_index - 1
                 break
             if self.scheduler.detects_cycles:
@@ -380,6 +403,7 @@ class DynamicsEngine:
             rounds=rounds_run,
             total_changes=total_changes,
             certified=certified,
+            certified_exact=certified_exact,
             round_records=round_records,
             initial_metrics=initial_metrics,
             final_metrics=(

@@ -44,6 +44,7 @@ from repro.experiments.extensions.view_models import (
 from repro.experiments.extensions.beliefs import BeliefStudyConfig, generate_belief_study
 from repro.experiments.extensions.anatomy import AnatomyStudyConfig, generate_anatomy_study
 from repro.experiments.extensions.robustness import (
+    DISCONNECTING_PERTURBATIONS,
     PERTURBATIONS,
     RobustnessStudyConfig,
     aggregate_robustness_rows,
@@ -66,6 +67,7 @@ __all__ = [
     "generate_belief_study",
     "AnatomyStudyConfig",
     "generate_anatomy_study",
+    "DISCONNECTING_PERTURBATIONS",
     "PERTURBATIONS",
     "RobustnessStudyConfig",
     "aggregate_robustness_rows",

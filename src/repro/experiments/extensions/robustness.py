@@ -26,12 +26,20 @@ Mapping to the paper's concepts
   suite calls :meth:`repro.engine.DynamicsEngine.certify` — a full
   no-improving-deviation sweep, i.e. the LKE definition itself — so no row
   ever claims an equilibrium off the back of a lucky quiet round.
-* **Connectivity is preserved by construction.**  Disconnection makes
-  every cost infinite (the paper's games assume a connected start), so the
+* **Connectivity semantics follow the cost model.**  Under the paper's
+  strict model disconnection makes every cost infinite, so the classic
   deletion operators only drop bought edges whose removal keeps the network
   connected: ownership flips of double-bought edges are always safe, and
   topology-changing drops are screened against the current bridge set
-  (recomputed after every single drop).
+  (recomputed after every single drop).  Under a disconnection-tolerant
+  model (:class:`repro.core.cost_models.TolerantCosts`, finite per-node
+  penalty β) component splits are priced, so the suite additionally ships
+  two *deliberately disconnecting* operators — ``component_split`` and
+  ``isolation_attack`` — whose shocks are recovered and certified on the
+  live engine like any other (a k-local player can never see across a
+  split, so "recovery" means per-component re-equilibration at finite
+  cost).  A disconnecting shock under a strict game is never an assert:
+  it is rolled back and recorded as a structured per-shock outcome row.
 
 Operators
 ---------
@@ -55,6 +63,13 @@ Operators
     operator exercises tree-like equilibria (where every edge is a bridge
     and nothing is droppable) too; recovery consists of dropping the
     redundant edges again.
+``component_split`` *(disconnecting)*
+    Drops single-owned bridge edges — the exact edges the screened
+    operators refuse to touch — splitting the network into components.
+``isolation_attack`` *(disconnecting)*
+    Severs every edge incident to the highest-degree players: the victim's
+    own strategy is emptied and every buyer of an edge towards the victim
+    drops it, all through owner strategy edits.
 
 Each scenario converges an engine once, then alternates shock -> warm
 re-``run`` -> ``certify`` while timing a cold restart
@@ -67,12 +82,13 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.analysis.statistics import summarize
+from repro.core.cost_models import CostModel, resolve_cost_model
 from repro.core.costs import social_cost
 from repro.core.dynamics import DynamicsResult
-from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG
+from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG, SumNCG
 from repro.core.metrics import compute_profile_metrics
 from repro.core.strategies import StrategyProfile
 from repro.engine.core import DynamicsEngine
@@ -81,12 +97,13 @@ from repro.experiments.extensions.instances import build_extension_instance
 from repro.experiments.store import ExperimentStore
 from repro.graphs.algorithms import betweenness_centrality, bridges
 from repro.graphs.graph import Node
-from repro.graphs.traversal import bfs_distances_within, is_connected
+from repro.graphs.traversal import bfs_distances_within, connected_components
 from repro.parallel.pool import parallel_map
 
 __all__ = [
     "ShockRecord",
     "PERTURBATIONS",
+    "DISCONNECTING_PERTURBATIONS",
     "apply_perturbation",
     "RobustnessStudyConfig",
     "generate_robustness_study",
@@ -96,12 +113,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ShockRecord:
-    """What one perturbation operator actually did to the engine state."""
+    """What one perturbation operator actually did to the engine state.
+
+    ``disconnected`` records whether the induced network came out of the
+    shock in more than one connected component (``components > 1``); it is
+    stamped by :func:`apply_perturbation`, never by the operators
+    themselves, so the flag always reflects the post-shock state.
+    """
 
     operator: str
     players: tuple[Node, ...]  #: players whose strategies were edited
     edges_dropped: int
     edges_added: int
+    disconnected: bool = False
+    components: int = 1
 
     @property
     def size(self) -> int:
@@ -246,6 +271,73 @@ def add_shortcuts(
     return ShockRecord("add_shortcuts", tuple(dict.fromkeys(touched)), 0, added)
 
 
+# ----------------------------------------------------------------------
+# Deliberately disconnecting operators (tolerant cost models)
+# ----------------------------------------------------------------------
+def component_split(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Drop up to ``intensity`` single-owned bridge edges — a genuine split.
+
+    Exactly the edges the screened operators refuse to touch: a
+    single-owned bridge disconnects the network the moment its owner drops
+    it.  Double-bought bridges are skipped (dropping one ownership is a
+    topology no-op), so every applied drop widens the split.
+    """
+    state = engine.state
+    touched: list[Node] = []
+    dropped = 0
+    for _ in range(intensity):
+        bridge_set = {frozenset(edge) for edge in bridges(state.graph)}
+        candidates = [
+            (player, target)
+            for player in state.players()
+            for target in sorted(state.strategy(player), key=repr)
+            if player not in state.strategy(target)
+            and frozenset((player, target)) in bridge_set
+        ]
+        if not candidates:
+            break
+        pair = rng.choice(candidates)
+        _drop(engine, pair)
+        touched.append(pair[0])
+        dropped += 1
+    return ShockRecord("component_split", tuple(dict.fromkeys(touched)), dropped, 0)
+
+
+def isolation_attack(
+    engine: DynamicsEngine, rng: random.Random, intensity: int
+) -> ShockRecord:
+    """Sever every edge incident to the ``intensity`` highest-degree players.
+
+    The adversary's strongest move against the hub structure the dynamics
+    builds: each victim's own strategy is emptied *and* every buyer of an
+    edge towards the victim drops it — all through owner strategy edits, so
+    the engine sees ordinary deltas.  Victims with no buyers left end up
+    fully isolated (``deg = 0``); ``rng`` only breaks degree ties.
+    """
+    state = engine.state
+    degrees = state.graph.degrees()
+    victims = sorted(
+        (p for p in state.players() if degrees.get(p, 0) > 0),
+        key=lambda p: (-degrees.get(p, 0), rng.random()),
+    )[: max(intensity, 1)]
+    touched: list[Node] = []
+    dropped = 0
+    for victim in victims:
+        mine = state.strategy(victim)
+        if mine:
+            engine.set_strategy(victim, frozenset())
+            dropped += len(mine)
+        touched.append(victim)
+        for buyer in sorted(state.players(), key=repr):
+            if buyer != victim and victim in state.strategy(buyer):
+                engine.set_strategy(buyer, state.strategy(buyer) - {victim})
+                touched.append(buyer)
+                dropped += 1
+    return ShockRecord("isolation_attack", tuple(dict.fromkeys(touched)), dropped, 0)
+
+
 #: Operator registry (name -> callable(engine, rng, intensity) -> ShockRecord).
 PERTURBATIONS = {
     "drop_random_edges": drop_random_edges,
@@ -253,7 +345,14 @@ PERTURBATIONS = {
     "reset_player": reset_player,
     "multi_reset": multi_reset,
     "add_shortcuts": add_shortcuts,
+    "component_split": component_split,
+    "isolation_attack": isolation_attack,
 }
+
+#: Operators that may (and usually do) split the induced network.  Only
+#: these are admitted into tolerant-model sweep grids; the rest are
+#: connectivity-preserving by construction.
+DISCONNECTING_PERTURBATIONS = frozenset({"component_split", "isolation_attack"})
 
 
 def apply_perturbation(
@@ -262,10 +361,14 @@ def apply_perturbation(
     """Apply the registered operator ``name`` to ``engine`` and report it.
 
     Every operator edits strategies exclusively through
-    :meth:`~repro.engine.DynamicsEngine.set_strategy` and leaves the induced
-    network connected; the returned record says what actually happened
-    (operators degrade to smaller — possibly empty — shocks when the
-    instance offers no safe edit of the requested kind).
+    :meth:`~repro.engine.DynamicsEngine.set_strategy`; the returned record
+    says what actually happened (operators degrade to smaller — possibly
+    empty — shocks when the instance offers no safe edit of the requested
+    kind) including whether the network came out disconnected.
+    Disconnection never raises here: the sweep decides per shock whether
+    the game's cost model can price the outcome (tolerant models recover
+    it, strict ones roll it back and record a structured outcome row), so
+    no sweep row is ever lost to an assert.
     """
     try:
         operator = PERTURBATIONS[name]
@@ -274,9 +377,8 @@ def apply_perturbation(
             f"unknown perturbation {name!r}; available: {sorted(PERTURBATIONS)}"
         ) from exc
     record = operator(engine, rng, intensity)
-    if not is_connected(engine.state.graph):  # pragma: no cover - safety net
-        raise AssertionError(f"perturbation {name!r} disconnected the network")
-    return record
+    parts = connected_components(engine.state.graph)
+    return replace(record, disconnected=len(parts) > 1, components=len(parts))
 
 
 # ----------------------------------------------------------------------
@@ -284,7 +386,17 @@ def apply_perturbation(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RobustnessStudyConfig:
-    """Parameter grid of the perturbation & recovery study."""
+    """Parameter grid of the perturbation & recovery study.
+
+    ``usage`` selects the game ("max" — the paper's experiments — or
+    "sum", which since the engine-grade SumNCG dispatch runs on the live
+    engine like any other sweep).  ``cost_model`` / ``penalty_beta`` pick
+    the disconnection semantics: the default strict model keeps the classic
+    screened operators; ``"tolerant"`` prices splits at β per unreachable
+    node (``penalty_beta=None`` defaults to ``2n`` — strictly larger than
+    any realisable distance, so connected behaviour is untouched) and is
+    what admits the deliberately disconnecting operators into the grid.
+    """
 
     families: tuple[str, ...] = ("tree", "gnp", "watts-strogatz", "barabasi-albert")
     operators: tuple[str, ...] = (
@@ -303,6 +415,9 @@ class RobustnessStudyConfig:
     #: Edits per shock (edges for the edge operators, players for
     #: ``multi_reset``; ``reset_player`` always touches exactly one).
     intensity: int = 2
+    usage: str = "max"
+    cost_model: str = "strict"
+    penalty_beta: float | None = None
     settings: SweepSettings = field(default_factory=SweepSettings.paper)
 
     @classmethod
@@ -328,6 +443,34 @@ class RobustnessStudyConfig:
             settings=SweepSettings.smoke(workers=workers, solver="branch_and_bound"),
         )
 
+    def with_cost_model(
+        self, cost_model: str, penalty_beta: float | None = None
+    ) -> "RobustnessStudyConfig":
+        """Re-target the grid at different disconnection semantics.
+
+        Switching to ``"tolerant"`` also admits the disconnecting operators
+        (deduplicated, appended) — they are the scenarios only a finite
+        penalty can price; switching (back) to ``"strict"`` removes them.
+        """
+        operators = tuple(
+            op for op in self.operators if op not in DISCONNECTING_PERTURBATIONS
+        )
+        if cost_model == "tolerant":
+            operators = operators + tuple(sorted(DISCONNECTING_PERTURBATIONS))
+        return replace(
+            self, cost_model=cost_model, penalty_beta=penalty_beta, operators=operators
+        )
+
+    def with_usage(self, usage: str) -> "RobustnessStudyConfig":
+        return replace(self, usage=usage)
+
+    def game(self, k: float, alpha: float) -> GameSpec:
+        """Materialise one grid cell's game spec (cost model resolved)."""
+        beta = self.penalty_beta if self.penalty_beta is not None else 2.0 * self.n
+        model: CostModel = resolve_cost_model(self.cost_model, beta=beta)
+        factory = {"max": MaxNCG, "sum": SumNCG}[self.usage]
+        return factory(alpha=alpha, k=k, cost_model=model)
+
 
 def _profile_distance(a: StrategyProfile, b: StrategyProfile) -> tuple[int, int]:
     """(players whose strategy differs, symmetric difference of edge sets)."""
@@ -352,10 +495,8 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
     failed to certify) so the caller can checkpoint a base equilibrium
     without re-running the dynamics it already paid for.
     """
-    (family, n, alpha, k, seed, operators, shocks, intensity, solver, max_rounds) = task
+    (family, n, alpha, k, seed, operators, shocks, intensity, solver, max_rounds, game) = task
     owned = build_extension_instance(family, n, seed)
-    k_value = FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k
-    game: GameSpec = MaxNCG(alpha=alpha, k=k_value)
     # Metric sweeps are O(n · edges) bookends on every `run`; computing
     # social costs explicitly (outside the timed windows) keeps the warm
     # replay at O(dirty ball) and the warm-vs-cold timing honest.
@@ -369,6 +510,8 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
         "alpha": alpha,
         "k": k,
         "seed": seed,
+        "usage": game.usage.value,
+        "cost_model": game.cost_model.label(),
     }
     if not base_result.converged:
         # The pre-shock dynamics cycled or timed out: there is no
@@ -409,6 +552,8 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
                         "operator": record.operator,
                         "shock_index": shock_index,
                         "shock_empty": True,
+                        "shock_disconnected": False,
+                        "outcome": "empty",
                         "shock_players": 0,
                         "shock_edges_dropped": 0,
                         "shock_edges_added": 0,
@@ -421,6 +566,7 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
                         "moved_players": 0,
                         "strategy_distance": 0,
                         "edge_distance": 0,
+                        "post_components": 1,
                         "recovered_to_same": True,
                         "converged": True,
                         "certified": True,
@@ -431,6 +577,33 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
                         "warm_s": 0.0,
                         "cold_s": 0.0,
                         "warm_speedup": 1.0,
+                    }
+                )
+                continue
+            if record.disconnected and not game.cost_model.is_finite:
+                # The strict model cannot price a split (every cost is
+                # inf and a k-local player can never re-buy across the
+                # cut).  Roll the shock back onto the still-certified
+                # ``pre_profile`` and record what happened — a structured
+                # outcome row instead of the old raised AssertionError, so
+                # the sweep never loses the row and later shocks in the
+                # chain keep a meaningful baseline.
+                _restore(engine, pre_profile)
+                rows.append(
+                    {
+                        **base_info,
+                        "operator": record.operator,
+                        "shock_index": shock_index,
+                        "shock_empty": False,
+                        "shock_disconnected": True,
+                        "outcome": "skipped_strict_disconnection",
+                        "shock_players": len(record.players),
+                        "shock_edges_dropped": record.edges_dropped,
+                        "shock_edges_added": record.edges_added,
+                        "shock_components": record.components,
+                        "pre_social_cost": pre_cost,
+                        "converged": False,
+                        "certified": False,
                     }
                 )
                 continue
@@ -460,15 +633,20 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
             moved_in_recovery, _ = _profile_distance(shock_profile, recovered)
             strategy_distance, edge_distance = _profile_distance(pre_profile, recovered)
             recovered_cost = social_cost(recovered, game)
+            post_components = len(connected_components(engine.state.graph))
             rows.append(
                 {
                     **base_info,
                     "operator": record.operator,
                     "shock_index": shock_index,
                     "shock_empty": record.is_empty,
+                    "shock_disconnected": record.disconnected,
+                    "outcome": "recovered" if result.converged else "unrecovered",
                     "shock_players": len(record.players),
                     "shock_edges_dropped": record.edges_dropped,
                     "shock_edges_added": record.edges_added,
+                    "shock_components": record.components,
+                    "post_components": post_components,
                     "pre_social_cost": pre_cost,
                     "shock_social_cost": shock_cost,
                     "recovered_social_cost": recovered_cost,
@@ -534,6 +712,7 @@ def generate_robustness_study(
             cfg.intensity,
             cfg.settings.solver,
             cfg.settings.max_rounds,
+            cfg.game(FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k, alpha),
         )
         for family in cfg.families
         for alpha in cfg.alphas
@@ -580,6 +759,9 @@ def aggregate_robustness_rows(rows: list[dict]) -> list[dict]:
       cap.  They drag ``certified_fraction`` down but stay out of the
       means: ``rounds_to_recover == max_rounds`` is a cap, not a
       recovery time.
+    * **strict-model disconnections** — a disconnecting operator ran under
+      a strict game; the shock was rolled back unpriced.  Counted as
+      ``skipped_disconnections``, excluded from everything else.
     """
     groups: dict[tuple, list[dict]] = {}
     for row in rows:
@@ -592,7 +774,15 @@ def aggregate_robustness_rows(rows: list[dict]) -> list[dict]:
     for (family, operator, alpha, k), bucket in sorted(
         groups.items(), key=lambda kv: tuple(map(repr, kv[0]))
     ):
-        real = [r for r in bucket if not r.get("shock_empty")]
+        skipped = [
+            r for r in bucket if r.get("outcome") == "skipped_strict_disconnection"
+        ]
+        real = [
+            r
+            for r in bucket
+            if not r.get("shock_empty")
+            and r.get("outcome") != "skipped_strict_disconnection"
+        ]
         recovered = [r for r in real if r.get("converged")]
         out: dict = {
             "family": family,
@@ -600,7 +790,11 @@ def aggregate_robustness_rows(rows: list[dict]) -> list[dict]:
             "alpha": alpha,
             "k": k,
             "num_shocks": len(bucket),
-            "empty_shocks": len(bucket) - len(real),
+            "empty_shocks": len(bucket) - len(real) - len(skipped),
+            "skipped_disconnections": len(skipped),
+            "disconnected_shocks": sum(
+                1 for r in real if r.get("shock_disconnected")
+            ),
         }
         if real:
             out["certified_fraction"] = sum(r["certified"] for r in real) / len(real)

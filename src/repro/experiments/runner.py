@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from repro.core.best_response import ENGINE_DEFAULT_SOLVER
+from repro.core.cost_models import resolve_cost_model
 from repro.core.dynamics import best_response_dynamics
 from repro.core.games import FULL_KNOWLEDGE, GameSpec, MaxNCG, SumNCG
 from repro.core.metrics import ProfileMetrics
@@ -57,13 +58,20 @@ class RunSpec:
     max_rounds: int = 60
     ordering: str = "fixed"
     ownership: str = "fair_coin"
+    #: Disconnection semantics ("strict" — the paper — or "tolerant");
+    #: ``penalty_beta`` is the tolerant per-unreachable-node penalty
+    #: (``None`` defaults to ``2n``, above any realisable distance).
+    cost_model: str = "strict"
+    penalty_beta: float | None = None
 
     def game(self) -> GameSpec:
         k_value = FULL_KNOWLEDGE if self.k >= FULL_KNOWLEDGE_K else self.k
+        beta = self.penalty_beta if self.penalty_beta is not None else 2.0 * self.n
+        model = resolve_cost_model(self.cost_model, beta=beta)
         if self.usage == "max":
-            return MaxNCG(alpha=self.alpha, k=k_value)
+            return MaxNCG(alpha=self.alpha, k=k_value, cost_model=model)
         if self.usage == "sum":
-            return SumNCG(alpha=self.alpha, k=k_value)
+            return SumNCG(alpha=self.alpha, k=k_value, cost_model=model)
         raise ValueError(f"unknown usage kind {self.usage!r}")
 
 
@@ -79,8 +87,11 @@ class RunResult:
     initial_metrics: ProfileMetrics
     final_metrics: ProfileMetrics
     #: Convergence backed by a full no-improving-deviation sweep (see
-    #: :attr:`repro.core.dynamics.DynamicsResult.certified`).
+    #: :attr:`repro.core.dynamics.DynamicsResult.certified`);
+    #: ``certified_exact`` records whether every certifying answer came
+    #: from an exact solver.
     certified: bool = False
+    certified_exact: bool = False
 
     def as_row(self) -> dict:
         """Flatten into a CSV-friendly dictionary."""
@@ -92,10 +103,12 @@ class RunResult:
             "k": self.spec.k,
             "seed": self.spec.seed,
             "usage": self.spec.usage,
+            "cost_model": self.spec.cost_model,
             "solver": self.spec.solver,
             "converged": self.converged,
             "cycled": self.cycled,
             "certified": self.certified,
+            "certified_exact": self.certified_exact,
             "rounds": self.rounds,
             "total_changes": self.total_changes,
         }
@@ -149,6 +162,7 @@ def run_single(spec: RunSpec, collect_round_metrics: bool = False) -> RunResult:
         initial_metrics=result.initial_metrics,
         final_metrics=result.final_metrics,
         certified=result.certified,
+        certified_exact=result.certified_exact,
     )
 
 

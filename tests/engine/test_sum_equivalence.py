@@ -1,0 +1,212 @@
+"""Engine-grade SumNCG: the seeded/pruned dispatch must change *nothing*
+about the trajectories — only the time they take.
+
+Four contracts:
+
+* the :func:`repro.core.best_response.best_response` dispatch (local-search
+  seed + pruned exhaustive) returns bit-for-bit the strategy of the naive
+  full enumeration it replaced, tie-breaks included;
+* engine dynamics == reference dynamics on SumNCG, exactly, across
+  orderings and cost models (the hypothesis suite of the issue);
+* a tolerant model with a β above every realisable cost replays the strict
+  trajectories bit-for-bit (the partial regimes never win, only price);
+* sum best responses genuinely ride the engine memo (the certifying quiet
+  round is answered from cache, not by re-enumeration).
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import (
+    SUM_EXHAUSTIVE_LIMIT,
+    best_response,
+    best_response_sum_exhaustive,
+)
+from repro.core.cost_models import TolerantCosts
+from repro.core.deviations import COST_EPS, view_cost, worst_case_delta
+from repro.core.dynamics import (
+    best_response_dynamics,
+    best_response_dynamics_reference,
+)
+from repro.core.games import FULL_KNOWLEDGE, MaxNCG, SumNCG
+from repro.core.strategies import StrategyProfile
+from repro.core.views import extract_view
+from repro.engine.core import DynamicsEngine
+from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+from repro.graphs.generators.trees import random_owned_tree
+
+tree_profiles = st.builds(
+    lambda n, seed: StrategyProfile.from_owned_graph(random_owned_tree(n, seed=seed)),
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=0, max_value=5_000),
+)
+alphas = st.sampled_from([0.3, 0.5, 1.5, 3.0])
+ks = st.sampled_from([2, 3, FULL_KNOWLEDGE])
+
+
+def _naive_sum_best_response(profile, player, game):
+    """The pre-refactor dispatch: plain enumeration, no seed, no pruning."""
+    view = extract_view(profile, player, game.k)
+    current = profile.strategy(player)
+    candidates = sorted(view.strategy_space, key=repr)
+    current_cost = view_cost(view, current, game)
+    best_cost, best_strategy = current_cost, current
+    for size in range(len(candidates) + 1):
+        for combo in itertools.combinations(candidates, size):
+            strategy = frozenset(combo)
+            if strategy == current:
+                continue
+            delta = worst_case_delta(view, current, strategy, game)
+            if math.isinf(delta):
+                continue
+            if current_cost + delta < best_cost - COST_EPS:
+                best_cost, best_strategy = current_cost + delta, strategy
+    return best_cost, best_strategy
+
+
+class TestDispatchEquivalence:
+    @given(tree_profiles, alphas, ks)
+    @settings(max_examples=30, deadline=None)
+    def test_seeded_pruned_dispatch_equals_naive_enumeration(self, profile, alpha, k):
+        game = SumNCG(alpha, k=k)
+        for player in list(profile)[:4]:
+            view = extract_view(profile, player, game.k)
+            if len(view.strategy_space) > SUM_EXHAUSTIVE_LIMIT:
+                continue
+            naive_cost, naive_strategy = _naive_sum_best_response(profile, player, game)
+            response = best_response(profile, player, game)
+            assert response.strategy == naive_strategy
+            same = (response.view_cost == naive_cost) or (
+                abs(response.view_cost - naive_cost) < 1e-9
+            )
+            assert same
+            assert response.exact
+
+    @given(tree_profiles, alphas)
+    @settings(max_examples=20, deadline=None)
+    def test_tolerant_dispatch_equals_naive_enumeration(self, profile, alpha):
+        game = SumNCG(alpha, k=2, cost_model=TolerantCosts(beta=3.0))
+        for player in list(profile)[:3]:
+            naive_cost, naive_strategy = _naive_sum_best_response(profile, player, game)
+            response = best_response(profile, player, game)
+            assert response.strategy == naive_strategy
+
+    def test_oversized_exhaustive_warns(self):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(16, seed=0))
+        game = SumNCG(1.0)
+        player = profile.players()[0]
+        with pytest.warns(RuntimeWarning, match="enumerates 2\\^15"):
+            best_response_sum_exhaustive(profile, player, game, max_candidates=16)
+
+    def test_dispatch_threshold_routes_to_local_search(self):
+        profile = StrategyProfile.from_owned_graph(random_owned_tree(16, seed=1))
+        game = SumNCG(1.0)  # full knowledge: strategy space = 15 > limit
+        player = profile.players()[0]
+        response = best_response(profile, player, game)
+        assert not response.exact  # local search answered, flagged honestly
+        exact = best_response(profile, player, game, sum_exhaustive_limit=15)
+        assert exact.exact
+        assert exact.view_cost <= response.view_cost + COST_EPS
+
+
+def assert_same_trajectory(a, b):
+    assert a.final_profile == b.final_profile
+    assert a.rounds == b.rounds
+    assert a.converged == b.converged
+    assert a.cycled == b.cycled
+    assert a.certified == b.certified
+    assert a.certified_exact == b.certified_exact
+    assert a.total_changes == b.total_changes
+
+
+class TestEngineEquivalence:
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=2_000),
+        alphas,
+        st.sampled_from([2, 3, FULL_KNOWLEDGE]),
+        st.sampled_from(["fixed", "shuffled"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_engine_matches_reference_on_sum_trees(self, n, seed, alpha, k, ordering):
+        owned = random_owned_tree(n, seed=seed)
+        game = SumNCG(alpha, k=k)
+        engine_result = best_response_dynamics(
+            owned, game, max_rounds=40, ordering=ordering, seed=7
+        )
+        reference_result = best_response_dynamics_reference(
+            owned, game, max_rounds=40, ordering=ordering, seed=7
+        )
+        assert_same_trajectory(engine_result, reference_result)
+
+    @given(
+        st.integers(min_value=6, max_value=11),
+        st.integers(min_value=0, max_value=500),
+        alphas,
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_engine_matches_reference_on_sum_gnp(self, n, seed, alpha):
+        owned = owned_connected_gnp_graph(n, 0.3, seed=seed)
+        game = SumNCG(alpha, k=2)
+        assert_same_trajectory(
+            best_response_dynamics(owned, game, max_rounds=40),
+            best_response_dynamics_reference(owned, game, max_rounds=40),
+        )
+
+    @given(
+        st.integers(min_value=4, max_value=11),
+        st.integers(min_value=0, max_value=2_000),
+        alphas,
+        st.sampled_from([2, FULL_KNOWLEDGE]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_high_beta_tolerant_replays_strict_exactly(self, n, seed, alpha, k):
+        # With beta above any realisable in-view cost the partial regimes
+        # can never win a strictly-better comparison, so tolerant dynamics
+        # must be bit-for-bit the strict dynamics on connected instances.
+        owned = random_owned_tree(n, seed=seed)
+        beta = (alpha + 1.0) * n + 1.0
+        for game_factory in (SumNCG, MaxNCG):
+            strict_result = best_response_dynamics(
+                owned, game_factory(alpha, k=k), max_rounds=40
+            )
+            tolerant_result = best_response_dynamics(
+                owned,
+                game_factory(alpha, k=k, cost_model=TolerantCosts(beta=beta)),
+                max_rounds=40,
+            )
+            assert_same_trajectory(strict_result, tolerant_result)
+
+    def test_heuristic_certificates_are_flagged(self):
+        # Above the exhaustive limit only the local search answers: a
+        # convergence is still certified ("no improving move was found"),
+        # but never *exactly* — the flag that keeps certified_fraction
+        # honest in the sum sweeps.
+        owned = random_owned_tree(16, seed=2)
+        heuristic = best_response_dynamics(
+            owned, SumNCG(1.5), max_rounds=40  # full knowledge: spaces = 15
+        )
+        assert heuristic.converged and heuristic.certified
+        assert not heuristic.certified_exact
+        exact = best_response_dynamics(
+            owned, SumNCG(1.5), max_rounds=40, sum_exhaustive_limit=15
+        )
+        assert exact.converged and exact.certified
+        assert exact.certified_exact
+
+    def test_sum_responses_ride_the_memo(self):
+        owned = random_owned_tree(12, seed=3)
+        engine = DynamicsEngine(owned, SumNCG(0.5, k=2))
+        result = engine.run()
+        assert result.converged
+        # The quiet round answered at least the untouched players from the
+        # memo rather than re-enumerating them.
+        assert engine.responses_reused > 0
+        computed_before = engine.responses_computed
+        report = engine.certify()
+        assert report.is_equilibrium
+        assert engine.responses_computed == computed_before  # pure cache ride

@@ -7,6 +7,7 @@ from repro.core.games import MaxNCG
 from repro.engine.core import DynamicsEngine
 from repro.experiments.config import SweepSettings
 from repro.experiments.extensions import (
+    DISCONNECTING_PERTURBATIONS,
     PERTURBATIONS,
     RobustnessStudyConfig,
     aggregate_robustness_rows,
@@ -41,20 +42,28 @@ class TestOperators:
             "reset_player",
             "multi_reset",
             "add_shortcuts",
+            "component_split",
+            "isolation_attack",
         }
+        assert DISCONNECTING_PERTURBATIONS == {"component_split", "isolation_attack"}
+        assert DISCONNECTING_PERTURBATIONS < set(PERTURBATIONS)
 
     def test_unknown_operator_rejected(self):
         engine = _converged_engine()
         with pytest.raises(ValueError, match="unknown perturbation"):
             apply_perturbation(engine, "meteor_strike", random.Random(0))
 
-    @pytest.mark.parametrize("name", sorted(PERTURBATIONS))
+    @pytest.mark.parametrize(
+        "name", sorted(set(PERTURBATIONS) - DISCONNECTING_PERTURBATIONS)
+    )
     def test_operator_preserves_connectivity_and_reports_truthfully(self, name):
         engine = _converged_engine()
         before = _bought_edges(engine)
         record = apply_perturbation(engine, name, random.Random(3), intensity=2)
         assert record.operator == name
         assert is_connected(engine.state.graph)
+        assert not record.disconnected
+        assert record.components == 1
         after = _bought_edges(engine)
         # The record's ledger must match the state's: drops remove bought
         # edges, additions add them, nothing else moves.
@@ -62,6 +71,46 @@ class TestOperators:
         assert record.size == record.edges_dropped + record.edges_added
         if record.is_empty:
             assert not record.players
+
+    @pytest.mark.parametrize("name", sorted(DISCONNECTING_PERTURBATIONS))
+    def test_disconnecting_operators_never_raise_and_report_truthfully(self, name):
+        # The old behaviour was an AssertionError out of apply_perturbation;
+        # now a disconnection is a recorded outcome, never a raise — even on
+        # a strict-model engine (the *sweep* decides what to do with it).
+        engine = _converged_engine(family="tree", n=14, seed=1)
+        before = _bought_edges(engine)
+        record = apply_perturbation(engine, name, random.Random(3), intensity=1)
+        assert record.operator == name
+        assert record.edges_dropped >= 1
+        assert record.disconnected
+        assert record.components >= 2
+        assert not is_connected(engine.state.graph)
+        assert before - _bought_edges(engine) == record.edges_dropped
+
+    def test_component_split_drops_only_single_owned_bridges(self):
+        from repro.graphs.algorithms import bridges
+
+        engine = _converged_engine(family="tree", n=12, seed=0)
+        graph_before = engine.state.graph.copy()
+        edges_before = {frozenset(e) for e in graph_before.edges()}
+        bridges_before = {frozenset(e) for e in bridges(graph_before)}
+        record = apply_perturbation(engine, "component_split", random.Random(7))
+        assert record.edges_dropped >= 1  # a tree equilibrium is all bridges
+        assert record.disconnected
+        dropped = edges_before - {frozenset(e) for e in engine.state.graph.edges()}
+        assert len(dropped) == record.edges_dropped
+        # Every removed edge really was a bridge of the pre-shock graph.
+        assert dropped <= bridges_before
+
+    def test_isolation_attack_targets_highest_degree(self):
+        engine = _converged_engine(family="gnp", n=16, seed=3)
+        degrees = engine.state.graph.degrees()
+        top = max(degrees.values())
+        record = apply_perturbation(engine, "isolation_attack", random.Random(5))
+        victim = record.players[0]
+        assert degrees[victim] == top
+        # Every edge incident to the victim is gone.
+        assert engine.state.graph.degrees().get(victim, 0) == 0
 
     def test_edge_drops_never_touch_lone_bridges(self):
         # On a tree every edge is a single-bought bridge: the deletion
@@ -149,6 +198,88 @@ class TestSweep:
         rows = generate_robustness_study(cfg)
         indices = [row["shock_index"] for row in rows if row["operator"] != "none"]
         assert indices == [0, 1, 2]
+
+
+def _tolerant_config() -> RobustnessStudyConfig:
+    return RobustnessStudyConfig(
+        families=("tree", "gnp"),
+        operators=("drop_random_edges",),
+        n=10,
+        alphas=(0.5,),
+        ks=(2,),
+        shocks_per_instance=2,
+        intensity=1,
+        settings=SweepSettings(num_seeds=1, solver="branch_and_bound", max_rounds=60),
+    ).with_cost_model("tolerant")
+
+
+class TestDisconnectionSemantics:
+    def test_with_cost_model_toggles_disconnecting_operators(self):
+        cfg = _tiny_config()
+        tolerant = cfg.with_cost_model("tolerant", penalty_beta=25.0)
+        assert set(tolerant.operators) >= DISCONNECTING_PERTURBATIONS
+        assert tolerant.penalty_beta == 25.0
+        back = tolerant.with_cost_model("strict")
+        assert set(back.operators) == set(cfg.operators)
+        # Default beta is 2n: strictly above any realisable distance.
+        game = cfg.with_cost_model("tolerant").game(2, 0.5)
+        assert game.cost_model.beta == 2.0 * cfg.n
+
+    def test_tolerant_sweep_recovers_disconnecting_shocks(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        rows = generate_robustness_study(_tolerant_config(), store=store)
+        shocks = [row for row in rows if row["operator"] != "none"]
+        assert shocks
+        disconnecting = [row for row in shocks if row.get("shock_disconnected")]
+        assert disconnecting, "tolerant grid produced no disconnecting shock"
+        for row in disconnecting:
+            assert row["outcome"] in {"recovered", "unrecovered"}
+            if row["outcome"] == "recovered":
+                # Finite priced costs, a certified per-component
+                # equilibrium, and the split actually shows.
+                assert row["recovered_social_cost"] == row["recovered_social_cost"]
+                assert abs(row["recovered_social_cost"]) != float("inf")
+                assert row["certified"]
+                assert row["warm_equals_cold"]
+                assert row["post_components"] >= 2
+        # Rows and the certified base checkpoint survive the store.
+        assert store.load_rows("robustness") == rows
+        assert store.list_checkpoints("robustness")
+
+    def test_strict_sweep_records_structured_skip_rows(self):
+        cfg = RobustnessStudyConfig(
+            families=("tree",),
+            operators=("component_split", "add_shortcuts"),
+            n=10,
+            alphas=(0.5,),
+            ks=(2,),
+            shocks_per_instance=2,
+            intensity=1,
+            settings=SweepSettings(
+                num_seeds=1, solver="branch_and_bound", max_rounds=60
+            ),
+        )
+        rows = generate_robustness_study(cfg)
+        skipped = [
+            r for r in rows if r.get("outcome") == "skipped_strict_disconnection"
+        ]
+        assert skipped, "strict sweep should have skipped the split shocks"
+        for row in skipped:
+            assert row["shock_disconnected"]
+            assert not row["converged"]
+            assert not row["certified"]
+            assert row["shock_edges_dropped"] >= 1
+        # The non-disconnecting operator's chain was not poisoned.
+        shortcut_rows = [r for r in rows if r["operator"] == "add_shortcuts"]
+        assert shortcut_rows
+        assert all(r["converged"] for r in shortcut_rows)
+        # And the aggregates count the skips without polluting recoveries.
+        aggregated = aggregate_robustness_rows(rows)
+        split_cell = next(
+            r for r in aggregated if r["operator"] == "component_split"
+        )
+        assert split_cell["skipped_disconnections"] == len(skipped)
+        assert split_cell["disconnected_shocks"] == 0
 
 
 class TestAggregation:
