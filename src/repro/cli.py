@@ -17,6 +17,9 @@ Examples
     python -m repro robustness --smoke --store out/store   # extension: attack/recovery sweep
     python -m repro robustness --smoke --cost-model tolerant   # + disconnecting attacks (finite beta costs)
     python -m repro robustness --smoke --usage sum        # perturb SumNCG equilibria (engine path)
+    python -m repro robustness --smoke --reconnect        # split-then-reconnect rows (tolerant, k = inf)
+    python -m repro sweep --workers 4 --journal out/store  # orchestrated RunSpec sweep (warm workers)
+    python -m repro sweep --workers 4 --journal out/store --resume   # skip journaled rows after a crash
 
 ``--smoke`` selects the reduced grids (CI-sized); without it the full paper
 grids are used, which for the simulation figures can take hours.
@@ -186,8 +189,63 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tolerant model's per-unreachable-node penalty (default: 2n)",
     )
+    robustness.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="admit the split-then-reconnect scenario: switches to the "
+        "tolerant model (if needed) and appends the full-knowledge column, "
+        "so disconnecting shocks record reconnection trajectories",
+    )
+    _add_journal_options(robustness)
     _add_common_options(robustness)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="orchestrated RunSpec grid sweep through the service "
+        "(warm workers, crash-safe journal, --resume)",
+    )
+    sweep.add_argument(
+        "--families",
+        default="tree",
+        help="comma-separated instance families (tree, gnp); default tree",
+    )
+    sweep.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="players per instance (default 20; 14 under --smoke)",
+    )
+    sweep.add_argument("--p", type=float, default=None, help="edge probability (gnp only)")
+    sweep.add_argument("--alphas", default="0.5,2.0", help="comma-separated edge prices")
+    sweep.add_argument("--ks", default="2,3", help="comma-separated knowledge radii")
+    sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="independent instances per cell (default 3; 2 under --smoke)",
+    )
+    sweep.add_argument("--usage", choices=["max", "sum"], default="max")
+    sweep.add_argument("--solver", default=ENGINE_DEFAULT_SOLVER)
+    sweep.add_argument("--max-rounds", type=int, default=60)
+    sweep.add_argument("--ordering", default="fixed", help="activation scheduler")
+    _add_journal_options(sweep)
+    _add_common_options(sweep)
     return parser
+
+
+def _add_journal_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--journal",
+        default=None,
+        help="ExperimentStore root for the crash-safe sweep journal "
+        "(each completed task is fsynced as it lands)",
+    )
+    sub.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip tasks already journaled by an interrupted run of the "
+        "same sweep (requires --journal)",
+    )
 
 
 def _add_common_options(sub: argparse.ArgumentParser) -> None:
@@ -254,6 +312,59 @@ def _run_certify(args: argparse.Namespace) -> int:
     return 0 if result.is_equilibrium else 1
 
 
+def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Build a RunSpec grid and run it through the orchestration service."""
+    from repro.experiments.config import SweepSettings
+    from repro.experiments.runner import RunSpec, run_sweep
+
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
+    # --smoke only shrinks the *defaults*; explicitly passed grid flags
+    # stay in force (mirroring how robustness --smoke composes with its
+    # modifiers) instead of being silently discarded.
+    families = [name.strip() for name in args.families.split(",") if name.strip()]
+    alphas = [float(value) for value in args.alphas.split(",") if value.strip()]
+    ks = [int(value) for value in args.ks.split(",") if value.strip()]
+    n = args.n if args.n is not None else (14 if args.smoke else 20)
+    seeds = args.seeds if args.seeds is not None else (2 if args.smoke else 3)
+    p = args.p
+    if "gnp" in families and p is None:
+        parser.error("family gnp needs --p")
+    specs = [
+        RunSpec(
+            family=family,
+            n=n,
+            p=p if family == "gnp" else None,
+            alpha=alpha,
+            k=k,
+            seed=seed,
+            usage=args.usage,
+            solver=args.solver,
+            max_rounds=args.max_rounds,
+            ordering=args.ordering,
+        )
+        for family in families
+        for alpha in alphas
+        for k in ks
+        for seed in range(seeds)
+    ]
+    results = run_sweep(
+        specs,
+        SweepSettings(num_seeds=seeds, solver=args.solver, workers=args.workers),
+        journal=args.journal,
+        resume=args.resume,
+    )
+    rows = [result.as_row() for result in results]
+    if args.journal:
+        # Layer the final row set on the store holding the journal, so an
+        # interrupted run leaves the journal and a completed one the rows.
+        ExperimentStore(args.journal).save_rows(
+            "sweep", rows, config={"num_specs": len(specs)}
+        )
+    _emit(rows, args, title="sweep")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point (returns a process exit code)."""
     parser = build_parser()
@@ -268,9 +379,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         _emit(rows, args, title=f"ablation: {args.study}")
         return 0
 
+    if args.command == "sweep":
+        return _run_sweep_command(parser, args)
+
     if args.command == "robustness":
         if args.beta is not None and args.cost_model != "tolerant":
             parser.error("--beta only applies to --cost-model tolerant")
+        if args.resume and not args.journal:
+            parser.error("--resume requires --journal")
         cfg = (
             RobustnessStudyConfig.smoke(workers=args.workers)
             if args.smoke
@@ -280,8 +396,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             cfg = cfg.with_usage(args.usage)
         if args.cost_model != "strict":
             cfg = cfg.with_cost_model(args.cost_model, penalty_beta=args.beta)
+        if args.reconnect:
+            cfg = cfg.with_reconnect()
         store = ExperimentStore(args.store) if args.store else None
-        rows = generate_robustness_study(cfg, store=store)
+        rows = generate_robustness_study(
+            cfg, store=store, journal=args.journal, resume=args.resume
+        )
         if args.csv:
             write_csv(rows, args.csv)
         if args.json:

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import random
 import warnings
 from dataclasses import dataclass
 
@@ -516,46 +517,22 @@ def best_response_sum_exhaustive(
     )
 
 
-def best_response_sum_local_search(
-    profile: StrategyProfile | None,
-    player: Node,
+def _sum_hill_climb(
+    view: View,
     game: GameSpec,
-    max_iterations: int = 200,
-    view: View | None = None,
-    current_strategy: frozenset[Node] | None = None,
-    seed_strategy: frozenset[Node] | None = None,
-) -> BestResponse:
-    """Hill-climbing best-*reply* heuristic for SumNCG.
+    candidates: list[Node],
+    start_strategy: frozenset[Node],
+    start_cost: float,
+    max_iterations: int,
+) -> tuple[frozenset[Node], float]:
+    """One first-improvement hill climb from ``start_strategy``.
 
-    Repeatedly applies the first improving single add / drop / swap move
-    (among the Proposition 2.2 allowed ones) until no single move improves
-    the in-view cost.  The result is a local optimum, not necessarily a
-    best response, and is flagged ``exact=False``.
-
-    The climb starts from the *incumbent* strategy — which on the engine
-    path is the player's previous best response, so a re-activation after a
-    localized change resumes from an almost-converged point instead of
-    restarting.  ``seed_strategy`` optionally restarts the climb from a
-    different known-good strategy instead (a warm replay hint); an invalid
-    or non-improving seed is ignored, never trusted.
+    Applies the first improving single add / drop / swap move (among the
+    Proposition 2.2 allowed ones) until no single move improves the in-view
+    cost; returns the local optimum and its cost.
     """
-    if game.usage is not UsageKind.SUM:
-        raise ValueError("best_response_sum_local_search requires a SumNCG game spec")
-    view, current = _resolve_view_and_strategy(
-        profile, player, game, view, current_strategy
-    )
-    candidates = sorted(view.strategy_space, key=repr)
-    current_cost = view_cost(view, current, game)
-    best_strategy = current
-    best_cost = current_cost
-    if seed_strategy is not None:
-        seed = frozenset(seed_strategy)
-        if seed != current and seed.issubset(view.strategy_space):
-            delta = worst_case_delta(view, current, seed, game)
-            if not math.isinf(delta) and current_cost + delta < best_cost - COST_EPS:
-                best_strategy = seed
-                best_cost = current_cost + delta
-
+    best_strategy = start_strategy
+    best_cost = start_cost
     for _ in range(max_iterations):
         improved = False
         neighbourhood: list[frozenset[Node]] = []
@@ -580,6 +557,83 @@ def best_response_sum_local_search(
                 break
         if not improved:
             break
+    return best_strategy, best_cost
+
+
+def best_response_sum_local_search(
+    profile: StrategyProfile | None,
+    player: Node,
+    game: GameSpec,
+    max_iterations: int = 200,
+    view: View | None = None,
+    current_strategy: frozenset[Node] | None = None,
+    seed_strategy: frozenset[Node] | None = None,
+    restarts: int = 1,
+) -> BestResponse:
+    """Hill-climbing best-*reply* heuristic for SumNCG.
+
+    Repeatedly applies the first improving single add / drop / swap move
+    (among the Proposition 2.2 allowed ones) until no single move improves
+    the in-view cost.  The result is a local optimum, not necessarily a
+    best response, and is flagged ``exact=False``.
+
+    The climb starts from the *incumbent* strategy — which on the engine
+    path is the player's previous best response, so a re-activation after a
+    localized change resumes from an almost-converged point instead of
+    restarting.  ``seed_strategy`` optionally restarts the climb from a
+    different known-good strategy instead (a warm replay hint); an invalid
+    or non-improving seed is ignored, never trusted.
+
+    ``restarts > 1`` climbs from ``restarts - 1`` additional random starting
+    strategies (random subsets of the strategy space) and keeps the best
+    local optimum found — the multi-seed defence against the single climb's
+    unbounded quality gap on large views.  The extra starts are drawn from a
+    deterministic stream derived from (player, view size, current strategy),
+    so the reply stays a pure function of the memo key ``(view content, own
+    strategy)`` and never invalidates the engine's best-response memo; a
+    strictly-better-only update rule keeps ``restarts=1`` tie-breaking
+    bit-for-bit.
+    """
+    if game.usage is not UsageKind.SUM:
+        raise ValueError("best_response_sum_local_search requires a SumNCG game spec")
+    if restarts < 1:
+        raise ValueError("restarts must be a positive integer")
+    view, current = _resolve_view_and_strategy(
+        profile, player, game, view, current_strategy
+    )
+    candidates = sorted(view.strategy_space, key=repr)
+    current_cost = view_cost(view, current, game)
+    best_strategy = current
+    best_cost = current_cost
+    if seed_strategy is not None:
+        seed = frozenset(seed_strategy)
+        if seed != current and seed.issubset(view.strategy_space):
+            delta = worst_case_delta(view, current, seed, game)
+            if not math.isinf(delta) and current_cost + delta < best_cost - COST_EPS:
+                best_strategy = seed
+                best_cost = current_cost + delta
+
+    best_strategy, best_cost = _sum_hill_climb(
+        view, game, candidates, best_strategy, best_cost, max_iterations
+    )
+    if restarts > 1 and candidates:
+        rng = random.Random(
+            f"sum-restarts:{player!r}:{len(candidates)}:{sorted(map(repr, current))}"
+        )
+        for _ in range(restarts - 1):
+            size = rng.randint(0, len(candidates))
+            start = frozenset(rng.sample(candidates, size))
+            if start == current:
+                continue  # the incumbent climb already covered this start
+            delta = worst_case_delta(view, current, start, game)
+            if math.isinf(delta):
+                continue  # forbidden move (Proposition 2.2): unusable start
+            strategy, cost = _sum_hill_climb(
+                view, game, candidates, start, current_cost + delta, max_iterations
+            )
+            if cost < best_cost - COST_EPS:
+                best_cost = cost
+                best_strategy = strategy
     return BestResponse(
         player=player,
         strategy=best_strategy,
@@ -599,6 +653,7 @@ def best_response(
     view: View | None = None,
     current_strategy: frozenset[Node] | None = None,
     cover_context: MaxCoverContext | None = None,
+    sum_restarts: int = 1,
 ) -> BestResponse:
     """Dispatch to the appropriate best-response routine for the game kind.
 
@@ -617,6 +672,11 @@ def best_response(
     result is identical to the extract-from-profile path for equal view
     content.  ``cover_context`` is forwarded to :func:`best_response_max`
     (MaxNCG only) to skip rebuilding the reduced-view distance structure.
+    ``sum_restarts`` is forwarded to
+    :func:`best_response_sum_local_search` on the heuristic (above-limit)
+    SumNCG path only: extra deterministic multi-seed climbs that can only
+    improve the reply; the exact path ignores it (enumeration already
+    proves optimality).
     """
     if game.usage is UsageKind.MAX:
         return best_response_max(
@@ -635,5 +695,10 @@ def best_response(
             current_strategy=current_strategy, warm_start=seed.strategy,
         )
     return best_response_sum_local_search(
-        profile, player, game, view=view, current_strategy=current_strategy
+        profile,
+        player,
+        game,
+        view=view,
+        current_strategy=current_strategy,
+        restarts=sum_restarts,
     )

@@ -116,6 +116,7 @@ def best_response_dynamics(
     player_order: list[Node] | None = None,
     workers: int | None = 1,
     sum_exhaustive_limit: int | None = None,
+    sum_restarts: int = 1,
 ) -> DynamicsResult:
     """Run the best-response dynamics until convergence.
 
@@ -154,6 +155,10 @@ def best_response_dynamics(
         SumNCG exact/heuristic dispatch threshold (``None`` keeps
         :data:`repro.core.best_response.SUM_EXHAUSTIVE_LIMIT`); ignored by
         MaxNCG games.
+    sum_restarts:
+        Multi-seed climbs of the heuristic SumNCG local search above the
+        exhaustive limit (``1`` = single incumbent climb; ignored by MaxNCG
+        games and by the exact dispatch).
     """
     from repro.core.best_response import SUM_EXHAUSTIVE_LIMIT
     from repro.engine.core import DynamicsEngine
@@ -176,6 +181,7 @@ def best_response_dynamics(
         sum_exhaustive_limit=(
             SUM_EXHAUSTIVE_LIMIT if sum_exhaustive_limit is None else sum_exhaustive_limit
         ),
+        sum_restarts=sum_restarts,
     )
     return engine.run()
 

@@ -91,6 +91,7 @@ class DynamicsEngine:
         player_order: list[Node] | None = None,
         workers: int | None = 1,
         sum_exhaustive_limit: int = SUM_EXHAUSTIVE_LIMIT,
+        sum_restarts: int = 1,
     ) -> None:
         profile = coerce_profile(initial)
         self.game = game
@@ -100,6 +101,10 @@ class DynamicsEngine:
         #: :data:`repro.core.best_response.SUM_EXHAUSTIVE_LIMIT`).  Ignored
         #: by MaxNCG games.
         self.sum_exhaustive_limit = sum_exhaustive_limit
+        #: Multi-seed climbs of the heuristic SumNCG local search above the
+        #: exhaustive limit (deterministic; ``1`` = the single incumbent
+        #: climb).  Ignored by MaxNCG games and by the exact dispatch.
+        self.sum_restarts = sum_restarts
         if (
             game.usage is UsageKind.MAX
             and solver not in WARM_START_SOLVERS
@@ -234,6 +239,7 @@ class DynamicsEngine:
             view=view,
             current_strategy=strategy,
             cover_context=self._cover_context(player, token),
+            sum_restarts=self.sum_restarts,
         )
         self._responses[player] = (token, strategy, response)
         self.responses_computed += 1
@@ -257,6 +263,23 @@ class DynamicsEngine:
         self.state.apply(delta)
         region |= self.views.region_after_apply(delta)
         self.views.invalidate(region)
+
+    def restore_profile(self, profile: StrategyProfile) -> int:
+        """Warm-replay the engine onto ``profile`` via :meth:`set_strategy`.
+
+        Only the players whose strategy actually differs are touched, so
+        restoring to a nearby profile (the robustness suite returning to its
+        base equilibrium between operators, a sweep worker rewinding a live
+        session) invalidates just the dirty balls around the differences and
+        every other cached view / memoised response survives.  Returns the
+        number of players whose strategy was rewritten.
+        """
+        moved = 0
+        for player in profile.players():
+            if self.state.strategy(player) != profile.strategy(player):
+                self.set_strategy(player, profile.strategy(player))
+                moved += 1
+        return moved
 
     def activate(self, player: Node) -> bool:
         """One activation: move to the best response iff it strictly improves."""
@@ -310,8 +333,15 @@ class DynamicsEngine:
     # ------------------------------------------------------------------
     # The round loop
     # ------------------------------------------------------------------
-    def run(self) -> DynamicsResult:
+    def run(self, round_observer=None) -> DynamicsResult:
         """Run rounds until convergence, a detected cycle or ``max_rounds``.
+
+        ``round_observer`` is an optional callable invoked as
+        ``round_observer(engine, round_index, changes)`` after every
+        scheduler round (including the final quiet one), before the engine
+        decides about convergence or cycles.  Observers may inspect the live
+        state (the robustness suite tracks the component count of a
+        splitting shock's recovery this way) but must not mutate it.
 
         Bookkeeping matches the legacy loop: the paper counts rounds needed
         to *reach* the stable network, so the certifying all-quiet round is
@@ -357,6 +387,8 @@ class DynamicsEngine:
             rounds_run = round_index
             changes = self.scheduler.run_round(self, round_index)
             total_changes += changes
+            if round_observer is not None:
+                round_observer(self, round_index, changes)
             if self.collect_round_metrics:
                 round_records.append(
                     RoundRecord(

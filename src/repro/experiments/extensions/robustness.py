@@ -98,7 +98,7 @@ from repro.experiments.store import ExperimentStore
 from repro.graphs.algorithms import betweenness_centrality, bridges
 from repro.graphs.graph import Node
 from repro.graphs.traversal import bfs_distances_within, connected_components
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import parallel_map, resolve_workers
 
 __all__ = [
     "ShockRecord",
@@ -461,6 +461,29 @@ class RobustnessStudyConfig:
             self, cost_model=cost_model, penalty_beta=penalty_beta, operators=operators
         )
 
+    def with_reconnect(self) -> "RobustnessStudyConfig":
+        """Admit the split-then-reconnect scenario into the grid.
+
+        Reconnection after a component split needs two things at once: a
+        tolerant cost model (so the split is priced finitely and the
+        dynamics keep running) and *full knowledge* (a k-local player can
+        never see across a cut, so only ``k = inf`` players can buy back
+        into a lost component).  This helper switches to the tolerant model
+        (admitting the disconnecting operators) if needed and appends the
+        full-knowledge column to ``ks``; the k-local columns stay, so the
+        permanent-split rows remain for comparison.  Every disconnecting
+        shock row then carries ``reconnected`` / ``rounds_to_reconnect`` /
+        ``component_trajectory`` fields recorded round by round during the
+        warm recovery.
+        """
+        # with_cost_model is idempotent and also admits the disconnecting
+        # operators for a config whose cost_model was set tolerant directly
+        # at construction time — apply it unconditionally.
+        cfg = self.with_cost_model("tolerant", penalty_beta=self.penalty_beta)
+        if any(k >= FULL_KNOWLEDGE_K for k in cfg.ks):
+            return cfg
+        return replace(cfg, ks=cfg.ks + (FULL_KNOWLEDGE_K,))
+
     def with_usage(self, usage: str) -> "RobustnessStudyConfig":
         return replace(self, usage=usage)
 
@@ -480,23 +503,56 @@ def _profile_distance(a: StrategyProfile, b: StrategyProfile) -> tuple[int, int]
     return moved, len(edges_a ^ edges_b)
 
 
-def _restore(engine: DynamicsEngine, profile: StrategyProfile) -> None:
-    """Warm-replay the engine back onto ``profile`` via ``set_strategy``."""
-    for player in profile.players():
-        if engine.state.strategy(player) != profile.strategy(player):
-            engine.set_strategy(player, profile.strategy(player))
+def _component_observer(trajectory: list[int]):
+    """Round observer appending the live component count after every round."""
+
+    def observer(engine: DynamicsEngine, round_index: int, changes: int) -> None:
+        trajectory.append(len(connected_components(engine.state.graph)))
+
+    return observer
 
 
-def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
-    """One instance's shock/recovery rows plus its certified base run.
+@dataclass
+class _BaseSession:
+    """A pre-shock converged engine, reusable across operator chains.
 
-    Picklable sweep work item.  The second element is the pre-shock
-    converged :class:`DynamicsResult` (``None`` when the base dynamics
-    failed to certify) so the caller can checkpoint a base equilibrium
-    without re-running the dynamics it already paid for.
+    This is the unit the sweep service keeps warm on its workers: every
+    operator task of the same instance cell rides the same live engine
+    (view cache, best-response memo) via
+    :meth:`~repro.engine.DynamicsEngine.restore_profile` instead of
+    re-converging the base dynamics from scratch.  ``profile`` / ``cost``
+    are ``None`` when the base dynamics failed to converge.
     """
-    (family, n, alpha, k, seed, operators, shocks, intensity, solver, max_rounds, game) = task
-    owned = build_extension_instance(family, n, seed)
+
+    engine: DynamicsEngine
+    result: DynamicsResult
+    info: dict
+    rng_key: tuple
+    solver: str
+    profile: StrategyProfile | None = None
+    cost: float | None = None
+
+
+def _converge_base(
+    family: str,
+    n: int,
+    alpha: float,
+    k: int,
+    seed: int,
+    solver: str,
+    max_rounds: int,
+    game: GameSpec,
+    owned=None,
+) -> _BaseSession:
+    """Build and converge the pre-shock engine of one instance cell.
+
+    ``owned`` optionally injects a pre-built instance (an
+    :class:`~repro.graphs.generators.base.OwnedGraph` or a
+    :class:`StrategyProfile`, e.g. a sweep worker's shared-memory copy);
+    by default the instance is generated from its family/size/seed.
+    """
+    if owned is None:
+        owned = build_extension_instance(family, n, seed)
     # Metric sweeps are O(n · edges) bookends on every `run`; computing
     # social costs explicitly (outside the timed windows) keeps the warm
     # replay at O(dirty ball) and the warm-vs-cold timing honest.
@@ -504,189 +560,286 @@ def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
         owned, game, solver=solver, max_rounds=max_rounds, collect_metrics=False
     )
     base_result = engine.run()
-    base_info = {
-        "family": family,
-        "n": owned.graph.number_of_nodes(),
-        "alpha": alpha,
-        "k": k,
-        "seed": seed,
-        "usage": game.usage.value,
-        "cost_model": game.cost_model.label(),
+    session = _BaseSession(
+        engine=engine,
+        result=base_result,
+        info={
+            "family": family,
+            "n": engine.state.graph.number_of_nodes(),
+            "alpha": alpha,
+            "k": k,
+            "seed": seed,
+            "usage": game.usage.value,
+            "cost_model": game.cost_model.label(),
+        },
+        rng_key=(family, alpha, k, seed),
+        solver=solver,
+    )
+    if base_result.converged:
+        session.profile = engine.state.to_profile()
+        session.cost = social_cost(session.profile, game)
+    return session
+
+
+def _unconverged_base_row(session: _BaseSession) -> dict:
+    """The one honest row of an instance whose pre-shock dynamics failed.
+
+    The pre-shock dynamics cycled or timed out: there is no equilibrium to
+    perturb, so the instance contributes this marker instead of fake shocks.
+    """
+    return {
+        **session.info,
+        "operator": "none",
+        "shock_index": -1,
+        "shock_players": 0,
+        "shock_edges_dropped": 0,
+        "shock_edges_added": 0,
+        "converged": False,
+        "certified": False,
     }
-    if not base_result.converged:
-        # The pre-shock dynamics cycled or timed out: there is no
-        # equilibrium to perturb.  One honest row instead of fake shocks.
-        return [
-            {
-                **base_info,
-                "operator": "none",
-                "shock_index": -1,
-                "shock_players": 0,
-                "shock_edges_dropped": 0,
-                "shock_edges_added": 0,
-                "converged": False,
-                "certified": False,
-            }
-        ], None
-    base_profile = engine.state.to_profile()
-    base_cost = social_cost(base_profile, game)
+
+
+def _operator_rows(
+    session: _BaseSession, operator: str, shocks: int, intensity: int
+) -> list[dict]:
+    """One operator's sequential shock chain on a converged base session.
+
+    Warm-replays the engine back to the base equilibrium first, so the
+    chain sees the same starting point regardless of what ran on the
+    engine before it — earlier operators in the serial sweep, or earlier
+    tasks on the same warm service worker.
+    """
+    engine = session.engine
+    game = engine.game
+    solver = session.solver
+    max_rounds = engine.max_rounds
+    base_info = session.info
+    engine.restore_profile(session.profile)
+    pre_profile = session.profile
+    pre_cost = session.cost
     rows: list[dict] = []
-    for operator in operators:
-        # Warm-replay back to the base equilibrium so operators see the
-        # same starting point regardless of what earlier ones did.
-        _restore(engine, base_profile)
-        pre_profile = base_profile
-        pre_cost = base_cost
-        rng = random.Random(f"robustness:{family}:{alpha}:{k}:{seed}:{operator}")
-        for shock_index in range(shocks):
-            record = apply_perturbation(engine, operator, rng, intensity)
-            if record.is_empty:
-                # No safe edit existed (e.g. deletions on an all-bridges
-                # tree equilibrium): the state still *is* the certified
-                # ``pre_profile``, so recovering it warm and cold would
-                # only time engine construction.  One cheap honest row;
-                # the aggregates exclude it from every recovery statistic.
-                rows.append(
-                    {
-                        **base_info,
-                        "operator": record.operator,
-                        "shock_index": shock_index,
-                        "shock_empty": True,
-                        "shock_disconnected": False,
-                        "outcome": "empty",
-                        "shock_players": 0,
-                        "shock_edges_dropped": 0,
-                        "shock_edges_added": 0,
-                        "pre_social_cost": pre_cost,
-                        "shock_social_cost": pre_cost,
-                        "recovered_social_cost": pre_cost,
-                        "social_cost_delta": 0.0,
-                        "rounds_to_recover": 0,
-                        "recovery_changes": 0,
-                        "moved_players": 0,
-                        "strategy_distance": 0,
-                        "edge_distance": 0,
-                        "post_components": 1,
-                        "recovered_to_same": True,
-                        "converged": True,
-                        "certified": True,
-                        # The standing certificate is the solver's: exact
-                        # unless the best responses were greedy.
-                        "certified_exact": solver != "greedy",
-                        "warm_equals_cold": True,
-                        "warm_s": 0.0,
-                        "cold_s": 0.0,
-                        "warm_speedup": 1.0,
-                    }
-                )
-                continue
-            if record.disconnected and not game.cost_model.is_finite:
-                # The strict model cannot price a split (every cost is
-                # inf and a k-local player can never re-buy across the
-                # cut).  Roll the shock back onto the still-certified
-                # ``pre_profile`` and record what happened — a structured
-                # outcome row instead of the old raised AssertionError, so
-                # the sweep never loses the row and later shocks in the
-                # chain keep a meaningful baseline.
-                _restore(engine, pre_profile)
-                rows.append(
-                    {
-                        **base_info,
-                        "operator": record.operator,
-                        "shock_index": shock_index,
-                        "shock_empty": False,
-                        "shock_disconnected": True,
-                        "outcome": "skipped_strict_disconnection",
-                        "shock_players": len(record.players),
-                        "shock_edges_dropped": record.edges_dropped,
-                        "shock_edges_added": record.edges_added,
-                        "shock_components": record.components,
-                        "pre_social_cost": pre_cost,
-                        "converged": False,
-                        "certified": False,
-                    }
-                )
-                continue
-            shock_profile = engine.state.to_profile()
-            shock_cost = social_cost(shock_profile, game)
-
-            start = time.perf_counter()
-            result = engine.run()
-            warm_s = time.perf_counter() - start
-            # A cycled/capped run is not an equilibrium by definition —
-            # sweeping it would pay up to n stale-memo solver calls just
-            # to learn what `result.certified` already says.
-            report = engine.certify() if result.converged else None
-            recovered = engine.state.to_profile()
-
-            cold_engine = DynamicsEngine(
-                shock_profile,
-                game,
-                solver=solver,
-                max_rounds=max_rounds,
-                collect_metrics=False,
-            )
-            start = time.perf_counter()
-            cold_result = cold_engine.run()
-            cold_s = time.perf_counter() - start
-
-            moved_in_recovery, _ = _profile_distance(shock_profile, recovered)
-            strategy_distance, edge_distance = _profile_distance(pre_profile, recovered)
-            recovered_cost = social_cost(recovered, game)
-            post_components = len(connected_components(engine.state.graph))
+    family, alpha, k, seed = session.rng_key
+    rng = random.Random(f"robustness:{family}:{alpha}:{k}:{seed}:{operator}")
+    for shock_index in range(shocks):
+        record = apply_perturbation(engine, operator, rng, intensity)
+        if record.is_empty:
+            # No safe edit existed (e.g. deletions on an all-bridges
+            # tree equilibrium): the state still *is* the certified
+            # ``pre_profile``, so recovering it warm and cold would
+            # only time engine construction.  One cheap honest row;
+            # the aggregates exclude it from every recovery statistic.
             rows.append(
                 {
                     **base_info,
                     "operator": record.operator,
                     "shock_index": shock_index,
-                    "shock_empty": record.is_empty,
-                    "shock_disconnected": record.disconnected,
-                    "outcome": "recovered" if result.converged else "unrecovered",
+                    "shock_empty": True,
+                    "shock_disconnected": False,
+                    "outcome": "empty",
+                    "shock_players": 0,
+                    "shock_edges_dropped": 0,
+                    "shock_edges_added": 0,
+                    "pre_social_cost": pre_cost,
+                    "shock_social_cost": pre_cost,
+                    "recovered_social_cost": pre_cost,
+                    "social_cost_delta": 0.0,
+                    "rounds_to_recover": 0,
+                    "recovery_changes": 0,
+                    "moved_players": 0,
+                    "strategy_distance": 0,
+                    "edge_distance": 0,
+                    "post_components": 1,
+                    "recovered_to_same": True,
+                    "converged": True,
+                    "certified": True,
+                    # The standing certificate is the solver's: exact
+                    # unless the best responses were greedy.
+                    "certified_exact": solver != "greedy",
+                    "warm_equals_cold": True,
+                    "warm_s": 0.0,
+                    "cold_s": 0.0,
+                    "warm_speedup": 1.0,
+                }
+            )
+            continue
+        if record.disconnected and not game.cost_model.is_finite:
+            # The strict model cannot price a split (every cost is
+            # inf and a k-local player can never re-buy across the
+            # cut).  Roll the shock back onto the still-certified
+            # ``pre_profile`` and record what happened — a structured
+            # outcome row instead of the old raised AssertionError, so
+            # the sweep never loses the row and later shocks in the
+            # chain keep a meaningful baseline.
+            engine.restore_profile(pre_profile)
+            rows.append(
+                {
+                    **base_info,
+                    "operator": record.operator,
+                    "shock_index": shock_index,
+                    "shock_empty": False,
+                    "shock_disconnected": True,
+                    "outcome": "skipped_strict_disconnection",
                     "shock_players": len(record.players),
                     "shock_edges_dropped": record.edges_dropped,
                     "shock_edges_added": record.edges_added,
                     "shock_components": record.components,
-                    "post_components": post_components,
                     "pre_social_cost": pre_cost,
-                    "shock_social_cost": shock_cost,
-                    "recovered_social_cost": recovered_cost,
-                    "social_cost_delta": recovered_cost - pre_cost,
-                    "rounds_to_recover": result.rounds,
-                    "recovery_changes": result.total_changes,
-                    "moved_players": moved_in_recovery,
-                    "strategy_distance": strategy_distance,
-                    "edge_distance": edge_distance,
-                    "recovered_to_same": recovered == pre_profile,
-                    "converged": result.converged,
-                    "certified": report is not None
-                    and result.certified
-                    and report.is_equilibrium,
-                    "certified_exact": report is not None and report.all_exact,
-                    "warm_equals_cold": (
-                        recovered == cold_result.final_profile
-                        and result.rounds == cold_result.rounds
-                    ),
-                    "warm_s": round(warm_s, 6),
-                    "cold_s": round(cold_s, 6),
-                    "warm_speedup": round(cold_s / max(warm_s, 1e-9), 2),
+                    "converged": False,
+                    "certified": False,
                 }
             )
-            if not result.converged:
-                # The warm recovery cycled or hit the round cap: the state
-                # is not an equilibrium, so chaining further shocks from it
-                # would measure drift against a junk baseline.  The honest
-                # row above (converged=False) stands; the operator's
-                # remaining shock slots are abandoned.
-                break
-            pre_profile = recovered
-            pre_cost = recovered_cost
-    return rows, (base_result if base_result.certified else None)
+            continue
+        shock_profile = engine.state.to_profile()
+        shock_cost = social_cost(shock_profile, game)
+
+        # Split-then-reconnect instrumentation: on a disconnecting shock
+        # (priced, i.e. tolerant model) the component count is tracked
+        # round by round through the recovery, so the row records whether
+        # — and how fast — the dynamics sewed the network back together
+        # (full-knowledge players can buy across the cut; k-local ones
+        # never see it).  The cold run carries the same observer so the
+        # warm-vs-cold timing stays symmetric.
+        warm_trajectory: list[int] | None = None
+        warm_observer = cold_observer = None
+        if record.disconnected:
+            warm_trajectory = [record.components]
+            warm_observer = _component_observer(warm_trajectory)
+            cold_observer = _component_observer([record.components])
+
+        start = time.perf_counter()
+        result = engine.run(round_observer=warm_observer)
+        warm_s = time.perf_counter() - start
+        # A cycled/capped run is not an equilibrium by definition —
+        # sweeping it would pay up to n stale-memo solver calls just
+        # to learn what `result.certified` already says.
+        report = engine.certify() if result.converged else None
+        recovered = engine.state.to_profile()
+
+        cold_engine = DynamicsEngine(
+            shock_profile,
+            game,
+            solver=solver,
+            max_rounds=max_rounds,
+            collect_metrics=False,
+        )
+        start = time.perf_counter()
+        cold_result = cold_engine.run(round_observer=cold_observer)
+        cold_s = time.perf_counter() - start
+
+        moved_in_recovery, _ = _profile_distance(shock_profile, recovered)
+        strategy_distance, edge_distance = _profile_distance(pre_profile, recovered)
+        recovered_cost = social_cost(recovered, game)
+        post_components = len(connected_components(engine.state.graph))
+        row = {
+            **base_info,
+            "operator": record.operator,
+            "shock_index": shock_index,
+            "shock_empty": record.is_empty,
+            "shock_disconnected": record.disconnected,
+            "outcome": "recovered" if result.converged else "unrecovered",
+            "shock_players": len(record.players),
+            "shock_edges_dropped": record.edges_dropped,
+            "shock_edges_added": record.edges_added,
+            "shock_components": record.components,
+            "post_components": post_components,
+            "pre_social_cost": pre_cost,
+            "shock_social_cost": shock_cost,
+            "recovered_social_cost": recovered_cost,
+            "social_cost_delta": recovered_cost - pre_cost,
+            "rounds_to_recover": result.rounds,
+            "recovery_changes": result.total_changes,
+            "moved_players": moved_in_recovery,
+            "strategy_distance": strategy_distance,
+            "edge_distance": edge_distance,
+            "recovered_to_same": recovered == pre_profile,
+            "converged": result.converged,
+            "certified": report is not None
+            and result.certified
+            and report.is_equilibrium,
+            "certified_exact": report is not None and report.all_exact,
+            "warm_equals_cold": (
+                recovered == cold_result.final_profile
+                and result.rounds == cold_result.rounds
+            ),
+            "warm_s": round(warm_s, 6),
+            "cold_s": round(cold_s, 6),
+            "warm_speedup": round(cold_s / max(warm_s, 1e-9), 2),
+        }
+        if warm_trajectory is not None:
+            # A tiny penalty beta can make re-splitting improving, so the
+            # trajectory may touch 1 and split again (e.g. 2>1>2>1): only a
+            # recovery that *ends* connected counts as reconnected, and
+            # rounds_to_reconnect is the first round of the terminal all-1
+            # suffix — transient touches of 1 never count, on either
+            # branch, keeping the invariant ``rounds_to_reconnect is not
+            # None iff reconnected``.
+            reconnected = post_components == 1
+            reconnect_round = None
+            if reconnected:
+                reconnect_round = len(warm_trajectory) - 1
+                while reconnect_round > 1 and warm_trajectory[reconnect_round - 1] == 1:
+                    reconnect_round -= 1
+            row["reconnected"] = reconnected
+            row["rounds_to_reconnect"] = reconnect_round
+            row["component_trajectory"] = ">".join(
+                str(count) for count in warm_trajectory
+            )
+        rows.append(row)
+        if not result.converged:
+            # The warm recovery cycled or hit the round cap: the state
+            # is not an equilibrium, so chaining further shocks from it
+            # would measure drift against a junk baseline.  The honest
+            # row above (converged=False) stands; the operator's
+            # remaining shock slots are abandoned.
+            break
+        pre_profile = recovered
+        pre_cost = recovered_cost
+    return rows
+
+
+def _instance_rows(task: tuple) -> tuple[list[dict], DynamicsResult | None]:
+    """One instance's shock/recovery rows plus its certified base run.
+
+    Picklable sweep work item of the legacy ``parallel_map`` path (the
+    sweep service decomposes the same work into per-operator tasks over a
+    shared :class:`_BaseSession` instead).  The second element is the
+    pre-shock converged :class:`DynamicsResult` (``None`` when the base
+    dynamics failed to certify) so the caller can checkpoint a base
+    equilibrium without re-running the dynamics it already paid for.
+    """
+    (family, n, alpha, k, seed, operators, shocks, intensity, solver, max_rounds, game) = task
+    session = _converge_base(family, n, alpha, k, seed, solver, max_rounds, game)
+    if not session.result.converged:
+        return [_unconverged_base_row(session)], None
+    rows: list[dict] = []
+    for operator in operators:
+        rows.extend(_operator_rows(session, operator, shocks, intensity))
+    return rows, (session.result if session.result.certified else None)
+
+
+def _instance_cells(cfg: RobustnessStudyConfig) -> list[tuple]:
+    """Canonical ``(family, alpha, k, seed, game)`` order of the grid."""
+    return [
+        (
+            family,
+            alpha,
+            k,
+            cfg.settings.base_seed + seed,
+            cfg.game(FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k, alpha),
+        )
+        for family in cfg.families
+        for alpha in cfg.alphas
+        for k in cfg.ks
+        for seed in range(cfg.settings.num_seeds)
+    ]
 
 
 def generate_robustness_study(
     config: RobustnessStudyConfig | None = None,
     store: ExperimentStore | str | None = None,
     experiment_name: str = "robustness",
+    journal: str | None = None,
+    resume: bool = False,
 ) -> list[dict]:
     """Run the perturbation & recovery sweep; one row per shock.
 
@@ -698,28 +851,57 @@ def generate_robustness_study(
     both the trajectory series and a concrete certified profile without
     re-running the dynamics.  (No checkpoint is written when that base run
     failed to certify: a cycling or capped run is not a base equilibrium.)
+
+    With ``workers > 1`` in ``config.settings`` (or a ``journal``
+    directory) the sweep submits per-operator tasks through the
+    orchestration service (:mod:`repro.service`): tasks of the same
+    instance cell share one warm base engine on their worker instead of
+    each re-converging it, and the journal gives crash-safe ``resume``.
+    The deterministic row fields are identical to the serial path; only
+    the wall-clock ``warm_s`` / ``cold_s`` / ``warm_speedup`` measurements
+    differ run to run (as they do between any two serial runs).
     """
     cfg = config if config is not None else RobustnessStudyConfig.paper()
+    workers = cfg.settings.workers
+    if journal is not None or resolve_workers(workers) > 1:
+        from repro.service.api import ServiceConfig, robustness_sweep
+
+        service_config = ServiceConfig(
+            workers=workers,
+            journal_dir=journal,
+            experiment=experiment_name,
+            resume=resume,
+        )
+        rows, checkpoint_document = robustness_sweep(cfg, service_config)
+        if store is not None:
+            if not isinstance(store, ExperimentStore):
+                store = ExperimentStore(store)
+            store.save_rows(experiment_name, rows, config=asdict(cfg))
+            if checkpoint_document is not None:
+                family, alpha, k, seed, _ = _instance_cells(cfg)[0]
+                store.save_checkpoint_document(
+                    experiment_name,
+                    f"base-{family}-a{alpha}-k{k}-s{seed}",
+                    checkpoint_document,
+                )
+        return rows
     tasks = [
         (
             family,
             cfg.n,
             alpha,
             k,
-            cfg.settings.base_seed + seed,
+            seed,
             cfg.operators,
             cfg.shocks_per_instance,
             cfg.intensity,
             cfg.settings.solver,
             cfg.settings.max_rounds,
-            cfg.game(FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k, alpha),
+            game,
         )
-        for family in cfg.families
-        for alpha in cfg.alphas
-        for k in cfg.ks
-        for seed in range(cfg.settings.num_seeds)
+        for family, alpha, k, seed, game in _instance_cells(cfg)
     ]
-    nested = parallel_map(_instance_rows, tasks, workers=cfg.settings.workers)
+    nested = parallel_map(_instance_rows, tasks, workers=workers)
     rows = [row for instance_rows, _ in nested for row in instance_rows]
     if store is not None:
         if not isinstance(store, ExperimentStore):
@@ -795,6 +977,7 @@ def aggregate_robustness_rows(rows: list[dict]) -> list[dict]:
             "disconnected_shocks": sum(
                 1 for r in real if r.get("shock_disconnected")
             ),
+            "reconnected_shocks": sum(1 for r in real if r.get("reconnected")),
         }
         if real:
             out["certified_fraction"] = sum(r["certified"] for r in real) / len(real)

@@ -37,9 +37,9 @@ from repro.core.dynamics import best_response_dynamics
 from repro.core.games import FULL_KNOWLEDGE, SumNCG
 from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
 from repro.graphs.generators.trees import random_owned_tree
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import parallel_map, resolve_workers
 
-__all__ = ["SumDynamicsConfig", "generate_sum_dynamics"]
+__all__ = ["SumDynamicsConfig", "run_sum_task", "generate_sum_dynamics"]
 
 
 @dataclass(frozen=True)
@@ -65,12 +65,17 @@ class SumDynamicsConfig:
         )
 
 
-def _run_one(task: tuple[int, float, int, int, int]) -> dict:
+def run_sum_task(task: tuple[int, float, int, int, int], initial) -> dict:
+    """One SumNCG run on a pre-built initial instance (sweep work item).
+
+    ``initial`` is the random owned tree of the task's ``(n, seed)`` — or
+    the equivalent :class:`~repro.core.strategies.StrategyProfile` from a
+    sweep worker's cache; the result is identical either way.
+    """
     n, alpha, k, seed, max_rounds = task
-    owned = random_owned_tree(n, seed=seed)
     k_value = FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k
     game = SumNCG(alpha=alpha, k=k_value)
-    result = best_response_dynamics(owned, game, max_rounds=max_rounds)
+    result = best_response_dynamics(initial, game, max_rounds=max_rounds)
     metrics = result.final_metrics
     return {
         "n": n,
@@ -91,17 +96,47 @@ def _run_one(task: tuple[int, float, int, int, int]) -> dict:
     }
 
 
-def generate_sum_dynamics(config: SumDynamicsConfig | None = None) -> list[dict]:
-    """One aggregated row per (n, α, k) cell of the SumNCG sweep."""
+def _run_one(task: tuple[int, float, int, int, int]) -> dict:
+    """Self-contained serial work item: generate the instance, then run."""
+    n, _, _, seed, _ = task
+    return run_sum_task(task, random_owned_tree(n, seed=seed))
+
+
+def generate_sum_dynamics(
+    config: SumDynamicsConfig | None = None,
+    journal: str | None = None,
+    resume: bool = False,
+) -> list[dict]:
+    """One aggregated row per (n, α, k) cell of the SumNCG sweep.
+
+    With ``workers > 1`` (or a ``journal`` directory) the per-run grid is
+    submitted through the orchestration service — instance-affine warm
+    workers plus crash-safe ``resume`` — with per-run rows identical to
+    the serial path.
+    """
     cfg = config if config is not None else SumDynamicsConfig.paper()
-    tasks = [
-        (n, alpha, k, cfg.settings.base_seed + seed, cfg.settings.max_rounds)
-        for n in cfg.sizes
-        for alpha in cfg.alphas
-        for k in cfg.ks
-        for seed in range(cfg.settings.num_seeds)
-    ]
-    raw = parallel_map(_run_one, tasks, workers=cfg.settings.workers)
+    workers = cfg.settings.workers
+    if journal is not None or resolve_workers(workers) > 1:
+        from repro.service.api import ServiceConfig, sum_sweep
+
+        raw = sum_sweep(
+            cfg,
+            ServiceConfig(
+                workers=workers,
+                journal_dir=journal,
+                experiment="sum-dynamics",
+                resume=resume,
+            ),
+        )
+    else:
+        tasks = [
+            (n, alpha, k, cfg.settings.base_seed + seed, cfg.settings.max_rounds)
+            for n in cfg.sizes
+            for alpha in cfg.alphas
+            for k in cfg.ks
+            for seed in range(cfg.settings.num_seeds)
+        ]
+        raw = parallel_map(_run_one, tasks, workers=workers)
 
     groups: dict[tuple, list[dict]] = {}
     for row in raw:

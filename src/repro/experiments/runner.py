@@ -20,8 +20,7 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
-from dataclasses import dataclass, field
-from functools import partial
+from dataclasses import dataclass
 
 from repro.core.best_response import ENGINE_DEFAULT_SOLVER
 from repro.core.cost_models import resolve_cost_model
@@ -32,9 +31,17 @@ from repro.experiments.config import FULL_KNOWLEDGE_K, SweepSettings
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
 from repro.graphs.generators.trees import random_owned_tree
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import parallel_map, resolve_workers
 
-__all__ = ["RunSpec", "RunResult", "build_instance", "run_single", "run_sweep", "profile_run"]
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "build_instance",
+    "run_single",
+    "run_spec_on_instance",
+    "run_sweep",
+    "profile_run",
+]
 
 
 @dataclass(frozen=True)
@@ -140,12 +147,19 @@ def build_instance(spec: RunSpec) -> OwnedGraph:
     raise ValueError(f"unknown ownership rule {spec.ownership!r}")
 
 
-def run_single(spec: RunSpec, collect_round_metrics: bool = False) -> RunResult:
-    """Execute one dynamics run and return its flattened outcome."""
-    owned = build_instance(spec)
+def run_spec_on_instance(
+    spec: RunSpec, initial, collect_round_metrics: bool = False
+) -> RunResult:
+    """Execute ``spec``'s dynamics on a pre-built initial instance.
+
+    ``initial`` is the instance :func:`build_instance` would produce for
+    ``spec`` — an :class:`OwnedGraph` or the equivalent
+    :class:`~repro.core.strategies.StrategyProfile` (e.g. a sweep worker's
+    cached or shared-memory copy); the result is identical either way.
+    """
     game = spec.game()
     result = best_response_dynamics(
-        owned,
+        initial,
         game,
         solver=spec.solver,
         max_rounds=spec.max_rounds,
@@ -166,12 +180,37 @@ def run_single(spec: RunSpec, collect_round_metrics: bool = False) -> RunResult:
     )
 
 
+def run_single(spec: RunSpec, collect_round_metrics: bool = False) -> RunResult:
+    """Execute one dynamics run and return its flattened outcome."""
+    return run_spec_on_instance(spec, build_instance(spec), collect_round_metrics)
+
+
 def run_sweep(
     specs: list[RunSpec],
     settings: SweepSettings | None = None,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> list[RunResult]:
-    """Run many independent specs, optionally across processes."""
+    """Run many independent specs, optionally across processes.
+
+    With more than one worker (or a ``journal`` directory) the sweep is
+    submitted through the orchestration service (:mod:`repro.service`):
+    persistent workers with instance-affine sharding, shared-memory
+    instances above the size threshold, and a crash-safe journal enabling
+    ``resume``.  Results are bit-identical to the ``workers=1``
+    ``parallel_map`` path, which remains the zero-overhead default for
+    serial sweeps.
+    """
     workers = settings.workers if settings is not None else 1
+    if journal is not None or resolve_workers(workers) > 1:
+        from repro.service.api import ServiceConfig, run_spec_sweep
+
+        return run_spec_sweep(
+            list(specs),
+            ServiceConfig(
+                workers=workers, journal_dir=journal, experiment="sweep", resume=resume
+            ),
+        )
     return parallel_map(run_single, specs, workers=workers)
 
 

@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.core.dynamics import DynamicsResult
 from repro.core.games import GameSpec
-from repro.core.serialization import read_dynamics_checkpoint, write_dynamics_result_json
+from repro.core.serialization import dynamics_result_to_dict, read_dynamics_checkpoint
 from repro.core.strategies import StrategyProfile
 from repro.experiments.io import write_csv, write_json
 
@@ -137,6 +137,16 @@ class ExperimentStore:
             raise ValueError(f"invalid experiment name {name!r}")
         return self.root / name
 
+    def experiment_dir(self, name: str) -> Path:
+        """Validated directory of one experiment (not created here).
+
+        The sweep service layers its append-only journal
+        (:class:`repro.service.journal.SweepJournal`) inside this
+        directory, next to where :meth:`save_rows` later lands the final
+        ``rows.csv`` / ``rows.json``.
+        """
+        return self._experiment_dir(name)
+
     def save_rows(self, name: str, rows: list[dict], config: dict | None = None) -> Path:
         """Persist the rows (CSV + JSON) and the optional configuration record."""
         directory = self._experiment_dir(name)
@@ -174,10 +184,24 @@ class ExperimentStore:
     # ------------------------------------------------------------------
     def save_checkpoint(self, name: str, label: str, result: DynamicsResult) -> Path:
         """Store the final profile / game of one dynamics run under ``label``."""
+        return self.save_checkpoint_document(
+            name, label, dynamics_result_to_dict(result)
+        )
+
+    def save_checkpoint_document(self, name: str, label: str, document: dict) -> Path:
+        """Store an already-serialised dynamics checkpoint document.
+
+        The sweep service journals checkpoint documents (not live
+        :class:`DynamicsResult` objects), so a resumed sweep can persist a
+        checkpoint whose engine no longer exists; the on-disk format is
+        identical to :meth:`save_checkpoint`.
+        """
+        if document.get("format") != "repro-dynamics-result":
+            raise ValueError("document is not a repro-dynamics-result checkpoint")
         directory = self._experiment_dir(name) / "checkpoints"
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{label}.json"
-        write_dynamics_result_json(result, path)
+        path.write_text(json.dumps(document, indent=2), encoding="utf-8")
         index = self._read_index()
         entry = index.setdefault(name, {"num_rows": 0, "columns": []})
         entry["has_checkpoints"] = True

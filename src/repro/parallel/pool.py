@@ -38,14 +38,24 @@ def resolve_workers(workers: int | None) -> int:
     return max(1, workers)
 
 
-def derive_chunksize(num_items: int, workers: int) -> int:
+def derive_chunksize(num_items: int, workers: int | None) -> int:
     """Default chunk size: ``num_items // (4 * workers)``, at least 1.
 
     Four chunks per worker amortises IPC overhead on large sweeps of small
     tasks while still leaving enough chunks for dynamic load balancing when
     item costs are skewed (the standard pool-sizing rule of thumb).
+
+    ``workers`` follows the same convention as :func:`resolve_workers`
+    (``None``/``0`` = all cores).  Treating those as *one* worker — the old
+    behaviour — derived a chunk size four times too large, so a small task
+    list collapsed onto a fraction of an all-cores pool (e.g. 40 items at
+    ``workers=0`` on an 8-core box became 4 chunks for 8 processes).  With
+    the pool size resolved, the 4x rule itself guarantees no starvation:
+    ``num_items // (4 * workers) <= num_items // workers``, so there are
+    always at least ``min(num_items, workers)`` chunks (pinned by
+    ``tests/parallel/test_pool.py::test_no_worker_starvation``).
     """
-    return max(1, num_items // (4 * max(1, workers)))
+    return max(1, num_items // (4 * resolve_workers(workers)))
 
 
 def parallel_map(

@@ -1,0 +1,54 @@
+"""Sweep orchestration service (see ROADMAP "Service layer").
+
+Compiles any sweep — :class:`~repro.experiments.runner.RunSpec` grids,
+robustness operator chains, SumNCG grids — into instance-affine task
+shards, executes them on persistent warm-engine workers (live
+:class:`~repro.engine.DynamicsEngine` sessions, shared-memory instances),
+journals every completed task crash-safely and resumes interrupted sweeps
+with the identical row set.  Entry points: :func:`repro.service.api.
+orchestrate` and the ``python -m repro sweep`` CLI.
+"""
+
+from repro.service.api import (
+    ServiceConfig,
+    orchestrate,
+    robustness_sweep,
+    run_spec_sweep,
+    sum_sweep,
+)
+from repro.service.journal import SweepJournal
+from repro.service.tasks import (
+    SweepTask,
+    compile_robustness_tasks,
+    compile_run_specs,
+    compile_sum_tasks,
+    shard_tasks,
+    strip_timing_fields,
+    sweep_hash,
+)
+from repro.service.workers import (
+    SharedInstanceStore,
+    WorkerPool,
+    WorkerRuntime,
+    attach_shared_profile,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "orchestrate",
+    "run_spec_sweep",
+    "sum_sweep",
+    "robustness_sweep",
+    "SweepJournal",
+    "SweepTask",
+    "compile_run_specs",
+    "compile_sum_tasks",
+    "compile_robustness_tasks",
+    "shard_tasks",
+    "strip_timing_fields",
+    "sweep_hash",
+    "SharedInstanceStore",
+    "WorkerPool",
+    "WorkerRuntime",
+    "attach_shared_profile",
+]

@@ -1,0 +1,206 @@
+"""The sweep orchestration service: compile → shard → execute → journal.
+
+:func:`orchestrate` is the one funnel every sweep entry point routes
+through when it wants more than the throwaway serial pool: warm
+instance-affine workers (:mod:`repro.service.workers`), a crash-safe
+resumable journal (:mod:`repro.service.journal`), and — regardless of
+worker count, shard assignment or completion order — results that are
+bit-identical to the serial path, reassembled in canonical task order.
+
+Three thin wrappers adapt the repository's sweep shapes:
+
+* :func:`run_spec_sweep` — ``experiments.runner.run_sweep`` grids;
+* :func:`sum_sweep` — the SumNCG study's per-run rows;
+* :func:`robustness_sweep` — per-(instance cell, operator) shock chains
+  sharing warm base engines, plus the base-equilibrium checkpoint
+  document.
+
+CLI: ``python -m repro sweep --workers W --journal DIR [--resume]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.parallel.pool import resolve_workers
+from repro.service.journal import SweepJournal
+from repro.service.tasks import (
+    SweepTask,
+    compile_robustness_tasks,
+    compile_run_specs,
+    compile_sum_tasks,
+    decode_result,
+    encode_result,
+    instance_builder,
+    instance_size,
+    shard_tasks,
+    sweep_hash,
+)
+from repro.service.workers import (
+    SESSION_CACHE_SIZE,
+    SHARED_INSTANCE_MIN_NODES,
+    SharedInstanceStore,
+    WorkerPool,
+    WorkerRuntime,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "orchestrate",
+    "run_spec_sweep",
+    "sum_sweep",
+    "robustness_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How one orchestrated sweep executes.
+
+    ``journal_dir`` is an :class:`~repro.experiments.store.ExperimentStore`
+    root; the journal lives in its ``<experiment>/`` subdirectory next to
+    where the final rows land, and ``resume=True`` skips every journaled
+    task of the *same* sweep (a different sweep in the same journal is an
+    error).  ``in_process=True`` executes the shards sequentially in the
+    calling process with one fresh :class:`WorkerRuntime` per shard — the
+    deterministic stand-in for separate workers that the equivalence tests
+    (and ``workers=1`` journaled runs) use; ``shard_seed`` deterministically
+    shuffles the group→shard assignment to prove shard-order invariance.
+    """
+
+    workers: int | None = 1
+    journal_dir: str | Path | None = None
+    experiment: str = "sweep"
+    resume: bool = False
+    min_shared_nodes: int = SHARED_INSTANCE_MIN_NODES
+    session_cache_size: int = SESSION_CACHE_SIZE
+    in_process: bool = False
+    shard_seed: int | None = None
+
+
+def _export_shared_instances(
+    tasks: list[SweepTask], min_nodes: int
+) -> SharedInstanceStore:
+    """Materialise each large, multiply-used instance into shared memory.
+
+    Eligibility is decided *before* building (the expected size is part of
+    every task description): only groups with at least two tasks and
+    ``min_nodes`` players pay the one parent-side build; everything else
+    is cheaper regenerated inside its worker's instance cache.
+    """
+    store = SharedInstanceStore()
+    groups: dict[str, list[SweepTask]] = {}
+    for task in tasks:
+        groups.setdefault(task.instance_key, []).append(task)
+    for key, members in groups.items():
+        if len(members) < 2 or instance_size(members[0]) < min_nodes:
+            continue
+        store.export(key, instance_builder(members[0])())
+    return store
+
+
+def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
+    """Execute a compiled sweep; decoded results in canonical task order.
+
+    Every result — fresh or journaled — passes through the same
+    encode/decode pair, so the assembled output of a resumed sweep is
+    byte-identical to an uninterrupted one, and the output of a sharded
+    run is byte-identical to the serial loop.
+    """
+    if not tasks:
+        return []
+    journal: SweepJournal | None = None
+    completed: dict[str, Any] = {}
+    if config.journal_dir is not None:
+        # The journal lives inside the store's experiment directory; going
+        # through the store applies its experiment-name validation *before*
+        # the sweep runs, instead of failing at save_rows afterwards.
+        from repro.experiments.store import ExperimentStore
+
+        journal = SweepJournal(
+            ExperimentStore(config.journal_dir).experiment_dir(config.experiment)
+        )
+        completed = journal.open(
+            sweep_hash(tasks), len(tasks), resume=config.resume
+        )
+    decoded: dict[int, Any] = {}
+    pending: list[SweepTask] = []
+    for task in tasks:
+        if task.spec_hash in completed:
+            decoded[task.index] = decode_result(task.kind, completed[task.spec_hash])
+        else:
+            pending.append(task)
+    try:
+        if pending:
+            def on_result(index: int, spec_hash: str, kind: str, payload) -> None:
+                if journal is not None:
+                    journal.append(spec_hash, index, kind, payload)
+                decoded[index] = decode_result(kind, payload)
+
+            workers = resolve_workers(config.workers)
+            if workers == 1 or len(pending) == 1 or config.in_process:
+                shards = shard_tasks(
+                    pending,
+                    workers if config.in_process else 1,
+                    order_seed=config.shard_seed,
+                )
+                for shard in shards:
+                    # One fresh runtime per shard mirrors one worker per
+                    # shard: the same cache boundaries, deterministically.
+                    runtime = WorkerRuntime(
+                        session_cache_size=config.session_cache_size
+                    )
+                    for task in shard:
+                        on_result(
+                            task.index,
+                            task.spec_hash,
+                            task.kind,
+                            encode_result(task, runtime.execute(task)),
+                        )
+            else:
+                shards = shard_tasks(pending, workers, order_seed=config.shard_seed)
+                shared = _export_shared_instances(pending, config.min_shared_nodes)
+                try:
+                    WorkerPool(
+                        shards,
+                        shared_refs=shared.refs,
+                        session_cache_size=config.session_cache_size,
+                    ).run(on_result)
+                finally:
+                    shared.release()
+    finally:
+        if journal is not None:
+            journal.close()
+    return [decoded[task.index] for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# Sweep-shaped wrappers
+# ----------------------------------------------------------------------
+def run_spec_sweep(specs: list, config: ServiceConfig) -> list:
+    """Orchestrated equivalent of ``parallel_map(run_single, specs)``."""
+    return orchestrate(compile_run_specs(list(specs)), config)
+
+
+def sum_sweep(study_config, config: ServiceConfig) -> list[dict]:
+    """Orchestrated per-run rows of a SumNCG study grid (pre-aggregation)."""
+    return orchestrate(compile_sum_tasks(study_config), config)
+
+
+def robustness_sweep(
+    study_config, config: ServiceConfig
+) -> tuple[list[dict], dict | None]:
+    """Orchestrated robustness study: per-shock rows + checkpoint document.
+
+    Rows are concatenated in canonical (cell-major, operator-minor) task
+    order — exactly the serial sweep's row order.  The second element is
+    the first instance cell's certified base-equilibrium checkpoint
+    document (``None`` when that base run failed to certify).
+    """
+    tasks = compile_robustness_tasks(study_config)
+    results = orchestrate(tasks, config)
+    rows = [row for task_rows, _ in results for row in task_rows]
+    checkpoint_document = results[0][1] if results else None
+    return rows, checkpoint_document

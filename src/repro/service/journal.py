@@ -1,0 +1,165 @@
+"""Append-only, crash-safe result journal for orchestrated sweeps.
+
+One journal lives inside the experiment directory of an
+:class:`~repro.experiments.store.ExperimentStore` (the service writes the
+final ``rows.csv`` / ``rows.json`` through the store when the sweep
+completes; the journal is the durable record *while it runs*)::
+
+    <store root>/<experiment>/
+      manifest.json     # sweep identity: {"sweep_hash", "num_tasks"}
+      journal.jsonl     # one JSON object per completed task (append-only)
+
+Each record carries the task's ``spec_hash`` (the content hash of its full
+description), its canonical ``index`` and the encoded result payload.
+Appends are flushed *and fsynced* per record, so a SIGKILL mid-sweep loses
+at most the record being written — and a torn trailing line is detected and
+ignored on load, never propagated.
+
+``--resume`` then means: reopen the journal, verify the manifest's
+``sweep_hash`` matches the re-compiled sweep (resuming a *different* sweep
+into the same journal is an error, not silent garbage), skip every task
+whose ``spec_hash`` already has a record, and decode the journaled payloads
+in place of re-running them.  Because fresh results round-trip through the
+same codecs as journaled ones, an interrupted-then-resumed sweep assembles
+exactly the row set of an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Directory-backed journal of one sweep's completed task results."""
+
+    MANIFEST_NAME = "manifest.json"
+    LOG_NAME = "journal.jsonl"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / self.MANIFEST_NAME
+        self.log_path = self.directory / self.LOG_NAME
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(
+        self, sweep_hash: str, num_tasks: int, resume: bool = False
+    ) -> dict[str, Any]:
+        """Start (or resume) journaling; returns ``{spec_hash: payload}``.
+
+        Without ``resume`` any existing journal in the directory is
+        replaced — a fresh sweep owns the directory.  With ``resume`` the
+        manifest must exist and carry the same ``sweep_hash``; the
+        completed records (torn tail skipped, duplicate ``spec_hash``
+        last-wins) are returned so the orchestrator can serve those tasks
+        from the journal instead of re-running them.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        completed: dict[str, Any] = {}
+        if resume:
+            if not self.manifest_path.exists():
+                raise ValueError(
+                    f"cannot resume: no sweep journal in {self.directory}"
+                )
+            manifest = json.loads(self.manifest_path.read_text())
+            if manifest.get("sweep_hash") != sweep_hash:
+                raise ValueError(
+                    "cannot resume: the journal belongs to a different sweep "
+                    f"(journaled {manifest.get('sweep_hash')!r}, "
+                    f"requested {sweep_hash!r}) — same config and task list "
+                    "required"
+                )
+            completed = self._load_completed()
+            self._repair_torn_tail()
+        else:
+            if self.log_path.exists():
+                self.log_path.unlink()
+            self.manifest_path.write_text(
+                json.dumps(
+                    {
+                        "format": "repro-sweep-journal",
+                        "version": 1,
+                        "sweep_hash": sweep_hash,
+                        "num_tasks": num_tasks,
+                    },
+                    indent=2,
+                )
+            )
+        self._handle = self.log_path.open("a", encoding="utf-8")
+        return completed
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def append(self, spec_hash: str, index: int, kind: str, payload: Any) -> None:
+        """Durably record one completed task (flush + fsync per record)."""
+        if self._handle is None:
+            raise RuntimeError("journal is not open")
+        record = {
+            "spec_hash": spec_hash,
+            "index": index,
+            "kind": kind,
+            "payload": payload,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a torn (newline-less) trailing line before appending.
+
+        A SIGKILL mid-append can leave the log ending in a partial record.
+        Reopening in append mode would merge the *next* record into that
+        torn prefix — one unparseable line, i.e. an acknowledged, fsynced
+        record silently lost on the following resume.  Cutting back to the
+        last complete newline keeps every acknowledged record parseable.
+        """
+        if not self.log_path.exists():
+            return
+        data = self.log_path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n")
+        with self.log_path.open("r+b") as handle:
+            handle.truncate(cut + 1 if cut >= 0 else 0)
+
+    def _load_completed(self) -> dict[str, Any]:
+        """Parse the journal, skipping a torn trailing line (crash artefact)."""
+        completed: dict[str, Any] = {}
+        if not self.log_path.exists():
+            return completed
+        with self.log_path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill landed mid-write: the torn record was never
+                    # acknowledged, so dropping it is exactly correct.
+                    continue
+                completed[record["spec_hash"]] = record["payload"]
+        return completed
+
+    def completed_count(self) -> int:
+        """Number of distinct completed tasks currently journaled."""
+        return len(self._load_completed())

@@ -1,0 +1,387 @@
+"""Warm sweep workers: engine sessions, instance caches, shared memory.
+
+The throwaway :func:`repro.parallel.pool.parallel_map` pool re-creates the
+whole world per task: the instance is regenerated (or pickled over), the
+engine is rebuilt, and for robustness chains the pre-shock base dynamics is
+re-converged — exactly the state the incremental engine exists to keep
+alive.  This module is the stateful replacement:
+
+* :class:`WorkerRuntime` executes :class:`~repro.service.tasks.SweepTask`s
+  while holding two small LRUs — initial instances keyed by
+  ``instance_key`` and live :class:`~repro.experiments.extensions.
+  robustness._BaseSession` engines keyed by ``session_key``.  Because the
+  task compiler shards with instance affinity, consecutive tasks hit these
+  caches: a robustness cell's second operator chain starts from a
+  ``restore_profile`` warm replay instead of a cold base convergence.
+* :class:`SharedInstanceStore` places one copy of a large instance's
+  strategy CSR (players, per-player bought-target lists) in
+  ``multiprocessing.shared_memory``; workers attach and rebuild the
+  :class:`~repro.core.strategies.StrategyProfile` from the mapped arrays
+  instead of regenerating the graph per worker or pickling it per task.
+* :class:`WorkerPool` runs one persistent process per shard and streams
+  ``(index, spec_hash, encoded payload)`` results back over a queue, so the
+  orchestrator can journal each result the moment it lands — the property
+  that makes a SIGKILL resumable.
+
+Execution through a runtime is bit-identical to the serial paths: tasks
+are self-contained, warm engine reuse is the same ``restore_profile`` +
+``run`` replay the serial robustness sweep already performs between
+operators, and the equivalence is pinned by ``tests/service``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from queue import Empty
+
+import numpy as np
+
+from repro.core.strategies import StrategyProfile
+from repro.service.tasks import SweepTask, encode_result, instance_builder
+
+__all__ = [
+    "SHARED_INSTANCE_MIN_NODES",
+    "SESSION_CACHE_SIZE",
+    "INSTANCE_CACHE_SIZE",
+    "SharedInstanceRef",
+    "SharedInstanceStore",
+    "WorkerRuntime",
+    "WorkerPool",
+]
+
+#: Instances below this player count are cheaper to regenerate from their
+#: seed than to map: one worker-side rebuild per instance group (the LRU
+#: holds it across the group's tasks) costs microseconds at small n.  At
+#: 10^4+ nodes regeneration and per-task pickling both dwarf an mmap.
+SHARED_INSTANCE_MIN_NODES: int = 2048
+
+#: Live engine sessions per worker.  Shards order tasks group-by-group, so
+#: a session is only revisited while its group runs — two covers the
+#: current group plus one straggler.
+SESSION_CACHE_SIZE: int = 2
+
+#: Initial instances per worker (cheap: one profile each).
+INSTANCE_CACHE_SIZE: int = 4
+
+
+# ----------------------------------------------------------------------
+# Shared-memory instances
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedInstanceRef:
+    """Name + shape of one shared-memory instance block (picklable)."""
+
+    name: str
+    num_players: int
+    num_targets: int
+
+
+def _profile_of(instance) -> StrategyProfile:
+    if isinstance(instance, StrategyProfile):
+        return instance
+    return StrategyProfile.from_owned_graph(instance)
+
+
+class SharedInstanceStore:
+    """Parent-side owner of the shared-memory instance blocks.
+
+    Each exported instance occupies one block holding three ``int64``
+    sections — ``players`` (in profile order: the order is part of the
+    dynamics' tie-breaking and must survive the trip), ``indptr`` and the
+    flattened per-player ``targets`` (sorted, so the rebuild is
+    deterministic).  Only integer-labelled instances are exportable; the
+    generators used by the sweeps all produce those, and a non-integer
+    instance silently falls back to worker-side regeneration.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: list[shared_memory.SharedMemory] = []
+        self.refs: dict[str, SharedInstanceRef] = {}
+
+    def export(self, instance_key: str, instance) -> bool:
+        """Place ``instance`` in shared memory; False if not exportable."""
+        profile = _profile_of(instance)
+        players = profile.players()
+        if not all(isinstance(player, int) for player in players):
+            return False
+        strategies = [sorted(profile.strategy(player)) for player in players]
+        num_targets = sum(len(targets) for targets in strategies)
+        length = 2 * len(players) + 1 + num_targets
+        block = shared_memory.SharedMemory(create=True, size=max(8, length * 8))
+        data = np.ndarray((length,), dtype=np.int64, buffer=block.buf)
+        n = len(players)
+        data[:n] = players
+        indptr = data[n : 2 * n + 1]
+        indptr[0] = 0
+        cursor = 2 * n + 1
+        for i, targets in enumerate(strategies):
+            data[cursor : cursor + len(targets)] = targets
+            cursor += len(targets)
+            indptr[i + 1] = indptr[i] + len(targets)
+        self._blocks.append(block)
+        self.refs[instance_key] = SharedInstanceRef(
+            name=block.name, num_players=n, num_targets=num_targets
+        )
+        return True
+
+    def release(self) -> None:
+        """Close and unlink every block (after the worker pool is done)."""
+        for block in self._blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._blocks = []
+        self.refs = {}
+
+
+def attach_shared_profile(ref: SharedInstanceRef) -> StrategyProfile:
+    """Rebuild the :class:`StrategyProfile` behind a shared-memory ref."""
+    block = shared_memory.SharedMemory(name=ref.name)
+    try:
+        length = 2 * ref.num_players + 1 + ref.num_targets
+        data = np.ndarray((length,), dtype=np.int64, buffer=block.buf)
+        n = ref.num_players
+        players = data[:n].tolist()
+        indptr = data[n : 2 * n + 1].tolist()
+        targets = data[2 * n + 1 :].tolist()
+        strategies = {
+            player: targets[indptr[i] : indptr[i + 1]]
+            for i, player in enumerate(players)
+        }
+    finally:
+        block.close()
+    return StrategyProfile(strategies)
+
+
+# ----------------------------------------------------------------------
+# Warm task execution
+# ----------------------------------------------------------------------
+class WorkerRuntime:
+    """Executes sweep tasks with warm instance and engine-session caches."""
+
+    def __init__(
+        self,
+        shared_refs: dict[str, SharedInstanceRef] | None = None,
+        session_cache_size: int = SESSION_CACHE_SIZE,
+    ) -> None:
+        self._shared_refs = dict(shared_refs or {})
+        self._instances: OrderedDict[str, object] = OrderedDict()
+        self._sessions: OrderedDict[str, object] = OrderedDict()
+        self._session_cache_size = max(1, session_cache_size)
+        #: Instrumentation (read by tests and the benchmark harness).
+        self.sessions_built = 0
+        self.sessions_reused = 0
+        self.instances_built = 0
+        self.instances_reused = 0
+        self.shared_attached = 0
+
+    # -- caches --------------------------------------------------------
+    def _instance(self, task: SweepTask):
+        key = task.instance_key
+        if key in self._instances:
+            self._instances.move_to_end(key)
+            self.instances_reused += 1
+            return self._instances[key]
+        if key in self._shared_refs:
+            instance = attach_shared_profile(self._shared_refs[key])
+            self.shared_attached += 1
+        else:
+            instance = instance_builder(task)()
+            self.instances_built += 1
+        self._instances[key] = instance
+        while len(self._instances) > INSTANCE_CACHE_SIZE:
+            self._instances.popitem(last=False)
+        return instance
+
+    def _session(self, task: SweepTask, build):
+        key = task.session_key
+        if key in self._sessions:
+            self._sessions.move_to_end(key)
+            self.sessions_reused += 1
+            return self._sessions[key]
+        session = build()
+        self.sessions_built += 1
+        self._sessions[key] = session
+        while len(self._sessions) > self._session_cache_size:
+            self._sessions.popitem(last=False)
+        return session
+
+    # -- execution -----------------------------------------------------
+    def execute(self, task: SweepTask):
+        """Run one task and return its raw (unencoded) result."""
+        if task.kind == "run_spec":
+            from repro.experiments.runner import run_spec_on_instance
+
+            (spec,) = task.payload
+            return run_spec_on_instance(spec, self._instance(task))
+        if task.kind == "sum":
+            from repro.experiments.extensions.sum_dynamics import run_sum_task
+
+            return run_sum_task(task.payload, self._instance(task))
+        if task.kind == "robustness":
+            return self._execute_robustness(task)
+        raise ValueError(f"unknown task kind {task.kind!r}")
+
+    def _execute_robustness(self, task: SweepTask):
+        from repro.core.metrics import compute_profile_metrics
+        from repro.core.serialization import dynamics_result_to_dict
+        from repro.experiments.extensions.robustness import (
+            _converge_base,
+            _operator_rows,
+            _unconverged_base_row,
+        )
+
+        (
+            family,
+            n,
+            alpha,
+            k,
+            seed,
+            operator,
+            shocks,
+            intensity,
+            solver,
+            max_rounds,
+            game,
+            emit_base,
+        ) = task.payload
+        session = self._session(
+            task,
+            lambda: _converge_base(
+                family,
+                n,
+                alpha,
+                k,
+                seed,
+                solver,
+                max_rounds,
+                game,
+                owned=self._instance(task),
+            ),
+        )
+        if not session.result.converged:
+            rows = [_unconverged_base_row(session)] if emit_base else []
+            return (rows, None)
+        rows = _operator_rows(session, operator, shocks, intensity)
+        base_document = None
+        if emit_base and session.result.certified:
+            # The cell's first task owns the base-equilibrium checkpoint.
+            # Sweep engines skip metric sweeps; backfill the headline
+            # metrics once (mirrors the serial store path) so the document
+            # is complete wherever it is decoded — including from a
+            # resumed journal, where the engine no longer exists.
+            if session.result.final_metrics is None:
+                session.result.final_metrics = compute_profile_metrics(
+                    session.result.final_profile, session.result.game
+                )
+            base_document = dynamics_result_to_dict(session.result)
+        return (rows, base_document)
+
+
+# ----------------------------------------------------------------------
+# The persistent worker pool
+# ----------------------------------------------------------------------
+def _worker_main(
+    shard: list[SweepTask],
+    shared_refs: dict[str, SharedInstanceRef],
+    session_cache_size: int,
+    result_queue,
+) -> None:
+    """Process body: drain the shard in order, streaming encoded results.
+
+    ``daemon=True`` only covers a *normal* parent exit; a SIGKILLed
+    orchestrator (exactly what ``--resume`` exists for) would otherwise
+    orphan the workers, which would burn CPU finishing a shard nobody
+    collects — concurrently with the resumed run.  Checking for
+    reparenting between tasks bounds the waste to the task in flight.
+    """
+    parent = os.getppid()
+    runtime = WorkerRuntime(shared_refs, session_cache_size)
+    for task in shard:
+        if os.getppid() != parent:
+            return  # orchestrator died; results would go nowhere
+        try:
+            payload = encode_result(task, runtime.execute(task))
+        except BaseException:
+            result_queue.put(
+                ("error", task.index, task.spec_hash, task.kind, traceback.format_exc())
+            )
+            return
+        result_queue.put(("ok", task.index, task.spec_hash, task.kind, payload))
+
+
+class WorkerPool:
+    """One persistent process per non-empty shard, results over a queue."""
+
+    def __init__(
+        self,
+        shards: list[list[SweepTask]],
+        shared_refs: dict[str, SharedInstanceRef] | None = None,
+        session_cache_size: int = SESSION_CACHE_SIZE,
+    ) -> None:
+        self.shards = [shard for shard in shards if shard]
+        self.shared_refs = dict(shared_refs or {})
+        self.session_cache_size = session_cache_size
+
+    def run(self, on_result) -> None:
+        """Execute every shard; ``on_result(index, spec_hash, kind, payload)``
+        fires in completion order (the caller journals and reassembles by
+        index, so completion order carries no meaning).  A worker error is
+        re-raised here with the worker's traceback after the pool is torn
+        down, mirroring :func:`repro.parallel.pool.parallel_map` semantics.
+        """
+        if not self.shards:
+            return
+        context = mp.get_context()
+        queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(shard, self.shared_refs, self.session_cache_size, queue),
+                daemon=True,
+            )
+            for shard in self.shards
+        ]
+        for process in processes:
+            process.start()
+        expected = sum(len(shard) for shard in self.shards)
+        received = 0
+        try:
+            while received < expected:
+                try:
+                    message = queue.get(timeout=1.0)
+                except Empty:
+                    if not any(process.is_alive() for process in processes):
+                        # The last worker may have flushed its final
+                        # results between our timeout and the liveness
+                        # check: drain before concluding anything is lost.
+                        try:
+                            message = queue.get_nowait()
+                        except Empty:
+                            raise RuntimeError(
+                                "a sweep worker died without reporting a "
+                                f"result ({received}/{expected} results "
+                                "received)"
+                            ) from None
+                    else:
+                        continue
+                status, index, spec_hash, kind, payload = message
+                if status == "error":
+                    raise RuntimeError(
+                        f"sweep task {index} failed in a worker:\n{payload}"
+                    )
+                on_result(index, spec_hash, kind, payload)
+                received += 1
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()

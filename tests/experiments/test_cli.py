@@ -89,3 +89,71 @@ class TestMain:
 
     def test_ablation_command(self, capsys):
         assert main(["ablation", "--study", "ownership", "--smoke", "--quiet"]) == 0
+
+
+class TestSweepCommand:
+    def test_parser_accepts_sweep(self):
+        args = build_parser().parse_args(
+            ["sweep", "--n", "16", "--alphas", "0.5", "--ks", "2", "--workers", "2"]
+        )
+        assert args.command == "sweep"
+        assert args.n == 16
+        assert args.workers == 2
+        assert args.journal is None and not args.resume
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--smoke", "--resume", "--quiet"])
+
+    def test_gnp_requires_p(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--families", "gnp", "--quiet"])
+
+    def test_smoke_honors_explicit_grid_flags(self, tmp_path):
+        # --smoke shrinks defaults only; an explicit flag stays in force.
+        out = tmp_path / "rows.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--smoke",
+                    "--n",
+                    "10",
+                    "--alphas",
+                    "0.5",
+                    "--ks",
+                    "2",
+                    "--quiet",
+                    "--json",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2  # 1 alpha x 1 k x 2 smoke seeds
+        assert all(row["n"] == 10 for row in rows)
+
+    def test_sweep_smoke_journal_and_resume(self, tmp_path, capsys):
+        journal = tmp_path / "store"
+        base = ["sweep", "--smoke", "--quiet", "--workers", "1"]
+        out_full = tmp_path / "full.json"
+        assert main(base + ["--json", str(out_full)]) == 0
+        out_first = tmp_path / "first.json"
+        assert main(base + ["--journal", str(journal), "--json", str(out_first)]) == 0
+        # The journal store holds the final rows next to the journal.
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore(journal)
+        assert store.describe("sweep")["num_rows"] == len(json.loads(out_full.read_text()))
+        assert (journal / "sweep" / "journal.jsonl").exists()
+        # Drop half the journal (a simulated kill) and resume.
+        log = journal / "sweep" / "journal.jsonl"
+        lines = log.read_text().splitlines(True)
+        log.write_text("".join(lines[: len(lines) // 2]))
+        out_resumed = tmp_path / "resumed.json"
+        assert (
+            main(base + ["--journal", str(journal), "--resume", "--json", str(out_resumed)])
+            == 0
+        )
+        assert json.loads(out_resumed.read_text()) == json.loads(out_full.read_text())

@@ -282,6 +282,78 @@ class TestDisconnectionSemantics:
         assert split_cell["disconnected_shocks"] == 0
 
 
+class TestReconnection:
+    def test_with_reconnect_extends_the_grid(self):
+        cfg = _tiny_config()
+        reconnect = cfg.with_reconnect()
+        assert reconnect.cost_model == "tolerant"
+        assert set(reconnect.operators) >= DISCONNECTING_PERTURBATIONS
+        assert reconnect.ks == cfg.ks + (1000,)
+        # Idempotent: the full-knowledge column is appended once.
+        assert reconnect.with_reconnect().ks == reconnect.ks
+        # An already-tolerant grid keeps its beta.
+        tolerant = cfg.with_cost_model("tolerant", penalty_beta=30.0)
+        assert tolerant.with_reconnect().penalty_beta == 30.0
+        # A config constructed tolerant directly (never via with_cost_model)
+        # still gains the disconnecting operators.
+        import dataclasses
+
+        direct = dataclasses.replace(cfg, cost_model="tolerant")
+        assert set(direct.with_reconnect().operators) >= DISCONNECTING_PERTURBATIONS
+
+    def test_split_then_reconnect_rows(self):
+        cfg = RobustnessStudyConfig(
+            families=("tree",),
+            operators=("component_split",),
+            n=10,
+            alphas=(0.5,),
+            ks=(2,),
+            shocks_per_instance=1,
+            intensity=1,
+            settings=SweepSettings(
+                num_seeds=2, solver="branch_and_bound", max_rounds=60
+            ),
+        ).with_reconnect()
+        rows = generate_robustness_study(cfg)
+        split = [
+            r
+            for r in rows
+            if r["operator"] == "component_split"
+            and r.get("shock_disconnected")
+            and not r.get("shock_empty")
+        ]
+        assert split, "component_split produced no split"
+        for row in split:
+            # Every priced split row carries the reconnection record.
+            assert "reconnected" in row and "component_trajectory" in row
+            trajectory = [int(c) for c in row["component_trajectory"].split(">")]
+            assert trajectory[0] == row["shock_components"] >= 2
+            assert row["reconnected"] == (row["post_components"] == 1)
+            if row["reconnected"]:
+                assert row["rounds_to_reconnect"] >= 1
+                assert trajectory[row["rounds_to_reconnect"]] == 1
+            else:
+                # rounds_to_reconnect is None iff the recovery ended split
+                # (a transient reconnect-then-resplit does not count).
+                assert row["rounds_to_reconnect"] is None
+                assert trajectory[-1] > 1
+        # Full knowledge sees across the cut and sews the network back;
+        # a k-local player never can, so those splits stay permanent.
+        full = [r for r in split if r["k"] >= 1000]
+        local = [r for r in split if r["k"] < 1000]
+        assert full and any(r["reconnected"] for r in full)
+        assert local and all(not r["reconnected"] for r in local)
+        # Reconnected recoveries are certified equilibria at finite cost.
+        for row in full:
+            if row["converged"]:
+                assert row["certified"]
+                assert row["recovered_social_cost"] < float("inf")
+        aggregated = aggregate_robustness_rows(rows)
+        assert sum(r["reconnected_shocks"] for r in aggregated) == sum(
+            bool(r.get("reconnected")) for r in rows
+        )
+
+
 class TestAggregation:
     def test_one_row_per_cell_with_summaries(self):
         rows = generate_robustness_study(_tiny_config())

@@ -118,3 +118,103 @@ class TestExperimentStore:
         with pytest.raises(KeyError):
             store.load_checkpoint("x", "nope")
         assert store.list_checkpoints("x") == []
+
+    def test_checkpoint_document_round_trip(self, tmp_path):
+        from repro.core.serialization import dynamics_result_to_dict
+
+        store = ExperimentStore(tmp_path / "store")
+        owned = random_owned_tree(10, seed=2)
+        game = MaxNCG(alpha=2.0, k=2)
+        result = best_response_dynamics(owned, game, solver="branch_and_bound")
+        document = dynamics_result_to_dict(result)
+        store.save_rows("svc", SAMPLE_ROWS)
+        store.save_checkpoint_document("svc", "doc", document)
+        profile, loaded_game, loaded = store.load_checkpoint("svc", "doc")
+        assert loaded_game == game
+        assert profile == result.final_profile
+        assert loaded == document
+        with pytest.raises(ValueError):
+            store.save_checkpoint_document("svc", "bad", {"format": "nope"})
+
+
+class TestSweepJournal:
+    """The service journal layered inside a store's experiment directory."""
+
+    def _journal(self, tmp_path):
+        from repro.service.journal import SweepJournal
+
+        store = ExperimentStore(tmp_path / "store")
+        return store, SweepJournal(store.experiment_dir("sweep"))
+
+    def test_round_trip(self, tmp_path):
+        _, journal = self._journal(tmp_path)
+        assert journal.open("hash-a", 3) == {}
+        journal.append("s1", 0, "sum", {"quality": 1.5, "bad": "inf"})
+        journal.append("s2", 1, "sum", {"quality": 2.0})
+        journal.close()
+        resumed = journal.open("hash-a", 3, resume=True)
+        journal.close()
+        assert resumed == {
+            "s1": {"quality": 1.5, "bad": "inf"},
+            "s2": {"quality": 2.0},
+        }
+
+    def test_dedupe_last_record_wins(self, tmp_path):
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 2)
+        journal.append("s1", 0, "sum", {"v": 1})
+        journal.append("s1", 0, "sum", {"v": 2})
+        journal.close()
+        assert journal.open("hash-a", 2, resume=True) == {"s1": {"v": 2}}
+        journal.close()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 2)
+        journal.append("s1", 0, "sum", {"v": 1})
+        journal.close()
+        with journal.log_path.open("a") as handle:
+            handle.write('{"spec_hash": "s2", "index": 1, "kind": "su')
+        assert journal.open("hash-a", 2, resume=True) == {"s1": {"v": 1}}
+        journal.close()
+
+    def test_append_after_torn_tail_stays_parseable(self, tmp_path):
+        # A record appended by a resumed run must not merge into the torn
+        # line a SIGKILL left behind, or it would be lost on the *next*
+        # resume despite having been acknowledged and fsynced.
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 3)
+        journal.append("s1", 0, "sum", {"v": 1})
+        journal.close()
+        with journal.log_path.open("a") as handle:
+            handle.write('{"spec_hash": "torn"')  # no newline: mid-write kill
+        assert journal.open("hash-a", 3, resume=True) == {"s1": {"v": 1}}
+        journal.append("s2", 1, "sum", {"v": 2})
+        journal.close()
+        assert journal.open("hash-a", 3, resume=True) == {
+            "s1": {"v": 1},
+            "s2": {"v": 2},
+        }
+        journal.close()
+
+    def test_resume_requires_matching_sweep(self, tmp_path):
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 2)
+        journal.close()
+        with pytest.raises(ValueError, match="different sweep"):
+            journal.open("hash-b", 2, resume=True)
+
+    def test_resume_without_journal_fails(self, tmp_path):
+        _, journal = self._journal(tmp_path)
+        with pytest.raises(ValueError, match="cannot resume"):
+            journal.open("hash-a", 2, resume=True)
+
+    def test_fresh_open_replaces_old_journal(self, tmp_path):
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 1)
+        journal.append("s1", 0, "sum", {"v": 1})
+        journal.close()
+        assert journal.open("hash-b", 1) == {}
+        journal.close()
+        assert journal.open("hash-b", 1, resume=True) == {}
+        journal.close()

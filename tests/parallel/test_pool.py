@@ -71,5 +71,25 @@ class TestDeriveChunksize:
         assert derive_chunksize(3, 8) == 1
         assert derive_chunksize(0, 2) == 1
 
-    def test_degenerate_worker_count(self):
-        assert derive_chunksize(10, 0) == 2
+    def test_all_cores_request_matches_resolved_pool(self):
+        # None/0 mean "all cores", exactly as resolve_workers says.  The
+        # old clamp treated them as ONE worker, deriving a chunk size four
+        # times too large for the pool that actually runs — on a multi-core
+        # box a handful of tasks collapsed onto a fraction of the workers.
+        cores = resolve_workers(None)
+        assert derive_chunksize(40, None) == derive_chunksize(40, cores)
+        assert derive_chunksize(40, 0) == derive_chunksize(40, cores)
+
+    def test_no_worker_starvation(self):
+        # Invariant: with work to hand out, there are at least
+        # min(num_items, workers) chunks — no worker idles while another
+        # holds a multi-item chunk of a tiny list.
+        for num_items in range(1, 120):
+            for workers in (1, 2, 3, 5, 8, 16, 64):
+                chunk = derive_chunksize(num_items, workers)
+                num_chunks = -(-num_items // chunk)
+                assert num_chunks >= min(num_items, workers), (
+                    num_items,
+                    workers,
+                    chunk,
+                )

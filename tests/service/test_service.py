@@ -1,0 +1,290 @@
+"""Tests for the sweep orchestration service.
+
+The load-bearing property: orchestrated sweeps — any worker count, any
+shard assignment, warm engine reuse, shared-memory instances, journal
+round-trips — produce exactly the serial path's results, reassembled in
+canonical task order.  Timing fields (``warm_s``/``cold_s``/
+``warm_speedup``) are the sole documented exception; they differ between
+two *serial* runs just the same.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import SweepSettings
+from repro.experiments.extensions.robustness import (
+    RobustnessStudyConfig,
+    generate_robustness_study,
+)
+from repro.experiments.runner import RunSpec, run_single, run_sweep
+from repro.service.api import ServiceConfig, orchestrate, robustness_sweep, run_spec_sweep
+from repro.service.tasks import (
+    compile_robustness_tasks,
+    compile_run_specs,
+    decode_result,
+    encode_result,
+    instance_builder,
+    shard_tasks,
+    strip_timing_fields,
+    sweep_hash,
+)
+from repro.service.workers import (
+    SharedInstanceStore,
+    WorkerRuntime,
+    attach_shared_profile,
+)
+
+
+def _specs(num_seeds: int = 2) -> list[RunSpec]:
+    return [
+        RunSpec(family="tree", n=10, alpha=alpha, k=k, seed=seed, solver="greedy")
+        for alpha in (0.5, 2.0)
+        for k in (2, 3)
+        for seed in range(num_seeds)
+    ]
+
+
+def _robustness_config(workers: int = 1) -> RobustnessStudyConfig:
+    return RobustnessStudyConfig(
+        families=("tree", "gnp"),
+        operators=("add_shortcuts", "reset_player"),
+        n=10,
+        alphas=(0.5,),
+        ks=(2,),
+        shocks_per_instance=2,
+        intensity=1,
+        settings=SweepSettings(
+            num_seeds=1, solver="branch_and_bound", max_rounds=60, workers=workers
+        ),
+    )
+
+
+class TestCompilationAndSharding:
+    def test_run_spec_tasks_share_instance_keys_across_cells(self):
+        tasks = compile_run_specs(_specs(num_seeds=2))
+        by_seed = {}
+        for task in tasks:
+            by_seed.setdefault(task.payload[0].seed, set()).add(task.instance_key)
+        # Same (family, n, seed) across the four (alpha, k) cells -> one key.
+        assert all(len(keys) == 1 for keys in by_seed.values())
+        assert len({task.spec_hash for task in tasks}) == len(tasks)
+
+    def test_robustness_tasks_share_sessions_per_cell(self):
+        tasks = compile_robustness_tasks(_robustness_config())
+        cells = {}
+        for task in tasks:
+            cells.setdefault(task.session_key, []).append(task)
+        assert all(len(ops) == 2 for ops in cells.values())
+        # Exactly one emit_base task per cell, the first operator.
+        for ops in cells.values():
+            assert [task.payload[11] for task in ops] == [True, False]
+
+    def test_shards_preserve_instance_affinity(self):
+        tasks = compile_run_specs(_specs(num_seeds=3))
+        for seed in (None, 0, 1, 17):
+            shards = shard_tasks(tasks, 3, order_seed=seed)
+            flattened = [task for shard in shards for task in shard]
+            assert sorted(t.index for t in flattened) == [t.index for t in tasks]
+            owner = {}
+            for shard_id, shard in enumerate(shards):
+                for task in shard:
+                    assert owner.setdefault(task.instance_key, shard_id) == shard_id
+
+    def test_single_shard_is_the_task_list(self):
+        tasks = compile_run_specs(_specs())
+        assert shard_tasks(tasks, 1) == [tasks]
+        assert shard_tasks([], 4) == []
+
+    def test_sweep_hash_tracks_content(self):
+        tasks = compile_run_specs(_specs())
+        assert sweep_hash(tasks) == sweep_hash(compile_run_specs(_specs()))
+        other = compile_run_specs(_specs()[:-1])
+        assert sweep_hash(tasks) != sweep_hash(other)
+
+
+class TestCodecs:
+    def test_run_result_round_trip_is_exact(self):
+        tasks = compile_run_specs(_specs()[:3])
+        for task in tasks:
+            result = run_single(task.payload[0])
+            assert decode_result("run_spec", encode_result(task, result)) == result
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        task = compile_run_specs(_specs()[:1])[0]
+        result = run_single(task.payload[0])
+        payload = json.loads(json.dumps(encode_result(task, result)))
+        assert decode_result("run_spec", payload) == result
+
+    def test_row_codec_is_type_preserving(self):
+        import json
+        import math
+
+        from repro.service.tasks import _jsonify_row, _parse_row
+
+        # A string field literally holding "inf" must stay a string, and a
+        # non-finite float must come back as that float — the two may not
+        # be conflated by the escape.
+        row = {
+            "label": "inf",
+            "note": "nan",
+            "cost": math.inf,
+            "drift": -math.inf,
+            "gap": math.nan,
+            "count": 3,
+        }
+        decoded = _parse_row(json.loads(json.dumps(_jsonify_row(row))))
+        assert decoded["label"] == "inf" and isinstance(decoded["label"], str)
+        assert decoded["note"] == "nan" and isinstance(decoded["note"], str)
+        assert decoded["cost"] == math.inf
+        assert decoded["drift"] == -math.inf
+        assert math.isnan(decoded["gap"])
+        assert decoded["count"] == 3
+
+
+class TestOrchestratedEquivalence:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workers=st.integers(min_value=2, max_value=5), shard_seed=st.integers(0, 1000))
+    def test_run_spec_rows_invariant_under_sharding(self, workers, shard_seed):
+        specs = _specs()
+        serial = run_sweep(specs, SweepSettings(num_seeds=2, solver="greedy", workers=1))
+        orchestrated = run_spec_sweep(
+            specs,
+            ServiceConfig(workers=workers, in_process=True, shard_seed=shard_seed),
+        )
+        assert orchestrated == serial
+
+    @pytest.mark.parametrize("shard_seed", [0, 7])
+    def test_robustness_rows_invariant_under_sharding(self, shard_seed):
+        serial = generate_robustness_study(_robustness_config())
+        rows, checkpoint = robustness_sweep(
+            _robustness_config(),
+            ServiceConfig(workers=3, in_process=True, shard_seed=shard_seed),
+        )
+        assert strip_timing_fields(rows) == strip_timing_fields(serial)
+        assert checkpoint is not None and checkpoint["certified"]
+
+    def test_real_process_pool_matches_serial(self):
+        specs = _specs()
+        serial = run_sweep(specs, SweepSettings(num_seeds=2, solver="greedy", workers=1))
+        orchestrated = run_spec_sweep(specs, ServiceConfig(workers=2))
+        assert orchestrated == serial
+
+    def test_worker_errors_propagate(self):
+        bad = [RunSpec(family="gnp", n=10, alpha=1.0, k=2, seed=0, p=None)]
+        with pytest.raises((RuntimeError, ValueError)):
+            run_spec_sweep(bad * 2, ServiceConfig(workers=2))
+
+
+class TestWarmSessions:
+    def test_base_engine_converges_once_per_cell(self):
+        cfg = dataclasses.replace(_robustness_config(), families=("gnp",))
+        tasks = compile_robustness_tasks(cfg)
+        runtime = WorkerRuntime()
+        results = [
+            decode_result(t.kind, encode_result(t, runtime.execute(t))) for t in tasks
+        ]
+        assert runtime.sessions_built == 1
+        assert runtime.sessions_reused == len(tasks) - 1
+        serial = generate_robustness_study(cfg)
+        rows = [row for task_rows, _ in results for row in task_rows]
+        assert strip_timing_fields(rows) == strip_timing_fields(serial)
+
+
+class TestSharedMemoryInstances:
+    def test_export_attach_round_trip(self):
+        from repro.core.strategies import StrategyProfile
+
+        task = compile_run_specs(_specs()[:1])[0]
+        instance = instance_builder(task)()
+        profile = StrategyProfile.from_owned_graph(instance)
+        store = SharedInstanceStore()
+        try:
+            assert store.export(task.instance_key, instance)
+            restored = attach_shared_profile(store.refs[task.instance_key])
+            assert restored == profile
+            assert restored.players() == profile.players()  # order matters
+        finally:
+            store.release()
+
+    def test_runtime_uses_shared_instance(self):
+        task = compile_run_specs(_specs()[:1])[0]
+        store = SharedInstanceStore()
+        try:
+            store.export(task.instance_key, instance_builder(task)())
+            shared_runtime = WorkerRuntime(shared_refs=store.refs)
+            shared_result = shared_runtime.execute(task)
+            assert shared_runtime.shared_attached == 1
+            assert shared_runtime.instances_built == 0
+        finally:
+            store.release()
+        assert shared_result == run_single(task.payload[0])
+
+    def test_orchestrate_with_forced_sharing_matches_serial(self):
+        specs = _specs()
+        serial = run_sweep(specs, SweepSettings(num_seeds=2, solver="greedy", workers=1))
+        orchestrated = run_spec_sweep(
+            specs, ServiceConfig(workers=2, min_shared_nodes=1)
+        )
+        assert orchestrated == serial
+
+    def test_non_integer_nodes_fall_back(self):
+        from repro.graphs.generators.base import OwnedGraph, assign_ownership_to_smaller
+        from repro.graphs.graph import Graph
+
+        graph = Graph(edges=[(("a", 0), ("a", 1)), (("a", 1), ("a", 2))])
+        owned = OwnedGraph(graph=graph, ownership=assign_ownership_to_smaller(graph))
+        store = SharedInstanceStore()
+        try:
+            assert not store.export("tuple-nodes", owned)
+            assert "tuple-nodes" not in store.refs
+        finally:
+            store.release()
+
+
+class TestOrchestrateJournal:
+    def test_resume_skips_completed_tasks(self, tmp_path):
+        specs = _specs()
+        tasks = compile_run_specs(specs)
+        config = ServiceConfig(workers=1, journal_dir=tmp_path, experiment="exp")
+        full = orchestrate(tasks, config)
+        before = (tmp_path / "exp" / "journal.jsonl").read_text()
+        resumed = orchestrate(tasks, dataclasses.replace(config, resume=True))
+        assert resumed == full
+        # Nothing re-ran: the journal gained no records on the resume.
+        assert (tmp_path / "exp" / "journal.jsonl").read_text() == before
+
+    def test_invalid_experiment_name_rejected_before_running(self, tmp_path):
+        tasks = compile_run_specs(_specs())
+        with pytest.raises(ValueError, match="invalid experiment name"):
+            orchestrate(
+                tasks,
+                ServiceConfig(journal_dir=tmp_path, experiment="bad/name"),
+            )
+        assert list(tmp_path.iterdir()) == []  # nothing was created or run
+
+    def test_resume_rejects_a_different_sweep(self, tmp_path):
+        config = ServiceConfig(workers=1, journal_dir=tmp_path, experiment="exp")
+        orchestrate(compile_run_specs(_specs()), config)
+        other = compile_run_specs(_specs()[:-1])
+        with pytest.raises(ValueError, match="different sweep"):
+            orchestrate(other, dataclasses.replace(config, resume=True))
+
+    def test_partial_journal_completes_to_identical_rows(self, tmp_path):
+        specs = _specs()
+        tasks = compile_run_specs(specs)
+        config = ServiceConfig(workers=1, journal_dir=tmp_path, experiment="exp")
+        full = orchestrate(tasks, config)
+        log = tmp_path / "exp" / "journal.jsonl"
+        lines = log.read_text().splitlines(True)
+        log.write_text("".join(lines[: len(lines) // 2]) + '{"torn-record')
+        resumed = orchestrate(tasks, dataclasses.replace(config, resume=True))
+        assert resumed == full

@@ -25,6 +25,7 @@ EXAMPLE_RUNS: dict[str, tuple[list[str], str]] = {
     "bayesian_beliefs.py": (["10", "2.0", "2"], "stable"),
     "discovery_view_models.py": (["12", "2.0", "2"], "traceroute"),
     "equilibrium_anatomy.py": (["16", "2.0"], "quality"),
+    "sweep_service.py": (["12", "2"], "resumed"),
 }
 
 
