@@ -23,15 +23,19 @@ from repro.core.games import MaxNCG
 from repro.core.metrics import compute_profile_metrics
 from repro.core.strategies import StrategyProfile
 from repro.graphs.generators.smallworld import owned_barabasi_albert
+from repro.kernels import resolve_backend
 
 
-def run_smoke(n: int, block_size: int, alpha: float, k: int) -> dict:
+def run_smoke(
+    n: int, block_size: int, alpha: float, k: int, backend: str | None = None
+) -> dict:
     profile = StrategyProfile.from_owned_graph(owned_barabasi_albert(n, 2, seed=0))
     game = MaxNCG(alpha, k=k)
+    kernel = resolve_backend(backend)
     profile.graph()  # warm the profile's graph cache outside the traced window
     tracemalloc.start()
     start = time.perf_counter()
-    metrics = compute_profile_metrics(profile, game, block_size=block_size)
+    metrics = compute_profile_metrics(profile, game, block_size=block_size, backend=kernel)
     elapsed = time.perf_counter() - start
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -39,6 +43,7 @@ def run_smoke(n: int, block_size: int, alpha: float, k: int) -> dict:
     return {
         "n": n,
         "block_size": block_size,
+        "backend": kernel.name,
         "seconds": round(elapsed, 2),
         "peak_mb": round(peak / 2**20, 1),
         "dense_matrix_mb": round(dense_bytes / 2**20, 1),
@@ -55,8 +60,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--block-size", type=int, default=128)
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument("--k", type=int, default=2)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend for the BFS sweep (see repro.kernels); "
+        "default follows the REPRO_KERNEL_BACKEND/auto-detect chain",
+    )
     args = parser.parse_args(argv)
-    report = run_smoke(args.n, args.block_size, args.alpha, args.k)
+    report = run_smoke(args.n, args.block_size, args.alpha, args.k, backend=args.backend)
     print(json.dumps(report))
     if not report["ok"]:
         print(

@@ -57,6 +57,7 @@ from repro.core.strategies import StrategyProfile
 from repro.core.views import View, extract_view
 from repro.graphs.graph import Node
 from repro.graphs.traversal import UNREACHABLE, distance_matrix
+from repro.kernels import KernelBackend
 from repro.solvers.set_cover import (
     WARM_START_SOLVERS,
     SetCoverInstance,
@@ -173,14 +174,18 @@ class MaxCoverContext:
     forced: tuple[int, ...]
 
 
-def max_cover_context(view: View) -> MaxCoverContext:
+def max_cover_context(
+    view: View, backend: str | KernelBackend | None = None
+) -> MaxCoverContext:
     """Build the set-cover context of ``view`` (pure function of content).
 
     Distances inside the view with the player removed: these are the
     distances available to reach each vertex after the first hop.
+    ``backend`` selects the BFS kernel backend (bit-identical across
+    backends, so the context content never depends on it).
     """
     reduced = view.subgraph.without_node(view.player)
-    dist, order = distance_matrix(reduced)
+    dist, order = distance_matrix(reduced, backend=backend)
     index = {node: i for i, node in enumerate(order)}
     forced = tuple(sorted(index[buyer] for buyer in view.buyers if buyer in index))
     return MaxCoverContext(order=order, dist=dist, forced=forced)
@@ -196,6 +201,7 @@ def _tolerant_partial_max(
     best_cost: float,
     best_strategy: frozenset[Node],
     exact: bool,
+    backend: str | KernelBackend | None = None,
 ) -> tuple[float, frozenset[Node], bool]:
     """Partial-cover regime of the tolerant-model MaxNCG best response.
 
@@ -261,9 +267,10 @@ def _tolerant_partial_max(
                 method=solver,
                 upper_bound=size_cap,
                 warm_start=previous_selected,
+                backend=backend,
             )
         else:
-            result = solve_set_cover(instance, method=solver)
+            result = solve_set_cover(instance, method=solver, backend=backend)
         if not result.feasible:
             continue
         previous_selected = result.selected
@@ -285,6 +292,7 @@ def best_response_max(
     current_strategy: frozenset[Node] | None = None,
     cover_context: MaxCoverContext | None = None,
     warm_start: bool | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> BestResponse:
     """Exact (or greedy, per ``solver``) best response in MaxNCG.
 
@@ -310,6 +318,10 @@ def best_response_max(
     that cannot consume it warns loudly and takes the cold path
     (``greedy`` stays quiet — it has no exact search to prune, so warm
     starts are meaningless there).
+
+    ``backend`` selects the kernel backend for the view BFS and the
+    branch-and-bound cover search (see :mod:`repro.kernels`); all backends
+    are bit-identical, so it never changes the returned strategy.
     """
     if game.usage is not UsageKind.MAX:
         raise ValueError("best_response_max requires a MaxNCG game spec")
@@ -339,7 +351,7 @@ def best_response_max(
         return BestResponse(player, empty, game.alpha * 0, current_cost, exact, view.size)
 
     if cover_context is None:
-        cover_context = max_cover_context(view)
+        cover_context = max_cover_context(view, backend=backend)
     dist = cover_context.dist
     order = cover_context.order
     forced = cover_context.forced
@@ -379,9 +391,10 @@ def best_response_max(
                 method=solver,
                 upper_bound=size_cap,
                 warm_start=previous_selected,
+                backend=backend,
             )
         else:
-            result = solve_set_cover(instance, method=solver)
+            result = solve_set_cover(instance, method=solver, backend=backend)
         if not result.feasible:
             continue
         previous_selected = result.selected
@@ -400,7 +413,7 @@ def best_response_max(
         # call is skipped entirely.
         best_cost, best_strategy, exact = _tolerant_partial_max(
             game, dist, order, forced, solver, warm_start,
-            best_cost, best_strategy, exact,
+            best_cost, best_strategy, exact, backend=backend,
         )
     return BestResponse(
         player=player,
@@ -654,6 +667,7 @@ def best_response(
     current_strategy: frozenset[Node] | None = None,
     cover_context: MaxCoverContext | None = None,
     sum_restarts: int = 1,
+    backend: str | KernelBackend | None = None,
 ) -> BestResponse:
     """Dispatch to the appropriate best-response routine for the game kind.
 
@@ -676,12 +690,15 @@ def best_response(
     :func:`best_response_sum_local_search` on the heuristic (above-limit)
     SumNCG path only: extra deterministic multi-seed climbs that can only
     improve the reply; the exact path ignores it (enumeration already
-    proves optimality).
+    proves optimality).  ``backend`` selects the kernel backend on the
+    MaxNCG path (bit-identical across backends; the SumNCG routines run on
+    dict-based traversals and ignore it).
     """
     if game.usage is UsageKind.MAX:
         return best_response_max(
             profile, player, game, solver=solver, view=view,
             current_strategy=current_strategy, cover_context=cover_context,
+            backend=backend,
         )
     view, current_strategy = _resolve_view_and_strategy(
         profile, player, game, view, current_strategy

@@ -117,6 +117,7 @@ def best_response_dynamics(
     workers: int | None = 1,
     sum_exhaustive_limit: int | None = None,
     sum_restarts: int = 1,
+    kernel_backend: str | None = None,
 ) -> DynamicsResult:
     """Run the best-response dynamics until convergence.
 
@@ -159,6 +160,11 @@ def best_response_dynamics(
         Multi-seed climbs of the heuristic SumNCG local search above the
         exhaustive limit (``1`` = single incumbent climb; ignored by MaxNCG
         games and by the exact dispatch).
+    kernel_backend:
+        Kernel backend running the BFS / cover-search hot loops (see
+        :mod:`repro.kernels`); ``None`` follows the
+        ``REPRO_KERNEL_BACKEND``/auto-detect chain.  Backends are
+        bit-identical, so trajectories never depend on this.
     """
     from repro.core.best_response import SUM_EXHAUSTIVE_LIMIT
     from repro.engine.core import DynamicsEngine
@@ -182,6 +188,7 @@ def best_response_dynamics(
             SUM_EXHAUSTIVE_LIMIT if sum_exhaustive_limit is None else sum_exhaustive_limit
         ),
         sum_restarts=sum_restarts,
+        kernel_backend=kernel_backend,
     )
     return engine.run()
 

@@ -21,6 +21,7 @@ from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
 from repro.core.social import social_optimum
 from repro.core.strategies import StrategyProfile
 from repro.graphs.traversal import UNREACHABLE, accumulate_bfs_distances
+from repro.kernels import KernelBackend
 
 __all__ = ["ProfileMetrics", "DistanceStatsAccumulator", "compute_profile_metrics"]
 
@@ -126,11 +127,14 @@ def compute_profile_metrics(
     game: GameSpec,
     include_views: bool = True,
     block_size: int | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> ProfileMetrics:
     """Compute the full metric snapshot of ``profile`` under ``game``.
 
     ``include_views=False`` skips the view-size statistics, which is useful
-    when recording every round of a long dynamics run.
+    when recording every round of a long dynamics run.  ``backend`` selects
+    the BFS kernel backend (see :mod:`repro.kernels`); metrics are
+    bit-identical across backends.
 
     Every distance-derived quantity (player usages, diameter, view sizes)
     is folded out of a blocked batched-BFS sweep
@@ -164,6 +168,7 @@ def compute_profile_metrics(
             np.arange(n, dtype=np.int64),
             stats,
             block_size=block_size,
+            backend=backend,
         )
     else:
         order = []

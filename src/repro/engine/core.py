@@ -45,6 +45,7 @@ from repro.engine.state import NetworkState
 from repro.engine.views import IncrementalViewCache
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.graph import Node
+from repro.kernels import KernelBackend, resolve_backend
 from repro.solvers.set_cover import WARM_START_SOLVERS
 
 __all__ = ["coerce_profile", "DynamicsEngine", "COVER_CONTEXT_CACHE_MAX_NODES"]
@@ -92,10 +93,17 @@ class DynamicsEngine:
         workers: int | None = 1,
         sum_exhaustive_limit: int = SUM_EXHAUSTIVE_LIMIT,
         sum_restarts: int = 1,
+        kernel_backend: str | KernelBackend | None = None,
     ) -> None:
         profile = coerce_profile(initial)
         self.game = game
         self.solver = solver
+        #: Kernel backend running the BFS / cover-search hot loops (see
+        #: :mod:`repro.kernels`).  Resolved once here, so the whole run —
+        #: views, cover contexts, solver calls, metric sweeps — uses one
+        #: backend even if the process-wide default changes mid-run.
+        #: Backends are bit-identical, so trajectories never depend on it.
+        self.kernel_backend = resolve_backend(kernel_backend)
         #: SumNCG exact/heuristic dispatch threshold (strategy-space size up
         #: to which best responses are solved exactly; see
         #: :data:`repro.core.best_response.SUM_EXHAUSTIVE_LIMIT`).  Ignored
@@ -126,7 +134,9 @@ class DynamicsEngine:
         self.collect_metrics = collect_metrics
         self.rng = random.Random(seed)
         self.state = NetworkState.from_profile(profile)
-        self.views = IncrementalViewCache(self.state, game.k)
+        self.views = IncrementalViewCache(
+            self.state, game.k, kernel_backend=self.kernel_backend
+        )
         base_order = (
             list(player_order) if player_order is not None else profile.players()
         )
@@ -204,7 +214,7 @@ class DynamicsEngine:
             # pre-cache behaviour) instead of pinning them.
             self._cover_contexts.pop(player, None)
             return None
-        context = max_cover_context(view)
+        context = max_cover_context(view, backend=self.kernel_backend)
         self._cover_contexts[player] = (token, context)
         self.cover_contexts_built += 1
         return context
@@ -240,6 +250,7 @@ class DynamicsEngine:
             current_strategy=strategy,
             cover_context=self._cover_context(player, token),
             sum_restarts=self.sum_restarts,
+            backend=self.kernel_backend,
         )
         self._responses[player] = (token, strategy, response)
         self.responses_computed += 1
@@ -368,7 +379,7 @@ class DynamicsEngine:
         game = self.game
         initial_profile = self.state.to_profile()
         initial_metrics = (
-            compute_profile_metrics(initial_profile, game)
+            compute_profile_metrics(initial_profile, game, backend=self.kernel_backend)
             if self.collect_metrics
             else None
         )
@@ -394,7 +405,9 @@ class DynamicsEngine:
                     RoundRecord(
                         round_index=round_index,
                         num_changes=changes,
-                        metrics=compute_profile_metrics(self.state.to_profile(), game),
+                        metrics=compute_profile_metrics(
+                            self.state.to_profile(), game, backend=self.kernel_backend
+                        ),
                     )
                 )
             if changes == 0:
@@ -439,7 +452,7 @@ class DynamicsEngine:
             round_records=round_records,
             initial_metrics=initial_metrics,
             final_metrics=(
-                compute_profile_metrics(final_profile, game)
+                compute_profile_metrics(final_profile, game, backend=self.kernel_backend)
                 if self.collect_metrics
                 else None
             ),

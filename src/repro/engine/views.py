@@ -42,6 +42,7 @@ from repro.graphs.traversal import (
     bfs_distances_within,
     iter_blocked_bfs_distances,
 )
+from repro.kernels import KernelBackend
 
 __all__ = ["IncrementalViewCache"]
 
@@ -59,11 +60,19 @@ def _views_equal(a: View, b: View) -> bool:
 class IncrementalViewCache:
     """Per-player views over a :class:`NetworkState`, invalidated by deltas."""
 
-    __slots__ = ("_state", "_k", "_views", "_tokens", "_dirty")
+    __slots__ = ("_state", "_k", "_views", "_tokens", "_dirty", "_kernel_backend")
 
-    def __init__(self, state: NetworkState, k: float) -> None:
+    def __init__(
+        self,
+        state: NetworkState,
+        k: float,
+        kernel_backend: str | KernelBackend | None = None,
+    ) -> None:
         self._state = state
         self._k = k
+        # Backend for the bulk refresh's blocked BFS (bit-identical across
+        # backends; the single-player refresh path stays on dict BFS).
+        self._kernel_backend = kernel_backend
         self._views: dict[Node, View] = {}
         self._tokens: dict[Node, int] = {player: 0 for player in state.players()}
         self._dirty: set[Node] = set(state.players())
@@ -130,7 +139,7 @@ class IncrementalViewCache:
         order_array = np.empty(len(order), dtype=object)
         order_array[:] = order
         for start, _, dist in iter_blocked_bfs_distances(
-            indptr, indices, sources, radius=radius
+            indptr, indices, sources, radius=radius, backend=self._kernel_backend
         ):
             for row in range(dist.shape[0]):
                 player = dirty[start + row]

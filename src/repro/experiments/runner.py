@@ -70,6 +70,11 @@ class RunSpec:
     #: (``None`` defaults to ``2n``, above any realisable distance).
     cost_model: str = "strict"
     penalty_beta: float | None = None
+    #: Kernel backend for the run's BFS / cover-search hot loops (see
+    #: :mod:`repro.kernels`); ``None`` follows the env-var/auto-detect
+    #: chain.  Backends are bit-identical, so results never depend on it —
+    #: it is a speed knob that sweep workers inherit with the spec.
+    kernel_backend: str | None = None
 
     def game(self) -> GameSpec:
         k_value = FULL_KNOWLEDGE if self.k >= FULL_KNOWLEDGE_K else self.k
@@ -166,6 +171,7 @@ def run_spec_on_instance(
         collect_round_metrics=collect_round_metrics,
         ordering=spec.ordering,
         seed=spec.seed,
+        kernel_backend=spec.kernel_backend,
     )
     return RunResult(
         spec=spec,

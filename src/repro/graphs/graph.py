@@ -42,7 +42,7 @@ class Graph:
         automatically.
     """
 
-    __slots__ = ("_adj", "_version")
+    __slots__ = ("_adj", "_version", "_csr_cache")
 
     def __init__(
         self,
@@ -51,6 +51,8 @@ class Graph:
     ) -> None:
         self._adj: dict[Node, set[Node]] = {}
         self._version: int = 0
+        # (version, indptr, indices, nodes) of the last CSR export, or None.
+        self._csr_cache: tuple[int, np.ndarray, np.ndarray, list[Node]] | None = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -226,8 +228,18 @@ class Graph:
 
         ``indices[indptr[i]:indptr[i + 1]]`` lists the neighbours of the
         ``i``-th node in ``nodes``.  This is the layout consumed by the
-        vectorised all-pairs BFS in :mod:`repro.graphs.traversal`.
+        kernel-backed BFS in :mod:`repro.graphs.traversal`.
+
+        The export is cached keyed by :attr:`version`, so repeated calls on
+        an unchanged topology (per-round metric sweeps, per-player view
+        refreshes, kernel benchmarks) pay the extraction cost once; any
+        structural mutation bumps the version and invalidates the cache.
+        The returned arrays are therefore marked read-only and shared
+        between calls; the node list is a fresh copy each time.
         """
+        cached = self._csr_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2], list(cached[3])
         nodes, index = self.to_index()
         indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
         for i, node in enumerate(nodes):
@@ -238,7 +250,10 @@ class Graph:
             for neighbour in self._adj[node]:
                 indices[cursor] = index[neighbour]
                 cursor += 1
-        return indptr, indices, nodes
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._csr_cache = (self._version, indptr, indices, nodes)
+        return indptr, indices, list(nodes)
 
     def adjacency_matrix(self) -> tuple[np.ndarray, list[Node]]:
         """Return a dense boolean adjacency matrix together with node order."""

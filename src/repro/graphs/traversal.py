@@ -45,6 +45,8 @@ from typing import Protocol
 import numpy as np
 
 from repro.graphs.graph import Graph, Node
+from repro.kernels import KernelBackend, resolve_backend
+from repro.kernels.common import MAX_EXPANSION_INCIDENCES, UNREACHABLE
 
 __all__ = [
     "bfs_distances",
@@ -61,24 +63,17 @@ __all__ = [
     "distance_matrix",
     "UNREACHABLE",
     "DEFAULT_BLOCK_SIZE",
+    "MAX_EXPANSION_INCIDENCES",
 ]
 
-#: Sentinel distance used in dense matrices for unreachable pairs.
-UNREACHABLE: int = np.iinfo(np.int32).max
+# UNREACHABLE and MAX_EXPANSION_INCIDENCES moved to repro.kernels.common so
+# backend modules can share them without importing the graph layer; they are
+# re-exported here for backwards compatibility.
 
 #: Default number of source rows processed per blocked-BFS kernel call.
 #: Peak live memory of a blocked sweep is ``DEFAULT_BLOCK_SIZE * n`` int32
 #: entries (~40 MB at n = 10^4) regardless of the total source count.
 DEFAULT_BLOCK_SIZE: int = 1024
-
-#: Cap on the (frontier vertex, neighbour) incidences expanded per NumPy
-#: batch inside :func:`batched_bfs_distances`.  Wide BFS levels are cut into
-#: chunks of at most this many incidences, bounding the kernel's transient
-#: scratch (a handful of int64 arrays of this length, ~0.5 MB each at the
-#: default) independently of how many sources are in flight; chunking does
-#: not change results because pairs discovered by an earlier chunk are
-#: marked visited before the next chunk expands.
-MAX_EXPANSION_INCIDENCES: int = 1 << 16
 
 
 def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
@@ -186,8 +181,9 @@ def batched_bfs_distances(
     indices: np.ndarray,
     sources: Sequence[int] | np.ndarray,
     radius: int | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> np.ndarray:
-    """Multi-source frontier BFS over a CSR adjacency layout.
+    """Multi-source BFS over a CSR adjacency layout, kernel-backed.
 
     Parameters
     ----------
@@ -199,6 +195,11 @@ def batched_bfs_distances(
     radius:
         Optional truncation depth; nodes farther than ``radius`` from a
         source keep the :data:`UNREACHABLE` marker in that source's row.
+    backend:
+        Kernel backend selection — a name, an already-resolved
+        :class:`~repro.kernels.KernelBackend`, or ``None`` to follow the
+        ``REPRO_KERNEL_BACKEND``/auto-detect chain (see
+        :func:`repro.kernels.resolve_backend`).
 
     Returns
     -------
@@ -207,20 +208,14 @@ def batched_bfs_distances(
 
     Notes
     -----
-    All frontiers advance together: one level of every source's BFS is a
-    batch of NumPy gather/scatter operations (``repeat`` to expand
-    adjacency runs, a fancy-indexed visited test, ``unique`` to dedupe the
-    next frontier), so the Python-level loop runs once per BFS *level*, not
-    once per vertex.  This replaces the previous dense ``O(n^2)``
-    boolean-matmul expansion and is what both :func:`distance_matrix` and
-    the engine's bulk view extraction sit on.
-
-    Levels whose total incidence count exceeds
-    :data:`MAX_EXPANSION_INCIDENCES` are expanded chunk by chunk, so the
-    transient scratch stays bounded no matter how many sources run at once;
-    the distance marks written by one chunk deduplicate the next chunk's
-    rediscoveries, making the chunked expansion bit-identical to the
-    monolithic one.
+    This wrapper owns validation, allocation and the empty corner cases;
+    the per-level expansion is delegated to the selected kernel backend
+    (:mod:`repro.kernels`).  Every backend produces bit-identical
+    matrices — the numpy reference advances all frontiers together with
+    one batch of gather/scatter operations per BFS level (chunked at
+    :data:`MAX_EXPANSION_INCIDENCES` incidences to bound scratch); the
+    compiled backends run a queue BFS per source.  BFS distances are
+    unique, so the traversal strategy cannot show in the output.
     """
     n = len(indptr) - 1
     source_array = np.asarray(sources, dtype=np.int64)
@@ -230,77 +225,8 @@ def batched_bfs_distances(
         return dist
     if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
         raise IndexError("source index out of range")
-    # Frontier bookkeeping lives in int32 (row < num_sources, node < n, both
-    # far below 2^31): the frontier can reach num_sources * n pairs, so
-    # halving its footprint matters at scale.  Dedup keys are widened to
-    # int64 below because row * n + node can exceed int32.
-    row = np.arange(num_sources, dtype=np.int32)
-    dist[row, source_array] = 0
-    frontier_row = row
-    frontier_node = source_array.astype(np.int32)
-    level = 0
-    while frontier_node.size:
-        level += 1
-        if radius is not None and level > radius:
-            break
-        starts = indptr[frontier_node]
-        counts = indptr[frontier_node + 1] - starts
-        if int(counts.sum()) == 0:
-            break
-        cumulative = np.cumsum(counts)
-        next_rows: list[np.ndarray] = []
-        next_nodes: list[np.ndarray] = []
-        chunk_start = 0
-        while chunk_start < frontier_node.size:
-            base = int(cumulative[chunk_start - 1]) if chunk_start else 0
-            chunk_stop = int(
-                np.searchsorted(
-                    cumulative, base + MAX_EXPANSION_INCIDENCES, side="right"
-                )
-            )
-            # Always advance by at least one frontier vertex, even when a
-            # single vertex's adjacency run exceeds the expansion cap.
-            chunk_stop = max(chunk_stop, chunk_start + 1)
-            sub_counts = counts[chunk_start:chunk_stop]
-            total = int(sub_counts.sum())
-            if total == 0:
-                chunk_start = chunk_stop
-                continue
-            # Flat positions of every (frontier vertex, neighbour) incidence
-            # in this chunk: per frontier entry an arange(start, start +
-            # count), vectorised.
-            expanded_row = np.repeat(frontier_row[chunk_start:chunk_stop], sub_counts)
-            offsets = np.arange(total, dtype=np.int64) - np.repeat(
-                np.cumsum(sub_counts) - sub_counts, sub_counts
-            )
-            neighbours = indices[
-                np.repeat(starts[chunk_start:chunk_stop], sub_counts) + offsets
-            ].astype(np.int32)
-            unvisited = dist[expanded_row, neighbours] == UNREACHABLE
-            chunk_start = chunk_stop
-            if not unvisited.any():
-                continue
-            expanded_row = expanded_row[unvisited]
-            neighbours = neighbours[unvisited]
-            # The same (row, neighbour) pair can be produced by several
-            # frontier vertices; keep one representative per pair.  Across
-            # chunks the distance marks just written do the deduplication.
-            _, first = np.unique(
-                expanded_row.astype(np.int64) * n + neighbours, return_index=True
-            )
-            new_row = expanded_row[first]
-            new_node = neighbours[first]
-            dist[new_row, new_node] = level
-            next_rows.append(new_row)
-            next_nodes.append(new_node)
-        if not next_rows:
-            break
-        if len(next_rows) == 1:
-            frontier_row, frontier_node = next_rows[0], next_nodes[0]
-        else:
-            frontier_row = np.concatenate(next_rows)
-            frontier_node = np.concatenate(next_nodes)
-    return dist
+    kernel = resolve_backend(backend)
+    return kernel.bfs(indptr, indices, source_array, radius, dist)
 
 
 class DistanceBlockConsumer(Protocol):
@@ -326,6 +252,7 @@ def iter_blocked_bfs_distances(
     sources: Sequence[int] | np.ndarray,
     radius: int | None = None,
     block_size: int | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
     """Stream :func:`batched_bfs_distances` results block by block.
 
@@ -351,12 +278,15 @@ def iter_blocked_bfs_distances(
     n = len(indptr) - 1
     if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
         raise IndexError("source index out of range")
+    # Resolve once at call time so every block runs on the same backend even
+    # if the process-wide default changes mid-sweep.
+    kernel = resolve_backend(backend)
 
     def blocks() -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
         for start in range(0, source_array.size, block_size):
             block = source_array[start : start + block_size]
             yield start, block, batched_bfs_distances(
-                indptr, indices, block, radius=radius
+                indptr, indices, block, radius=radius, backend=kernel
             )
 
     return blocks()
@@ -369,6 +299,7 @@ def accumulate_bfs_distances(
     consumer: DistanceBlockConsumer,
     radius: int | None = None,
     block_size: int | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> DistanceBlockConsumer:
     """Drive a blocked BFS sweep through ``consumer`` and return it.
 
@@ -379,7 +310,7 @@ def accumulate_bfs_distances(
     large-n CI smoke run sit on this).
     """
     for start, block_sources, dist_block in iter_blocked_bfs_distances(
-        indptr, indices, sources, radius=radius, block_size=block_size
+        indptr, indices, sources, radius=radius, block_size=block_size, backend=backend
     ):
         consumer.process_block(start, block_sources, dist_block)
     return consumer
@@ -404,7 +335,9 @@ def _csr_for_order(graph: Graph, order: list[Node]) -> tuple[np.ndarray, np.ndar
 
 
 def distance_matrix(
-    graph: Graph, nodes: Iterable[Node] | None = None
+    graph: Graph,
+    nodes: Iterable[Node] | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> tuple[np.ndarray, list[Node]]:
     """Dense all-pairs distance matrix via the batched CSR BFS kernel.
 
@@ -415,6 +348,9 @@ def distance_matrix(
     nodes:
         Optional explicit node ordering; defaults to ``graph.nodes()``.
         When given, paths are restricted to the induced subgraph.
+    backend:
+        Kernel backend selection, forwarded to
+        :func:`batched_bfs_distances`.
 
     Returns
     -------
@@ -430,5 +366,7 @@ def distance_matrix(
     n = len(order)
     if n == 0:
         return np.full((0, 0), UNREACHABLE, dtype=np.int32), order
-    dist = batched_bfs_distances(indptr, indices, np.arange(n, dtype=np.int64))
+    dist = batched_bfs_distances(
+        indptr, indices, np.arange(n, dtype=np.int64), backend=backend
+    )
     return dist, order

@@ -1,0 +1,245 @@
+"""Pluggable compiled kernel backends for the two hot loops.
+
+Every layer of the code base — views, metrics, robustness, the sweep
+service — bottoms out in two primitives: the multi-source BFS level
+expansion behind :func:`repro.graphs.traversal.batched_bfs_distances`
+and the branch-and-bound recursion behind
+:func:`repro.solvers.set_cover.branch_and_bound_set_cover`.  This package
+hosts interchangeable implementations of exactly those two kernels:
+
+``numpy``
+    The reference.  Exactly the chunked-numpy code the repo was built
+    on; always available.
+``numba``
+    ``@njit``-compiled loops (optional dependency, ``pip install
+    repro[kernels]``).  Imported lazily; silently falls back to numpy
+    when numba is absent.
+``native``
+    C sources compiled on demand with the system compiler and bound via
+    :mod:`ctypes` (see :mod:`repro.kernels.native_backend`).  Opt-in by
+    name — never auto-selected — and unavailable (with fallback) when no
+    C compiler is present.
+
+**Bit-identity is the contract.**  Whatever backend runs, distance
+matrices (including ``radius`` truncation and ``UNREACHABLE`` marks),
+selected covers (including warm-start tie-break order) and therefore
+entire dynamics trajectories are identical to the numpy reference; the
+equivalence suites in ``tests/graphs/test_kernel_backends.py`` and
+``tests/solvers/test_set_cover.py`` pin this.
+
+Selection mirrors ``ENGINE_DEFAULT_SOLVER``: explicit argument >
+session override (:func:`set_default_backend` / :func:`use_backend`) >
+``REPRO_KERNEL_BACKEND`` environment variable > auto-detect (numba if
+importable, else numpy).  A *registered but unavailable* choice (numba
+not installed, no C compiler) falls back to numpy silently so optional
+speed never becomes a hard dependency; an *unknown* name raises
+:class:`ValueError` so typos fail loudly.
+
+Kernel contracts (wrappers own validation, allocation and trivial
+cases; kernels assume validated inputs):
+
+``bfs(indptr, indices, sources, radius, dist) -> dist``
+    CSR ``indptr``/``indices`` (int64), ``sources`` int64 vertex ids,
+    ``radius`` int or None, ``dist`` a ``(len(sources), n)`` int32
+    matrix pre-filled with ``UNREACHABLE``; fills it in place.
+``cover_search(coverage, order_by_size, best_size, best_selection)``
+    ``coverage`` a ``(num_candidates, num_elements)`` boolean/uint8
+    matrix, ``order_by_size`` the candidate iteration order, and the
+    incumbent to beat; returns the tightened ``(size, selection)``
+    (unchanged objects when nothing smaller exists).
+
+To add another backend (Cython, Rust over cffi, …): implement the two
+functions above with bit-identical semantics, raise
+:class:`KernelUnavailableError` from the factory when the toolchain is
+missing, and :func:`register_backend` it —
+:mod:`repro.kernels.native_backend` is the worked example.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackend",
+    "KernelUnavailableError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Probe order for auto-detection.  ``native`` is deliberately absent:
+#: compiling C at import time is opt-in, never a surprise.
+AUTO_ORDER = ("numba", "numpy")
+
+
+class KernelUnavailableError(RuntimeError):
+    """Raised when a registered backend cannot be built in this environment."""
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A bound pair of kernels plus identification metadata."""
+
+    name: str
+    bfs: Callable = field(repr=False)
+    cover_search: Callable = field(repr=False)
+    compiled: bool = False
+
+
+def _build_numpy() -> KernelBackend:
+    from repro.kernels import numpy_backend
+
+    return KernelBackend(
+        name="numpy",
+        bfs=numpy_backend.bfs,
+        cover_search=numpy_backend.cover_search,
+        compiled=False,
+    )
+
+
+def _build_numba() -> KernelBackend:
+    try:
+        module = importlib.import_module("repro.kernels.numba_backend")
+    except ImportError as exc:
+        raise KernelUnavailableError(f"numba backend unavailable: {exc}") from exc
+    return KernelBackend(
+        name="numba", bfs=module.bfs, cover_search=module.cover_search, compiled=True
+    )
+
+
+def _build_native() -> KernelBackend:
+    from repro.kernels import native_backend
+
+    native_backend.load_library()  # raises KernelUnavailableError without a compiler
+    return KernelBackend(
+        name="native",
+        bfs=native_backend.bfs,
+        cover_search=native_backend.cover_search,
+        compiled=True,
+    )
+
+
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {
+    "numpy": _build_numpy,
+    "numba": _build_numba,
+    "native": _build_native,
+}
+
+#: Build results, including failures (``None``) so a missing toolchain is
+#: probed once per process, not once per call.
+_BUILT: dict[str, KernelBackend | None] = {}
+
+_default_override: str | None = None
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[name] = factory
+    _BUILT.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """All registered backend names, available in this environment or not."""
+    return tuple(_FACTORIES)
+
+
+def _try_build(name: str) -> KernelBackend | None:
+    if name in _BUILT:
+        return _BUILT[name]
+    try:
+        backend = _FACTORIES[name]()
+    except KernelUnavailableError:
+        backend = None
+    _BUILT[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Build ``name`` strictly: unknown names and unavailable backends raise."""
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered: {sorted(_FACTORIES)}"
+        )
+    backend = _try_build(name)
+    if backend is None:
+        raise KernelUnavailableError(
+            f"kernel backend {name!r} is registered but unavailable here"
+        )
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of registered backends that actually build in this environment."""
+    return tuple(name for name in _FACTORIES if _try_build(name) is not None)
+
+
+def resolve_backend(choice: str | KernelBackend | None = None) -> KernelBackend:
+    """Resolve a backend: argument > session override > env var > auto.
+
+    ``choice`` may be a :class:`KernelBackend` (returned as-is), a
+    registered name, or ``None``.  Names that are registered but cannot
+    be built here fall back to the numpy reference silently — optional
+    acceleration must never turn into a hard dependency — while unknown
+    names raise :class:`ValueError` at every resolution tier.
+    """
+    if isinstance(choice, KernelBackend):
+        return choice
+    name = choice if choice is not None else _default_override
+    if name is None:
+        name = os.environ.get(ENV_VAR) or None
+    if name is not None:
+        if name not in _FACTORIES:
+            raise ValueError(
+                f"unknown kernel backend {name!r}; registered: {sorted(_FACTORIES)}"
+            )
+        backend = _try_build(name)
+        if backend is not None:
+            return backend
+        return get_backend("numpy")
+    for candidate in AUTO_ORDER:
+        backend = _try_build(candidate)
+        if backend is not None:
+            return backend
+    return get_backend("numpy")  # pragma: no cover - numpy always builds
+
+
+def set_default_backend(name: str | None) -> None:
+    """Set (or clear, with ``None``) the process-wide backend override.
+
+    The override outranks ``REPRO_KERNEL_BACKEND`` but not explicit
+    per-call arguments.  Sweep workers call this with the orchestrator's
+    configured backend so shards inherit it.
+    """
+    global _default_override
+    if name is not None and name not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered: {sorted(_FACTORIES)}"
+        )
+    _default_override = name
+
+
+@contextmanager
+def use_backend(name: str | None) -> Iterator[None]:
+    """Scoped :func:`set_default_backend`; ``None`` is a no-op scope."""
+    global _default_override
+    if name is None:
+        yield
+        return
+    previous = _default_override
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        _default_override = previous

@@ -1,0 +1,186 @@
+"""Numba JIT kernel backend (optional dependency).
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; the registry in :mod:`repro.kernels` performs the import
+lazily and falls back to the numpy reference silently, so a numba-free
+environment never notices this file exists.  With numba present, both
+hot loops run as ``nopython`` machine code:
+
+* the chunked ``repeat``/``searchsorted``/``unique`` level expansion of
+  the numpy BFS becomes one per-source queue loop over the CSR arrays
+  (BFS distances are unique, so traversal order cannot change the
+  output), and
+* the branch-and-bound set-cover recursion becomes an explicit-stack
+  depth-first search replicating the reference's exact traversal order —
+  most-constrained element by first minimum in element order, candidates
+  in ``order_by_size`` order, strictly-smaller incumbent updates — so the
+  selected covers and every warm-start tie-break are bit-identical.
+
+Kernel contracts are documented in :mod:`repro.kernels`; argument
+validation and corner cases live in the graph/solver wrappers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401 - ImportError here signals "backend unavailable"
+
+from repro.kernels.common import UNREACHABLE
+
+__all__ = ["bfs", "cover_search"]
+
+
+@njit(cache=True)
+def _bfs_impl(indptr, indices, sources, radius, unreachable, dist):
+    n = indptr.shape[0] - 1
+    queue = np.empty(n, dtype=np.int32)
+    for s in range(sources.shape[0]):
+        head = 0
+        tail = 0
+        src = sources[s]
+        dist[s, src] = 0
+        queue[tail] = np.int32(src)
+        tail += 1
+        while head < tail:
+            node = queue[head]
+            head += 1
+            d = dist[s, node]
+            if radius >= 0 and d >= radius:
+                continue
+            for e in range(indptr[node], indptr[node + 1]):
+                nb = indices[e]
+                if dist[s, nb] == unreachable:
+                    dist[s, nb] = d + np.int32(1)
+                    queue[tail] = np.int32(nb)
+                    tail += 1
+
+
+@njit(cache=True)
+def _cover_search_impl(coverage, order_by_size, best_size, selection_out):
+    num_free, num_elements = coverage.shape
+    remaining_stack = np.empty((num_free + 2, num_elements), dtype=np.uint8)
+    chosen = np.empty(num_free + 1, dtype=np.int32)
+    pos_stack = np.empty(num_free + 2, dtype=np.int64)
+    elem_stack = np.empty(num_free + 2, dtype=np.int64)
+    for e in range(num_elements):
+        remaining_stack[0, e] = 1
+    best_len = np.int64(-1)
+    depth = 0
+    entering = True
+    while depth >= 0:
+        if entering:
+            num_remaining = 0
+            for e in range(num_elements):
+                num_remaining += remaining_stack[depth, e]
+            if num_remaining == 0:
+                if depth < best_size:
+                    best_size = depth
+                    best_len = depth
+                    for i in range(depth):
+                        selection_out[i] = chosen[i]
+                entering = False
+                depth -= 1
+                continue
+            if depth + 1 > best_size:
+                entering = False
+                depth -= 1
+                continue
+            max_gain = 0
+            for c in range(num_free):
+                gain = 0
+                for e in range(num_elements):
+                    gain += coverage[c, e] & remaining_stack[depth, e]
+                if gain > max_gain:
+                    max_gain = gain
+            if max_gain == 0:
+                entering = False
+                depth -= 1
+                continue
+            lower = depth + (num_remaining + max_gain - 1) // max_gain
+            if lower >= best_size + 1:
+                entering = False
+                depth -= 1
+                continue
+            # Most-constrained element: fewest covering candidates, first
+            # minimum in element order (matches numpy argmin).
+            element = np.int64(-1)
+            element_count = np.int64(-1)
+            for e in range(num_elements):
+                if remaining_stack[depth, e] == 0:
+                    continue
+                count = np.int64(0)
+                for c in range(num_free):
+                    count += coverage[c, e]
+                if element_count < 0 or count < element_count:
+                    element_count = count
+                    element = e
+            elem_stack[depth] = element
+            pos_stack[depth] = 0
+        pushed = False
+        pos = pos_stack[depth]
+        element = elem_stack[depth]
+        while pos < num_free:
+            cand = order_by_size[pos]
+            pos += 1
+            if coverage[cand, element] == 0:
+                continue
+            already = False
+            for i in range(depth):
+                if chosen[i] == cand:
+                    already = True
+                    break
+            if already:
+                continue
+            pos_stack[depth] = pos
+            for e in range(num_elements):
+                remaining_stack[depth + 1, e] = remaining_stack[depth, e] & (
+                    1 - coverage[cand, e]
+                )
+            chosen[depth] = np.int32(cand)
+            depth += 1
+            entering = True
+            pushed = True
+            break
+        if not pushed:
+            entering = False
+            depth -= 1
+    return best_size, best_len
+
+
+def bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    radius: int | None,
+    dist: np.ndarray,
+) -> np.ndarray:
+    """Per-source queue BFS, JIT-compiled; same contract as numpy ``bfs``."""
+    _bfs_impl(
+        np.ascontiguousarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(indices, dtype=np.int64),
+        np.ascontiguousarray(sources, dtype=np.int64),
+        np.int64(-1 if radius is None else int(radius)),
+        np.int32(UNREACHABLE),
+        dist,
+    )
+    return dist
+
+
+def cover_search(
+    coverage: np.ndarray,
+    order_by_size: np.ndarray,
+    best_size: int,
+    best_selection: list[int] | None,
+) -> tuple[int, list[int] | None]:
+    """Explicit-stack branch and bound; same contract as numpy ``cover_search``."""
+    num_free = coverage.shape[0]
+    selection_out = np.empty(num_free + 1, dtype=np.int32)
+    found_size, found_len = _cover_search_impl(
+        np.ascontiguousarray(coverage, dtype=np.uint8),
+        np.ascontiguousarray(order_by_size, dtype=np.int64),
+        np.int64(best_size),
+        selection_out,
+    )
+    if found_len < 0:
+        return best_size, best_selection
+    return int(found_size), [int(idx) for idx in selection_out[:found_len]]

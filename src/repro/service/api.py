@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.kernels import use_backend
 from repro.parallel.pool import resolve_workers
 from repro.service.journal import SweepJournal
 from repro.service.tasks import (
@@ -68,6 +69,13 @@ class ServiceConfig:
     deterministic stand-in for separate workers that the equivalence tests
     (and ``workers=1`` journaled runs) use; ``shard_seed`` deterministically
     shuffles the group→shard assignment to prove shard-order invariance.
+
+    ``kernel_backend`` names the kernel backend every worker installs as
+    its process default (see :func:`repro.kernels.set_default_backend`)
+    before executing its shard; tasks carrying an explicit per-spec
+    backend still outrank it.  ``None`` leaves workers on their own
+    env-var/auto-detect chain.  Backends are bit-identical, so journals
+    and results never depend on this.
     """
 
     workers: int | None = 1
@@ -78,6 +86,7 @@ class ServiceConfig:
     session_cache_size: int = SESSION_CACHE_SIZE
     in_process: bool = False
     shard_seed: int | None = None
+    kernel_backend: str | None = None
 
 
 def _export_shared_instances(
@@ -146,19 +155,22 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                     workers if config.in_process else 1,
                     order_seed=config.shard_seed,
                 )
-                for shard in shards:
-                    # One fresh runtime per shard mirrors one worker per
-                    # shard: the same cache boundaries, deterministically.
-                    runtime = WorkerRuntime(
-                        session_cache_size=config.session_cache_size
-                    )
-                    for task in shard:
-                        on_result(
-                            task.index,
-                            task.spec_hash,
-                            task.kind,
-                            encode_result(task, runtime.execute(task)),
+                # Scoped default mirrors what the pool workers install
+                # process-wide: per-spec backends still outrank it.
+                with use_backend(config.kernel_backend):
+                    for shard in shards:
+                        # One fresh runtime per shard mirrors one worker per
+                        # shard: the same cache boundaries, deterministically.
+                        runtime = WorkerRuntime(
+                            session_cache_size=config.session_cache_size
                         )
+                        for task in shard:
+                            on_result(
+                                task.index,
+                                task.spec_hash,
+                                task.kind,
+                                encode_result(task, runtime.execute(task)),
+                            )
             else:
                 shards = shard_tasks(pending, workers, order_seed=config.shard_seed)
                 shared = _export_shared_instances(pending, config.min_shared_nodes)
@@ -167,6 +179,7 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                         shards,
                         shared_refs=shared.refs,
                         session_cache_size=config.session_cache_size,
+                        kernel_backend=config.kernel_backend,
                     ).run(on_result)
                 finally:
                     shared.release()

@@ -293,8 +293,15 @@ def _worker_main(
     shared_refs: dict[str, SharedInstanceRef],
     session_cache_size: int,
     result_queue,
+    kernel_backend: str | None = None,
 ) -> None:
     """Process body: drain the shard in order, streaming encoded results.
+
+    ``kernel_backend`` (the orchestrator's configured backend) is installed
+    as this process's default before any task runs, so shards inherit the
+    parent's kernel selection across the process boundary; per-spec
+    backends still outrank it.  Backends are bit-identical, so results
+    never depend on which one executes.
 
     ``daemon=True`` only covers a *normal* parent exit; a SIGKILLed
     orchestrator (exactly what ``--resume`` exists for) would otherwise
@@ -302,6 +309,10 @@ def _worker_main(
     collects — concurrently with the resumed run.  Checking for
     reparenting between tasks bounds the waste to the task in flight.
     """
+    if kernel_backend is not None:
+        from repro.kernels import set_default_backend
+
+        set_default_backend(kernel_backend)
     parent = os.getppid()
     runtime = WorkerRuntime(shared_refs, session_cache_size)
     for task in shard:
@@ -325,10 +336,12 @@ class WorkerPool:
         shards: list[list[SweepTask]],
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         session_cache_size: int = SESSION_CACHE_SIZE,
+        kernel_backend: str | None = None,
     ) -> None:
         self.shards = [shard for shard in shards if shard]
         self.shared_refs = dict(shared_refs or {})
         self.session_cache_size = session_cache_size
+        self.kernel_backend = kernel_backend
 
     def run(self, on_result) -> None:
         """Execute every shard; ``on_result(index, spec_hash, kind, payload)``
@@ -344,7 +357,13 @@ class WorkerPool:
         processes = [
             context.Process(
                 target=_worker_main,
-                args=(shard, self.shared_refs, self.session_cache_size, queue),
+                args=(
+                    shard,
+                    self.shared_refs,
+                    self.session_cache_size,
+                    queue,
+                    self.kernel_backend,
+                ),
                 daemon=True,
             )
             for shard in self.shards

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import KernelBackend, resolve_backend
+
 __all__ = [
     "SetCoverInstance",
     "SetCoverResult",
@@ -180,12 +182,14 @@ def greedy_set_cover(
     instance: SetCoverInstance,
     upper_bound: int | None = None,
     warm_start: Sequence[int] | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> SetCoverResult:
     """Classical greedy ``H_n``-approximation: repeatedly pick the candidate
     covering the most still-uncovered elements.
 
     ``warm_start`` and ``upper_bound`` are accepted for interface uniformity
     and ignored: greedy rebuilds its cover from scratch deterministically.
+    ``backend`` likewise: greedy has no kernel to accelerate.
     """
     trivial = _trivial_or_none(instance, "greedy")
     if trivial is not None:
@@ -208,8 +212,9 @@ def branch_and_bound_set_cover(
     instance: SetCoverInstance,
     upper_bound: int | None = None,
     warm_start: Sequence[int] | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> SetCoverResult:
-    """Exact branch-and-bound solver.
+    """Exact branch-and-bound solver, kernel-backed.
 
     Branches on the uncovered element with the fewest covering candidates
     (the most constrained element) and prunes with
@@ -223,6 +228,11 @@ def branch_and_bound_set_cover(
     ties the greedy incumbent it is preferred, so repeated solves over a
     monotonically growing coverage (the best-response ``h`` loop) keep
     returning the same selection until a strictly smaller cover appears.
+
+    The recursion itself runs on the selected kernel backend
+    (:mod:`repro.kernels`); incumbent seeding, candidate ordering and the
+    residual-instance setup stay here, so every backend searches the same
+    tree with the same tie-breaks and returns the identical selection.
 
     Intended for the moderate instance sizes of the experiments (views of at
     most a few hundred vertices); cross-checked against the MILP solver in
@@ -253,37 +263,10 @@ def branch_and_bound_set_cover(
     cover_sizes = coverage.sum(axis=1)
     order_by_size = np.argsort(-cover_sizes)
 
-    def recurse(remaining: np.ndarray, chosen: list[int]) -> None:
-        nonlocal best_size, best_selection
-        num_remaining = int(remaining.sum())
-        if num_remaining == 0:
-            if len(chosen) < best_size:
-                best_size = len(chosen)
-                best_selection = list(chosen)
-            return
-        if len(chosen) + 1 > best_size:
-            return
-        max_gain = int((coverage & remaining).sum(axis=1).max(initial=0))
-        if max_gain == 0:
-            return
-        lower = len(chosen) + int(np.ceil(num_remaining / max_gain))
-        if lower >= best_size + 1:
-            return
-        # Most-constrained element: fewest candidates cover it.
-        candidate_counts = coverage[:, remaining].sum(axis=0)
-        target_positions = np.flatnonzero(remaining)
-        local_target = int(np.argmin(candidate_counts))
-        element = int(target_positions[local_target])
-        covering = [int(c) for c in order_by_size if coverage[c, element]]
-        for candidate in covering:
-            if candidate in chosen:
-                continue
-            new_remaining = remaining & ~coverage[candidate]
-            chosen.append(candidate)
-            recurse(new_remaining, chosen)
-            chosen.pop()
-
-    recurse(np.ones(coverage.shape[1], dtype=bool), [])
+    kernel = resolve_backend(backend)
+    best_size, best_selection = kernel.cover_search(
+        coverage, order_by_size, best_size, best_selection
+    )
     if best_selection is None:
         return _infeasible("branch_and_bound")
     selected = tuple(int(free[idx]) for idx in best_selection)
@@ -294,6 +277,7 @@ def milp_set_cover(
     instance: SetCoverInstance,
     upper_bound: int | None = None,
     warm_start: Sequence[int] | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> SetCoverResult:
     """Exact solve through ``scipy.optimize.milp`` (HiGHS backend).
 
@@ -328,7 +312,7 @@ def milp_set_cover(
     if not result.success or result.x is None:
         # HiGHS failure on a feasible instance; fall back to branch and bound.
         return branch_and_bound_set_cover(
-            instance, upper_bound=upper_bound, warm_start=warm_start
+            instance, upper_bound=upper_bound, warm_start=warm_start, backend=backend
         )
     chosen = np.flatnonzero(np.round(result.x) >= 0.5)
     selected = tuple(int(free[idx]) for idx in chosen)
@@ -348,6 +332,7 @@ def solve_set_cover(
     method: str = "milp",
     upper_bound: int | None = None,
     warm_start: Sequence[int] | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> SetCoverResult:
     """Dispatch to one of the registered solvers (``milp`` by default).
 
@@ -362,6 +347,10 @@ def solve_set_cover(
     must pass ``T + 1`` *and* re-check the returned objective regardless of
     method (the best-response loop's cost test does exactly that).  Hints
     never change a within-bound solution's objective.
+
+    ``backend`` selects the kernel backend running the branch-and-bound
+    recursion (see :mod:`repro.kernels`); all backends return bit-identical
+    selections, so it is purely a speed knob.
 
     Passing hints to an exact solver that cannot consume them
     (``milp``) raises a :class:`RuntimeWarning`: the caller asked for a
@@ -387,4 +376,4 @@ def solve_set_cover(
             RuntimeWarning,
             stacklevel=2,
         )
-    return solver(instance, upper_bound=upper_bound, warm_start=warm_start)
+    return solver(instance, upper_bound=upper_bound, warm_start=warm_start, backend=backend)

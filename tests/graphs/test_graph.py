@@ -179,3 +179,64 @@ class TestExports:
         nx_graph = graph.to_networkx()
         back = Graph.from_networkx(nx_graph)
         assert back == graph
+
+
+class TestCsrCache:
+    """``to_csr_arrays`` is cached keyed by the monotone ``version`` counter:
+    same arrays while the structure is unchanged, invalidated by any edge or
+    node delta, never aliased mutably to callers."""
+
+    def test_same_arrays_while_version_unchanged(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        indptr1, indices1, nodes1 = graph.to_csr_arrays()
+        indptr2, indices2, nodes2 = graph.to_csr_arrays()
+        assert indptr1 is indptr2
+        assert indices1 is indices2
+        assert nodes1 == nodes2
+
+    def test_version_bump_invalidates(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        indptr1, indices1, _ = graph.to_csr_arrays()
+        graph.add_edge(2, 3)
+        indptr2, indices2, nodes2 = graph.to_csr_arrays()
+        assert indptr2 is not indptr1
+        assert indices2 is not indices1
+        assert 3 in nodes2
+        assert int(indptr2[-1]) == 2 * graph.number_of_edges()
+
+    def test_every_mutation_kind_invalidates(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        for mutate in (
+            lambda g: g.remove_edge(2, 3),
+            lambda g: g.add_node(9),
+            lambda g: g.remove_node(3),
+            lambda g: g.add_edge(9, 0),
+        ):
+            before = graph.to_csr_arrays()[0]
+            version = graph.version
+            mutate(graph)
+            assert graph.version > version
+            after, indices, nodes = graph.to_csr_arrays()
+            assert after is not before
+            assert len(after) == len(nodes) + 1
+            assert int(after[-1]) == 2 * graph.number_of_edges() == len(indices)
+
+    def test_noop_mutation_keeps_cache(self):
+        graph = Graph(edges=[(0, 1)])
+        before = graph.to_csr_arrays()[0]
+        graph.add_node(0)  # already present: no version bump
+        assert graph.to_csr_arrays()[0] is before
+
+    def test_cached_arrays_are_read_only(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        indptr, indices, _ = graph.to_csr_arrays()
+        with pytest.raises(ValueError):
+            indptr[0] = 99
+        with pytest.raises(ValueError):
+            indices[0] = 99
+
+    def test_node_list_is_a_fresh_copy(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        _, _, nodes = graph.to_csr_arrays()
+        nodes.append("garbage")
+        assert graph.to_csr_arrays()[2] == [0, 1, 2]

@@ -1,0 +1,260 @@
+"""Equivalence and registry tests for the pluggable kernel backends.
+
+The contract under test (see :mod:`repro.kernels`): every available
+backend's BFS kernel is *bit-identical* to the numpy reference and to the
+naive per-source dict BFS — same distances, same ``UNREACHABLE`` marks,
+same radius truncation — and the selection chain (explicit argument >
+session override > ``REPRO_KERNEL_BACKEND`` > auto-detect) resolves
+exactly as documented, with unknown names failing loudly and unavailable
+backends falling back to numpy silently.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.kernels as kernels
+from repro.graphs.generators.erdos_renyi import gnp_random_graph
+from repro.graphs.generators.smallworld import owned_barabasi_albert
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    UNREACHABLE,
+    batched_bfs_distances,
+    bfs_distances,
+    bfs_distances_within,
+)
+from repro.kernels import (
+    ENV_VAR,
+    KernelBackend,
+    KernelUnavailableError,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture
+def clean_registry():
+    """Snapshot/restore the registry and the session override around a test."""
+    factories = dict(kernels._FACTORIES)
+    built = dict(kernels._BUILT)
+    override = kernels._default_override
+    try:
+        yield
+    finally:
+        kernels._FACTORIES.clear()
+        kernels._FACTORIES.update(factories)
+        kernels._BUILT.clear()
+        kernels._BUILT.update(built)
+        kernels._default_override = override
+
+
+def _naive_reference(graph, order, sources, radius):
+    """Per-source dict BFS assembled into the batched distance matrix."""
+    dist = np.full((len(sources), len(order)), UNREACHABLE, dtype=np.int32)
+    for row, source in enumerate(sources):
+        expected = (
+            bfs_distances(graph, order[source])
+            if radius is None
+            else bfs_distances_within(graph, order[source], radius)
+        )
+        for column, node in enumerate(order):
+            if node in expected:
+                dist[row, column] = expected[node]
+    return dist
+
+
+@st.composite
+def bfs_workloads(draw, max_nodes: int = 14):
+    """(graph, sources, radius) including disconnected graphs, empty and
+    repeated source lists, and radii from 0 past the diameter."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.0, max_value=0.6))
+    graph = gnp_random_graph(n, p, random.Random(seed))
+    sources = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=0, max_size=2 * n)
+    )
+    radius = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=n)))
+    return graph, sources, radius
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestBfsEquivalence:
+    @given(workload=bfs_workloads())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_bfs(self, backend_name, workload):
+        graph, sources, radius = workload
+        indptr, indices, order = graph.to_csr_arrays()
+        dist = batched_bfs_distances(
+            indptr, indices, sources, radius=radius, backend=backend_name
+        )
+        assert np.array_equal(dist, _naive_reference(graph, order, sources, radius))
+
+    def test_empty_sources(self, backend_name, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        dist = batched_bfs_distances(indptr, indices, [], backend=backend_name)
+        assert dist.shape == (0, 5)
+
+    def test_disconnected_unreachable_marks(self, backend_name):
+        graph = Graph(nodes=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        indptr, indices, order = graph.to_csr_arrays()
+        sources = list(range(len(order)))
+        dist = batched_bfs_distances(indptr, indices, sources, backend=backend_name)
+        assert np.array_equal(dist, _naive_reference(graph, order, sources, None))
+        assert (dist == UNREACHABLE).sum() == 8  # the two 2x2 cross blocks
+
+    def test_radius_zero_only_marks_sources(self, backend_name, path5):
+        indptr, indices, _ = path5.to_csr_arrays()
+        dist = batched_bfs_distances(
+            indptr, indices, [2, 4], radius=0, backend=backend_name
+        )
+        assert (dist != UNREACHABLE).sum() == 2
+        assert dist[0, 2] == 0 and dist[1, 4] == 0
+
+    def test_frontier_crossing_expansion_cap(self, backend_name, monkeypatch):
+        """A hub whose incidence run dwarfs the cap forces the numpy chunked
+        path; every backend must still match the naive reference exactly."""
+        monkeypatch.setattr(
+            "repro.kernels.numpy_backend.MAX_EXPANSION_INCIDENCES", 4
+        )
+        hub, leaves = 0, range(1, 40)
+        edges = [(hub, leaf) for leaf in leaves]
+        edges += [(1, 2), (2, 3), (39, 38)]  # a little non-star structure
+        graph = Graph(edges=edges)
+        indptr, indices, order = graph.to_csr_arrays()
+        sources = list(range(len(order)))
+        for radius in (None, 1, 2):
+            dist = batched_bfs_distances(
+                indptr, indices, sources, radius=radius, backend=backend_name
+            )
+            assert np.array_equal(
+                dist, _naive_reference(graph, order, sources, radius)
+            )
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="only the numpy backend is available")
+def test_backends_agree_on_larger_instance():
+    """All available backends produce byte-identical matrices on a scale the
+    hypothesis workloads never reach (multi-chunk levels, deep frontiers)."""
+    owned = owned_barabasi_albert(300, 2, seed=1)
+    indptr, indices, _ = owned.graph.to_csr_arrays()
+    sources = np.arange(300, dtype=np.int64)
+    for radius in (None, 2):
+        matrices = [
+            batched_bfs_distances(indptr, indices, sources, radius=radius, backend=b)
+            for b in BACKENDS
+        ]
+        for other in matrices[1:]:
+            assert np.array_equal(matrices[0], other)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in BACKENDS
+        assert get_backend("numpy").name == "numpy"
+        assert not get_backend("numpy").compiled
+
+    def test_registered_superset_of_available(self):
+        assert set(BACKENDS) <= set(registered_backends())
+        assert {"numpy", "numba", "native"} <= set(registered_backends())
+
+    def test_unknown_name_raises_everywhere(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("no-such-backend")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("no-such-backend")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_default_backend("no-such-backend")
+
+    def test_unknown_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "no-such-backend")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend(None)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        for name in BACKENDS:
+            monkeypatch.setenv(ENV_VAR, name)
+            assert resolve_backend(None).name == name
+
+    def test_backend_object_passthrough(self):
+        backend = get_backend("numpy")
+        assert resolve_backend(backend) is backend
+
+    def test_explicit_argument_outranks_override_and_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        with use_backend("numpy"):
+            assert resolve_backend(BACKENDS[-1]).name == BACKENDS[-1]
+
+    def test_override_outranks_env_var(self, clean_registry, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, BACKENDS[-1])
+        set_default_backend("numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_use_backend_restores_previous(self, clean_registry):
+        set_default_backend("numpy")
+        with use_backend(BACKENDS[-1]):
+            assert resolve_backend(None).name == BACKENDS[-1]
+        assert resolve_backend(None).name == "numpy"
+
+    def test_use_backend_none_is_noop(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with use_backend(None):
+            assert resolve_backend(None).name in BACKENDS
+
+    def test_unavailable_backend_falls_back_silently(self, clean_registry):
+        def missing() -> KernelBackend:
+            raise KernelUnavailableError("toolchain not present")
+
+        register_backend("always-missing", missing)
+        assert "always-missing" in registered_backends()
+        assert "always-missing" not in available_backends()
+        # resolve: silent numpy fallback; get_backend: loud.
+        assert resolve_backend("always-missing").name == "numpy"
+        with pytest.raises(KernelUnavailableError):
+            get_backend("always-missing")
+        # The failed probe is cached, not retried per call.
+        assert kernels._BUILT["always-missing"] is None
+
+    def test_register_backend_replaces_and_reprobes(self, clean_registry):
+        reference = get_backend("numpy")
+        register_backend(
+            "custom",
+            lambda: KernelBackend(
+                name="custom",
+                bfs=reference.bfs,
+                cover_search=reference.cover_search,
+            ),
+        )
+        assert resolve_backend("custom").name == "custom"
+
+
+class TestNumbaAbsence:
+    def test_graceful_import_error(self, clean_registry, monkeypatch):
+        """With numba unimportable the backend reports unavailable, resolve
+        falls back to numpy, and nothing raises ImportError to callers."""
+        monkeypatch.setitem(sys.modules, "numba", None)  # import numba → ImportError
+        monkeypatch.delitem(
+            sys.modules, "repro.kernels.numba_backend", raising=False
+        )
+        kernels._BUILT.pop("numba", None)
+        assert "numba" not in available_backends()
+        with pytest.raises(KernelUnavailableError):
+            get_backend("numba")
+        assert resolve_backend("numba").name == "numpy"
+        # Auto-detect (no env var, no override) skips it without noise.
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        set_default_backend(None)
+        assert resolve_backend(None).name == "numpy"

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.kernels import available_backends, get_backend
 from repro.solvers.set_cover import (
     SOLVERS,
     SetCoverInstance,
@@ -299,3 +300,68 @@ class TestWarmStartHintGuards:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             solve_set_cover(self._instance(), method="milp")
+
+
+class TestKernelBackendParity:
+    """Every available kernel backend returns the *same selection*, not just
+    the same objective — including warm-start tie-break order (the invariant
+    the best-response ``h`` loop leans on for stable repeated solves)."""
+
+    BACKENDS = available_backends()
+
+    @given(monotone_instance_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_selections_identical_across_backends(self, chain):
+        for instance in chain:
+            reference = branch_and_bound_set_cover(instance, backend="numpy")
+            for name in self.BACKENDS:
+                result = branch_and_bound_set_cover(instance, backend=name)
+                assert result.feasible == reference.feasible
+                assert result.selected == reference.selected
+                assert result.objective == reference.objective
+
+    @given(monotone_instance_chains())
+    @settings(max_examples=30, deadline=None)
+    def test_warm_started_chains_identical_across_backends(self, chain):
+        """Run the whole monotone chain once per backend, warm-starting each
+        step with the previous selection: the *sequences* of selections must
+        coincide element for element (same tie-breaks at every step)."""
+        trajectories = {}
+        for name in self.BACKENDS:
+            previous = None
+            selections = []
+            for instance in chain:
+                result = branch_and_bound_set_cover(
+                    instance, warm_start=previous, backend=name
+                )
+                selections.append(result.selected if result.feasible else None)
+                if result.feasible:
+                    previous = result.selected
+            trajectories[name] = selections
+        reference = trajectories["numpy"]
+        for name, selections in trajectories.items():
+            assert selections == reference, name
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_warm_start_preferred_on_ties(self, name):
+        # Same tie as TestWarmStart.test_warm_start_preferred_on_ties: both
+        # singleton covers are optimal; every backend must keep the warm one.
+        instance = make_instance([{0, 1}, {0, 1}], 2)
+        warm = branch_and_bound_set_cover(instance, warm_start=(1,), backend=name)
+        assert warm.selected == (1,)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_upper_bound_respected(self, name):
+        # Needs two sets; upper_bound=1 makes the instance unsolvable within
+        # the cap on every backend alike.
+        instance = make_instance([{0}, {1}], 2)
+        capped = branch_and_bound_set_cover(instance, upper_bound=1, backend=name)
+        assert not capped.feasible
+        full = branch_and_bound_set_cover(instance, backend=name)
+        assert full.feasible and full.objective == 2
+
+    def test_backend_object_accepted(self):
+        instance = make_instance([{0, 1}, {1, 2}, {0, 2}], 3)
+        backend = get_backend(self.BACKENDS[-1])
+        result = solve_set_cover(instance, "branch_and_bound", backend=backend)
+        assert result.feasible and result.objective == 2

@@ -26,6 +26,7 @@ EXAMPLE_RUNS: dict[str, tuple[list[str], str]] = {
     "discovery_view_models.py": (["12", "2.0", "2"], "traceroute"),
     "equilibrium_anatomy.py": (["16", "2.0"], "quality"),
     "sweep_service.py": (["12", "2"], "resumed"),
+    "kernel_backends.py": (["16", "0.5", "2"], "identical"),
 }
 
 

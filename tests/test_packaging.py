@@ -1,0 +1,47 @@
+"""Packaging metadata: the ``repro[kernels]`` extra and version pinning.
+
+The numba kernel backend is distributed as an *optional* extra; these tests
+pin the two invariants that keep it optional in practice: the metadata
+stays in sync with the code, and importing / resolving kernels never
+raises ``ImportError`` when the extra is not installed.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def _project() -> dict:
+    with PYPROJECT.open("rb") as handle:
+        return tomllib.load(handle)["project"]
+
+
+def test_version_matches_package():
+    assert _project()["version"] == repro.__version__
+
+
+def test_kernels_extra_lists_numba():
+    extras = _project()["optional-dependencies"]
+    assert "numba" in extras["kernels"]
+    # numba must NOT be a hard dependency: the numpy reference backend keeps
+    # the whole stack functional without any compiled toolchain.
+    assert all("numba" not in dep for dep in _project()["dependencies"])
+
+
+def test_kernels_import_without_numba_is_graceful():
+    """Whether or not numba is installed, the kernels package imports and
+    resolves a working backend — a missing extra degrades, never breaks."""
+    from repro.kernels import available_backends, resolve_backend
+
+    assert "numpy" in available_backends()
+    backend = resolve_backend(None)
+    assert callable(backend.bfs) and callable(backend.cover_search)
+    # Asking for numba by name must also never surface an ImportError:
+    # either the extra is installed (backend builds) or resolution falls
+    # back to numpy silently.
+    assert resolve_backend("numba").name in {"numba", "numpy"}
