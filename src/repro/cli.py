@@ -20,6 +20,8 @@ Examples
     python -m repro robustness --smoke --reconnect        # split-then-reconnect rows (tolerant, k = inf)
     python -m repro sweep --workers 4 --journal out/store  # orchestrated RunSpec sweep (warm workers)
     python -m repro sweep --workers 4 --journal out/store --resume   # skip journaled rows after a crash
+    python -m repro serve --store out/store --workers 4 --port 8765  # persistent sweep daemon (cache + queue)
+    python -m repro sweep --remote http://127.0.0.1:8765   # run the grid on the daemon (cache hits are free)
 
 ``--smoke`` selects the reduced grids (CI-sized); without it the full paper
 grids are used, which for the simulation figures can take hours.
@@ -228,8 +230,52 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--solver", default=ENGINE_DEFAULT_SOLVER)
     sweep.add_argument("--max-rounds", type=int, default=60)
     sweep.add_argument("--ordering", default="fixed", help="activation scheduler")
+    sweep.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="run the grid on a sweep daemon (see `serve`) instead of "
+        "locally; overlapping cells are served from its content-addressed "
+        "cache with zero engine work",
+    )
     _add_journal_options(sweep)
     _add_common_options(sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the persistent sweep daemon (equilibrium-as-a-service): "
+        "HTTP job queue + content-addressed result cache over a shared "
+        "warm worker pool",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        help="ExperimentStore root backing the result cache, job records "
+        "and per-job journals (restarting on the same store resumes "
+        "in-flight jobs)",
+    )
+    serve.add_argument("--workers", type=int, default=1, help="persistent worker processes")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="max waiting jobs before submissions get HTTP 429",
+    )
+    serve.add_argument(
+        "--in-process",
+        action="store_true",
+        help="execute jobs in the daemon process instead of forked workers "
+        "(deterministic test/debug mode; results are identical)",
+    )
+    serve.add_argument(
+        "--kernel-backend",
+        default=None,
+        help="kernel backend the workers install as their process default",
+    )
     return parser
 
 
@@ -319,6 +365,10 @@ def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace
 
     if args.resume and not args.journal:
         parser.error("--resume requires --journal")
+    if args.remote and (args.journal or args.resume):
+        # The daemon owns journaling/resume on its own store; mixing the
+        # local journal flags in would silently journal nothing.
+        parser.error("--remote is incompatible with --journal/--resume")
     # --smoke only shrinks the *defaults*; explicitly passed grid flags
     # stay in force (mirroring how robustness --smoke composes with its
     # modifiers) instead of being silently discarded.
@@ -348,12 +398,17 @@ def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace
         for k in ks
         for seed in range(seeds)
     ]
-    results = run_sweep(
-        specs,
-        SweepSettings(num_seeds=seeds, solver=args.solver, workers=args.workers),
-        journal=args.journal,
-        resume=args.resume,
-    )
+    if args.remote:
+        from repro.service.client import SweepClient
+
+        results = SweepClient(args.remote).run_specs(specs)
+    else:
+        results = run_sweep(
+            specs,
+            SweepSettings(num_seeds=seeds, solver=args.solver, workers=args.workers),
+            journal=args.journal,
+            resume=args.resume,
+        )
     rows = [result.as_row() for result in results]
     if args.journal:
         # Layer the final row set on the store holding the journal, so an
@@ -362,6 +417,24 @@ def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace
             "sweep", rows, config={"num_specs": len(specs)}
         )
     _emit(rows, args, title="sweep")
+    return 0
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """Run the sweep daemon until SIGINT/SIGTERM."""
+    from repro.service.daemon import DaemonConfig, run_daemon
+
+    run_daemon(
+        DaemonConfig(
+            store_dir=args.store,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            queue_size=args.queue_size,
+            in_process=args.in_process,
+            kernel_backend=args.kernel_backend,
+        )
+    )
     return 0
 
 
@@ -381,6 +454,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep_command(parser, args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.command == "robustness":
         if args.beta is not None and args.cost_model != "tolerant":

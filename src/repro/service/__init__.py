@@ -7,6 +7,12 @@ shards, executes them on persistent warm-engine workers (live
 journals every completed task crash-safely and resumes interrupted sweeps
 with the identical row set.  Entry points: :func:`repro.service.api.
 orchestrate` and the ``python -m repro sweep`` CLI.
+
+The served layer on top (``python -m repro serve``): a persistent daemon
+(:mod:`repro.service.daemon`) with a multi-tenant job queue
+(:mod:`repro.service.jobs`), a content-addressed result cache keyed by
+``spec_hash``, and a stdlib client (:mod:`repro.service.client`) behind
+``python -m repro sweep --remote URL``.
 """
 
 from repro.service.api import (
@@ -15,6 +21,16 @@ from repro.service.api import (
     robustness_sweep,
     run_spec_sweep,
     sum_sweep,
+)
+from repro.service.client import ServiceError, SweepClient
+from repro.service.daemon import DaemonConfig, ServiceDaemon, run_daemon
+from repro.service.jobs import (
+    Job,
+    JobManager,
+    JobQueueFull,
+    ResultCache,
+    compile_job,
+    run_spec_description,
 )
 from repro.service.journal import SweepJournal
 from repro.service.tasks import (
@@ -51,4 +67,15 @@ __all__ = [
     "WorkerPool",
     "WorkerRuntime",
     "attach_shared_profile",
+    "DaemonConfig",
+    "ServiceDaemon",
+    "run_daemon",
+    "SweepClient",
+    "ServiceError",
+    "Job",
+    "JobManager",
+    "JobQueueFull",
+    "ResultCache",
+    "compile_job",
+    "run_spec_description",
 ]

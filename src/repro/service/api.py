@@ -134,19 +134,30 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
         completed = journal.open(
             sweep_hash(tasks), len(tasks), resume=config.resume
         )
+    # Content-addressed dedupe *inside* the sweep: tasks sharing a
+    # spec_hash describe byte-identical work, so only the first occurrence
+    # executes (or is journaled) and every occurrence is assembled from the
+    # one payload — decoded per index, so duplicate rows never alias.
+    by_hash: dict[str, list[SweepTask]] = {}
+    for task in tasks:
+        by_hash.setdefault(task.spec_hash, []).append(task)
     decoded: dict[int, Any] = {}
     pending: list[SweepTask] = []
-    for task in tasks:
-        if task.spec_hash in completed:
-            decoded[task.index] = decode_result(task.kind, completed[task.spec_hash])
+    for spec_hash, members in by_hash.items():
+        if spec_hash in completed:
+            for member in members:
+                decoded[member.index] = decode_result(
+                    member.kind, completed[spec_hash]
+                )
         else:
-            pending.append(task)
+            pending.append(members[0])
     try:
         if pending:
             def on_result(index: int, spec_hash: str, kind: str, payload) -> None:
                 if journal is not None:
                     journal.append(spec_hash, index, kind, payload)
-                decoded[index] = decode_result(kind, payload)
+                for member in by_hash[spec_hash]:
+                    decoded[member.index] = decode_result(kind, payload)
 
             workers = resolve_workers(config.workers)
             if workers == 1 or len(pending) == 1 or config.in_process:

@@ -1,0 +1,164 @@
+"""Thin stdlib HTTP client for the sweep daemon.
+
+:class:`SweepClient` speaks the daemon's JSON protocol over
+``http.client`` (which transparently decodes the chunked event stream) —
+no dependency beyond the standard library, mirroring the daemon itself.
+The CLI's ``sweep --remote URL`` path rides :meth:`SweepClient.run_specs`,
+which round-trips a ``RunSpec`` grid through the daemon and decodes the
+payloads with the same codecs as the local orchestrator, so remote rows
+are bit-identical to local ones.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Iterator
+
+from repro.service.jobs import TERMINAL_STATUSES, JobQueueFull, run_spec_description
+from repro.service.tasks import decode_result
+
+__all__ = ["ServiceError", "JobQueueFull", "SweepClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response (other than 429, which raises JobQueueFull)."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"daemon returned HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class SweepClient:
+    """One daemon endpoint; a fresh connection per request."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} (http only)")
+        netloc = parts.netloc or parts.path  # tolerate a bare host:port
+        self.host = netloc.rsplit(":", 1)[0]
+        self.port = int(netloc.rsplit(":", 1)[1]) if ":" in netloc else 80
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, body: Any | None = None) -> Any:
+        connection = self._connection()
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            try:
+                document = json.loads(data) if data else None
+            except json.JSONDecodeError:
+                document = data.decode("utf-8", "replace")
+            if response.status == 429:
+                detail = document.get("error") if isinstance(document, dict) else document
+                raise JobQueueFull(str(detail))
+            if response.status >= 400:
+                raise ServiceError(response.status, document)
+            return document
+        finally:
+            connection.close()
+
+    # -- protocol surface ----------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, description: dict) -> dict:
+        """POST a job description; the accepted job's status document."""
+        return self._request("POST", "/jobs", body=description)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")["job"]
+
+    def cached_result(self, spec_hash: str) -> dict:
+        """One content-addressed cache entry (404 → ServiceError)."""
+        return self._request("GET", f"/results/{spec_hash}")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's progress events until its terminal status.
+
+        ``http.client`` un-chunks the stream, so each line is one event
+        document; the generator closes the connection when the daemon
+        terminates the stream.
+        """
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    document = json.loads(data) if data else None
+                except json.JSONDecodeError:
+                    document = data.decode("utf-8", "replace")
+                raise ServiceError(response.status, document)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float | None = None, poll: float = 0.1) -> dict:
+        """Poll until the job is terminal; its final status document.
+
+        Raises :class:`ServiceError` when the job failed, ``TimeoutError``
+        when ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in TERMINAL_STATUSES:
+                if job["status"] == "failed":
+                    raise ServiceError(500, {"error": job.get("error"), "job": job})
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def results(self, job_id: str) -> list[dict]:
+        """A done job's encoded payloads in canonical task order."""
+        return self._request("GET", f"/jobs/{job_id}/results")["results"]
+
+    def decoded_results(self, job_id: str) -> list:
+        """The same, decoded through the shared journal codecs."""
+        return [
+            decode_result(entry["kind"], entry["payload"])
+            for entry in self.results(job_id)
+        ]
+
+    def run_specs(self, specs: list, timeout: float | None = None) -> list:
+        """Run a ``RunSpec`` grid remotely; decoded ``RunResult`` list.
+
+        The remote counterpart of
+        :func:`repro.service.api.run_spec_sweep` — same compilation, same
+        codecs, bit-identical results (modulo the documented wall-clock
+        timing fields).
+        """
+        job = self.submit(run_spec_description(list(specs)))
+        self.wait(job["id"], timeout=timeout)
+        return self.decoded_results(job["id"])

@@ -31,7 +31,75 @@ import os
 from pathlib import Path
 from typing import Any
 
-__all__ = ["SweepJournal"]
+__all__ = [
+    "SweepJournal",
+    "atomic_write_json",
+    "load_jsonl_records",
+    "repair_torn_tail",
+]
+
+
+def atomic_write_json(path: str | Path, payload: dict) -> None:
+    """Durably replace ``path`` with ``payload`` as JSON.
+
+    Write to a sibling temp file, fsync it, ``os.replace`` into place, then
+    fsync the directory so the rename itself survives a crash.  Readers
+    therefore only ever see the old or the new complete document — never a
+    torn prefix.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    directory_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+
+
+def load_jsonl_records(path: str | Path) -> list[dict]:
+    """Parse an append-only jsonl file, skipping a torn trailing line.
+
+    A kill landing mid-append leaves at most one unparseable line — a
+    record that was never acknowledged, so dropping it is exactly correct.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    if not path.exists():
+        return records
+    with path.open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def repair_torn_tail(path: str | Path) -> None:
+    """Truncate a torn (newline-less) trailing line before appending.
+
+    Reopening in append mode would merge the *next* record into the torn
+    prefix — one unparseable line, i.e. an acknowledged, fsynced record
+    silently lost on the following load.  Cutting back to the last complete
+    newline keeps every acknowledged record parseable.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return
+    cut = data.rfind(b"\n")
+    with path.open("r+b") as handle:
+        handle.truncate(cut + 1 if cut >= 0 else 0)
 
 
 class SweepJournal:
@@ -68,7 +136,15 @@ class SweepJournal:
                 raise ValueError(
                     f"cannot resume: no sweep journal in {self.directory}"
                 )
-            manifest = json.loads(self.manifest_path.read_text())
+            try:
+                manifest = json.loads(self.manifest_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"cannot resume: corrupt sweep manifest "
+                    f"{self.manifest_path} ({exc}) — the journal directory "
+                    "was damaged outside the journal's own crash model; "
+                    "rerun without --resume to start the sweep over"
+                ) from exc
             if manifest.get("sweep_hash") != sweep_hash:
                 raise ValueError(
                     "cannot resume: the journal belongs to a different sweep "
@@ -77,20 +153,21 @@ class SweepJournal:
                     "required"
                 )
             completed = self._load_completed()
-            self._repair_torn_tail()
+            repair_torn_tail(self.log_path)
         else:
             if self.log_path.exists():
                 self.log_path.unlink()
-            self.manifest_path.write_text(
-                json.dumps(
-                    {
-                        "format": "repro-sweep-journal",
-                        "version": 1,
-                        "sweep_hash": sweep_hash,
-                        "num_tasks": num_tasks,
-                    },
-                    indent=2,
-                )
+            # Atomic + fsynced: a crash mid-write must never leave a torn
+            # manifest behind — --resume trusts this file to decide whether
+            # the journaled records belong to the sweep being resumed.
+            atomic_write_json(
+                self.manifest_path,
+                {
+                    "format": "repro-sweep-journal",
+                    "version": 1,
+                    "sweep_hash": sweep_hash,
+                    "num_tasks": num_tasks,
+                },
             )
         self._handle = self.log_path.open("a", encoding="utf-8")
         return completed
@@ -123,42 +200,12 @@ class SweepJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
-    def _repair_torn_tail(self) -> None:
-        """Truncate a torn (newline-less) trailing line before appending.
-
-        A SIGKILL mid-append can leave the log ending in a partial record.
-        Reopening in append mode would merge the *next* record into that
-        torn prefix — one unparseable line, i.e. an acknowledged, fsynced
-        record silently lost on the following resume.  Cutting back to the
-        last complete newline keeps every acknowledged record parseable.
-        """
-        if not self.log_path.exists():
-            return
-        data = self.log_path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
-        cut = data.rfind(b"\n")
-        with self.log_path.open("r+b") as handle:
-            handle.truncate(cut + 1 if cut >= 0 else 0)
-
     def _load_completed(self) -> dict[str, Any]:
         """Parse the journal, skipping a torn trailing line (crash artefact)."""
-        completed: dict[str, Any] = {}
-        if not self.log_path.exists():
-            return completed
-        with self.log_path.open(encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A kill landed mid-write: the torn record was never
-                    # acknowledged, so dropping it is exactly correct.
-                    continue
-                completed[record["spec_hash"]] = record["payload"]
-        return completed
+        return {
+            record["spec_hash"]: record["payload"]
+            for record in load_jsonl_records(self.log_path)
+        }
 
     def completed_count(self) -> int:
         """Number of distinct completed tasks currently journaled."""

@@ -52,6 +52,7 @@ __all__ = [
     "SharedInstanceStore",
     "WorkerRuntime",
     "WorkerPool",
+    "PersistentWorkerPool",
 ]
 
 #: Instances below this player count are cheaper to regenerate from their
@@ -107,7 +108,11 @@ class SharedInstanceStore:
         """Place ``instance`` in shared memory; False if not exportable."""
         profile = _profile_of(instance)
         players = profile.players()
-        if not all(isinstance(player, int) for player in players):
+        # np.integer labels (e.g. nodes minted from numpy index arrays) are
+        # every bit as exportable as python ints — `isinstance(np.int64(3),
+        # int)` is False, so testing `int` alone silently disabled shared
+        # placement for numpy-labelled instances.
+        if not all(isinstance(player, (int, np.integer)) for player in players):
             return False
         strategies = [sorted(profile.strategy(player)) for player in players]
         num_targets = sum(len(targets) for targets in strategies)
@@ -294,6 +299,7 @@ def _worker_main(
     session_cache_size: int,
     result_queue,
     kernel_backend: str | None = None,
+    orchestrator_pid: int | None = None,
 ) -> None:
     """Process body: drain the shard in order, streaming encoded results.
 
@@ -308,15 +314,21 @@ def _worker_main(
     orphan the workers, which would burn CPU finishing a shard nobody
     collects — concurrently with the resumed run.  Checking for
     reparenting between tasks bounds the waste to the task in flight.
+    ``orchestrator_pid`` is the orchestrator's own PID captured *before*
+    the fork: sampling ``os.getppid()`` here instead would race the
+    orchestrator's death — a worker whose first instruction runs after the
+    parent died would capture the reparented PID as its baseline and the
+    guard would never trip.
     """
     if kernel_backend is not None:
         from repro.kernels import set_default_backend
 
         set_default_backend(kernel_backend)
-    parent = os.getppid()
+    if orchestrator_pid is None:  # pragma: no cover - legacy direct callers
+        orchestrator_pid = os.getppid()
     runtime = WorkerRuntime(shared_refs, session_cache_size)
     for task in shard:
-        if os.getppid() != parent:
+        if os.getppid() != orchestrator_pid:
             return  # orchestrator died; results would go nowhere
         try:
             payload = encode_result(task, runtime.execute(task))
@@ -363,6 +375,7 @@ class WorkerPool:
                     self.session_cache_size,
                     queue,
                     self.kernel_backend,
+                    os.getpid(),  # captured pre-fork: the orphan baseline
                 ),
                 daemon=True,
             )
@@ -404,3 +417,208 @@ class WorkerPool:
                     process.terminate()
             for process in processes:
                 process.join()
+
+
+# ----------------------------------------------------------------------
+# The daemon's shared persistent pool
+# ----------------------------------------------------------------------
+def _service_worker_main(
+    worker_id: int,
+    inbox,
+    outbox,
+    orchestrator_pid: int,
+    session_cache_size: int,
+    kernel_backend: str | None,
+) -> None:
+    """Long-lived process body of one :class:`PersistentWorkerPool` slot.
+
+    Unlike the one-shot shard worker above, this loop outlives any single
+    sweep: it drains ``inbox`` until a ``None`` sentinel arrives, keeping
+    its :class:`WorkerRuntime` — and therefore its warm instance and engine
+    caches — alive *across jobs*.  A task failure is reported and the loop
+    continues (one bad task must not cost the daemon its pool); the orphan
+    guard compares against the daemon PID captured pre-fork, exactly like
+    the shard worker's.
+    """
+    if kernel_backend is not None:
+        from repro.kernels import set_default_backend
+
+        set_default_backend(kernel_backend)
+    runtime = WorkerRuntime(session_cache_size=session_cache_size)
+    while True:
+        try:
+            item = inbox.get(timeout=1.0)
+        except Empty:
+            if os.getppid() != orchestrator_pid:
+                return  # daemon died; nobody will ever send the sentinel
+            continue
+        if item is None:
+            return
+        task: SweepTask = item
+        try:
+            payload = encode_result(task, runtime.execute(task))
+        except BaseException:
+            outbox.put(
+                (
+                    worker_id,
+                    "error",
+                    task.index,
+                    task.spec_hash,
+                    task.kind,
+                    traceback.format_exc(),
+                )
+            )
+            continue
+        outbox.put((worker_id, "ok", task.index, task.spec_hash, task.kind, payload))
+
+
+class PersistentWorkerPool:
+    """A fixed set of long-lived worker processes shared across jobs.
+
+    The sweep daemon owns exactly one of these: every job's cache-missing
+    tasks run here, so consecutive jobs over the same instances hit warm
+    :class:`WorkerRuntime` caches that a per-job :class:`WorkerPool` would
+    rebuild from scratch.  Tasks are fed with a one-task window per worker
+    (a worker only receives its next task after returning the previous
+    one), which keeps cancellation prompt — at most ``workers`` tasks are
+    in flight when a job is aborted — and lets :meth:`run_tasks` preserve
+    the instance-affine shard order within each worker.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        session_cache_size: int = SESSION_CACHE_SIZE,
+        kernel_backend: str | None = None,
+    ) -> None:
+        from repro.parallel.pool import resolve_workers
+
+        self.workers = resolve_workers(workers)
+        self.session_cache_size = session_cache_size
+        self.kernel_backend = kernel_backend
+        self._context = mp.get_context()
+        self._outbox = self._context.Queue()
+        self._inboxes: list = [None] * self.workers
+        self._processes: list = [None] * self.workers
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for slot in range(self.workers):
+            self._spawn(slot)
+
+    def _spawn(self, slot: int) -> None:
+        # A fresh inbox per (re)spawn: a worker that died mid-job may leave
+        # an undelivered task in its old queue, which a respawned process
+        # must never pick up on behalf of a failed job.
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_service_worker_main,
+            args=(
+                slot,
+                inbox,
+                self._outbox,
+                os.getpid(),  # captured pre-fork: the orphan baseline
+                self.session_cache_size,
+                self.kernel_backend,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._inboxes[slot] = inbox
+        self._processes[slot] = process
+
+    def ensure_alive(self) -> None:
+        """Respawn any worker slot whose process has died."""
+        self.start()
+        for slot, process in enumerate(self._processes):
+            if process is None or not process.is_alive():
+                self._spawn(slot)
+
+    def stop(self) -> None:
+        """Send sentinels and reap every worker (terminate stragglers)."""
+        if not self._started:
+            return
+        for inbox, process in zip(self._inboxes, self._processes):
+            if process is not None and process.is_alive():
+                inbox.put(None)
+        for process in self._processes:
+            if process is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+        self._processes = [None] * self.workers
+        self._started = False
+
+    # -- execution -----------------------------------------------------
+    def run_tasks(self, tasks, on_result, should_abort=None) -> None:
+        """Execute ``tasks``; ``on_result(index, spec_hash, kind, payload)``
+        fires in completion order (the caller journals and reassembles by
+        index).  ``should_abort()`` is polled after every completion: once
+        it returns True no further task is dispatched, in-flight results
+        are still collected (and journaled by the caller — finished work is
+        never discarded).  A task error aborts dispatch the same way and is
+        re-raised after the in-flight tasks drain; the pool itself survives
+        for the next job.
+        """
+        if not tasks:
+            return
+        self.ensure_alive()
+        from repro.service.tasks import shard_tasks
+
+        shards = shard_tasks(list(tasks), self.workers)
+        shards += [[] for _ in range(self.workers - len(shards))]
+        cursors = [0] * self.workers
+        busy = [False] * self.workers
+        outstanding = 0
+        for slot, shard in enumerate(shards):
+            if shard:
+                self._inboxes[slot].put(shard[0])
+                cursors[slot] = 1
+                busy[slot] = True
+                outstanding += 1
+        aborted = False
+        error: str | None = None
+        while outstanding:
+            try:
+                message = self._outbox.get(timeout=1.0)
+            except Empty:
+                dead = [
+                    slot
+                    for slot, process in enumerate(self._processes)
+                    if busy[slot] and not process.is_alive()
+                ]
+                if dead:
+                    # The dying worker may have flushed its final result
+                    # between our timeout and the liveness check.
+                    try:
+                        message = self._outbox.get_nowait()
+                    except Empty:
+                        raise RuntimeError(
+                            f"sweep worker {dead[0]} died without reporting "
+                            "a result"
+                        ) from None
+                else:
+                    continue
+            worker_id, status, index, spec_hash, kind, payload = message
+            outstanding -= 1
+            busy[worker_id] = False
+            if status == "error":
+                if error is None:
+                    error = f"sweep task {index} failed in a worker:\n{payload}"
+                aborted = True
+            else:
+                on_result(index, spec_hash, kind, payload)
+            if not aborted and should_abort is not None and should_abort():
+                aborted = True
+            if not aborted and cursors[worker_id] < len(shards[worker_id]):
+                self._inboxes[worker_id].put(shards[worker_id][cursors[worker_id]])
+                cursors[worker_id] += 1
+                busy[worker_id] = True
+                outstanding += 1
+        if error is not None:
+            raise RuntimeError(error)

@@ -197,6 +197,39 @@ class TestSweepJournal:
         }
         journal.close()
 
+    def test_torn_manifest_is_a_clear_error_on_resume(self, tmp_path):
+        # A crash mid-manifest-write used to surface as a raw
+        # JSONDecodeError from --resume; now the manifest is written
+        # atomically, and a manifest damaged by other means is a clear
+        # ValueError, not a traceback into the json module.
+        import json
+
+        import pytest
+
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 2)
+        journal.append("s1", 0, "sum", {"v": 1})
+        journal.close()
+        journal.manifest_path.write_text('{"format": "repro-sweep-jour')
+        with pytest.raises(ValueError, match="corrupt sweep manifest"):
+            journal.open("hash-a", 2, resume=True)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(journal.manifest_path.read_text())  # truly torn
+
+    def test_manifest_write_is_atomic(self, tmp_path):
+        # The temp file must be gone and the manifest complete after open().
+        _, journal = self._journal(tmp_path)
+        journal.open("hash-a", 2)
+        journal.close()
+        assert not journal.manifest_path.with_name(
+            journal.manifest_path.name + ".tmp"
+        ).exists()
+        import json
+
+        manifest = json.loads(journal.manifest_path.read_text())
+        assert manifest["sweep_hash"] == "hash-a"
+        assert manifest["num_tasks"] == 2
+
     def test_resume_requires_matching_sweep(self, tmp_path):
         _, journal = self._journal(tmp_path)
         journal.open("hash-a", 2)

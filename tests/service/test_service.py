@@ -249,6 +249,36 @@ class TestSharedMemoryInstances:
         finally:
             store.release()
 
+    def test_numpy_integer_labels_are_shareable(self):
+        """Regression: ``np.int64`` player labels must not silently disable
+        shared-memory placement (``isinstance(x, int)`` is False for them)."""
+        import numpy as np
+
+        from repro.graphs.generators.base import OwnedGraph, assign_ownership_to_smaller
+        from repro.graphs.graph import Graph
+
+        task = compile_run_specs(_specs()[:1])[0]
+        plain = instance_builder(task)()
+        relabel = {player: np.int64(player) for player in plain.graph.nodes()}
+        graph = Graph(
+            edges=[(relabel[u], relabel[v]) for u, v in plain.graph.edges()]
+        )
+        owned = OwnedGraph(
+            graph=graph, ownership=assign_ownership_to_smaller(graph)
+        )
+        store = SharedInstanceStore()
+        try:
+            assert store.export(task.instance_key, owned)
+            runtime = WorkerRuntime(shared_refs=store.refs)
+            runtime.execute(task)
+            assert runtime.shared_attached > 0
+            restored = attach_shared_profile(store.refs[task.instance_key])
+            assert sorted(restored.players()) == sorted(
+                int(player) for player in owned.ownership
+            )
+        finally:
+            store.release()
+
 
 class TestOrchestrateJournal:
     def test_resume_skips_completed_tasks(self, tmp_path):
@@ -288,3 +318,57 @@ class TestOrchestrateJournal:
         log.write_text("".join(lines[: len(lines) // 2]) + '{"torn-record')
         resumed = orchestrate(tasks, dataclasses.replace(config, resume=True))
         assert resumed == full
+
+
+class TestDuplicateSpecHashes:
+    """The same spec listed twice is one unit of engine work, two rows."""
+
+    @staticmethod
+    def _count_executions(monkeypatch) -> list[str]:
+        calls: list[str] = []
+        original = WorkerRuntime.execute
+
+        def counting(self, task):
+            calls.append(task.spec_hash)
+            return original(self, task)
+
+        monkeypatch.setattr(WorkerRuntime, "execute", counting)
+        return calls
+
+    def test_fresh_grid_executes_unique_hashes_once(self, monkeypatch):
+        calls = self._count_executions(monkeypatch)
+        specs = _specs()[:2]
+        tasks = compile_run_specs(specs + specs)
+        results = orchestrate(tasks, ServiceConfig(workers=1))
+        assert len(results) == 4
+        assert len(calls) == 2  # one execution per unique spec_hash
+        assert len(set(calls)) == 2
+        # Duplicate positions assemble the same payload into equal — but
+        # never aliased — results.
+        assert results[0] == results[2] and results[1] == results[3]
+        assert results[0] is not results[2]
+
+    def test_journal_records_unique_hashes_once(self, tmp_path, monkeypatch):
+        specs = _specs()[:2]
+        tasks = compile_run_specs(specs + specs)
+        config = ServiceConfig(workers=1, journal_dir=tmp_path, experiment="exp")
+        full = orchestrate(tasks, config)
+        log_lines = (tmp_path / "exp" / "journal.jsonl").read_text().splitlines()
+        assert len(log_lines) == 2  # duplicates were never journaled
+        calls = self._count_executions(monkeypatch)
+        resumed = orchestrate(tasks, dataclasses.replace(config, resume=True))
+        assert calls == []  # every occurrence served from the journal
+        assert resumed == full
+        assert resumed[0] == resumed[2] and resumed[1] == resumed[3]
+
+    def test_duplicates_match_singles(self):
+        specs = _specs()[:2]
+        duplicated = orchestrate(
+            compile_run_specs(specs + specs), ServiceConfig(workers=1)
+        )
+        singles = orchestrate(compile_run_specs(specs), ServiceConfig(workers=1))
+        assert strip_timing_fields(
+            [result.as_row() for result in duplicated]
+        ) == strip_timing_fields(
+            [result.as_row() for result in singles + singles]
+        )
