@@ -238,6 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
         "locally; overlapping cells are served from its content-addressed "
         "cache with zero engine work",
     )
+    sweep.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="pin tasks to their static affinity shards instead of letting "
+        "idle workers steal pending instance-groups from stragglers "
+        "(rows are bit-identical either way; only the makespan moves)",
+    )
     _add_journal_options(sweep)
     _add_common_options(sweep)
 
@@ -275,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-backend",
         default=None,
         help="kernel backend the workers install as their process default",
+    )
+    serve.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="pin each job's tasks to their static affinity shards instead "
+        "of work stealing (rows are bit-identical either way)",
     )
     return parser
 
@@ -408,6 +421,7 @@ def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace
             SweepSettings(num_seeds=seeds, solver=args.solver, workers=args.workers),
             journal=args.journal,
             resume=args.resume,
+            steal=not args.no_steal,
         )
     rows = [result.as_row() for result in results]
     if args.journal:
@@ -433,6 +447,7 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             queue_size=args.queue_size,
             in_process=args.in_process,
             kernel_backend=args.kernel_backend,
+            steal=not args.no_steal,
         )
     )
     return 0

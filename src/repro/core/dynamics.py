@@ -23,6 +23,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: engine imports core
+    from repro.engine.views import ViewStore
 
 from repro.core.best_response import ENGINE_DEFAULT_SOLVER, best_response
 from repro.core.games import GameSpec
@@ -118,6 +122,7 @@ def best_response_dynamics(
     sum_exhaustive_limit: int | None = None,
     sum_restarts: int = 1,
     kernel_backend: str | None = None,
+    view_store: "ViewStore | None" = None,
 ) -> DynamicsResult:
     """Run the best-response dynamics until convergence.
 
@@ -189,6 +194,7 @@ def best_response_dynamics(
         ),
         sum_restarts=sum_restarts,
         kernel_backend=kernel_backend,
+        view_store=view_store,
     )
     return engine.run()
 

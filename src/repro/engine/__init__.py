@@ -31,7 +31,7 @@ from repro.engine.schedulers import (
     make_scheduler,
 )
 from repro.engine.state import NetworkState, StrategyDelta
-from repro.engine.views import IncrementalViewCache
+from repro.engine.views import IncrementalViewCache, ViewStore
 
 __all__ = [
     "DynamicsEngine",
@@ -39,6 +39,7 @@ __all__ = [
     "NetworkState",
     "StrategyDelta",
     "IncrementalViewCache",
+    "ViewStore",
     "Scheduler",
     "FixedScheduler",
     "ShuffledScheduler",

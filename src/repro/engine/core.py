@@ -42,7 +42,7 @@ from repro.core.metrics import compute_profile_metrics
 from repro.core.strategies import StrategyProfile
 from repro.engine.schedulers import Scheduler, make_scheduler
 from repro.engine.state import NetworkState
-from repro.engine.views import IncrementalViewCache
+from repro.engine.views import IncrementalViewCache, ViewStore
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.graph import Node
 from repro.kernels import KernelBackend, resolve_backend
@@ -94,6 +94,7 @@ class DynamicsEngine:
         sum_exhaustive_limit: int = SUM_EXHAUSTIVE_LIMIT,
         sum_restarts: int = 1,
         kernel_backend: str | KernelBackend | None = None,
+        view_store: ViewStore | None = None,
     ) -> None:
         profile = coerce_profile(initial)
         self.game = game
@@ -134,8 +135,16 @@ class DynamicsEngine:
         self.collect_metrics = collect_metrics
         self.rng = random.Random(seed)
         self.state = NetworkState.from_profile(profile)
+        #: Optional cross-session view store: engines over the same instance
+        #: (an α-grid, a robustness battery) injected with one shared
+        #: :class:`~repro.engine.views.ViewStore` adopt each other's
+        #: refreshed views instead of re-running the full BFS sweep.
+        #: Best-response memos stay per-engine; only views (and their
+        #: content tokens) are shared.  Trajectories are bit-identical with
+        #: or without a store.
+        self.view_store = view_store
         self.views = IncrementalViewCache(
-            self.state, game.k, kernel_backend=self.kernel_backend
+            self.state, game.k, kernel_backend=self.kernel_backend, store=view_store
         )
         base_order = (
             list(player_order) if player_order is not None else profile.players()

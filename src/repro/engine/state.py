@@ -66,10 +66,11 @@ class NetworkState:
     recomputes in ``O(n)`` per call.
     """
 
-    __slots__ = ("_strategies", "_graph", "_buyers")
+    __slots__ = ("_strategies", "_graph", "_buyers", "_revision")
 
     def __init__(self, strategies: dict[Node, frozenset[Node]]) -> None:
         self._strategies = dict(strategies)
+        self._revision = 0
         graph = Graph(nodes=self._strategies)
         buyers: dict[Node, set[Node]] = {node: set() for node in self._strategies}
         for player, targets in self._strategies.items():
@@ -94,6 +95,17 @@ class NetworkState:
     @property
     def version(self) -> int:
         return self._graph.version
+
+    @property
+    def revision(self) -> int:
+        """Monotone strategy-content counter, bumped on every applied delta.
+
+        Unlike :attr:`version` (the graph's structural counter), this also
+        moves on pure ownership flips — a double-bought edge changing hands
+        alters buyer sets (and therefore view content) without touching the
+        topology.  Caches keyed on full state content must key on this.
+        """
+        return self._revision
 
     def players(self) -> list[Node]:
         return list(self._strategies)
@@ -168,6 +180,7 @@ class NetworkState:
                 f"stale delta for player {player!r}: strategy changed since preview"
             )
         self._strategies[player] = delta.new_strategy
+        self._revision += 1
         for target in delta.buyer_changes:
             if target in delta.new_strategy:
                 self._buyers[target].add(player)

@@ -29,6 +29,9 @@ staleness test without comparing view contents.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.games import FULL_KNOWLEDGE
@@ -44,7 +47,12 @@ from repro.graphs.traversal import (
 )
 from repro.kernels import KernelBackend
 
-__all__ = ["IncrementalViewCache"]
+__all__ = ["IncrementalViewCache", "ViewStore", "DEFAULT_VIEW_STORE_CAPACITY"]
+
+#: Default number of (state, k, player) entries a :class:`ViewStore` retains.
+#: Sized to hold every player's view for a handful of distinct network
+#: snapshots of sweep-scale instances; LRU eviction bounds memory beyond it.
+DEFAULT_VIEW_STORE_CAPACITY = 8192
 
 
 def _views_equal(a: View, b: View) -> bool:
@@ -57,16 +65,100 @@ def _views_equal(a: View, b: View) -> bool:
     )
 
 
+class ViewStore:
+    """Cross-session LRU cache of refreshed views, shared between engines.
+
+    Keyed by ``(state signature, k, player)`` where the signature is a
+    digest of :meth:`NetworkState.canonical_key` — i.e. the full strategy
+    profile, which determines topology *and* buyer sets.  Multiple
+    :class:`~repro.engine.core.DynamicsEngine` sessions over the same
+    instance (an α-grid, a robustness battery) hand the same store to their
+    view caches and skip every BFS another session already paid for at the
+    same network snapshot.
+
+    Tokens are drawn from a single store-global monotone counter, so token
+    equality implies content equality *across* every engine attached to the
+    store — a memoised best response recorded under a token stays valid for
+    any engine that later adopts the same published view (including the
+    publishing engine itself returning to an earlier snapshot).
+
+    The store is process-local and accessed sequentially (one engine active
+    at a time inside a worker); it is not thread-safe.
+    """
+
+    __slots__ = ("_entries", "_capacity", "_next_token", "hits", "misses", "publishes")
+
+    def __init__(self, capacity: int = DEFAULT_VIEW_STORE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("ViewStore capacity must be >= 1")
+        self._entries: OrderedDict[tuple, tuple[View, int]] = OrderedDict()
+        self._capacity = capacity
+        self._next_token = 1
+        self.hits = 0
+        self.misses = 0
+        self.publishes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def next_token(self) -> int:
+        """A globally fresh content token (never reused within the store)."""
+        token = self._next_token
+        self._next_token += 1
+        return token
+
+    def get(self, signature: bytes, k: float, player: Node) -> tuple[View, int] | None:
+        """Published ``(view, token)`` for a player at a network snapshot."""
+        entry = self._entries.get((signature, k, player))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((signature, k, player))
+        self.hits += 1
+        return entry
+
+    def put(self, signature: bytes, k: float, player: Node, view: View, token: int) -> None:
+        """Publish a settled view under its content token (first write wins)."""
+        key = (signature, k, player)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = (view, token)
+        self.publishes += 1
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "view_store_hits": self.hits,
+            "view_store_misses": self.misses,
+            "view_store_publishes": self.publishes,
+            "view_store_entries": len(self._entries),
+        }
+
+
 class IncrementalViewCache:
     """Per-player views over a :class:`NetworkState`, invalidated by deltas."""
 
-    __slots__ = ("_state", "_k", "_views", "_tokens", "_dirty", "_kernel_backend")
+    __slots__ = (
+        "_state",
+        "_k",
+        "_views",
+        "_tokens",
+        "_dirty",
+        "_kernel_backend",
+        "_store",
+        "_sig_cache",
+        "views_built",
+        "shared_hits",
+    )
 
     def __init__(
         self,
         state: NetworkState,
         k: float,
         kernel_backend: str | KernelBackend | None = None,
+        store: ViewStore | None = None,
     ) -> None:
         self._state = state
         self._k = k
@@ -76,6 +168,13 @@ class IncrementalViewCache:
         self._views: dict[Node, View] = {}
         self._tokens: dict[Node, int] = {player: 0 for player in state.players()}
         self._dirty: set[Node] = set(state.players())
+        self._store = store
+        self._sig_cache: tuple[int, bytes] | None = None
+        #: Views actually constructed by BFS in this cache (both the bulk
+        #: and the single-player path) — store adoptions do not count.
+        self.views_built = 0
+        #: Views adopted from the shared store instead of being rebuilt.
+        self.shared_hits = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -110,8 +209,41 @@ class IncrementalViewCache:
         old = self._views.get(player)
         if old is None or not _views_equal(old, view):
             self._views[player] = view
-            self._tokens[player] += 1
+            # With a shared store attached every token must stay globally
+            # unique (token equality ⇒ content equality across engines), so
+            # fresh tokens come from the store counter instead of a local
+            # per-player bump.
+            if self._store is not None:
+                self._tokens[player] = self._store.next_token()
+            else:
+                self._tokens[player] += 1
         self._dirty.discard(player)
+
+    def _install_shared(self, player: Node, view: View, token: int) -> None:
+        """Adopt a store-published view, carrying its published token.
+
+        When the current content already equals the published view the old
+        local token is kept (it maps to the same content under the store's
+        global counter), so memoised best responses survive; otherwise the
+        published token is adopted, resurrecting any memo this engine
+        recorded the last time it sat at this snapshot.
+        """
+        old = self._views.get(player)
+        if old is None or not _views_equal(old, view):
+            self._views[player] = view
+            self._tokens[player] = token
+        self._dirty.discard(player)
+
+    def _state_signature(self) -> bytes:
+        """Digest of the full canonical state, memoised by state revision."""
+        revision = self._state.revision
+        cached = self._sig_cache
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        payload = repr(self._state.canonical_key()).encode("utf-8")
+        signature = hashlib.sha256(payload).digest()
+        self._sig_cache = (revision, signature)
+        return signature
 
     # ------------------------------------------------------------------
     # Bulk refresh (batched CSR BFS)
@@ -119,7 +251,9 @@ class IncrementalViewCache:
     def refresh_dirty(self) -> int:
         """Rebuild every stale view with blocked batched multi-source BFS.
 
-        Returns the number of views rebuilt.  One CSR export plus one
+        Returns the number of views settled (rebuilt by BFS or adopted from
+        the shared :class:`ViewStore` when one is attached — adopted views
+        skip the BFS entirely).  One CSR export plus one
         batched kernel call per source block (at most
         :data:`~repro.graphs.traversal.DEFAULT_BLOCK_SIZE` dirty players'
         distance rows live at once) replaces ``len(dirty)`` independent
@@ -129,6 +263,23 @@ class IncrementalViewCache:
         dirty = [p for p in self._state.players() if p in self._dirty or p not in self._views]
         if not dirty:
             return 0
+        settled = len(dirty)
+        signature: bytes | None = None
+        if self._store is not None:
+            # Adopt everything a sibling session already refreshed at this
+            # exact network snapshot; only the remainder pays for BFS.
+            signature = self._state_signature()
+            remaining: list[Node] = []
+            for player in dirty:
+                entry = self._store.get(signature, self._k, player)
+                if entry is None:
+                    remaining.append(player)
+                else:
+                    self._install_shared(player, entry[0], entry[1])
+                    self.shared_hits += 1
+            dirty = remaining
+            if not dirty:
+                return settled
         graph = self._state.graph
         indptr, indices, order = graph.to_csr_arrays()
         index = {node: i for i, node in enumerate(order)}
@@ -157,7 +308,16 @@ class IncrementalViewCache:
                 self._install(
                     player, self._assemble(player, visible, distances, frontier)
                 )
-        return len(dirty)
+                self.views_built += 1
+                if self._store is not None and signature is not None:
+                    self._store.put(
+                        signature,
+                        self._k,
+                        player,
+                        self._views[player],
+                        self._tokens[player],
+                    )
+        return settled
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -211,6 +371,7 @@ class IncrementalViewCache:
     # View construction (content-identical to ``extract_view``)
     # ------------------------------------------------------------------
     def _build_single(self, player: Node) -> View:
+        self.views_built += 1
         graph = self._state.graph
         if self._k == FULL_KNOWLEDGE:
             distances = bfs_distances(graph, player)

@@ -543,6 +543,7 @@ def _converge_base(
     max_rounds: int,
     game: GameSpec,
     owned=None,
+    view_store=None,
 ) -> _BaseSession:
     """Build and converge the pre-shock engine of one instance cell.
 
@@ -557,7 +558,12 @@ def _converge_base(
     # social costs explicitly (outside the timed windows) keeps the warm
     # replay at O(dirty ball) and the warm-vs-cold timing honest.
     engine = DynamicsEngine(
-        owned, game, solver=solver, max_rounds=max_rounds, collect_metrics=False
+        owned,
+        game,
+        solver=solver,
+        max_rounds=max_rounds,
+        collect_metrics=False,
+        view_store=view_store,
     )
     base_result = engine.run()
     session = _BaseSession(

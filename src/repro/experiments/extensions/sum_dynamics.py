@@ -65,7 +65,7 @@ class SumDynamicsConfig:
         )
 
 
-def run_sum_task(task: tuple[int, float, int, int, int], initial) -> dict:
+def run_sum_task(task: tuple[int, float, int, int, int], initial, view_store=None) -> dict:
     """One SumNCG run on a pre-built initial instance (sweep work item).
 
     ``initial`` is the random owned tree of the task's ``(n, seed)`` — or
@@ -75,7 +75,9 @@ def run_sum_task(task: tuple[int, float, int, int, int], initial) -> dict:
     n, alpha, k, seed, max_rounds = task
     k_value = FULL_KNOWLEDGE if k >= FULL_KNOWLEDGE_K else k
     game = SumNCG(alpha=alpha, k=k_value)
-    result = best_response_dynamics(initial, game, max_rounds=max_rounds)
+    result = best_response_dynamics(
+        initial, game, max_rounds=max_rounds, view_store=view_store
+    )
     metrics = result.final_metrics
     return {
         "n": n,

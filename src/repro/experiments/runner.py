@@ -153,7 +153,7 @@ def build_instance(spec: RunSpec) -> OwnedGraph:
 
 
 def run_spec_on_instance(
-    spec: RunSpec, initial, collect_round_metrics: bool = False
+    spec: RunSpec, initial, collect_round_metrics: bool = False, view_store=None
 ) -> RunResult:
     """Execute ``spec``'s dynamics on a pre-built initial instance.
 
@@ -161,6 +161,9 @@ def run_spec_on_instance(
     ``spec`` — an :class:`OwnedGraph` or the equivalent
     :class:`~repro.core.strategies.StrategyProfile` (e.g. a sweep worker's
     cached or shared-memory copy); the result is identical either way.
+    ``view_store`` optionally shares refreshed BFS views across runs over
+    the same instance (an α-grid) — trajectories are bit-identical with or
+    without it.
     """
     game = spec.game()
     result = best_response_dynamics(
@@ -172,6 +175,7 @@ def run_spec_on_instance(
         ordering=spec.ordering,
         seed=spec.seed,
         kernel_backend=spec.kernel_backend,
+        view_store=view_store,
     )
     return RunResult(
         spec=spec,
@@ -196,6 +200,7 @@ def run_sweep(
     settings: SweepSettings | None = None,
     journal: str | None = None,
     resume: bool = False,
+    steal: bool = True,
 ) -> list[RunResult]:
     """Run many independent specs, optionally across processes.
 
@@ -214,7 +219,11 @@ def run_sweep(
         return run_spec_sweep(
             list(specs),
             ServiceConfig(
-                workers=workers, journal_dir=journal, experiment="sweep", resume=resume
+                workers=workers,
+                journal_dir=journal,
+                experiment="sweep",
+                resume=resume,
+                steal=steal,
             ),
         )
     return parallel_map(run_single, specs, workers=workers)

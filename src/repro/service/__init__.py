@@ -34,15 +34,18 @@ from repro.service.jobs import (
 )
 from repro.service.journal import SweepJournal
 from repro.service.tasks import (
+    AffinityTaskQueue,
     SweepTask,
     compile_robustness_tasks,
     compile_run_specs,
     compile_sum_tasks,
     shard_tasks,
+    simulate_dispatch,
     strip_timing_fields,
     sweep_hash,
 )
 from repro.service.workers import (
+    PersistentWorkerPool,
     SharedInstanceStore,
     WorkerPool,
     WorkerRuntime,
@@ -61,10 +64,13 @@ __all__ = [
     "compile_sum_tasks",
     "compile_robustness_tasks",
     "shard_tasks",
+    "AffinityTaskQueue",
+    "simulate_dispatch",
     "strip_timing_fields",
     "sweep_hash",
     "SharedInstanceStore",
     "WorkerPool",
+    "PersistentWorkerPool",
     "WorkerRuntime",
     "attach_shared_profile",
     "DaemonConfig",

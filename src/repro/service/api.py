@@ -76,6 +76,12 @@ class ServiceConfig:
     backend still outrank it.  ``None`` leaves workers on their own
     env-var/auto-detect chain.  Backends are bit-identical, so journals
     and results never depend on this.
+
+    ``steal=True`` (the default) lets idle workers steal whole pending
+    instance-groups from stragglers through the
+    :class:`~repro.service.tasks.AffinityTaskQueue`; ``steal=False`` pins
+    every group to its static shard.  Rows are bit-identical either way —
+    only the makespan moves.
     """
 
     workers: int | None = 1
@@ -87,6 +93,7 @@ class ServiceConfig:
     in_process: bool = False
     shard_seed: int | None = None
     kernel_backend: str | None = None
+    steal: bool = True
 
 
 def _export_shared_instances(
@@ -183,14 +190,16 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                                 encode_result(task, runtime.execute(task)),
                             )
             else:
-                shards = shard_tasks(pending, workers, order_seed=config.shard_seed)
                 shared = _export_shared_instances(pending, config.min_shared_nodes)
                 try:
                     WorkerPool(
-                        shards,
+                        pending,
+                        workers=workers,
                         shared_refs=shared.refs,
                         session_cache_size=config.session_cache_size,
                         kernel_backend=config.kernel_backend,
+                        steal=config.steal,
+                        order_seed=config.shard_seed,
                     ).run(on_result)
                 finally:
                     shared.release()

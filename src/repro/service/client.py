@@ -140,9 +140,35 @@ class SweepClient:
                 )
             time.sleep(poll)
 
-    def results(self, job_id: str) -> list[dict]:
-        """A done job's encoded payloads in canonical task order."""
-        return self._request("GET", f"/jobs/{job_id}/results")["results"]
+    #: Default page size for :meth:`results` — small enough that one page
+    #: of encoded payloads stays comfortably inside a single JSON response,
+    #: large enough that typical grids land in a handful of requests.
+    RESULTS_PAGE_SIZE = 512
+
+    def results(self, job_id: str, page_size: int | None = None) -> list[dict]:
+        """A done job's encoded payloads in canonical task order.
+
+        Transparently paginated: pages of ``page_size`` (default
+        :attr:`RESULTS_PAGE_SIZE`) are fetched via the daemon's
+        ``?offset=&limit=`` parameters and concatenated, so callers see the
+        full list without the daemon ever materialising it in one body.
+        ``page_size=0`` requests everything in a single unpaged call.
+        """
+        size = self.RESULTS_PAGE_SIZE if page_size is None else page_size
+        if size <= 0:
+            return self._request("GET", f"/jobs/{job_id}/results")["results"]
+        results: list[dict] = []
+        offset = 0
+        while True:
+            document = self._request(
+                "GET", f"/jobs/{job_id}/results?offset={offset}&limit={size}"
+            )
+            page = document["results"]
+            results.extend(page)
+            offset += len(page)
+            total = document.get("total")
+            if total is None or offset >= total or not page:
+                return results
 
     def decoded_results(self, job_id: str) -> list:
         """The same, decoded through the shared journal codecs."""

@@ -20,6 +20,7 @@ Endpoints (all JSON; one request per connection)::
     DELETE /jobs/<id>            cancel (no-op once terminal)
     GET    /jobs/<id>/events     chunked ndjson progress stream
     GET    /jobs/<id>/results    encoded payloads, canonical task order
+                                 (paged via ?offset=&limit=; `total` in body)
     GET    /results/<spec_hash>  one cached result, content-addressed
 
 Durability: job records and per-job journals are fsynced before results
@@ -67,6 +68,8 @@ class DaemonConfig:
     ``in_process=True`` replaces the forked worker pool with a single warm
     in-process :class:`WorkerRuntime` — the deterministic executor the
     tests use; results are bit-identical either way.
+    ``steal=False`` pins the pool's dispatch to static affinity shards
+    (rows are bit-identical either way; only the makespan moves).
     """
 
     store_dir: str | Path
@@ -77,6 +80,7 @@ class DaemonConfig:
     in_process: bool = False
     session_cache_size: int = SESSION_CACHE_SIZE
     kernel_backend: str | None = None
+    steal: bool = True
 
 
 class InProcessExecutor:
@@ -138,6 +142,7 @@ class ServiceDaemon:
                 workers=config.workers,
                 session_cache_size=config.session_cache_size,
                 kernel_backend=config.kernel_backend,
+                steal=config.steal,
             )
         self.port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -248,7 +253,8 @@ class ServiceDaemon:
                 headers[name.strip().lower()] = value.strip()
             length = int(headers.get("content-length", "0") or 0)
             body = await reader.readexactly(length) if length > 0 else b""
-            await self._route(method, target.split("?", 1)[0], body, writer)
+            path, _, query = target.partition("?")
+            await self._route(method, path, query, body, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -256,7 +262,9 @@ class ServiceDaemon:
                 writer.close()
                 await writer.wait_closed()
 
-    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+    async def _route(
+        self, method: str, path: str, query: str, body: bytes, writer
+    ) -> None:
         segments = [segment for segment in path.split("/") if segment]
         if method == "GET" and segments == ["healthz"]:
             await self._respond(writer, 200, {"status": "ok"})
@@ -285,7 +293,7 @@ class ServiceDaemon:
             if segments[2] == "events":
                 await self._stream_events(job, writer)
             else:
-                await self._results(job, writer)
+                await self._results(job, query, writer)
         elif method == "GET" and len(segments) == 2 and segments[0] == "results":
             entry = self.manager.cache.get(segments[1])
             if entry is None:
@@ -335,7 +343,7 @@ class ServiceDaemon:
                 writer, 405, {"error": f"method {method} not allowed on jobs"}
             )
 
-    async def _results(self, job: Job, writer) -> None:
+    async def _results(self, job: Job, query: str, writer) -> None:
         if job.status != "done":
             await self._respond(
                 writer,
@@ -343,10 +351,39 @@ class ServiceDaemon:
                 {"error": f"job {job.id} is {job.status}, not done", "job": job.view()},
             )
             return
-        results = await asyncio.get_running_loop().run_in_executor(
-            None, self.manager.collect_results, job
+        # Paged reads (`?offset=&limit=`): only the requested slice of the
+        # canonical task order is materialised, so million-row grids never
+        # serialise into one response body.  No parameters = everything
+        # (the pre-paging contract).
+        from urllib.parse import parse_qs
+
+        params = parse_qs(query, keep_blank_values=False)
+        try:
+            offset = int(params["offset"][0]) if "offset" in params else 0
+            limit = int(params["limit"][0]) if "limit" in params else None
+            if offset < 0 or (limit is not None and limit < 0):
+                raise ValueError
+        except (ValueError, IndexError):
+            await self._respond(
+                writer,
+                400,
+                {"error": "offset/limit must be non-negative integers"},
+            )
+            return
+        results, total = await asyncio.get_running_loop().run_in_executor(
+            None, self.manager.collect_results, job, offset, limit
         )
-        await self._respond(writer, 200, {"job": job.view(), "results": results})
+        await self._respond(
+            writer,
+            200,
+            {
+                "job": job.view(),
+                "results": results,
+                "offset": offset,
+                "limit": limit,
+                "total": total,
+            },
+        )
 
     async def _stream_events(self, job: Job, writer) -> None:
         writer.write(

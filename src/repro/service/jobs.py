@@ -545,18 +545,33 @@ class JobManager:
         )
 
     # -- results --------------------------------------------------------
-    def collect_results(self, job: Job) -> list[dict]:
-        """Encoded payloads of a finished job, in canonical task order.
+    def collect_results(
+        self, job: Job, offset: int = 0, limit: int | None = None
+    ) -> tuple[list[dict], int]:
+        """One page of a finished job's encoded payloads, canonical order.
 
         Pure store reads: the cache holds every hash a done job touched
         (with the job's own journal as the crash-window fallback), so
         serving results never re-runs the engine — this is the
         content-addressed read path clients hit after ``status == done``.
+
+        ``offset``/``limit`` select a slice of the canonical task order
+        (``limit=None`` means "to the end"); only the selected slice's
+        payloads are materialised, so paging over a million-row grid never
+        builds the whole response in memory.  Returns ``(page, total)``
+        with ``total`` the job's full task count.
         """
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
         tasks = compile_job(job.description)
+        total = len(tasks)
+        end = total if limit is None else min(total, offset + limit)
+        page = tasks[offset:end]
         journal_payloads: dict[str, Any] | None = None
         results: list[dict] = []
-        for task in tasks:
+        for task in page:
             entry = self.cache.get(task.spec_hash)
             if entry is None:
                 if journal_payloads is None:
@@ -581,7 +596,7 @@ class JobManager:
                     "payload": payload,
                 }
             )
-        return results
+        return results, total
 
     # -- stats ----------------------------------------------------------
     def stats(self) -> dict:

@@ -51,6 +51,9 @@ __all__ = [
     "compile_robustness_tasks",
     "sweep_hash",
     "shard_tasks",
+    "group_weight",
+    "AffinityTaskQueue",
+    "simulate_dispatch",
     "strip_timing_fields",
     "instance_builder",
     "instance_size",
@@ -217,25 +220,29 @@ def sweep_hash(tasks: list[SweepTask]) -> str:
 
 
 # ----------------------------------------------------------------------
-# Sharding
+# Sharding and dispatch
 # ----------------------------------------------------------------------
-def shard_tasks(
-    tasks: list[SweepTask], num_shards: int, order_seed: int | None = None
-) -> list[list[SweepTask]]:
-    """Split tasks into ``num_shards`` shards with instance affinity.
+def group_weight(group: list[SweepTask]) -> int:
+    """Estimated cost of one instance-affine task group.
 
-    Tasks are grouped by ``instance_key`` (preserving compile order inside
-    a group, so session-sharing tasks stay consecutive) and groups are
-    greedily balanced onto shards, heaviest first.  Shards may come back
-    empty when there are fewer groups than shards.  Results never depend
-    on the assignment: every task is self-contained and reassembled by
-    ``index`` — ``order_seed`` deterministically shuffles the assignment
-    order, which the equivalence tests use to prove exactly that.
+    ``instance node count × task count`` — the per-task dynamics cost grows
+    with the instance size (view BFS, cover searches), so a 4000-node
+    instance's ten tasks should not be balanced as if they matched ten tasks
+    on a 50-node instance.  Still an *estimate*: α/k skew is invisible to it,
+    which is exactly the residual imbalance work stealing mops up at runtime.
     """
-    if not tasks:
-        return []
-    if num_shards <= 1:
-        return [list(tasks)]
+    return instance_size(group[0]) * len(group)
+
+
+def _affinity_groups(
+    tasks: list[SweepTask], order_seed: int | None = None
+) -> tuple[dict[str, list[SweepTask]], list[str]]:
+    """Group tasks by ``instance_key``; keys ordered heaviest-first.
+
+    Compile order is preserved inside a group (session-sharing tasks stay
+    consecutive).  ``order_seed`` deterministically shuffles the key order —
+    the equivalence tests use it to prove assignment never affects results.
+    """
     groups: dict[str, list[SweepTask]] = {}
     arrival: list[str] = []
     for task in tasks:
@@ -244,16 +251,170 @@ def shard_tasks(
             arrival.append(task.instance_key)
     for task in tasks:
         groups[task.instance_key].append(task)
-    keys = sorted(arrival, key=lambda key: (-len(groups[key]), key))
+    keys = sorted(arrival, key=lambda key: (-group_weight(groups[key]), key))
     if order_seed is not None:
         Random(order_seed).shuffle(keys)
+    return groups, keys
+
+
+def shard_tasks(
+    tasks: list[SweepTask], num_shards: int, order_seed: int | None = None
+) -> list[list[SweepTask]]:
+    """Split tasks into ``num_shards`` static shards with instance affinity.
+
+    Tasks are grouped by ``instance_key`` (preserving compile order inside
+    a group, so session-sharing tasks stay consecutive) and groups are
+    greedily balanced onto shards by estimated :func:`group_weight`
+    (instance node count × task count), heaviest first.  Shards may come
+    back empty when there are fewer groups than shards.  Results never
+    depend on the assignment: every task is self-contained and reassembled
+    by ``index`` — ``order_seed`` deterministically shuffles the assignment
+    order, which the equivalence tests use to prove exactly that.
+
+    This static split remains the execution plan for ``workers=1``,
+    in-process sweeps and ``--no-steal`` runs; the work-stealing path uses
+    the same grouping/assignment as soft affinity *hints* via
+    :class:`AffinityTaskQueue`.
+    """
+    if not tasks:
+        return []
+    if num_shards <= 1:
+        return [list(tasks)]
+    groups, keys = _affinity_groups(tasks, order_seed)
     shards: list[list[SweepTask]] = [[] for _ in range(num_shards)]
     loads = [0] * num_shards
     for key in keys:
         target = min(range(num_shards), key=lambda i: (loads[i], i))
         shards[target].extend(groups[key])
-        loads[target] += len(groups[key])
+        loads[target] += group_weight(groups[key])
     return shards
+
+
+class AffinityTaskQueue:
+    """Central dispatcher: soft instance affinity plus whole-group stealing.
+
+    The static planner above *assigns* groups; this queue merely *hints*
+    them.  Each worker drains its own groups in assignment order and, when
+    it runs dry (``steal=True``), steals the **oldest pending group** from
+    the victim with the largest remaining estimated load — whole
+    instance-groups move, never single tasks, so the in-sequence-per-
+    instance invariant (warm sessions, shared-memory attach, journal
+    ordering) survives any interleaving.  A group being executed is checked
+    out to its worker and can no longer move.
+
+    Dispatch is deterministic given the sequence of :meth:`next_task`
+    calls; results never depend on that sequence because every task is
+    self-contained and reassembled by canonical index — with
+    ``steal=False`` the dispatch degenerates to exactly the static shards
+    of :func:`shard_tasks`.
+    """
+
+    def __init__(
+        self,
+        tasks: list[SweepTask],
+        num_workers: int,
+        steal: bool = True,
+        order_seed: int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.steal = steal
+        groups, keys = _affinity_groups(list(tasks), order_seed)
+        self._groups = groups
+        # Same greedy weighted assignment as the static planner — these are
+        # the soft affinity hints.
+        self._pending: list[list[str]] = [[] for _ in range(num_workers)]
+        loads = [0] * num_workers
+        for key in keys:
+            target = min(range(num_workers), key=lambda i: (loads[i], i))
+            self._pending[target].append(key)
+            loads[target] += group_weight(groups[key])
+        self._cursor: dict[str, int] = {key: 0 for key in keys}
+        self._active: list[str | None] = [None] * num_workers
+        #: Instrumentation (read by tests and the steal benchmark).
+        self.steals = 0
+        self.dispatched = 0
+
+    def _pending_load(self, worker: int) -> int:
+        return sum(group_weight(self._groups[key]) for key in self._pending[worker])
+
+    def remaining(self) -> int:
+        """Tasks not yet handed out (pending groups + checked-out tails)."""
+        return sum(
+            len(self._groups[key]) - self._cursor[key] for key in self._cursor
+        )
+
+    def _next_from_group(self, worker: int, key: str) -> SweepTask:
+        group = self._groups[key]
+        task = group[self._cursor[key]]
+        self._cursor[key] += 1
+        self._active[worker] = key if self._cursor[key] < len(group) else None
+        self.dispatched += 1
+        return task
+
+    def next_task(self, worker: int) -> SweepTask | None:
+        """The next task ``worker`` should run, or ``None`` when it is done.
+
+        Order of preference: finish the checked-out group, then the oldest
+        of the worker's own pending groups, then (``steal=True``) the
+        oldest pending group of the most-loaded victim.  ``None`` is
+        terminal for the worker: every remaining task belongs to a group
+        checked out elsewhere.
+        """
+        active = self._active[worker]
+        if active is not None:
+            return self._next_from_group(worker, active)
+        if self._pending[worker]:
+            return self._next_from_group(worker, self._pending[worker].pop(0))
+        if not self.steal:
+            return None
+        victim = max(
+            (w for w in range(self.num_workers) if self._pending[w]),
+            key=lambda w: (self._pending_load(w), -w),
+            default=None,
+        )
+        if victim is None:
+            return None
+        self.steals += 1
+        return self._next_from_group(worker, self._pending[victim].pop(0))
+
+
+def simulate_dispatch(
+    tasks: list[SweepTask],
+    num_workers: int,
+    durations: dict[str, float],
+    steal: bool = True,
+    order_seed: int | None = None,
+) -> tuple[float, list[list[int]]]:
+    """Virtual-time replay of the dispatch policy over measured durations.
+
+    ``durations`` maps ``spec_hash`` to the task's execution time (measured
+    once, or synthetic).  The replay drives :class:`AffinityTaskQueue`
+    exactly like the worker pool does — a worker requests its next task the
+    moment its previous one completes — but on a deterministic virtual
+    clock, so static-vs-stealing makespans can be compared exactly, on any
+    machine, independent of how many physical cores happen to exist.
+
+    Returns ``(makespan, assignments)`` with ``assignments[worker]`` the
+    canonical task indices the worker executed, in dispatch order.
+    """
+    import heapq
+
+    queue = AffinityTaskQueue(tasks, num_workers, steal=steal, order_seed=order_seed)
+    events = [(0.0, worker) for worker in range(num_workers)]
+    heapq.heapify(events)
+    assignments: list[list[int]] = [[] for _ in range(num_workers)]
+    makespan = 0.0
+    while events:
+        now, worker = heapq.heappop(events)
+        task = queue.next_task(worker)
+        if task is None:
+            makespan = max(makespan, now)
+            continue
+        assignments[worker].append(task.index)
+        heapq.heappush(events, (now + durations[task.spec_hash], worker))
+    return makespan, assignments
 
 
 def strip_timing_fields(rows: list[dict]) -> list[dict]:

@@ -18,10 +18,13 @@ alive.  This module is the stateful replacement:
   ``multiprocessing.shared_memory``; workers attach and rebuild the
   :class:`~repro.core.strategies.StrategyProfile` from the mapped arrays
   instead of regenerating the graph per worker or pickling it per task.
-* :class:`WorkerPool` runs one persistent process per shard and streams
-  ``(index, spec_hash, encoded payload)`` results back over a queue, so the
-  orchestrator can journal each result the moment it lands — the property
-  that makes a SIGKILL resumable.
+* :class:`PersistentWorkerPool` runs a fixed set of long-lived worker
+  processes fed through an :class:`~repro.service.tasks.AffinityTaskQueue`:
+  soft instance affinity keeps the warm caches hot, idle workers steal
+  whole instance-groups from stragglers, and every result streams back as
+  ``(index, spec_hash, encoded payload)`` the moment it lands — the
+  property that makes a SIGKILL resumable.  :class:`WorkerPool` is the
+  one-shot lifecycle adapter a single orchestrated sweep uses.
 
 Execution through a runtime is bit-identical to the serial paths: tasks
 are self-contained, warm engine reuse is the same ``restore_profile`` +
@@ -42,7 +45,13 @@ from queue import Empty
 import numpy as np
 
 from repro.core.strategies import StrategyProfile
-from repro.service.tasks import SweepTask, encode_result, instance_builder
+from repro.engine.views import ViewStore
+from repro.service.tasks import (
+    AffinityTaskQueue,
+    SweepTask,
+    encode_result,
+    instance_builder,
+)
 
 __all__ = [
     "SHARED_INSTANCE_MIN_NODES",
@@ -175,11 +184,17 @@ class WorkerRuntime:
         self,
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         session_cache_size: int = SESSION_CACHE_SIZE,
+        view_store: ViewStore | None = None,
     ) -> None:
         self._shared_refs = dict(shared_refs or {})
         self._instances: OrderedDict[str, object] = OrderedDict()
         self._sessions: OrderedDict[str, object] = OrderedDict()
         self._session_cache_size = max(1, session_cache_size)
+        #: Cross-session view store shared by every engine this runtime
+        #: builds: an α-grid's sessions over one instance adopt each other's
+        #: refreshed BFS views instead of re-sweeping (keyed by full state
+        #: content, so distinct instances never collide).  Bit-identical.
+        self.view_store = view_store if view_store is not None else ViewStore()
         #: Instrumentation (read by tests and the benchmark harness).
         self.sessions_built = 0
         self.sessions_reused = 0
@@ -225,11 +240,15 @@ class WorkerRuntime:
             from repro.experiments.runner import run_spec_on_instance
 
             (spec,) = task.payload
-            return run_spec_on_instance(spec, self._instance(task))
+            return run_spec_on_instance(
+                spec, self._instance(task), view_store=self.view_store
+            )
         if task.kind == "sum":
             from repro.experiments.extensions.sum_dynamics import run_sum_task
 
-            return run_sum_task(task.payload, self._instance(task))
+            return run_sum_task(
+                task.payload, self._instance(task), view_store=self.view_store
+            )
         if task.kind == "robustness":
             return self._execute_robustness(task)
         raise ValueError(f"unknown task kind {task.kind!r}")
@@ -269,6 +288,7 @@ class WorkerRuntime:
                 max_rounds,
                 game,
                 owned=self._instance(task),
+                view_store=self.view_store,
             ),
         )
         if not session.result.converged:
@@ -291,132 +311,54 @@ class WorkerRuntime:
 
 
 # ----------------------------------------------------------------------
-# The persistent worker pool
+# One-shot orchestration pool
 # ----------------------------------------------------------------------
-def _worker_main(
-    shard: list[SweepTask],
-    shared_refs: dict[str, SharedInstanceRef],
-    session_cache_size: int,
-    result_queue,
-    kernel_backend: str | None = None,
-    orchestrator_pid: int | None = None,
-) -> None:
-    """Process body: drain the shard in order, streaming encoded results.
-
-    ``kernel_backend`` (the orchestrator's configured backend) is installed
-    as this process's default before any task runs, so shards inherit the
-    parent's kernel selection across the process boundary; per-spec
-    backends still outrank it.  Backends are bit-identical, so results
-    never depend on which one executes.
-
-    ``daemon=True`` only covers a *normal* parent exit; a SIGKILLed
-    orchestrator (exactly what ``--resume`` exists for) would otherwise
-    orphan the workers, which would burn CPU finishing a shard nobody
-    collects — concurrently with the resumed run.  Checking for
-    reparenting between tasks bounds the waste to the task in flight.
-    ``orchestrator_pid`` is the orchestrator's own PID captured *before*
-    the fork: sampling ``os.getppid()`` here instead would race the
-    orchestrator's death — a worker whose first instruction runs after the
-    parent died would capture the reparented PID as its baseline and the
-    guard would never trip.
-    """
-    if kernel_backend is not None:
-        from repro.kernels import set_default_backend
-
-        set_default_backend(kernel_backend)
-    if orchestrator_pid is None:  # pragma: no cover - legacy direct callers
-        orchestrator_pid = os.getppid()
-    runtime = WorkerRuntime(shared_refs, session_cache_size)
-    for task in shard:
-        if os.getppid() != orchestrator_pid:
-            return  # orchestrator died; results would go nowhere
-        try:
-            payload = encode_result(task, runtime.execute(task))
-        except BaseException:
-            result_queue.put(
-                ("error", task.index, task.spec_hash, task.kind, traceback.format_exc())
-            )
-            return
-        result_queue.put(("ok", task.index, task.spec_hash, task.kind, payload))
-
-
 class WorkerPool:
-    """One persistent process per non-empty shard, results over a queue."""
+    """One-shot pool for a single orchestrated sweep.
+
+    A thin lifecycle adapter over :class:`PersistentWorkerPool`: spawn
+    ``workers`` processes, dispatch the task list through the work-stealing
+    affinity queue, tear everything down.  A worker error is re-raised with
+    the worker's traceback after the pool is torn down, mirroring
+    :func:`repro.parallel.pool.parallel_map` semantics.
+    """
 
     def __init__(
         self,
-        shards: list[list[SweepTask]],
+        tasks: list[SweepTask],
+        workers: int | None = 1,
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         session_cache_size: int = SESSION_CACHE_SIZE,
         kernel_backend: str | None = None,
+        steal: bool = True,
+        order_seed: int | None = None,
     ) -> None:
-        self.shards = [shard for shard in shards if shard]
+        self.tasks = list(tasks)
+        self.workers = workers
         self.shared_refs = dict(shared_refs or {})
         self.session_cache_size = session_cache_size
         self.kernel_backend = kernel_backend
+        self.steal = steal
+        self.order_seed = order_seed
 
     def run(self, on_result) -> None:
-        """Execute every shard; ``on_result(index, spec_hash, kind, payload)``
+        """Execute every task; ``on_result(index, spec_hash, kind, payload)``
         fires in completion order (the caller journals and reassembles by
-        index, so completion order carries no meaning).  A worker error is
-        re-raised here with the worker's traceback after the pool is torn
-        down, mirroring :func:`repro.parallel.pool.parallel_map` semantics.
-        """
-        if not self.shards:
+        index, so completion order carries no meaning)."""
+        if not self.tasks:
             return
-        context = mp.get_context()
-        queue = context.Queue()
-        processes = [
-            context.Process(
-                target=_worker_main,
-                args=(
-                    shard,
-                    self.shared_refs,
-                    self.session_cache_size,
-                    queue,
-                    self.kernel_backend,
-                    os.getpid(),  # captured pre-fork: the orphan baseline
-                ),
-                daemon=True,
-            )
-            for shard in self.shards
-        ]
-        for process in processes:
-            process.start()
-        expected = sum(len(shard) for shard in self.shards)
-        received = 0
+        pool = PersistentWorkerPool(
+            workers=self.workers,
+            session_cache_size=self.session_cache_size,
+            kernel_backend=self.kernel_backend,
+            shared_refs=self.shared_refs,
+            steal=self.steal,
+        )
+        pool.start()
         try:
-            while received < expected:
-                try:
-                    message = queue.get(timeout=1.0)
-                except Empty:
-                    if not any(process.is_alive() for process in processes):
-                        # The last worker may have flushed its final
-                        # results between our timeout and the liveness
-                        # check: drain before concluding anything is lost.
-                        try:
-                            message = queue.get_nowait()
-                        except Empty:
-                            raise RuntimeError(
-                                "a sweep worker died without reporting a "
-                                f"result ({received}/{expected} results "
-                                "received)"
-                            ) from None
-                    else:
-                        continue
-                status, index, spec_hash, kind, payload = message
-                if status == "error":
-                    raise RuntimeError(
-                        f"sweep task {index} failed in a worker:\n{payload}"
-                    )
-                on_result(index, spec_hash, kind, payload)
-                received += 1
+            pool.run_tasks(self.tasks, on_result, order_seed=self.order_seed)
         finally:
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join()
+            pool.stop()
 
 
 # ----------------------------------------------------------------------
@@ -429,22 +371,25 @@ def _service_worker_main(
     orchestrator_pid: int,
     session_cache_size: int,
     kernel_backend: str | None,
+    shared_refs: dict[str, SharedInstanceRef] | None = None,
 ) -> None:
     """Long-lived process body of one :class:`PersistentWorkerPool` slot.
 
-    Unlike the one-shot shard worker above, this loop outlives any single
-    sweep: it drains ``inbox`` until a ``None`` sentinel arrives, keeping
-    its :class:`WorkerRuntime` — and therefore its warm instance and engine
-    caches — alive *across jobs*.  A task failure is reported and the loop
-    continues (one bad task must not cost the daemon its pool); the orphan
-    guard compares against the daemon PID captured pre-fork, exactly like
-    the shard worker's.
+    The loop outlives any single sweep: it drains ``inbox`` until a
+    ``None`` sentinel arrives, keeping its :class:`WorkerRuntime` — and
+    therefore its warm instance/session caches and shared
+    :class:`~repro.engine.views.ViewStore` — alive *across jobs*.  A task
+    failure is reported and the loop continues (one bad task must not cost
+    the daemon its pool); the orphan guard compares against the
+    orchestrator PID captured pre-fork: a SIGKILLed orchestrator (exactly
+    what ``--resume`` exists for) would otherwise leave workers burning CPU
+    on results nobody collects, concurrently with the resumed run.
     """
     if kernel_backend is not None:
         from repro.kernels import set_default_backend
 
         set_default_backend(kernel_backend)
-    runtime = WorkerRuntime(session_cache_size=session_cache_size)
+    runtime = WorkerRuntime(shared_refs, session_cache_size)
     while True:
         try:
             item = inbox.get(timeout=1.0)
@@ -490,12 +435,19 @@ class PersistentWorkerPool:
         workers: int | None = 1,
         session_cache_size: int = SESSION_CACHE_SIZE,
         kernel_backend: str | None = None,
+        shared_refs: dict[str, SharedInstanceRef] | None = None,
+        steal: bool = True,
     ) -> None:
         from repro.parallel.pool import resolve_workers
 
         self.workers = resolve_workers(workers)
         self.session_cache_size = session_cache_size
         self.kernel_backend = kernel_backend
+        self.shared_refs = dict(shared_refs or {})
+        #: Work-stealing toggle: ``False`` pins dispatch to the static
+        #: affinity shards (the pre-stealing behaviour, and the CLI's
+        #: ``--no-steal``); rows are bit-identical either way.
+        self.steal = steal
         self._context = mp.get_context()
         self._outbox = self._context.Queue()
         self._inboxes: list = [None] * self.workers
@@ -524,6 +476,7 @@ class PersistentWorkerPool:
                 os.getpid(),  # captured pre-fork: the orphan baseline
                 self.session_cache_size,
                 self.kernel_backend,
+                self.shared_refs,
             ),
             daemon=True,
         )
@@ -555,12 +508,21 @@ class PersistentWorkerPool:
         self._started = False
 
     # -- execution -----------------------------------------------------
-    def run_tasks(self, tasks, on_result, should_abort=None) -> None:
+    def run_tasks(self, tasks, on_result, should_abort=None, order_seed=None) -> None:
         """Execute ``tasks``; ``on_result(index, spec_hash, kind, payload)``
         fires in completion order (the caller journals and reassembles by
-        index).  ``should_abort()`` is polled after every completion: once
-        it returns True no further task is dispatched, in-flight results
-        are still collected (and journaled by the caller — finished work is
+        index).  Dispatch goes through an :class:`~repro.service.tasks.
+        AffinityTaskQueue`: each worker drains its soft-affinity groups in
+        order and, when it runs dry, steals the oldest pending group from
+        the most-loaded sibling (``steal=False`` pins the static shards).
+        The one-task window per worker is preserved — a worker only
+        receives its next task after returning the previous one — which
+        keeps cancellation prompt and lets the queue route around
+        stragglers at task granularity.
+
+        ``should_abort()`` is polled after every completion: once it
+        returns True no further task is dispatched, in-flight results are
+        still collected (and journaled by the caller — finished work is
         never discarded).  A task error aborts dispatch the same way and is
         re-raised after the in-flight tasks drain; the pool itself survives
         for the next job.
@@ -568,17 +530,15 @@ class PersistentWorkerPool:
         if not tasks:
             return
         self.ensure_alive()
-        from repro.service.tasks import shard_tasks
-
-        shards = shard_tasks(list(tasks), self.workers)
-        shards += [[] for _ in range(self.workers - len(shards))]
-        cursors = [0] * self.workers
+        queue = AffinityTaskQueue(
+            list(tasks), self.workers, steal=self.steal, order_seed=order_seed
+        )
         busy = [False] * self.workers
         outstanding = 0
-        for slot, shard in enumerate(shards):
-            if shard:
-                self._inboxes[slot].put(shard[0])
-                cursors[slot] = 1
+        for slot in range(self.workers):
+            task = queue.next_task(slot)
+            if task is not None:
+                self._inboxes[slot].put(task)
                 busy[slot] = True
                 outstanding += 1
         aborted = False
@@ -615,10 +575,11 @@ class PersistentWorkerPool:
                 on_result(index, spec_hash, kind, payload)
             if not aborted and should_abort is not None and should_abort():
                 aborted = True
-            if not aborted and cursors[worker_id] < len(shards[worker_id]):
-                self._inboxes[worker_id].put(shards[worker_id][cursors[worker_id]])
-                cursors[worker_id] += 1
-                busy[worker_id] = True
-                outstanding += 1
+            if not aborted:
+                task = queue.next_task(worker_id)
+                if task is not None:
+                    self._inboxes[worker_id].put(task)
+                    busy[worker_id] = True
+                    outstanding += 1
         if error is not None:
             raise RuntimeError(error)
