@@ -1,16 +1,25 @@
 """Compiled kernel backends vs the numpy reference, bit-identity asserted.
 
-Writes ``BENCH_kernels.json`` at the repository root with three sections:
+Writes ``BENCH_kernels.json`` at the repository root with five sections:
 
 * **bfs** — the batched CSR BFS at ``n = 5000`` (Barabási–Albert, the same
   family as the scaling smoke): numpy level expansion vs the best available
   compiled backend, ``np.array_equal`` on the full distance matrices
   (unbounded and radius-truncated), compiled speedup asserted ≥ 5×.
+* **bfs_reduce** — the fused metrics sweep at ``n = 5000``: per-source
+  eccentricity / distance-sum / unreached / view-size vectors straight from
+  the kernel vs materialise-then-fold on the *same* compiled backend,
+  fused speedup asserted ≥ 2×; all four vectors asserted equal to the
+  numpy reference's fused output.
+* **threads** — the source-parallel kernel builds: threaded vs
+  single-threaded wall time on the same sweep, results asserted
+  bit-identical always; the ≥ 1.5× speedup gate only applies on
+  multi-core runners (a single-core box cannot speed up).
 * **cover** — solver-bound branch-and-bound set-cover instances: identical
   selections asserted, compiled speedup ≥ 2×.
-* **dynamics** — one full best-response dynamics run per backend on a
-  local-knowledge instance, trajectories asserted identical end to end
-  (final profile, rounds, changes, metrics).
+* **dynamics** — one full best-response dynamics run per backend *and per
+  thread configuration* on a local-knowledge instance, trajectories
+  asserted identical end to end (final profile, rounds, changes, metrics).
 
 Skips when no compiled backend is available (numba absent *and* no C
 toolchain); the equivalence suites in ``tests/`` still cover the numpy
@@ -19,7 +28,9 @@ path everywhere.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,7 +41,7 @@ from repro.core.dynamics import best_response_dynamics
 from repro.core.games import MaxNCG
 from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
 from repro.graphs.generators.smallworld import owned_barabasi_albert
-from repro.graphs.traversal import batched_bfs_distances
+from repro.graphs.traversal import batched_bfs_distances, reduce_bfs_distances
 from repro.kernels import available_backends, get_backend
 from repro.solvers.set_cover import SetCoverInstance, branch_and_bound_set_cover
 
@@ -40,6 +51,8 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_kernels.json"
 BFS_N = 5000
 BFS_SOURCES = 1024
 BFS_RADII = (None, 3)
+REDUCE_VIEW_RADIUS = 3
+BENCH_THREADS = 4
 
 COVER_INSTANCES = 12
 COVER_CANDIDATES = 22
@@ -110,6 +123,94 @@ def _bench_bfs(compiled) -> dict:
     }
 
 
+def _bench_bfs_reduce(compiled) -> dict:
+    """Fused metrics sweep vs materialise-then-fold on the same backend."""
+    owned = owned_barabasi_albert(BFS_N, 2, seed=0)
+    indptr, indices, _ = owned.graph.to_csr_arrays()
+    sources = np.arange(BFS_SOURCES, dtype=np.int64)
+    view_radius = REDUCE_VIEW_RADIUS
+    # Stripping bfs_reduce forces reduce_bfs_distances down the fallback
+    # path: materialise distance blocks with the *same* compiled bfs kernel,
+    # then fold them in numpy — the pre-fused architecture, backend held
+    # constant so the measurement isolates the fusion itself.
+    folded_backend = dataclasses.replace(compiled, bfs_reduce=None)
+    # Warm JIT / .so load outside the timed window.
+    warm = sources[:2]
+    reduce_bfs_distances(indptr, indices, warm, view_radius=view_radius, backend=compiled)
+    reduce_bfs_distances(
+        indptr, indices, warm, view_radius=view_radius, backend=folded_backend
+    )
+
+    start = time.perf_counter()
+    fused = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=view_radius, backend=compiled
+    )
+    fused_s = time.perf_counter() - start
+    start = time.perf_counter()
+    folded = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=view_radius, backend=folded_backend
+    )
+    folded_s = time.perf_counter() - start
+    reference = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=view_radius, backend="numpy"
+    )
+    identical_fold = all(np.array_equal(f, m) for f, m in zip(fused, folded))
+    identical_reference = all(np.array_equal(f, r) for f, r in zip(fused, reference))
+    return {
+        "family": "barabasi-albert(m=2)",
+        "n": BFS_N,
+        "sources": BFS_SOURCES,
+        "view_radius": view_radius,
+        "fused_s": round(fused_s, 4),
+        "materialise_then_fold_s": round(folded_s, 4),
+        "speedup": round(folded_s / fused_s, 2),
+        "identical_to_fold": identical_fold,
+        "identical_to_numpy_reference": identical_reference,
+    }
+
+
+def _bench_threads(compiled) -> dict:
+    """Threaded kernel builds vs single-threaded, bit-identity asserted."""
+    owned = owned_barabasi_albert(BFS_N, 2, seed=0)
+    indptr, indices, _ = owned.graph.to_csr_arrays()
+    sources = np.arange(BFS_SOURCES, dtype=np.int64)
+    serial = get_backend(compiled.name, threads=1)
+    threaded = get_backend(compiled.name, threads=BENCH_THREADS)
+    warm = sources[:2]
+    for backend in (serial, threaded):
+        batched_bfs_distances(indptr, indices, warm, backend=backend)
+        reduce_bfs_distances(
+            indptr, indices, warm, view_radius=REDUCE_VIEW_RADIUS, backend=backend
+        )
+
+    start = time.perf_counter()
+    serial_dist = batched_bfs_distances(indptr, indices, sources, backend=serial)
+    serial_reduce = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=REDUCE_VIEW_RADIUS, backend=serial
+    )
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    threaded_dist = batched_bfs_distances(indptr, indices, sources, backend=threaded)
+    threaded_reduce = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=REDUCE_VIEW_RADIUS, backend=threaded
+    )
+    threaded_s = time.perf_counter() - start
+    identical = bool(np.array_equal(serial_dist, threaded_dist)) and all(
+        np.array_equal(s, t) for s, t in zip(serial_reduce, threaded_reduce)
+    )
+    return {
+        "family": "barabasi-albert(m=2)",
+        "n": BFS_N,
+        "sources": BFS_SOURCES,
+        "threads": threaded.threads,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "threaded_s": round(threaded_s, 4),
+        "speedup": round(serial_s / threaded_s, 2),
+        "identical_results": identical,
+    }
+
+
 def _cover_instances() -> list[SetCoverInstance]:
     """Random solver-bound instances: dense enough to be feasible, sparse
     enough that the greedy incumbent leaves real search to the recursion."""
@@ -168,21 +269,31 @@ def _trajectory_fingerprint(result) -> dict:
 def _bench_dynamics(compiled) -> dict:
     rows = []
     identical = True
+    configurations = [
+        ("compiled", compiled.name, 1),
+        (f"compiled-threads{BENCH_THREADS}", compiled.name, BENCH_THREADS),
+    ]
     for label, make_owned, game in DYNAMICS_SPECS:
-        reference = best_response_dynamics(
-            make_owned(), game, kernel_backend="numpy"
+        fingerprint = _trajectory_fingerprint(
+            best_response_dynamics(make_owned(), game, kernel_backend="numpy")
         )
-        candidate = best_response_dynamics(
-            make_owned(), game, kernel_backend=compiled.name
-        )
-        same = _trajectory_fingerprint(reference) == _trajectory_fingerprint(candidate)
-        identical = identical and same
+        matches = {}
+        for config_label, backend_name, threads in configurations:
+            candidate = best_response_dynamics(
+                make_owned(),
+                game,
+                kernel_backend=backend_name,
+                kernel_threads=threads,
+            )
+            same = _trajectory_fingerprint(candidate) == fingerprint
+            matches[config_label] = same
+            identical = identical and same
         rows.append(
             {
                 "instance": label,
-                "rounds": reference.rounds,
-                "total_changes": reference.total_changes,
-                "identical_trajectories": same,
+                "rounds": fingerprint["rounds"],
+                "total_changes": fingerprint["total_changes"],
+                "identical_trajectories": matches,
             }
         )
     return {"instances": rows, "identical_trajectories": identical}
@@ -199,6 +310,8 @@ def test_bench_kernels(benchmark):
             "compiled_backend": compiled.name,
             "available_backends": list(available_backends()),
             "bfs": _bench_bfs(compiled),
+            "bfs_reduce": _bench_bfs_reduce(compiled),
+            "threads": _bench_threads(compiled),
             "cover": _bench_cover(compiled),
             "dynamics": _bench_dynamics(compiled),
         }
@@ -207,11 +320,20 @@ def test_bench_kernels(benchmark):
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print()
     print(json.dumps(report, indent=2))
-    # Bit-identity is the contract: same distances, same selections, same
-    # full trajectories — the compiled backends are pure speed knobs.
+    # Bit-identity is the contract: same distances, same reductions, same
+    # selections, same full trajectories — the compiled backends and the
+    # threads knob are pure speed knobs.
     assert report["bfs"]["identical_distances"]
+    assert report["bfs_reduce"]["identical_to_fold"]
+    assert report["bfs_reduce"]["identical_to_numpy_reference"]
+    assert report["threads"]["identical_results"]
     assert report["cover"]["identical_selections"]
     assert report["dynamics"]["identical_trajectories"]
     # The acceptance gates.
     assert report["bfs"]["speedup"] >= 5.0
+    assert report["bfs_reduce"]["speedup"] >= 2.0
     assert report["cover"]["speedup"] >= 2.0
+    # A single-core runner cannot make prange/OpenMP pay; the threaded
+    # speedup gate only binds where parallel hardware exists.
+    if (os.cpu_count() or 1) >= 2:
+        assert report["threads"]["speedup"] >= 1.5

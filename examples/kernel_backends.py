@@ -13,9 +13,14 @@ semantics knob.  This example
 2. runs the same best-response dynamics once per available backend and
    shows the trajectories coincide exactly,
 3. times the batched BFS on each backend on one larger instance,
-4. shows the selection chain: explicit argument > ``use_backend`` scope
+4. times the *fused* ``bfs_reduce`` (per-source eccentricity / distance
+   sum / unreached / view size, no distance matrix) against
+   materialise-then-fold, identical vectors asserted,
+5. shows the selection chain: explicit argument > ``use_backend`` scope
    > ``REPRO_KERNEL_BACKEND`` > auto-detect, with silent numpy fallback
-   for unavailable backends.
+   for unavailable backends — and the ``threads`` knob
+   (``use_threads`` / ``REPRO_KERNEL_THREADS``), whose results are
+   bit-identical to single-threaded.
 
 Run with::
 
@@ -31,12 +36,13 @@ import numpy as np
 
 from repro import MaxNCG, best_response_dynamics, random_owned_tree
 from repro.graphs.generators.smallworld import owned_barabasi_albert
-from repro.graphs.traversal import batched_bfs_distances
+from repro.graphs.traversal import batched_bfs_distances, reduce_bfs_distances
 from repro.kernels import (
     available_backends,
     registered_backends,
     resolve_backend,
     use_backend,
+    use_threads,
 )
 
 
@@ -89,6 +95,24 @@ def main(n: int = 32, alpha: float = 0.5, k: int = 2) -> None:
     print("  -> identical distance matrices")
 
     # ------------------------------------------------------------------
+    # The fused reduction: the metrics sweep without the matrix.
+    # ------------------------------------------------------------------
+    print(f"\nFused bfs_reduce, same {len(sources)} sources (view radius {k}):")
+    reductions = {}
+    for name in names:
+        reduce_bfs_distances(indptr, indices, sources[:2], view_radius=k, backend=name)
+        start = time.perf_counter()
+        reductions[name] = reduce_bfs_distances(
+            indptr, indices, sources, view_radius=k, backend=name
+        )
+        print(f"  {name:>6}: {time.perf_counter() - start:7.4f} s")
+    assert all(
+        all(np.array_equal(a, b) for a, b in zip(reductions[names[0]], reductions[name]))
+        for name in names
+    )
+    print("  -> identical eccentricity/sum/unreached/view-size vectors")
+
+    # ------------------------------------------------------------------
     # Selection chain.
     # ------------------------------------------------------------------
     print("\nSelection:")
@@ -99,6 +123,17 @@ def main(n: int = 32, alpha: float = 0.5, k: int = 2) -> None:
     # A registered-but-unavailable backend falls back to numpy silently —
     # optional acceleration never becomes a hard dependency.
     print(f"  resolve_backend('numba') here:     {resolve_backend('numba').name}")
+    # The threads knob parallelises the compiled kernels over sources;
+    # results stay bit-identical, so it is safe to flip anywhere.
+    with use_threads(4):
+        threaded = resolve_backend(names[-1])
+        print(f"  inside use_threads(4):             {threaded.name} "
+              f"(threads={threaded.threads})")
+        four = reduce_bfs_distances(
+            indptr, indices, sources, view_radius=k, backend=threaded
+        )
+        assert all(np.array_equal(a, b) for a, b in zip(reductions[names[-1]], four))
+        print("  -> threaded reduction identical to single-threaded")
 
 
 if __name__ == "__main__":

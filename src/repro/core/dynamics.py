@@ -122,6 +122,7 @@ def best_response_dynamics(
     sum_exhaustive_limit: int | None = None,
     sum_restarts: int = 1,
     kernel_backend: str | None = None,
+    kernel_threads: int | None = None,
     view_store: "ViewStore | None" = None,
 ) -> DynamicsResult:
     """Run the best-response dynamics until convergence.
@@ -170,6 +171,11 @@ def best_response_dynamics(
         :mod:`repro.kernels`); ``None`` follows the
         ``REPRO_KERNEL_BACKEND``/auto-detect chain.  Backends are
         bit-identical, so trajectories never depend on this.
+    kernel_threads:
+        Thread count for the compiled kernels' source-parallel loops
+        (``None`` follows the ``REPRO_KERNEL_THREADS`` chain, ``0`` means
+        all cores); a pure speed knob — threaded trajectories are
+        bit-identical to single-threaded ones.
     """
     from repro.core.best_response import SUM_EXHAUSTIVE_LIMIT
     from repro.engine.core import DynamicsEngine
@@ -194,6 +200,7 @@ def best_response_dynamics(
         ),
         sum_restarts=sum_restarts,
         kernel_backend=kernel_backend,
+        kernel_threads=kernel_threads,
         view_store=view_store,
     )
     return engine.run()

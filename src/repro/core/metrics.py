@@ -20,7 +20,7 @@ from repro.core.cost_models import STRICT, CostModel
 from repro.core.games import FULL_KNOWLEDGE, GameSpec, UsageKind
 from repro.core.social import social_optimum
 from repro.core.strategies import StrategyProfile
-from repro.graphs.traversal import UNREACHABLE, accumulate_bfs_distances
+from repro.graphs.traversal import UNREACHABLE, reduce_bfs_distances
 from repro.kernels import KernelBackend
 
 __all__ = ["ProfileMetrics", "DistanceStatsAccumulator", "compute_profile_metrics"]
@@ -115,6 +115,27 @@ class DistanceStatsAccumulator:
             # unreached nodes from the view counts.
             self.view_sizes[start:stop] = (dist_block <= self.view_radius).sum(axis=1)
 
+    def ingest_reduction(
+        self,
+        ecc: np.ndarray,
+        sums: np.ndarray,
+        unreached: np.ndarray,
+        view_sizes: np.ndarray,
+    ) -> None:
+        """Adopt the per-source vectors of a fused ``bfs_reduce`` sweep.
+
+        The fused kernels emit exactly the folds :meth:`process_block`
+        computes from materialised rows (eccentricity == per-row finite
+        max, etc.), so an accumulator populated this way is
+        indistinguishable from one fed block by block — without any
+        ``(block_size, n)`` distance slice having existed.
+        """
+        self.usage_rows[:] = ecc if self.usage is UsageKind.MAX else sums
+        self.unreached_rows[:] = unreached
+        self.diameter = max(self.diameter, int(ecc.max(initial=0)))
+        if self.view_radius is not None:
+            self.view_sizes[:] = view_sizes
+
     def usage_values(self) -> np.ndarray:
         """Per-source usages with the cost model's unreachable penalty folded in."""
         if self.usage is UsageKind.MAX:
@@ -137,15 +158,14 @@ def compute_profile_metrics(
     bit-identical across backends.
 
     Every distance-derived quantity (player usages, diameter, view sizes)
-    is folded out of a blocked batched-BFS sweep
-    (:func:`~repro.graphs.traversal.accumulate_bfs_distances`) instead of a
-    dense all-pairs matrix: one CSR export, then one kernel call per source
-    block of at most ``block_size`` rows (default
-    :data:`~repro.graphs.traversal.DEFAULT_BLOCK_SIZE`), with running
-    max/sum/eccentricity reductions between blocks.  Peak memory is
-    ``O(block_size * n)`` — no ``(n, n)`` array is ever allocated for
-    ``n > block_size`` — and the numbers are bit-identical across block
-    sizes because each source's BFS is independent.
+    comes out of a fused blocked ``bfs_reduce`` sweep
+    (:func:`~repro.graphs.traversal.reduce_bfs_distances`): the kernel
+    emits the per-source eccentricity / distance-sum / unreached-count /
+    view-size vectors directly, so no ``(block_size, n)`` distance slice —
+    let alone an ``(n, n)`` matrix — is ever materialised (a tracemalloc
+    test pins this).  The numbers are bit-identical across backends,
+    block sizes and thread counts because each source's BFS is
+    independent and the fused folds mirror the materialised ones exactly.
     """
     graph = profile.graph()
     n = profile.num_players()
@@ -162,13 +182,15 @@ def compute_profile_metrics(
     )
     if n > 0:
         indptr, indices, order = graph.to_csr_arrays()
-        accumulate_bfs_distances(
-            indptr,
-            indices,
-            np.arange(n, dtype=np.int64),
-            stats,
-            block_size=block_size,
-            backend=backend,
+        stats.ingest_reduction(
+            *reduce_bfs_distances(
+                indptr,
+                indices,
+                np.arange(n, dtype=np.int64),
+                view_radius=stats.view_radius,
+                block_size=block_size,
+                backend=backend,
+            )
         )
     else:
         order = []

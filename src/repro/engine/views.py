@@ -282,29 +282,39 @@ class IncrementalViewCache:
                 return settled
         graph = self._state.graph
         indptr, indices, order = graph.to_csr_arrays()
-        index = {node: i for i, node in enumerate(order)}
+        # node -> row map and object-dtype node array (nodes may be tuples,
+        # which np.asarray would splat) come version-cached off the graph —
+        # rebuilt only when the topology actually changed.
+        index = graph.csr_node_index()
+        order_array = graph.csr_order_array()
         radius = None if self._k == FULL_KNOWLEDGE else int(self._k)
         sources = np.fromiter((index[p] for p in dirty), dtype=np.int64, count=len(dirty))
-        # Nodes may be tuples (the torus construction), which np.asarray
-        # would splat into a 2-D array; fill an object vector instead.
-        order_array = np.empty(len(order), dtype=object)
-        order_array[:] = order
+        full_visible: set[Node] = set(order) if radius is None else set()
         for start, _, dist in iter_blocked_bfs_distances(
             indptr, indices, sources, radius=radius, backend=self._kernel_backend
         ):
+            # One vectorised extraction pass per block instead of three
+            # full-width mask scans per row: all reached (row, node) pairs
+            # at once, then row-segment splits at the searchsorted
+            # boundaries (np.nonzero scans in C order, so rows_idx is
+            # already sorted).
+            rows_idx, cols_idx = np.nonzero(dist != UNREACHABLE)
+            boundaries = np.searchsorted(rows_idx, np.arange(1, dist.shape[0]))
+            node_segments = np.split(order_array[cols_idx], boundaries)
+            value_segments = np.split(dist[rows_idx, cols_idx], boundaries)
             for row in range(dist.shape[0]):
                 player = dirty[start + row]
-                reached = dist[row] != UNREACHABLE
-                reached_nodes = order_array[reached]
-                distances = dict(
-                    zip(reached_nodes.tolist(), dist[row][reached].tolist())
-                )
+                row_nodes = node_segments[row].tolist()
+                row_values = value_segments[row]
+                distances = dict(zip(row_nodes, row_values.tolist()))
                 if radius is None:
                     frontier: set[Node] = set()
-                    visible: set[Node] = set(order)
+                    visible: set[Node] = full_visible
                 else:
-                    frontier = set(order_array[dist[row] == radius].tolist())
-                    visible = set(reached_nodes.tolist())
+                    frontier = set(
+                        node_segments[row][row_values == radius].tolist()
+                    )
+                    visible = set(row_nodes)
                 self._install(
                     player, self._assemble(player, visible, distances, frontier)
                 )

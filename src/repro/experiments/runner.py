@@ -75,6 +75,11 @@ class RunSpec:
     #: chain.  Backends are bit-identical, so results never depend on it —
     #: it is a speed knob that sweep workers inherit with the spec.
     kernel_backend: str | None = None
+    #: Thread count for the compiled kernels' source-parallel loops
+    #: (``None`` follows the ``REPRO_KERNEL_THREADS`` chain, ``0`` = all
+    #: cores).  Like the backend, a pure speed knob: threaded results are
+    #: bit-identical to single-threaded ones.
+    kernel_threads: int | None = None
 
     def game(self) -> GameSpec:
         k_value = FULL_KNOWLEDGE if self.k >= FULL_KNOWLEDGE_K else self.k
@@ -175,6 +180,7 @@ def run_spec_on_instance(
         ordering=spec.ordering,
         seed=spec.seed,
         kernel_backend=spec.kernel_backend,
+        kernel_threads=spec.kernel_threads,
         view_store=view_store,
     )
     return RunResult(

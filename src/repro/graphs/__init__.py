@@ -25,6 +25,7 @@ from repro.graphs.traversal import (
     batched_bfs_distances,
     iter_blocked_bfs_distances,
     accumulate_bfs_distances,
+    reduce_bfs_distances,
     distance_matrix,
 )
 from repro.graphs.properties import (
@@ -72,6 +73,7 @@ __all__ = [
     "batched_bfs_distances",
     "iter_blocked_bfs_distances",
     "accumulate_bfs_distances",
+    "reduce_bfs_distances",
     "distance_matrix",
     "eccentricity",
     "eccentricities",

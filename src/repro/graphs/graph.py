@@ -42,7 +42,7 @@ class Graph:
         automatically.
     """
 
-    __slots__ = ("_adj", "_version", "_csr_cache")
+    __slots__ = ("_adj", "_version", "_csr_cache", "_csr_aux")
 
     def __init__(
         self,
@@ -53,6 +53,9 @@ class Graph:
         self._version: int = 0
         # (version, indptr, indices, nodes) of the last CSR export, or None.
         self._csr_cache: tuple[int, np.ndarray, np.ndarray, list[Node]] | None = None
+        # (version, node -> CSR index, object-dtype node array) companion
+        # cache; built lazily by csr_node_index()/csr_order_array().
+        self._csr_aux: tuple[int, dict[Node, int], np.ndarray] | None = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -254,6 +257,38 @@ class Graph:
         indices.setflags(write=False)
         self._csr_cache = (self._version, indptr, indices, nodes)
         return indptr, indices, list(nodes)
+
+    def csr_node_index(self) -> dict[Node, int]:
+        """The ``node -> CSR row`` map matching :meth:`to_csr_arrays`.
+
+        Cached by :attr:`version` alongside the CSR arrays, so per-call
+        consumers (bulk view refreshes run once per dynamics round) stop
+        rebuilding an ``O(n)`` dict on an unchanged topology.  The returned
+        dict is shared between calls — do not mutate it.
+        """
+        return self._csr_companions()[0]
+
+    def csr_order_array(self) -> np.ndarray:
+        """The CSR node order as a read-only object-dtype array.
+
+        Object dtype because nodes may be tuples (the torus construction),
+        which ``np.asarray`` would splat into a 2-D array.  Cached by
+        :attr:`version` and shared between calls, like
+        :meth:`csr_node_index`.
+        """
+        return self._csr_companions()[1]
+
+    def _csr_companions(self) -> tuple[dict[Node, int], np.ndarray]:
+        cached = self._csr_aux
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        _, _, order = self.to_csr_arrays()
+        index = {node: i for i, node in enumerate(order)}
+        order_array = np.empty(len(order), dtype=object)
+        order_array[:] = order
+        order_array.setflags(write=False)
+        self._csr_aux = (self._version, index, order_array)
+        return index, order_array
 
     def adjacency_matrix(self) -> tuple[np.ndarray, list[Node]]:
         """Return a dense boolean adjacency matrix together with node order."""

@@ -59,6 +59,7 @@ __all__ = [
     "batched_bfs_distances",
     "iter_blocked_bfs_distances",
     "accumulate_bfs_distances",
+    "reduce_bfs_distances",
     "DistanceBlockConsumer",
     "distance_matrix",
     "UNREACHABLE",
@@ -314,6 +315,87 @@ def accumulate_bfs_distances(
     ):
         consumer.process_block(start, block_sources, dist_block)
     return consumer
+
+
+def reduce_bfs_distances(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: Sequence[int] | np.ndarray,
+    radius: int | None = None,
+    view_radius: int | None = None,
+    block_size: int | None = None,
+    backend: str | KernelBackend | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fused per-source BFS statistics — no distance matrix materialised.
+
+    Runs the ``bfs_reduce`` kernel blockwise over ``sources`` and returns
+    four int64 vectors of ``len(sources)``:
+
+    ``(ecc, sums, unreached, view_sizes)``
+        Per source: the largest finite distance (eccentricity, 0 when
+        nothing else is reached), the sum of finite distances, the number
+        of unreached nodes, and — when ``view_radius`` is not ``None`` —
+        the number of nodes at distance at most ``view_radius`` (0 vectors
+        otherwise).  ``radius`` truncation counts truncated nodes as
+        unreached, exactly like folding truncated distance rows.
+
+    Bit-identical, for every backend, block size and thread count, to
+    folding the rows of :func:`batched_bfs_distances` — the hypothesis
+    suite in ``tests/graphs/test_kernel_backends.py`` pins this.  Backends
+    registered without a ``bfs_reduce`` kernel fall back to exactly that
+    materialise-then-fold path through their ``bfs``, so the API is safe
+    on any backend.  Peak memory on a fused backend is ``O(n)`` scratch
+    per thread (compiled) or one boolean ``(block, n)`` visited matrix
+    (numpy reference) — never an int32 distance block.
+    """
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    source_array = np.asarray(sources, dtype=np.int64)
+    n = len(indptr) - 1
+    num_sources = source_array.size
+    if num_sources and (source_array.min() < 0 or source_array.max() >= n):
+        raise IndexError("source index out of range")
+    ecc = np.zeros(num_sources, dtype=np.int64)
+    sums = np.zeros(num_sources, dtype=np.int64)
+    unreached = np.zeros(num_sources, dtype=np.int64)
+    view_sizes = np.zeros(num_sources, dtype=np.int64)
+    if num_sources == 0 or n == 0:
+        return ecc, sums, unreached, view_sizes
+    kernel = resolve_backend(backend)
+    fused = kernel.bfs_reduce
+    for start in range(0, num_sources, block_size):
+        stop = min(start + block_size, num_sources)
+        block = source_array[start:stop]
+        if fused is not None:
+            # Sliced views of the output vectors are contiguous, so the
+            # kernel fills the final arrays in place, block by block.
+            fused(
+                indptr,
+                indices,
+                block,
+                radius,
+                view_radius,
+                ecc[start:stop],
+                sums[start:stop],
+                unreached[start:stop],
+                view_sizes[start:stop],
+            )
+            continue
+        # Fallback for backends without a fused kernel: materialise the
+        # block's distance rows through their ``bfs`` and fold here.
+        dist = batched_bfs_distances(
+            indptr, indices, block, radius=radius, backend=kernel
+        )
+        reachable = dist != UNREACHABLE
+        finite = np.where(reachable, dist, 0)
+        ecc[start:stop] = finite.max(axis=1, initial=0)
+        sums[start:stop] = finite.sum(axis=1, dtype=np.int64)
+        unreached[start:stop] = (~reachable).sum(axis=1)
+        if view_radius is not None:
+            view_sizes[start:stop] = (dist <= view_radius).sum(axis=1)
+    return ecc, sums, unreached, view_sizes
 
 
 def _csr_for_order(graph: Graph, order: list[Node]) -> tuple[np.ndarray, np.ndarray]:

@@ -10,12 +10,17 @@ checkout.  Environments without a working compiler simply report the
 backend as unavailable and the registry falls back (see
 :func:`repro.kernels.resolve_backend`).
 
-Both kernels implement *exactly* the algorithms of
-:mod:`repro.kernels.numpy_backend` — same traversal order, same branching
-element, same candidate order, same incumbent updates — so distances,
-selected covers and every downstream tie-break are bit-identical to the
-numpy reference (pinned by ``tests/graphs/test_kernel_backends.py`` and
-``tests/solvers/test_set_cover.py``).
+The ``bfs`` and ``cover_search`` kernels implement *exactly* the
+algorithms of :mod:`repro.kernels.numpy_backend` — same traversal order,
+same branching element, same candidate order, same incumbent updates — so
+distances, selected covers and every downstream tie-break are
+bit-identical to the numpy reference (pinned by
+``tests/graphs/test_kernel_backends.py`` and
+``tests/solvers/test_set_cover.py``).  The fused ``bfs_reduce`` kernel is
+free to traverse in a different *order* — it is an MS-BFS, advancing 64
+sources per uint64-bitmask batch through one level-synchronous sweep —
+because its outputs are order-independent aggregates of the unique BFS
+distance function; the same parity suites pin its bit-identity.
 
 This module doubles as the template for binding further compiled
 backends (Cython, Rust over cffi): implement ``bfs`` / ``cover_search``
@@ -35,23 +40,37 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["load_library", "bfs", "cover_search"]
+__all__ = [
+    "load_library",
+    "bfs",
+    "bfs_reduce",
+    "cover_search",
+    "make_bfs",
+    "make_bfs_reduce",
+]
 
 _SOURCE = r"""
 #include <stdint.h>
+#include <string.h>
 
-/* Per-source queue BFS over a CSR adjacency layout.
+/* Per-source queue BFS over a CSR adjacency layout, threaded over
+ * contiguous source slabs.
  *
  * dist is a (num_sources, n) row-major int32 matrix pre-filled with the
- * unreachable sentinel; queue is an n-entry int32 scratch buffer.  radius
- * < 0 means unbounded.  BFS distances are unique, so any correct
- * traversal produces the same matrix as the numpy level expansion.
+ * unreachable sentinel; queues is a (num_threads, n) int32 scratch
+ * buffer, one queue per slab.  radius < 0 means unbounded.  Each
+ * source's row is written by exactly one slab, so the matrix is
+ * bit-identical to the serial traversal (and to the numpy level
+ * expansion — BFS distances are unique) no matter how the OpenMP
+ * runtime schedules slabs.  Without -fopenmp the pragma is ignored and
+ * the slab loop runs serially, still correct.
  */
-void repro_bfs_batch(const int64_t *indptr, const int64_t *indices,
-                     int64_t n, const int64_t *sources, int64_t num_sources,
-                     int64_t radius, int32_t unreachable,
-                     int32_t *dist, int32_t *queue) {
-    for (int64_t s = 0; s < num_sources; ++s) {
+static void bfs_source_range(const int64_t *indptr, const int64_t *indices,
+                             int64_t n, const int64_t *sources,
+                             int64_t start, int64_t stop, int64_t radius,
+                             int32_t unreachable, int32_t *dist,
+                             int32_t *queue) {
+    for (int64_t s = start; s < stop; ++s) {
         int32_t *row = dist + s * n;
         int64_t head = 0, tail = 0;
         int64_t src = sources[s];
@@ -62,8 +81,8 @@ void repro_bfs_batch(const int64_t *indptr, const int64_t *indices,
             int32_t d = row[node];
             if (radius >= 0 && (int64_t)d >= radius)
                 continue;
-            int64_t stop = indptr[node + 1];
-            for (int64_t e = indptr[node]; e < stop; ++e) {
+            int64_t estop = indptr[node + 1];
+            for (int64_t e = indptr[node]; e < estop; ++e) {
                 int32_t nb = (int32_t)indices[e];
                 if (row[nb] == unreachable) {
                     row[nb] = d + 1;
@@ -71,6 +90,141 @@ void repro_bfs_batch(const int64_t *indptr, const int64_t *indices,
                 }
             }
         }
+    }
+}
+
+void repro_bfs_batch(const int64_t *indptr, const int64_t *indices,
+                     int64_t n, const int64_t *sources, int64_t num_sources,
+                     int64_t radius, int32_t unreachable,
+                     int32_t *dist, int32_t *queues, int64_t num_threads) {
+    if (num_threads < 1)
+        num_threads = 1;
+    int64_t slab = (num_sources + num_threads - 1) / num_threads;
+    int nt = (int)num_threads;
+    #pragma omp parallel for num_threads(nt) schedule(static, 1)
+    for (int64_t t = 0; t < num_threads; ++t) {
+        int64_t start = t * slab;
+        int64_t stop = start + slab < num_sources ? start + slab : num_sources;
+        if (start < stop)
+            bfs_source_range(indptr, indices, n, sources, start, stop,
+                             radius, unreachable, dist, queues + t * n);
+    }
+}
+
+/* Fused multi-source BFS + statistics fold: eccentricity,
+ * finite-distance sum, unreached count and radius-view_radius view
+ * size, emitted straight from the traversal — no distance matrix.
+ *
+ * The traversal is an MS-BFS (Then et al., "The More the Merrier",
+ * VLDB 2015): 64 sources advance together through one level-synchronous
+ * sweep, their frontiers packed into one uint64 bitmask per node, so a
+ * level costs O(m) word-ORs for the whole batch instead of one queue
+ * traversal per source.  Per-source statistics fall out of the newly
+ * set bits at each level.  The traversal *order* differs from the queue
+ * BFS, but the outputs are order-independent aggregates of the (unique)
+ * BFS distance function, so they stay bit-identical to the numpy
+ * reference — pinned by the parity suites.
+ *
+ * scratch is a (num_threads, 3 * n) uint64 buffer; each slab uses its
+ * three n-word sections as the current frontier, next frontier and
+ * visited bitmasks.  radius < 0 means unbounded (nodes beyond a
+ * non-negative radius count as unreached); view_radius < 0 means "no
+ * view counting" (view sizes report 0).
+ */
+static void bfs_reduce_range(const int64_t *indptr, const int64_t *indices,
+                             int64_t n, const int64_t *sources,
+                             int64_t start, int64_t stop, int64_t radius,
+                             int64_t view_radius,
+                             int64_t *ecc_out, int64_t *sum_out,
+                             int64_t *unreached_out, int64_t *view_size_out,
+                             uint64_t *cur, uint64_t *next, uint64_t *visited) {
+    for (int64_t b = start; b < stop; b += 64) {
+        int64_t batch = stop - b < 64 ? stop - b : 64;
+        memset(cur, 0, (size_t)n * sizeof(uint64_t));
+        memset(visited, 0, (size_t)n * sizeof(uint64_t));
+        int64_t ecc[64], total[64], in_view[64], reached[64];
+        for (int64_t i = 0; i < batch; ++i) {
+            int64_t src = sources[b + i];
+            cur[src] |= (uint64_t)1 << i;
+            visited[src] |= (uint64_t)1 << i;
+            ecc[i] = 0;
+            total[i] = 0;
+            reached[i] = 1;
+            in_view[i] = view_radius >= 0 ? 1 : 0;
+        }
+        int64_t level = 0;
+        int nonempty = 1;
+        while (nonempty && (radius < 0 || level < radius)) {
+            ++level;
+            memset(next, 0, (size_t)n * sizeof(uint64_t));
+            for (int64_t v = 0; v < n; ++v) {
+                uint64_t w = cur[v];
+                if (!w)
+                    continue;
+                int64_t estop = indptr[v + 1];
+                for (int64_t e = indptr[v]; e < estop; ++e)
+                    next[indices[e]] |= w;
+            }
+            int64_t cnt[64];
+            memset(cnt, 0, sizeof(cnt));
+            nonempty = 0;
+            for (int64_t v = 0; v < n; ++v) {
+                uint64_t fresh = next[v] & ~visited[v];
+                cur[v] = fresh;
+                if (!fresh)
+                    continue;
+                visited[v] |= fresh;
+                nonempty = 1;
+                do {
+                    ++cnt[__builtin_ctzll(fresh)];
+                    fresh &= fresh - 1;
+                } while (fresh);
+            }
+            for (int64_t i = 0; i < batch; ++i) {
+                if (!cnt[i])
+                    continue;
+                reached[i] += cnt[i];
+                total[i] += cnt[i] * level;
+                ecc[i] = level;
+                if (view_radius >= 0 && level <= view_radius)
+                    in_view[i] += cnt[i];
+            }
+        }
+        for (int64_t i = 0; i < batch; ++i) {
+            ecc_out[b + i] = ecc[i];
+            sum_out[b + i] = total[i];
+            unreached_out[b + i] = n - reached[i];
+            view_size_out[b + i] = in_view[i];
+        }
+    }
+}
+
+void repro_bfs_reduce(const int64_t *indptr, const int64_t *indices,
+                      int64_t n, const int64_t *sources, int64_t num_sources,
+                      int64_t radius, int64_t view_radius, int32_t unreachable,
+                      int64_t *ecc_out, int64_t *sum_out,
+                      int64_t *unreached_out, int64_t *view_size_out,
+                      uint64_t *scratch, int64_t num_threads) {
+    (void)unreachable;  /* kept in the ABI for contract symmetry with bfs */
+    if (num_threads < 1)
+        num_threads = 1;
+    /* Slab boundaries aligned to the 64-source batch width so no batch
+     * straddles two threads. */
+    int64_t num_batches = (num_sources + 63) / 64;
+    int64_t batches_per_thread = (num_batches + num_threads - 1) / num_threads;
+    int64_t slab = batches_per_thread * 64;
+    int nt = (int)num_threads;
+    #pragma omp parallel for num_threads(nt) schedule(static, 1)
+    for (int64_t t = 0; t < num_threads; ++t) {
+        int64_t start = t * slab;
+        int64_t stop = start + slab < num_sources ? start + slab : num_sources;
+        if (start < stop)
+            bfs_reduce_range(indptr, indices, n, sources, start, stop,
+                             radius, view_radius,
+                             ecc_out, sum_out, unreached_out, view_size_out,
+                             scratch + t * 3 * n,
+                             scratch + t * 3 * n + n,
+                             scratch + t * 3 * n + 2 * n);
     }
 }
 
@@ -183,6 +337,7 @@ int64_t repro_cover_search(const uint8_t *coverage, int64_t num_free,
 _I64 = ctypes.POINTER(ctypes.c_int64)
 _I32 = ctypes.POINTER(ctypes.c_int32)
 _U8 = ctypes.POINTER(ctypes.c_uint8)
+_U64 = ctypes.POINTER(ctypes.c_uint64)
 
 _library: ctypes.CDLL | None = None
 
@@ -194,7 +349,7 @@ def _cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-kernels"
 
 
-def _compile(cache_dir: Path, target: Path) -> None:
+def _compile(cache_dir: Path, target: Path, extra_flags: tuple[str, ...]) -> None:
     from repro.kernels import KernelUnavailableError
 
     cache_dir.mkdir(parents=True, exist_ok=True)
@@ -203,7 +358,8 @@ def _compile(cache_dir: Path, target: Path) -> None:
         source.write_text(_SOURCE)
         built = Path(workdir) / target.name
         compiler = os.environ.get("CC", "cc")
-        command = [compiler, "-O2", "-shared", "-fPIC", "-o", str(built), str(source)]
+        command = [compiler, "-O2", "-shared", "-fPIC", *extra_flags]
+        command += ["-o", str(built), str(source)]
         try:
             result = subprocess.run(command, capture_output=True, text=True, timeout=120)
         except (OSError, subprocess.TimeoutExpired) as exc:
@@ -225,28 +381,53 @@ def _compile(cache_dir: Path, target: Path) -> None:
 
 
 def load_library() -> ctypes.CDLL:
-    """Compile (once, content-addressed) and load the kernel library."""
+    """Compile (once, content-addressed) and load the kernel library.
+
+    The build is attempted with ``-fopenmp`` first (threaded slab loops);
+    when the compiler rejects the flag or the produced object cannot be
+    loaded (no OpenMP runtime), the same source is rebuilt without it —
+    the pragmas are then ignored and the kernels run serially, still
+    bit-identical.  The cache name hashes source *and* flags, so the two
+    variants never collide.
+    """
     global _library
     if _library is not None:
         return _library
     from repro.kernels import KernelUnavailableError
 
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
     cache_dir = _cache_dir()
-    target = cache_dir / f"repro-kernels-{digest}.so"
-    if not target.exists():
-        _compile(cache_dir, target)
-    try:
-        library = ctypes.CDLL(str(target))
-    except OSError as exc:
-        raise KernelUnavailableError(
-            f"native kernel backend: cannot load {target}: {exc}"
-        ) from exc
+    last_error: KernelUnavailableError | None = None
+    for extra_flags in (("-fopenmp",), ()):
+        tag = _SOURCE + "\x00" + " ".join(extra_flags)
+        digest = hashlib.sha256(tag.encode()).hexdigest()[:16]
+        target = cache_dir / f"repro-kernels-{digest}.so"
+        if not target.exists():
+            try:
+                _compile(cache_dir, target, extra_flags)
+            except KernelUnavailableError as exc:
+                last_error = exc
+                continue
+        try:
+            library = ctypes.CDLL(str(target))
+        except OSError as exc:
+            last_error = KernelUnavailableError(
+                f"native kernel backend: cannot load {target}: {exc}"
+            )
+            continue
+        break
+    else:
+        raise last_error  # type: ignore[misc]  # loop ran at least once
     library.repro_bfs_batch.argtypes = [
         _I64, _I64, ctypes.c_int64, _I64, ctypes.c_int64,
-        ctypes.c_int64, ctypes.c_int32, _I32, _I32,
+        ctypes.c_int64, ctypes.c_int32, _I32, _I32, ctypes.c_int64,
     ]
     library.repro_bfs_batch.restype = None
+    library.repro_bfs_reduce.argtypes = [
+        _I64, _I64, ctypes.c_int64, _I64, ctypes.c_int64,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int32,
+        _I64, _I64, _I64, _I64, _U64, ctypes.c_int64,
+    ]
+    library.repro_bfs_reduce.restype = None
     library.repro_cover_search.argtypes = [
         _U8, ctypes.c_int64, ctypes.c_int64, _I64,
         ctypes.c_int64, _I32, _I32, _U8,
@@ -260,22 +441,23 @@ def _as_ptr(array: np.ndarray, pointer_type):
     return array.ctypes.data_as(pointer_type)
 
 
-def bfs(
+def _bfs_threaded(
     indptr: np.ndarray,
     indices: np.ndarray,
     sources: np.ndarray,
     radius: int | None,
     dist: np.ndarray,
+    threads: int,
 ) -> np.ndarray:
-    """Per-source queue BFS in C; same contract as the numpy backend."""
     from repro.kernels.common import UNREACHABLE
 
     library = load_library()
     n = len(indptr) - 1
+    threads = max(1, min(int(threads), max(int(sources.size), 1)))
     indptr = np.ascontiguousarray(indptr, dtype=np.int64)
     indices = np.ascontiguousarray(indices, dtype=np.int64)
     sources = np.ascontiguousarray(sources, dtype=np.int64)
-    queue = np.empty(max(n, 1), dtype=np.int32)
+    queues = np.empty(threads * max(n, 1), dtype=np.int32)
     library.repro_bfs_batch(
         _as_ptr(indptr, _I64),
         _as_ptr(indices, _I64),
@@ -285,9 +467,113 @@ def bfs(
         -1 if radius is None else int(radius),
         UNREACHABLE,
         _as_ptr(dist, _I32),
-        _as_ptr(queue, _I32),
+        _as_ptr(queues, _I32),
+        threads,
     )
     return dist
+
+
+def _bfs_reduce_threaded(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    radius: int | None,
+    view_radius: int | None,
+    ecc_out: np.ndarray,
+    sum_out: np.ndarray,
+    unreached_out: np.ndarray,
+    view_size_out: np.ndarray,
+    threads: int,
+) -> None:
+    from repro.kernels.common import UNREACHABLE
+
+    library = load_library()
+    n = len(indptr) - 1
+    threads = max(1, min(int(threads), max(int(sources.size), 1)))
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    sources = np.ascontiguousarray(sources, dtype=np.int64)
+    scratch = np.empty(threads * 3 * max(n, 1), dtype=np.uint64)
+    library.repro_bfs_reduce(
+        _as_ptr(indptr, _I64),
+        _as_ptr(indices, _I64),
+        n,
+        _as_ptr(sources, _I64),
+        sources.size,
+        -1 if radius is None else int(radius),
+        -1 if view_radius is None else int(view_radius),
+        UNREACHABLE,
+        _as_ptr(ecc_out, _I64),
+        _as_ptr(sum_out, _I64),
+        _as_ptr(unreached_out, _I64),
+        _as_ptr(view_size_out, _I64),
+        _as_ptr(scratch, _U64),
+        threads,
+    )
+
+
+def bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    radius: int | None,
+    dist: np.ndarray,
+) -> np.ndarray:
+    """Per-source queue BFS in C; same contract as the numpy backend."""
+    return _bfs_threaded(indptr, indices, sources, radius, dist, 1)
+
+
+def bfs_reduce(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    radius: int | None,
+    view_radius: int | None,
+    ecc_out: np.ndarray,
+    sum_out: np.ndarray,
+    unreached_out: np.ndarray,
+    view_size_out: np.ndarray,
+) -> None:
+    """Fused BFS + fold in C; same contract as the numpy backend."""
+    _bfs_reduce_threaded(
+        indptr, indices, sources, radius, view_radius,
+        ecc_out, sum_out, unreached_out, view_size_out, 1,
+    )
+
+
+def make_bfs(threads: int):
+    """Build the ``bfs`` kernel for ``threads`` (1 => the serial slab loop)."""
+    if threads <= 1:
+        return bfs
+
+    def threaded_bfs(indptr, indices, sources, radius, dist):
+        return _bfs_threaded(indptr, indices, sources, radius, dist, threads)
+
+    return threaded_bfs
+
+
+def make_bfs_reduce(threads: int):
+    """Build the ``bfs_reduce`` kernel for ``threads`` (1 => the serial slab loop)."""
+    if threads <= 1:
+        return bfs_reduce
+
+    def threaded_bfs_reduce(
+        indptr,
+        indices,
+        sources,
+        radius,
+        view_radius,
+        ecc_out,
+        sum_out,
+        unreached_out,
+        view_size_out,
+    ):
+        _bfs_reduce_threaded(
+            indptr, indices, sources, radius, view_radius,
+            ecc_out, sum_out, unreached_out, view_size_out, threads,
+        )
+
+    return threaded_bfs_reduce
 
 
 def cover_search(

@@ -9,7 +9,11 @@ hot loops run as ``nopython`` machine code:
 * the chunked ``repeat``/``searchsorted``/``unique`` level expansion of
   the numpy BFS becomes one per-source queue loop over the CSR arrays
   (BFS distances are unique, so traversal order cannot change the
-  output), and
+  output),
+* the fused ``bfs_reduce`` runs an MS-BFS — 64 sources advance together
+  through one level-synchronous sweep, frontiers packed into uint64
+  bitmasks; its outputs are order-independent aggregates, so the batched
+  traversal cannot change them — and
 * the branch-and-bound set-cover recursion becomes an explicit-stack
   depth-first search replicating the reference's exact traversal order —
   most-constrained element by first minimum in element order, candidates
@@ -23,18 +27,16 @@ validation and corner cases live in the graph/solver wrappers.
 from __future__ import annotations
 
 import numpy as np
-from numba import njit  # noqa: F401 - ImportError here signals "backend unavailable"
+from numba import njit, prange  # noqa: F401 - ImportError signals "backend unavailable"
 
 from repro.kernels.common import UNREACHABLE
 
-__all__ = ["bfs", "cover_search"]
+__all__ = ["bfs", "bfs_reduce", "cover_search", "make_bfs", "make_bfs_reduce"]
 
 
 @njit(cache=True)
-def _bfs_impl(indptr, indices, sources, radius, unreachable, dist):
-    n = indptr.shape[0] - 1
-    queue = np.empty(n, dtype=np.int32)
-    for s in range(sources.shape[0]):
+def _bfs_sources(indptr, indices, sources, radius, unreachable, dist, start, stop, queue):
+    for s in range(start, stop):
         head = 0
         tail = 0
         src = sources[s]
@@ -53,6 +55,225 @@ def _bfs_impl(indptr, indices, sources, radius, unreachable, dist):
                     dist[s, nb] = d + np.int32(1)
                     queue[tail] = np.int32(nb)
                     tail += 1
+
+
+@njit(cache=True)
+def _bfs_impl(indptr, indices, sources, radius, unreachable, dist):
+    n = indptr.shape[0] - 1
+    queue = np.empty(n, dtype=np.int32)
+    _bfs_sources(
+        indptr, indices, sources, radius, unreachable, dist, 0, sources.shape[0], queue
+    )
+
+
+@njit(cache=True, parallel=True)
+def _bfs_parallel(indptr, indices, sources, radius, unreachable, dist, num_slabs):
+    # Contiguous source slabs, one per prange iteration: each source's row
+    # of ``dist`` is written by exactly one slab, so the result is
+    # bit-identical to the serial loop no matter how slabs are scheduled.
+    n = indptr.shape[0] - 1
+    num_sources = sources.shape[0]
+    slab = (num_sources + num_slabs - 1) // num_slabs
+    for t in prange(num_slabs):
+        start = t * slab
+        stop = min(start + slab, num_sources)
+        if start < stop:
+            queue = np.empty(n, dtype=np.int32)
+            _bfs_sources(
+                indptr, indices, sources, radius, unreachable, dist, start, stop, queue
+            )
+
+
+# Branch-free trailing-zero count for the MS-BFS bit extraction: the
+# isolated lowest set bit times this de Bruijn multiplier indexes the
+# table (verified for all 64 single-bit words).
+_CTZ_MULT = np.uint64(0x03F79D71B4CB0A89)
+_CTZ_TABLE = np.array(
+    [
+        0, 1, 48, 2, 57, 49, 28, 3, 61, 58, 50, 42, 38, 29, 17, 4,
+        62, 55, 59, 36, 53, 51, 43, 22, 45, 39, 33, 30, 24, 18, 12, 5,
+        63, 47, 56, 27, 60, 41, 37, 16, 54, 35, 52, 21, 44, 32, 23, 11,
+        46, 26, 40, 15, 34, 20, 31, 10, 25, 14, 19, 9, 13, 8, 7, 6,
+    ],
+    dtype=np.int64,
+)
+
+
+@njit(cache=True)
+def _bfs_reduce_sources(
+    indptr,
+    indices,
+    sources,
+    radius,
+    view_radius,
+    unreachable,
+    ecc_out,
+    sum_out,
+    unreached_out,
+    view_size_out,
+    start,
+    stop,
+    cur,
+    nxt,
+    visited,
+):
+    # MS-BFS (Then et al., VLDB 2015): 64 sources advance together, their
+    # frontiers packed into one uint64 bitmask per node, so one level costs
+    # O(m) word-ORs for the whole batch instead of one queue traversal per
+    # source; per-source statistics fall out of the newly set bits at each
+    # level.  Traversal order differs from the queue BFS, but the outputs
+    # are order-independent aggregates of the unique distance function, so
+    # they stay bit-identical to the numpy reference.  ``unreachable`` is
+    # unused — kept for contract symmetry with ``bfs``.
+    n = indptr.shape[0] - 1
+    zero = np.uint64(0)
+    one = np.uint64(1)
+    cnt = np.empty(64, dtype=np.int64)
+    ecc = np.empty(64, dtype=np.int64)
+    total = np.empty(64, dtype=np.int64)
+    in_view = np.empty(64, dtype=np.int64)
+    reached = np.empty(64, dtype=np.int64)
+    b = start
+    while b < stop:
+        batch = min(stop - b, 64)
+        for v in range(n):
+            cur[v] = zero
+            visited[v] = zero
+        for i in range(batch):
+            src = sources[b + i]
+            bit = one << np.uint64(i)
+            cur[src] |= bit
+            visited[src] |= bit
+            ecc[i] = 0
+            total[i] = 0
+            reached[i] = 1
+            in_view[i] = 1 if view_radius >= 0 else 0
+        level = np.int64(0)
+        nonempty = True
+        while nonempty and (radius < 0 or level < radius):
+            level += 1
+            for v in range(n):
+                nxt[v] = zero
+            for v in range(n):
+                w = cur[v]
+                if w == zero:
+                    continue
+                for e in range(indptr[v], indptr[v + 1]):
+                    nxt[indices[e]] |= w
+            for i in range(64):
+                cnt[i] = 0
+            nonempty = False
+            for v in range(n):
+                fresh = nxt[v] & ~visited[v]
+                cur[v] = fresh
+                if fresh == zero:
+                    continue
+                visited[v] |= fresh
+                nonempty = True
+                while fresh != zero:
+                    low = fresh & (zero - fresh)
+                    cnt[_CTZ_TABLE[(low * _CTZ_MULT) >> np.uint64(58)]] += 1
+                    fresh ^= low
+            for i in range(batch):
+                if cnt[i] == 0:
+                    continue
+                reached[i] += cnt[i]
+                total[i] += cnt[i] * level
+                ecc[i] = level
+                if view_radius >= 0 and level <= view_radius:
+                    in_view[i] += cnt[i]
+        for i in range(batch):
+            ecc_out[b + i] = ecc[i]
+            sum_out[b + i] = total[i]
+            unreached_out[b + i] = np.int64(n) - reached[i]
+            view_size_out[b + i] = in_view[i]
+        b += 64
+
+
+@njit(cache=True)
+def _bfs_reduce_impl(
+    indptr,
+    indices,
+    sources,
+    radius,
+    view_radius,
+    unreachable,
+    ecc_out,
+    sum_out,
+    unreached_out,
+    view_size_out,
+):
+    n = indptr.shape[0] - 1
+    cur = np.empty(n, dtype=np.uint64)
+    nxt = np.empty(n, dtype=np.uint64)
+    visited = np.empty(n, dtype=np.uint64)
+    _bfs_reduce_sources(
+        indptr,
+        indices,
+        sources,
+        radius,
+        view_radius,
+        unreachable,
+        ecc_out,
+        sum_out,
+        unreached_out,
+        view_size_out,
+        0,
+        sources.shape[0],
+        cur,
+        nxt,
+        visited,
+    )
+
+
+@njit(cache=True, parallel=True)
+def _bfs_reduce_parallel(
+    indptr,
+    indices,
+    sources,
+    radius,
+    view_radius,
+    unreachable,
+    ecc_out,
+    sum_out,
+    unreached_out,
+    view_size_out,
+    num_slabs,
+):
+    n = indptr.shape[0] - 1
+    num_sources = sources.shape[0]
+    # Slab boundaries aligned to the 64-source MS-BFS batch width so every
+    # slab works on full batches (any partition is bit-identical — each
+    # source's outputs are independent of its batchmates — alignment just
+    # avoids fragmenting batches).
+    num_batches = (num_sources + 63) // 64
+    slab = ((num_batches + num_slabs - 1) // num_slabs) * 64
+    for t in prange(num_slabs):
+        start = t * slab
+        stop = min(start + slab, num_sources)
+        if start < stop:
+            # Per-slab scratch allocated inside the prange body: no thread-id
+            # bookkeeping, no sharing, no ordering sensitivity.
+            cur = np.empty(n, dtype=np.uint64)
+            nxt = np.empty(n, dtype=np.uint64)
+            visited = np.empty(n, dtype=np.uint64)
+            _bfs_reduce_sources(
+                indptr,
+                indices,
+                sources,
+                radius,
+                view_radius,
+                unreachable,
+                ecc_out,
+                sum_out,
+                unreached_out,
+                view_size_out,
+                start,
+                stop,
+                cur,
+                nxt,
+                visited,
+            )
 
 
 @njit(cache=True)
@@ -164,6 +385,85 @@ def bfs(
         dist,
     )
     return dist
+
+
+def bfs_reduce(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    radius: int | None,
+    view_radius: int | None,
+    ecc_out: np.ndarray,
+    sum_out: np.ndarray,
+    unreached_out: np.ndarray,
+    view_size_out: np.ndarray,
+) -> None:
+    """Fused MS-BFS + fold, JIT-compiled; same contract as numpy ``bfs_reduce``."""
+    _bfs_reduce_impl(
+        np.ascontiguousarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(indices, dtype=np.int64),
+        np.ascontiguousarray(sources, dtype=np.int64),
+        np.int64(-1 if radius is None else int(radius)),
+        np.int64(-1 if view_radius is None else int(view_radius)),
+        np.int32(UNREACHABLE),
+        ecc_out,
+        sum_out,
+        unreached_out,
+        view_size_out,
+    )
+
+
+def make_bfs(threads: int):
+    """Build the ``bfs`` kernel for ``threads`` (1 => the serial impl)."""
+    if threads <= 1:
+        return bfs
+
+    def threaded_bfs(indptr, indices, sources, radius, dist):
+        _bfs_parallel(
+            np.ascontiguousarray(indptr, dtype=np.int64),
+            np.ascontiguousarray(indices, dtype=np.int64),
+            np.ascontiguousarray(sources, dtype=np.int64),
+            np.int64(-1 if radius is None else int(radius)),
+            np.int32(UNREACHABLE),
+            dist,
+            np.int64(threads),
+        )
+        return dist
+
+    return threaded_bfs
+
+
+def make_bfs_reduce(threads: int):
+    """Build the ``bfs_reduce`` kernel for ``threads`` (1 => the serial impl)."""
+    if threads <= 1:
+        return bfs_reduce
+
+    def threaded_bfs_reduce(
+        indptr,
+        indices,
+        sources,
+        radius,
+        view_radius,
+        ecc_out,
+        sum_out,
+        unreached_out,
+        view_size_out,
+    ):
+        _bfs_reduce_parallel(
+            np.ascontiguousarray(indptr, dtype=np.int64),
+            np.ascontiguousarray(indices, dtype=np.int64),
+            np.ascontiguousarray(sources, dtype=np.int64),
+            np.int64(-1 if radius is None else int(radius)),
+            np.int64(-1 if view_radius is None else int(view_radius)),
+            np.int32(UNREACHABLE),
+            ecc_out,
+            sum_out,
+            unreached_out,
+            view_size_out,
+            np.int64(threads),
+        )
+
+    return threaded_bfs_reduce
 
 
 def cover_search(

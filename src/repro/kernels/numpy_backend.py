@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.kernels.common import MAX_EXPANSION_INCIDENCES, UNREACHABLE
 
-__all__ = ["bfs", "cover_search"]
+__all__ = ["bfs", "bfs_reduce", "cover_search"]
 
 
 def bfs(
@@ -127,6 +127,118 @@ def bfs(
             frontier_row = np.concatenate(next_rows)
             frontier_node = np.concatenate(next_nodes)
     return dist
+
+
+def bfs_reduce(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    radius: int | None,
+    view_radius: int | None,
+    ecc_out: np.ndarray,
+    sum_out: np.ndarray,
+    unreached_out: np.ndarray,
+    view_size_out: np.ndarray,
+) -> None:
+    """Fused chunked frontier BFS + per-source statistics fold.
+
+    The same level expansion as :func:`bfs`, but instead of writing an
+    int32 distance row per source it folds every newly discovered level
+    straight into the per-source scalars (eccentricity, finite-distance
+    sum, unreached count, radius-``view_radius`` view size) with one
+    ``np.bincount`` per expansion chunk.  The only per-node state is a
+    boolean visited matrix — a quarter of the distance matrix's footprint
+    and never exposed to the caller — so the statistics sweep stops
+    materialising ``(len(sources), n)`` distance slices entirely.
+
+    Bit-identity with materialise-then-fold is structural: the visited
+    test ``~visited[row, node]`` marks exactly the entries the distance
+    test ``dist[row, node] == UNREACHABLE`` would, so the discovered
+    level sets — and therefore every fold — are identical.
+    """
+    n = len(indptr) - 1
+    num_sources = sources.size
+    visited = np.zeros((num_sources, n), dtype=bool)
+    row = np.arange(num_sources, dtype=np.int32)
+    visited[row, sources] = True
+    ecc_out[:] = 0
+    sum_out[:] = 0
+    reached = np.ones(num_sources, dtype=np.int64)
+    count_views = view_radius is not None
+    # The source sits at distance 0 of itself: inside every view of
+    # non-negative radius, outside a (degenerate) negative-radius one —
+    # exactly the ``dist <= view_radius`` fold on materialised rows.
+    view_size_out[:] = 1 if count_views and view_radius >= 0 else 0
+    frontier_row = row
+    frontier_node = sources.astype(np.int32)
+    level = 0
+    while frontier_node.size:
+        level += 1
+        if radius is not None and level > radius:
+            break
+        starts = indptr[frontier_node]
+        counts = indptr[frontier_node + 1] - starts
+        if int(counts.sum()) == 0:
+            break
+        cumulative = np.cumsum(counts)
+        rows_unique = bool(np.bincount(frontier_row).max(initial=0) <= 1)
+        in_view = count_views and level <= view_radius
+        next_rows: list[np.ndarray] = []
+        next_nodes: list[np.ndarray] = []
+        chunk_start = 0
+        while chunk_start < frontier_node.size:
+            base = int(cumulative[chunk_start - 1]) if chunk_start else 0
+            chunk_stop = int(
+                np.searchsorted(
+                    cumulative, base + MAX_EXPANSION_INCIDENCES, side="right"
+                )
+            )
+            chunk_stop = max(chunk_stop, chunk_start + 1)
+            sub_counts = counts[chunk_start:chunk_stop]
+            total = int(sub_counts.sum())
+            if total == 0:
+                chunk_start = chunk_stop
+                continue
+            expanded_row = np.repeat(frontier_row[chunk_start:chunk_stop], sub_counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(sub_counts) - sub_counts, sub_counts
+            )
+            neighbours = indices[
+                np.repeat(starts[chunk_start:chunk_stop], sub_counts) + offsets
+            ].astype(np.int32)
+            unvisited = ~visited[expanded_row, neighbours]
+            chunk_start = chunk_stop
+            if not unvisited.any():
+                continue
+            expanded_row = expanded_row[unvisited]
+            neighbours = neighbours[unvisited]
+            if rows_unique:
+                new_row = expanded_row
+                new_node = neighbours
+            else:
+                _, first = np.unique(
+                    expanded_row.astype(np.int64) * n + neighbours, return_index=True
+                )
+                new_row = expanded_row[first]
+                new_node = neighbours[first]
+            visited[new_row, new_node] = True
+            # The fused fold: this chunk's discoveries all sit at ``level``.
+            discovered = np.bincount(new_row, minlength=num_sources).astype(np.int64)
+            reached += discovered
+            sum_out += discovered * level
+            ecc_out[discovered > 0] = level
+            if in_view:
+                view_size_out += discovered
+            next_rows.append(new_row)
+            next_nodes.append(new_node)
+        if not next_rows:
+            break
+        if len(next_rows) == 1:
+            frontier_row, frontier_node = next_rows[0], next_nodes[0]
+        else:
+            frontier_row = np.concatenate(next_rows)
+            frontier_node = np.concatenate(next_nodes)
+    unreached_out[:] = n - reached
 
 
 def cover_search(

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.kernels import use_backend
+from repro.kernels import use_backend, use_threads
 from repro.parallel.pool import resolve_workers
 from repro.service.journal import SweepJournal
 from repro.service.tasks import (
@@ -75,7 +75,10 @@ class ServiceConfig:
     before executing its shard; tasks carrying an explicit per-spec
     backend still outrank it.  ``None`` leaves workers on their own
     env-var/auto-detect chain.  Backends are bit-identical, so journals
-    and results never depend on this.
+    and results never depend on this.  ``kernel_threads`` is the matching
+    thread-count default (:func:`repro.kernels.set_default_threads`;
+    ``0`` = all cores) for the compiled kernels' source-parallel loops —
+    like the backend, a pure speed knob with bit-identical results.
 
     ``steal=True`` (the default) lets idle workers steal whole pending
     instance-groups from stragglers through the
@@ -93,6 +96,7 @@ class ServiceConfig:
     in_process: bool = False
     shard_seed: int | None = None
     kernel_backend: str | None = None
+    kernel_threads: int | None = None
     steal: bool = True
 
 
@@ -175,7 +179,9 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                 )
                 # Scoped default mirrors what the pool workers install
                 # process-wide: per-spec backends still outrank it.
-                with use_backend(config.kernel_backend):
+                with use_backend(config.kernel_backend), use_threads(
+                    config.kernel_threads
+                ):
                     for shard in shards:
                         # One fresh runtime per shard mirrors one worker per
                         # shard: the same cache boundaries, deterministically.
@@ -198,6 +204,7 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                         shared_refs=shared.refs,
                         session_cache_size=config.session_cache_size,
                         kernel_backend=config.kernel_backend,
+                        kernel_threads=config.kernel_threads,
                         steal=config.steal,
                         order_seed=config.shard_seed,
                     ).run(on_result)

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.kernels import use_backend
+from repro.kernels import use_backend, use_threads
 from repro.service.jobs import (
     TERMINAL_STATUSES,
     Job,
@@ -80,6 +80,7 @@ class DaemonConfig:
     in_process: bool = False
     session_cache_size: int = SESSION_CACHE_SIZE
     kernel_backend: str | None = None
+    kernel_threads: int | None = None
     steal: bool = True
 
 
@@ -95,15 +96,17 @@ class InProcessExecutor:
         self,
         session_cache_size: int = SESSION_CACHE_SIZE,
         kernel_backend: str | None = None,
+        kernel_threads: int | None = None,
     ) -> None:
         self.runtime = WorkerRuntime(session_cache_size=session_cache_size)
         self.kernel_backend = kernel_backend
+        self.kernel_threads = kernel_threads
 
     def start(self) -> None:
         pass
 
     def run_tasks(self, tasks, on_result, should_abort=None) -> None:
-        with use_backend(self.kernel_backend):
+        with use_backend(self.kernel_backend), use_threads(self.kernel_threads):
             for task in tasks:
                 if should_abort is not None and should_abort():
                     return
@@ -136,12 +139,14 @@ class ServiceDaemon:
             self.executor = InProcessExecutor(
                 session_cache_size=config.session_cache_size,
                 kernel_backend=config.kernel_backend,
+                kernel_threads=config.kernel_threads,
             )
         else:
             self.executor = PersistentWorkerPool(
                 workers=config.workers,
                 session_cache_size=config.session_cache_size,
                 kernel_backend=config.kernel_backend,
+                kernel_threads=config.kernel_threads,
                 steal=config.steal,
             )
         self.port: int | None = None

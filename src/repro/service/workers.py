@@ -330,6 +330,7 @@ class WorkerPool:
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         session_cache_size: int = SESSION_CACHE_SIZE,
         kernel_backend: str | None = None,
+        kernel_threads: int | None = None,
         steal: bool = True,
         order_seed: int | None = None,
     ) -> None:
@@ -338,6 +339,7 @@ class WorkerPool:
         self.shared_refs = dict(shared_refs or {})
         self.session_cache_size = session_cache_size
         self.kernel_backend = kernel_backend
+        self.kernel_threads = kernel_threads
         self.steal = steal
         self.order_seed = order_seed
 
@@ -351,6 +353,7 @@ class WorkerPool:
             workers=self.workers,
             session_cache_size=self.session_cache_size,
             kernel_backend=self.kernel_backend,
+            kernel_threads=self.kernel_threads,
             shared_refs=self.shared_refs,
             steal=self.steal,
         )
@@ -371,6 +374,7 @@ def _service_worker_main(
     orchestrator_pid: int,
     session_cache_size: int,
     kernel_backend: str | None,
+    kernel_threads: int | None,
     shared_refs: dict[str, SharedInstanceRef] | None = None,
 ) -> None:
     """Long-lived process body of one :class:`PersistentWorkerPool` slot.
@@ -389,6 +393,10 @@ def _service_worker_main(
         from repro.kernels import set_default_backend
 
         set_default_backend(kernel_backend)
+    if kernel_threads is not None:
+        from repro.kernels import set_default_threads
+
+        set_default_threads(kernel_threads)
     runtime = WorkerRuntime(shared_refs, session_cache_size)
     while True:
         try:
@@ -435,6 +443,7 @@ class PersistentWorkerPool:
         workers: int | None = 1,
         session_cache_size: int = SESSION_CACHE_SIZE,
         kernel_backend: str | None = None,
+        kernel_threads: int | None = None,
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         steal: bool = True,
     ) -> None:
@@ -443,6 +452,7 @@ class PersistentWorkerPool:
         self.workers = resolve_workers(workers)
         self.session_cache_size = session_cache_size
         self.kernel_backend = kernel_backend
+        self.kernel_threads = kernel_threads
         self.shared_refs = dict(shared_refs or {})
         #: Work-stealing toggle: ``False`` pins dispatch to the static
         #: affinity shards (the pre-stealing behaviour, and the CLI's
@@ -476,6 +486,7 @@ class PersistentWorkerPool:
                 os.getpid(),  # captured pre-fork: the orphan baseline
                 self.session_cache_size,
                 self.kernel_backend,
+                self.kernel_threads,
                 self.shared_refs,
             ),
             daemon=True,

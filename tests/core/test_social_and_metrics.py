@@ -176,3 +176,63 @@ class TestBlockedMetrics:
         assert peak < dense_bytes / 2
         assert metrics.num_players == n
         assert metrics.diameter > 0
+
+    def test_fused_sweep_never_materialises_distance_slices(self):
+        """Acceptance for the fused bfs_reduce routing: even with
+        ``block_size=n`` — where the pre-fused path allocated one full
+        (n, n) int32 distance matrix — the sweep's peak must stay well
+        below that 4 n^2 byte allocation.  A cycle keeps every BFS level's
+        frontier at two nodes per source, so expansion scratch is O(n) and
+        the only conceivable (block_size, n) int32 array would be a
+        materialised distance slice; the numpy reference's largest live
+        object is its boolean visited matrix (n^2 bytes), leaving real
+        headroom under the ceiling."""
+        import tracemalloc
+
+        n = 2500
+        profile = StrategyProfile.from_owned_graph(owned_cycle(n))
+        game = MaxNCG(1.0, k=2)
+        profile.graph().to_csr_arrays()  # warm caches outside the traced window
+        tracemalloc.start()
+        metrics = compute_profile_metrics(profile, game, block_size=n)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        dense_bytes = 4 * n * n
+        assert peak < dense_bytes / 2
+        assert metrics.num_players == n
+        assert metrics.diameter == n // 2
+
+    def test_ingest_reduction_equals_block_folds(self):
+        """An accumulator fed the fused vectors is indistinguishable from
+        one fed materialised blocks through process_block."""
+        import numpy as np
+
+        from repro.core.games import UsageKind
+        from repro.core.metrics import DistanceStatsAccumulator
+        from repro.graphs.generators.erdos_renyi import owned_connected_gnp_graph
+        from repro.graphs.traversal import (
+            accumulate_bfs_distances,
+            reduce_bfs_distances,
+        )
+
+        profile = StrategyProfile.from_owned_graph(
+            owned_connected_gnp_graph(40, 0.12, seed=3)
+        )
+        indptr, indices, _ = profile.graph().to_csr_arrays()
+        sources = np.arange(40, dtype=np.int64)
+        for usage in (UsageKind.MAX, UsageKind.SUM):
+            for view_radius in (None, 2):
+                blocked = DistanceStatsAccumulator(40, usage, view_radius=view_radius)
+                accumulate_bfs_distances(
+                    indptr, indices, sources, blocked, block_size=7
+                )
+                fused = DistanceStatsAccumulator(40, usage, view_radius=view_radius)
+                fused.ingest_reduction(
+                    *reduce_bfs_distances(
+                        indptr, indices, sources, view_radius=view_radius
+                    )
+                )
+                assert np.array_equal(blocked.usage_rows, fused.usage_rows)
+                assert np.array_equal(blocked.unreached_rows, fused.unreached_rows)
+                assert np.array_equal(blocked.view_sizes, fused.view_sizes)
+                assert blocked.diameter == fused.diameter

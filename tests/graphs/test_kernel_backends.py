@@ -28,9 +28,11 @@ from repro.graphs.traversal import (
     batched_bfs_distances,
     bfs_distances,
     bfs_distances_within,
+    reduce_bfs_distances,
 )
 from repro.kernels import (
     ENV_VAR,
+    THREADS_ENV_VAR,
     KernelBackend,
     KernelUnavailableError,
     available_backends,
@@ -38,8 +40,10 @@ from repro.kernels import (
     register_backend,
     registered_backends,
     resolve_backend,
+    resolve_threads,
     set_default_backend,
     use_backend,
+    use_threads,
 )
 
 BACKENDS = available_backends()
@@ -226,7 +230,7 @@ class TestRegistry:
         with pytest.raises(KernelUnavailableError):
             get_backend("always-missing")
         # The failed probe is cached, not retried per call.
-        assert kernels._BUILT["always-missing"] is None
+        assert kernels._BUILT[("always-missing", 1)] is None
 
     def test_register_backend_replaces_and_reprobes(self, clean_registry):
         reference = get_backend("numpy")
@@ -249,7 +253,8 @@ class TestNumbaAbsence:
         monkeypatch.delitem(
             sys.modules, "repro.kernels.numba_backend", raising=False
         )
-        kernels._BUILT.pop("numba", None)
+        for key in [key for key in kernels._BUILT if key[0] == "numba"]:
+            kernels._BUILT.pop(key)
         assert "numba" not in available_backends()
         with pytest.raises(KernelUnavailableError):
             get_backend("numba")
@@ -258,3 +263,213 @@ class TestNumbaAbsence:
         monkeypatch.delenv(ENV_VAR, raising=False)
         set_default_backend(None)
         assert resolve_backend(None).name == "numpy"
+
+# ----------------------------------------------------------------------
+# Fused bfs_reduce parity
+# ----------------------------------------------------------------------
+#: Thread counts exercised against every backend: the serial build, a
+#: 2-thread build and an "all cores" build.  Bit-identity must hold for
+#: all of them — threads are a speed knob, never a semantics knob.
+THREAD_COUNTS = (1, 2, 0)
+
+
+def _fold_reference(dist: np.ndarray, view_radius: int | None):
+    """Fold materialised distance rows into the four bfs_reduce vectors."""
+    reachable = dist != UNREACHABLE
+    finite = np.where(reachable, dist, 0)
+    num_sources = dist.shape[0]
+    view = (
+        (dist <= view_radius).sum(axis=1).astype(np.int64)
+        if view_radius is not None
+        else np.zeros(num_sources, dtype=np.int64)
+    )
+    return (
+        finite.max(axis=1, initial=0).astype(np.int64),
+        finite.sum(axis=1, dtype=np.int64),
+        (~reachable).sum(axis=1).astype(np.int64),
+        view,
+    )
+
+
+@st.composite
+def reduce_workloads(draw, max_nodes: int = 14):
+    """(graph, sources, radius, view_radius) on top of bfs_workloads."""
+    graph, sources, radius = draw(bfs_workloads(max_nodes=max_nodes))
+    view_radius = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=max_nodes))
+    )
+    return graph, sources, radius, view_radius
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+class TestBfsReduceParity:
+    @given(workload=reduce_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_materialised_fold(self, backend_name, threads, workload):
+        """Fused reductions equal folds over materialised
+        batched_bfs_distances rows, per backend and thread count."""
+        graph, sources, radius, view_radius = workload
+        indptr, indices, _ = graph.to_csr_arrays()
+        expected = _fold_reference(
+            batched_bfs_distances(
+                indptr, indices, sources, radius=radius, backend="numpy"
+            ),
+            view_radius,
+        )
+        backend = resolve_backend(backend_name, threads=threads)
+        got = reduce_bfs_distances(
+            indptr,
+            indices,
+            sources,
+            radius=radius,
+            view_radius=view_radius,
+            backend=backend,
+        )
+        for got_vec, expected_vec in zip(got, expected):
+            assert np.array_equal(got_vec, expected_vec)
+
+    @given(workload=reduce_workloads(), block_size=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_block_size_invariance(self, backend_name, threads, workload, block_size):
+        graph, sources, radius, view_radius = workload
+        indptr, indices, _ = graph.to_csr_arrays()
+        backend = resolve_backend(backend_name, threads=threads)
+        blocked = reduce_bfs_distances(
+            indptr,
+            indices,
+            sources,
+            radius=radius,
+            view_radius=view_radius,
+            block_size=block_size,
+            backend=backend,
+        )
+        unblocked = reduce_bfs_distances(
+            indptr,
+            indices,
+            sources,
+            radius=radius,
+            view_radius=view_radius,
+            backend=backend,
+        )
+        for blocked_vec, unblocked_vec in zip(blocked, unblocked):
+            assert np.array_equal(blocked_vec, unblocked_vec)
+
+    def test_empty_sources_and_empty_graph(self, backend_name, threads):
+        backend = resolve_backend(backend_name, threads=threads)
+        indptr = np.zeros(6, dtype=np.int64)
+        vectors = reduce_bfs_distances(
+            indptr, np.zeros(0, dtype=np.int64), [], backend=backend
+        )
+        assert all(vec.shape == (0,) for vec in vectors)
+
+
+def test_bfs_reduce_fallback_without_fused_kernel():
+    """A backend registered without bfs_reduce still serves the reduction
+    API bit-identically via materialise-then-fold through its bfs."""
+    reference = get_backend("numpy")
+    stripped = KernelBackend(
+        name="stripped", bfs=reference.bfs, cover_search=reference.cover_search
+    )
+    assert stripped.bfs_reduce is None
+    graph = gnp_random_graph(12, 0.3, random.Random(7))
+    indptr, indices, _ = graph.to_csr_arrays()
+    sources = list(range(12))
+    fused = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=2, backend=reference
+    )
+    folded = reduce_bfs_distances(
+        indptr, indices, sources, view_radius=2, backend=stripped
+    )
+    for fused_vec, folded_vec in zip(fused, folded):
+        assert np.array_equal(fused_vec, folded_vec)
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="only the numpy backend is available")
+def test_threaded_backends_agree_on_larger_instance():
+    """Single-threaded vs threaded builds of every compiled backend produce
+    byte-identical distance matrices and reductions at a scale where the
+    slab split is non-trivial."""
+    owned = owned_barabasi_albert(300, 2, seed=1)
+    indptr, indices, _ = owned.graph.to_csr_arrays()
+    sources = np.arange(300, dtype=np.int64)
+    for name in BACKENDS:
+        serial = resolve_backend(name, threads=1)
+        threaded = resolve_backend(name, threads=4)
+        assert np.array_equal(
+            batched_bfs_distances(indptr, indices, sources, backend=serial),
+            batched_bfs_distances(indptr, indices, sources, backend=threaded),
+        )
+        for serial_vec, threaded_vec in zip(
+            reduce_bfs_distances(indptr, indices, sources, view_radius=2, backend=serial),
+            reduce_bfs_distances(indptr, indices, sources, view_radius=2, backend=threaded),
+        ):
+            assert np.array_equal(serial_vec, threaded_vec)
+
+
+class TestThreadsResolution:
+    def test_default_is_single_threaded(self, monkeypatch):
+        monkeypatch.delenv(THREADS_ENV_VAR, raising=False)
+        assert resolve_threads() == 1
+
+    def test_explicit_outranks_override_and_env(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "8")
+        with use_threads(2):
+            assert resolve_threads(4) == 4
+
+    def test_override_outranks_env(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "8")
+        with use_threads(2):
+            assert resolve_threads() == 2
+        assert resolve_threads() == 8
+
+    def test_env_var_parsed_and_validated(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV_VAR, "3")
+        assert resolve_threads() == 3
+        monkeypatch.setenv(THREADS_ENV_VAR, "not-a-number")
+        with pytest.raises(ValueError, match=THREADS_ENV_VAR):
+            resolve_threads()
+
+    def test_use_threads_restores_previous(self):
+        with use_threads(2):
+            assert resolve_threads() == 2
+            with use_threads(3):
+                assert resolve_threads() == 3
+            assert resolve_threads() == 2
+
+    def test_numpy_reference_always_reports_one_thread(self):
+        assert resolve_backend("numpy", threads=4).threads == 1
+
+    def test_compiled_builds_are_cached_per_thread_count(self):
+        for name in BACKENDS:
+            one = resolve_backend(name, threads=1)
+            again = resolve_backend(name, threads=1)
+            assert one is again
+            if name != "numpy":
+                four = resolve_backend(name, threads=4)
+                assert four.threads == 4
+                assert four is not one
+
+    def test_zero_means_all_cores(self):
+        import os as _os
+
+        for name in BACKENDS:
+            if name == "numpy":
+                continue
+            backend = resolve_backend(name, threads=0)
+            assert backend.threads == (_os.cpu_count() or 1)
+
+    def test_zero_arg_factory_still_works(self, clean_registry):
+        reference = get_backend("numpy")
+        register_backend(
+            "legacy",
+            lambda: KernelBackend(
+                name="legacy",
+                bfs=reference.bfs,
+                cover_search=reference.cover_search,
+            ),
+        )
+        backend = resolve_backend("legacy", threads=4)
+        assert backend.name == "legacy"
+        assert backend.threads == 1
+        assert backend.bfs_reduce is None
