@@ -22,6 +22,8 @@ Examples
     python -m repro sweep --workers 4 --journal out/store --resume   # skip journaled rows after a crash
     python -m repro serve --store out/store --workers 4 --port 8765  # persistent sweep daemon (cache + queue)
     python -m repro sweep --remote http://127.0.0.1:8765   # run the grid on the daemon (cache hits are free)
+    python -m repro sweep --journal out/store --telemetry  # journal per-task trace summaries alongside rows
+    python -m repro trace out/store                        # export them as Chrome trace_event JSON
 
 ``--smoke`` selects the reduced grids (CI-sized); without it the full paper
 grids are used, which for the simulation figures can take hours.
@@ -245,6 +247,14 @@ def build_parser() -> argparse.ArgumentParser:
         "idle workers steal pending instance-groups from stragglers "
         "(rows are bit-identical either way; only the makespan moves)",
     )
+    sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace every task (engine rounds, best responses, view "
+        "refreshes, kernel calls) and journal the span summaries next to "
+        "the results; requires --journal; rows are bit-identical "
+        "(see `python -m repro trace`)",
+    )
     _add_journal_options(sweep)
     _add_common_options(sweep)
 
@@ -295,6 +305,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pin each job's tasks to their static affinity shards instead "
         "of work stealing (rows are bit-identical either way)",
+    )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace every executed task and journal its span summary next "
+        "to the result (exportable via `python -m repro trace`); rows "
+        "are bit-identical",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="export a journaled sweep's telemetry records as a Chrome "
+        "trace_event JSON file (load in chrome://tracing or Perfetto)",
+    )
+    trace.add_argument(
+        "journal_dir",
+        help="a sweep journal directory (containing journal.jsonl), an "
+        "ExperimentStore root holding one or more of them, or a "
+        "journal.jsonl file",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        help="output path for the Chrome trace (default: trace.json next "
+        "to the journal)",
     )
     return parser
 
@@ -385,6 +420,10 @@ def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace
 
     if args.resume and not args.journal:
         parser.error("--resume requires --journal")
+    if args.telemetry and not args.journal:
+        # Span summaries are only durable through the journal; tracing
+        # into the void would silently record nothing exportable.
+        parser.error("--telemetry requires --journal")
     if args.remote and (args.journal or args.resume):
         # The daemon owns journaling/resume on its own store; mixing the
         # local journal flags in would silently journal nothing.
@@ -429,6 +468,7 @@ def _run_sweep_command(parser: argparse.ArgumentParser, args: argparse.Namespace
             journal=args.journal,
             resume=args.resume,
             steal=not args.no_steal,
+            telemetry=args.telemetry,
         )
     rows = [result.as_row() for result in results]
     if args.journal:
@@ -456,7 +496,55 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             kernel_backend=args.kernel_backend,
             kernel_threads=args.kernel_threads,
             steal=not args.no_steal,
+            telemetry=args.telemetry,
         )
+    )
+    return 0
+
+
+def _run_trace_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Render a journaled sweep's telemetry records as a Chrome trace."""
+    import json as json_module
+    from pathlib import Path
+
+    from repro.obs import chrome_trace_from_summaries, validate_chrome_trace
+    from repro.service.journal import (
+        SweepJournal,
+        iter_telemetry_records,
+        load_jsonl_records,
+    )
+
+    root = Path(args.journal_dir)
+    if root.is_file():
+        journals = [root]
+    elif (root / SweepJournal.LOG_NAME).exists():
+        journals = [root / SweepJournal.LOG_NAME]
+    else:
+        journals = sorted(root.glob(f"*/{SweepJournal.LOG_NAME}"))
+    if not journals:
+        parser.error(f"no {SweepJournal.LOG_NAME} under {root}")
+    summaries: list[dict] = []
+    for path in journals:
+        summaries.extend(
+            record["payload"]
+            for record in iter_telemetry_records(load_jsonl_records(path))
+        )
+    if not summaries:
+        parser.error(
+            f"no telemetry records in {len(journals)} journal(s) under {root} "
+            "— run the sweep with --telemetry"
+        )
+    document = chrome_trace_from_summaries(summaries)
+    problems = validate_chrome_trace(document)
+    if problems:  # pragma: no cover - defensive; the exporter is validated
+        print("\n".join(f"warning: {problem}" for problem in problems), file=sys.stderr)
+    output = Path(args.output) if args.output else journals[0].parent / "trace.json"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json_module.dumps(document))
+    events = len(document["traceEvents"])
+    print(
+        f"wrote {events} trace event(s) from {len(summaries)} task summarie(s) "
+        f"to {output}"
     )
     return 0
 
@@ -480,6 +568,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve_command(args)
+
+    if args.command == "trace":
+        return _run_trace_command(parser, args)
 
     if args.command == "robustness":
         if args.beta is not None and args.cost_model != "tolerant":

@@ -124,6 +124,7 @@ def best_response_dynamics(
     kernel_backend: str | None = None,
     kernel_threads: int | None = None,
     view_store: "ViewStore | None" = None,
+    telemetry=None,
 ) -> DynamicsResult:
     """Run the best-response dynamics until convergence.
 
@@ -176,6 +177,11 @@ def best_response_dynamics(
         (``None`` follows the ``REPRO_KERNEL_THREADS`` chain, ``0`` means
         all cores); a pure speed knob — threaded trajectories are
         bit-identical to single-threaded ones.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` handle for the engine's
+        metrics and trace spans (``None`` uses the process-wide handle,
+        whose tracer is off).  Trajectories are bit-identical with or
+        without tracing.
     """
     from repro.core.best_response import SUM_EXHAUSTIVE_LIMIT
     from repro.engine.core import DynamicsEngine
@@ -202,6 +208,7 @@ def best_response_dynamics(
         kernel_backend=kernel_backend,
         kernel_threads=kernel_threads,
         view_store=view_store,
+        telemetry=telemetry,
     )
     return engine.run()
 

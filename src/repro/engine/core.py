@@ -46,6 +46,7 @@ from repro.engine.views import IncrementalViewCache, ViewStore
 from repro.graphs.generators.base import OwnedGraph
 from repro.graphs.graph import Node
 from repro.kernels import KernelBackend, resolve_backend
+from repro.obs import Telemetry, get_telemetry
 from repro.solvers.set_cover import WARM_START_SOLVERS
 
 __all__ = ["coerce_profile", "DynamicsEngine", "COVER_CONTEXT_CACHE_MAX_NODES"]
@@ -96,6 +97,7 @@ class DynamicsEngine:
         kernel_backend: str | KernelBackend | None = None,
         kernel_threads: int | None = None,
         view_store: ViewStore | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         profile = coerce_profile(initial)
         self.game = game
@@ -147,8 +149,35 @@ class DynamicsEngine:
         #: content tokens) are shared.  Trajectories are bit-identical with
         #: or without a store.
         self.view_store = view_store
+        #: Telemetry handle: metrics always record (into the registry the
+        #: handle carries — the process default unless injected); trace
+        #: spans only when the handle's tracer is enabled.  The tracer is
+        #: pre-bound so the disabled path is one attribute lookup.
+        self.telemetry = telemetry or get_telemetry()
+        self._tracer = self.telemetry.tracer
+        responses = self.telemetry.registry.counter(
+            "repro_engine_responses_total",
+            help="Best-response evaluations: solver calls vs memo hits",
+            labelnames=("result",),
+        )
+        self._m_responses_computed = responses.child(result="computed")
+        self._m_responses_reused = responses.child(result="reused")
+        contexts = self.telemetry.registry.counter(
+            "repro_engine_cover_contexts_total",
+            help="MaxNCG set-cover contexts rebuilt vs reused",
+            labelnames=("result",),
+        )
+        self._m_cover_built = contexts.child(result="built")
+        self._m_cover_reused = contexts.child(result="reused")
+        self._m_rounds = self.telemetry.registry.counter(
+            "repro_engine_rounds_total", help="Scheduler rounds executed"
+        ).child()
         self.views = IncrementalViewCache(
-            self.state, game.k, kernel_backend=self.kernel_backend, store=view_store
+            self.state,
+            game.k,
+            kernel_backend=self.kernel_backend,
+            store=view_store,
+            telemetry=self.telemetry,
         )
         base_order = (
             list(player_order) if player_order is not None else profile.players()
@@ -163,13 +192,29 @@ class DynamicsEngine:
         )
         self._responses: dict[Node, tuple[int, frozenset[Node], BestResponse]] = {}
         self._cover_contexts: dict[Node, tuple[int, MaxCoverContext]] = {}
-        #: Instrumentation: solver invocations avoided by memoisation.
-        self.responses_computed = 0
-        self.responses_reused = 0
-        #: Instrumentation: reduced-view distance structures rebuilt vs reused
-        #: across activations of the same player (MaxNCG only).
-        self.cover_contexts_built = 0
-        self.cover_contexts_reused = 0
+
+    # ------------------------------------------------------------------
+    # Instrumentation (read-through onto the metrics registry children)
+    # ------------------------------------------------------------------
+    @property
+    def responses_computed(self) -> int:
+        """Solver invocations actually paid for (memo misses)."""
+        return self._m_responses_computed.value
+
+    @property
+    def responses_reused(self) -> int:
+        """Solver invocations avoided by memoisation."""
+        return self._m_responses_reused.value
+
+    @property
+    def cover_contexts_built(self) -> int:
+        """Reduced-view distance structures rebuilt (MaxNCG only)."""
+        return self._m_cover_built.value
+
+    @property
+    def cover_contexts_reused(self) -> int:
+        """Reduced-view distance structures reused across activations."""
+        return self._m_cover_reused.value
 
     # ------------------------------------------------------------------
     # Per-activation primitives (used by schedulers)
@@ -218,7 +263,7 @@ class DynamicsEngine:
             return None
         cached = self._cover_contexts.get(player)
         if cached is not None and cached[0] == token:
-            self.cover_contexts_reused += 1
+            self._m_cover_reused.inc()
             return cached[1]
         view = self.views.get(player)
         if view.size - 1 > COVER_CONTEXT_CACHE_MAX_NODES:
@@ -229,7 +274,7 @@ class DynamicsEngine:
             return None
         context = max_cover_context(view, backend=self.kernel_backend)
         self._cover_contexts[player] = (token, context)
-        self.cover_contexts_built += 1
+        self._m_cover_built.inc()
         return context
 
     def peek_response(self, player: Node) -> BestResponse:
@@ -251,22 +296,50 @@ class DynamicsEngine:
         strategy = self.state.strategy(player)
         memo = self._responses.get(player)
         if memo is not None and memo[0] == token and memo[1] == strategy:
-            self.responses_reused += 1
+            self._m_responses_reused.inc()
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "engine.best_response", player=str(player), memo_hit=True
+                )
             return memo[2]
-        response = best_response(
-            None,
-            player,
-            self.game,
-            solver=self.solver,
-            sum_exhaustive_limit=self.sum_exhaustive_limit,
-            view=view,
-            current_strategy=strategy,
-            cover_context=self._cover_context(player, token),
-            sum_restarts=self.sum_restarts,
-            backend=self.kernel_backend,
-        )
+        # The tracing-enabled branch duplicates the solver call so the
+        # disabled path pays no span bookkeeping at all on this, the
+        # engine's hottest call site.
+        if self._tracer.enabled:
+            with self._tracer.span(
+                "engine.best_response",
+                player=str(player),
+                memo_hit=False,
+                solver=self.solver,
+            ) as span:
+                response = best_response(
+                    None,
+                    player,
+                    self.game,
+                    solver=self.solver,
+                    sum_exhaustive_limit=self.sum_exhaustive_limit,
+                    view=view,
+                    current_strategy=strategy,
+                    cover_context=self._cover_context(player, token),
+                    sum_restarts=self.sum_restarts,
+                    backend=self.kernel_backend,
+                )
+                span.set(exact=response.exact, improving=response.is_improving)
+        else:
+            response = best_response(
+                None,
+                player,
+                self.game,
+                solver=self.solver,
+                sum_exhaustive_limit=self.sum_exhaustive_limit,
+                view=view,
+                current_strategy=strategy,
+                cover_context=self._cover_context(player, token),
+                sum_restarts=self.sum_restarts,
+                backend=self.kernel_backend,
+            )
         self._responses[player] = (token, strategy, response)
-        self.responses_computed += 1
+        self._m_responses_computed.inc()
         return response
 
     def apply_response(self, player: Node, response: BestResponse) -> None:
@@ -339,20 +412,23 @@ class DynamicsEngine:
         approximate solver (``greedy``) a positive answer is heuristic only,
         exactly as in :func:`repro.core.equilibria.certify_equilibrium`.
         """
-        self.views.refresh_dirty()
-        report = EquilibriumReport(is_equilibrium=True)
-        for player in self.base_order:
-            response = self.peek_response(player)
-            if response.exact:
-                report.checked_exactly.add(player)
-            else:
-                report.checked_heuristically.add(player)
-            if response.is_improving:
-                report.improving[player] = response
-                report.is_equilibrium = False
-                if stop_at_first:
-                    return report
-        return report
+        with self.telemetry.span("engine.certify", stop_at_first=stop_at_first) as span:
+            self.views.refresh_dirty()
+            report = EquilibriumReport(is_equilibrium=True)
+            for player in self.base_order:
+                response = self.peek_response(player)
+                if response.exact:
+                    report.checked_exactly.add(player)
+                else:
+                    report.checked_heuristically.add(player)
+                if response.is_improving:
+                    report.improving[player] = response
+                    report.is_equilibrium = False
+                    if stop_at_first:
+                        span.set(is_equilibrium=False)
+                        return report
+            span.set(is_equilibrium=report.is_equilibrium)
+            return report
 
     # ------------------------------------------------------------------
     # The round loop
@@ -390,6 +466,13 @@ class DynamicsEngine:
         keeps a warm replay after a localized shock at O(dirty ball).
         """
         game = self.game
+        run_span = self.telemetry.span(
+            "engine.run",
+            players=len(self.base_order),
+            scheduler=self.scheduler.name,
+            solver=self.solver,
+            backend=self.kernel_backend.name,
+        ).__enter__()
         initial_profile = self.state.to_profile()
         initial_metrics = (
             compute_profile_metrics(initial_profile, game, backend=self.kernel_backend)
@@ -409,7 +492,10 @@ class DynamicsEngine:
         rounds_run = 0
         for round_index in range(1, self.max_rounds + 1):
             rounds_run = round_index
-            changes = self.scheduler.run_round(self, round_index)
+            with self.telemetry.span("engine.round", round=round_index) as round_span:
+                changes = self.scheduler.run_round(self, round_index)
+                round_span.set(changes=changes)
+            self._m_rounds.inc()
             total_changes += changes
             if round_observer is not None:
                 round_observer(self, round_index, changes)
@@ -452,6 +538,12 @@ class DynamicsEngine:
                     break
                 seen_profiles[key] = round_index
         final_profile = self.state.to_profile()
+        run_span.finish(
+            rounds=rounds_run,
+            converged=converged,
+            cycled=cycled,
+            total_changes=total_changes,
+        )
         return DynamicsResult(
             game=game,
             initial_profile=initial_profile,

@@ -221,7 +221,7 @@ class ParallelBatchScheduler(Scheduler):
             stale = list(players)
         self.evaluated_last_round = list(stale)
         self.reused_last_round = [p for p in players if p in responses]
-        engine.responses_reused += len(self.reused_last_round)
+        engine._m_responses_reused.inc(len(self.reused_last_round))
         if stale:
             if resolve_workers(self.workers) == 1:
                 for player in stale:

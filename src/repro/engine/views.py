@@ -46,6 +46,7 @@ from repro.graphs.traversal import (
     iter_blocked_bfs_distances,
 )
 from repro.kernels import KernelBackend
+from repro.obs import Telemetry, get_telemetry
 
 __all__ = ["IncrementalViewCache", "ViewStore", "DEFAULT_VIEW_STORE_CAPACITY"]
 
@@ -86,17 +87,54 @@ class ViewStore:
     at a time inside a worker); it is not thread-safe.
     """
 
-    __slots__ = ("_entries", "_capacity", "_next_token", "hits", "misses", "publishes")
+    __slots__ = (
+        "_entries",
+        "_capacity",
+        "_next_token",
+        "_m_hits",
+        "_m_misses",
+        "_m_publishes",
+        "_m_entries",
+    )
 
-    def __init__(self, capacity: int = DEFAULT_VIEW_STORE_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_VIEW_STORE_CAPACITY,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("ViewStore capacity must be >= 1")
         self._entries: OrderedDict[tuple, tuple[View, int]] = OrderedDict()
         self._capacity = capacity
         self._next_token = 1
-        self.hits = 0
-        self.misses = 0
-        self.publishes = 0
+        # Ad-hoc counters migrated onto the metrics registry: each store
+        # owns private children (per-instance reads keep their meaning)
+        # that mirror into the process-wide aggregate series.
+        registry = (telemetry or get_telemetry()).registry
+        ops = registry.counter(
+            "repro_view_store_ops_total",
+            help="Shared view-store lookups and publishes",
+            labelnames=("op",),
+        )
+        self._m_hits = ops.child(op="hit")
+        self._m_misses = ops.child(op="miss")
+        self._m_publishes = ops.child(op="publish")
+        self._m_entries = registry.gauge(
+            "repro_view_store_entries",
+            help="Live entries across shared view stores",
+        ).child()
+
+    @property
+    def hits(self) -> int:
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._m_misses.value
+
+    @property
+    def publishes(self) -> int:
+        return self._m_publishes.value
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -111,10 +149,10 @@ class ViewStore:
         """Published ``(view, token)`` for a player at a network snapshot."""
         entry = self._entries.get((signature, k, player))
         if entry is None:
-            self.misses += 1
+            self._m_misses.inc()
             return None
         self._entries.move_to_end((signature, k, player))
-        self.hits += 1
+        self._m_hits.inc()
         return entry
 
     def put(self, signature: bytes, k: float, player: Node, view: View, token: int) -> None:
@@ -124,9 +162,10 @@ class ViewStore:
             self._entries.move_to_end(key)
             return
         self._entries[key] = (view, token)
-        self.publishes += 1
+        self._m_publishes.inc()
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+        self._m_entries.set(len(self._entries))
 
     def counters(self) -> dict[str, int]:
         return {
@@ -149,8 +188,9 @@ class IncrementalViewCache:
         "_kernel_backend",
         "_store",
         "_sig_cache",
-        "views_built",
-        "shared_hits",
+        "_m_views_built",
+        "_m_shared_hits",
+        "_span",
     )
 
     def __init__(
@@ -159,6 +199,7 @@ class IncrementalViewCache:
         k: float,
         kernel_backend: str | KernelBackend | None = None,
         store: ViewStore | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._state = state
         self._k = k
@@ -170,11 +211,27 @@ class IncrementalViewCache:
         self._dirty: set[Node] = set(state.players())
         self._store = store
         self._sig_cache: tuple[int, bytes] | None = None
-        #: Views actually constructed by BFS in this cache (both the bulk
-        #: and the single-player path) — store adoptions do not count.
-        self.views_built = 0
-        #: Views adopted from the shared store instead of being rebuilt.
-        self.shared_hits = 0
+        telemetry = telemetry or get_telemetry()
+        views = telemetry.registry.counter(
+            "repro_views_total",
+            help="Per-player views settled by the incremental cache",
+            labelnames=("source",),
+        )
+        # Views actually constructed by BFS in this cache (both the bulk
+        # and the single-player path) — store adoptions count separately.
+        self._m_views_built = views.child(source="built")
+        self._m_shared_hits = views.child(source="shared")
+        self._span = telemetry.span
+
+    @property
+    def views_built(self) -> int:
+        """Views constructed by BFS here — store adoptions do not count."""
+        return self._m_views_built.value
+
+    @property
+    def shared_hits(self) -> int:
+        """Views adopted from the shared store instead of being rebuilt."""
+        return self._m_shared_hits.value
 
     # ------------------------------------------------------------------
     # Queries
@@ -263,6 +320,10 @@ class IncrementalViewCache:
         dirty = [p for p in self._state.players() if p in self._dirty or p not in self._views]
         if not dirty:
             return 0
+        with self._span("views.refresh_dirty", dirty=len(dirty)) as span:
+            return self._refresh_dirty(dirty, span)
+
+    def _refresh_dirty(self, dirty: list[Node], span) -> int:
         settled = len(dirty)
         signature: bytes | None = None
         if self._store is not None:
@@ -276,7 +337,8 @@ class IncrementalViewCache:
                     remaining.append(player)
                 else:
                     self._install_shared(player, entry[0], entry[1])
-                    self.shared_hits += 1
+                    self._m_shared_hits.inc()
+            span.set(adopted=settled - len(remaining))
             dirty = remaining
             if not dirty:
                 return settled
@@ -290,9 +352,11 @@ class IncrementalViewCache:
         radius = None if self._k == FULL_KNOWLEDGE else int(self._k)
         sources = np.fromiter((index[p] for p in dirty), dtype=np.int64, count=len(dirty))
         full_visible: set[Node] = set(order) if radius is None else set()
+        blocks = 0
         for start, _, dist in iter_blocked_bfs_distances(
             indptr, indices, sources, radius=radius, backend=self._kernel_backend
         ):
+            blocks += 1
             # One vectorised extraction pass per block instead of three
             # full-width mask scans per row: all reached (row, node) pairs
             # at once, then row-segment splits at the searchsorted
@@ -318,7 +382,7 @@ class IncrementalViewCache:
                 self._install(
                     player, self._assemble(player, visible, distances, frontier)
                 )
-                self.views_built += 1
+                self._m_views_built.inc()
                 if self._store is not None and signature is not None:
                     self._store.put(
                         signature,
@@ -327,6 +391,7 @@ class IncrementalViewCache:
                         self._views[player],
                         self._tokens[player],
                     )
+        span.set(built=len(dirty), blocks=blocks)
         return settled
 
     # ------------------------------------------------------------------
@@ -381,7 +446,7 @@ class IncrementalViewCache:
     # View construction (content-identical to ``extract_view``)
     # ------------------------------------------------------------------
     def _build_single(self, player: Node) -> View:
-        self.views_built += 1
+        self._m_views_built.inc()
         graph = self._state.graph
         if self._k == FULL_KNOWLEDGE:
             distances = bfs_distances(graph, player)

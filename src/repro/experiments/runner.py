@@ -158,7 +158,11 @@ def build_instance(spec: RunSpec) -> OwnedGraph:
 
 
 def run_spec_on_instance(
-    spec: RunSpec, initial, collect_round_metrics: bool = False, view_store=None
+    spec: RunSpec,
+    initial,
+    collect_round_metrics: bool = False,
+    view_store=None,
+    telemetry=None,
 ) -> RunResult:
     """Execute ``spec``'s dynamics on a pre-built initial instance.
 
@@ -168,7 +172,8 @@ def run_spec_on_instance(
     cached or shared-memory copy); the result is identical either way.
     ``view_store`` optionally shares refreshed BFS views across runs over
     the same instance (an α-grid) — trajectories are bit-identical with or
-    without it.
+    without it.  ``telemetry`` is an optional :class:`repro.obs.Telemetry`
+    handle; tracing never changes trajectories either.
     """
     game = spec.game()
     result = best_response_dynamics(
@@ -182,6 +187,7 @@ def run_spec_on_instance(
         kernel_backend=spec.kernel_backend,
         kernel_threads=spec.kernel_threads,
         view_store=view_store,
+        telemetry=telemetry,
     )
     return RunResult(
         spec=spec,
@@ -207,6 +213,7 @@ def run_sweep(
     journal: str | None = None,
     resume: bool = False,
     steal: bool = True,
+    telemetry: bool = False,
 ) -> list[RunResult]:
     """Run many independent specs, optionally across processes.
 
@@ -217,9 +224,14 @@ def run_sweep(
     ``resume``.  Results are bit-identical to the ``workers=1``
     ``parallel_map`` path, which remains the zero-overhead default for
     serial sweeps.
+
+    ``telemetry=True`` routes through the service regardless of worker
+    count and traces every task; with a ``journal`` the per-task span
+    summaries land as additive telemetry records next to the results
+    (``python -m repro trace`` renders them).  Rows are bit-identical.
     """
     workers = settings.workers if settings is not None else 1
-    if journal is not None or resolve_workers(workers) > 1:
+    if journal is not None or resolve_workers(workers) > 1 or telemetry:
         from repro.service.api import ServiceConfig, run_spec_sweep
 
         return run_spec_sweep(
@@ -230,6 +242,7 @@ def run_sweep(
                 experiment="sweep",
                 resume=resume,
                 steal=steal,
+                telemetry=telemetry,
             ),
         )
     return parallel_map(run_single, specs, workers=workers)

@@ -47,6 +47,8 @@ import numpy as np
 from repro.graphs.graph import Graph, Node
 from repro.kernels import KernelBackend, resolve_backend
 from repro.kernels.common import MAX_EXPANSION_INCIDENCES, UNREACHABLE
+from repro.obs import get_telemetry
+from repro.obs.metrics import CounterFamily, default_registry
 
 __all__ = [
     "bfs_distances",
@@ -75,6 +77,29 @@ __all__ = [
 #: Peak live memory of a blocked sweep is ``DEFAULT_BLOCK_SIZE * n`` int32
 #: entries (~40 MB at n = 10^4) regardless of the total source count.
 DEFAULT_BLOCK_SIZE: int = 1024
+
+# Kernel-call metrics live on the process default registry (the dispatch
+# wrappers are module functions with no instance to hang a handle off);
+# lazily bound so importing this module never races registry setup.
+_KERNEL_CALLS: CounterFamily | None = None
+_KERNEL_SOURCES: CounterFamily | None = None
+
+
+def _kernel_metrics() -> tuple[CounterFamily, CounterFamily]:
+    global _KERNEL_CALLS, _KERNEL_SOURCES
+    if _KERNEL_CALLS is None:
+        registry = default_registry()
+        _KERNEL_CALLS = registry.counter(
+            "repro_kernel_calls_total",
+            help="Kernel dispatches through the traversal wrappers",
+            labelnames=("kernel", "backend"),
+        )
+        _KERNEL_SOURCES = registry.counter(
+            "repro_kernel_sources_total",
+            help="BFS source rows (frontier batch width) fed to kernels",
+            labelnames=("kernel", "backend"),
+        )
+    return _KERNEL_CALLS, _KERNEL_SOURCES
 
 
 def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
@@ -227,6 +252,20 @@ def batched_bfs_distances(
     if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
         raise IndexError("source index out of range")
     kernel = resolve_backend(backend)
+    calls, srcs = _kernel_metrics()
+    calls.labels(kernel="bfs", backend=kernel.name).inc()
+    srcs.labels(kernel="bfs", backend=kernel.name).inc(num_sources)
+    tracer = get_telemetry().tracer
+    if tracer.enabled:
+        with tracer.span(
+            "kernels.bfs",
+            backend=kernel.name,
+            threads=kernel.threads,
+            sources=int(num_sources),
+            n=int(n),
+            radius=-1 if radius is None else int(radius),
+        ):
+            return kernel.bfs(indptr, indices, source_array, radius, dist)
     return kernel.bfs(indptr, indices, source_array, radius, dist)
 
 
@@ -365,10 +404,26 @@ def reduce_bfs_distances(
         return ecc, sums, unreached, view_sizes
     kernel = resolve_backend(backend)
     fused = kernel.bfs_reduce
+    calls, srcs = _kernel_metrics()
+    tracer = get_telemetry().tracer
+    sweep_span = (
+        tracer.span(
+            "kernels.bfs_reduce",
+            backend=kernel.name,
+            threads=kernel.threads,
+            sources=int(num_sources),
+            n=int(n),
+            fused=fused is not None,
+        )
+        if tracer.enabled
+        else None
+    )
     for start in range(0, num_sources, block_size):
         stop = min(start + block_size, num_sources)
         block = source_array[start:stop]
         if fused is not None:
+            calls.labels(kernel="bfs_reduce", backend=kernel.name).inc()
+            srcs.labels(kernel="bfs_reduce", backend=kernel.name).inc(stop - start)
             # Sliced views of the output vectors are contiguous, so the
             # kernel fills the final arrays in place, block by block.
             fused(
@@ -395,6 +450,8 @@ def reduce_bfs_distances(
         unreached[start:stop] = (~reachable).sum(axis=1)
         if view_radius is not None:
             view_sizes[start:stop] = (dist <= view_radius).sum(axis=1)
+    if sweep_span is not None:
+        sweep_span.finish()
     return ecc, sums, unreached, view_sizes
 
 

@@ -1,0 +1,104 @@
+"""Zero-dependency telemetry: metrics registry, trace spans, profiling export.
+
+The observability layer has three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  with labeled children, collected by a :class:`MetricsRegistry` that
+  renders the Prometheus text exposition format.
+* :mod:`repro.obs.tracing` — context-manager spans on the monotonic clock
+  with parent links, drained as Chrome ``trace_event`` dicts.
+* the :class:`Telemetry` handle — the one object threaded through the
+  engine, view cache, kernels dispatch and the service layer.
+
+Metrics are always on (a counter bump is two integer adds); tracing is
+opt-in.  The disabled tracing path is a single attribute lookup on a
+preallocated null span factory — pinned by ``benchmarks/test_bench_obs.py``.
+
+Everything here is stdlib-only so any layer (including the kernels
+dispatch wrappers) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    render_prometheus,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace_from_summaries,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace_from_summaries",
+    "default_registry",
+    "get_telemetry",
+    "render_prometheus",
+    "set_telemetry",
+    "validate_chrome_trace",
+]
+
+
+class Telemetry:
+    """Handle bundling a metrics registry and a tracer.
+
+    Components accept ``telemetry=None`` and fall back to the process-wide
+    handle (:func:`get_telemetry`), whose tracer is the no-op
+    :data:`NULL_TRACER`.  Hot paths bind ``telemetry.span`` once so the
+    disabled path costs one attribute lookup plus a constant-returning
+    call.
+    """
+
+    __slots__ = ("registry", "tracer", "span", "event")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        tracing: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        if tracer is None:
+            tracer = Tracer() if tracing else NULL_TRACER
+        self.tracer = tracer
+        # Pre-bound recorder methods: one attribute lookup at the call site.
+        self.span = tracer.span
+        self.event = tracer.event
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def drain_events(self) -> list[dict]:
+        return self.tracer.drain()
+
+
+#: Process-wide default: metrics into the default registry, tracing off.
+_GLOBAL_TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """Return the process-wide telemetry handle."""
+    return _GLOBAL_TELEMETRY
+
+
+def set_telemetry(telemetry: Telemetry | None) -> Telemetry:
+    """Swap the process-wide handle (``None`` restores the default).
+
+    Returns the previous handle so callers can restore it.
+    """
+    global _GLOBAL_TELEMETRY
+    previous = _GLOBAL_TELEMETRY
+    _GLOBAL_TELEMETRY = telemetry if telemetry is not None else Telemetry()
+    return previous

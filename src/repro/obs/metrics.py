@@ -1,0 +1,402 @@
+"""Metrics primitives: counters, gauges, histograms, and their registry.
+
+Design notes
+------------
+
+Each *family* (one metric name) owns labeled *series*.  ``family.labels(...)``
+returns the memoized aggregate series for a label combination;
+``family.child(...)`` returns a **private** instrument whose updates also
+flow into that aggregate.  Components hold children so per-instance reads
+(``cache.views_built``) keep their historical meaning, while the registry
+exposes the process-wide aggregate — and a child that is garbage-collected
+leaves its contribution behind in the aggregate, so totals never regress.
+
+No locks on the hot path: a counter bump is two integer adds under the
+GIL.  Collection walks plain dicts and tolerates concurrent updates (a
+scrape may be one increment behind a racing bump, never corrupt).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "default_registry",
+    "render_prometheus",
+]
+
+#: Seconds-scale latency buckets (engine rounds to whole sweeps).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value; ``sink`` receives mirrored adds."""
+
+    __slots__ = ("_value", "_sink")
+
+    def __init__(self, sink: "Counter | None" = None) -> None:
+        self._value = 0
+        self._sink = sink
+
+    def inc(self, amount: int | float = 1) -> None:
+        self._value += amount
+        sink = self._sink
+        if sink is not None:
+            sink._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value; children mirror *deltas* into the aggregate,
+    so the registry series is the sum over live children."""
+
+    __slots__ = ("_value", "_sink", "_fn")
+
+    def __init__(self, sink: "Gauge | None" = None) -> None:
+        self._value = 0
+        self._sink = sink
+        self._fn: Callable[[], int | float] | None = None
+
+    def set(self, value: int | float) -> None:
+        delta = value - self._value
+        self._value = value
+        sink = self._sink
+        if sink is not None:
+            sink._value += delta
+
+    def inc(self, amount: int | float = 1) -> None:
+        self._value += amount
+        sink = self._sink
+        if sink is not None:
+            sink._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], int | float] | None) -> None:
+        """Read ``value`` live from ``fn`` at collection time."""
+        self._fn = fn
+
+    @property
+    def value(self) -> int | float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative at render time, like Prometheus)."""
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_sink")
+
+    def __init__(
+        self,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        sink: "Histogram | None" = None,
+    ) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._sink = sink
+
+    def observe(self, value: float) -> None:
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+        sink = self._sink
+        if sink is not None:
+            sink._counts[index] += 1
+            sink._sum += value
+            sink._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def bucket_counts(self) -> list[int]:
+        return list(self._counts)
+
+
+class _Family:
+    """One metric name with labeled series."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labelnames: tuple[str, ...] = (),
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _make(self) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _attach(self, aggregate) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The memoized aggregate series for this label combination."""
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    series = self._make()
+                    self._series[key] = series
+        return series
+
+    def child(self, **labels):
+        """A private instrument mirroring into :meth:`labels`'s aggregate."""
+        return self._attach(self.labels(**labels))
+
+    def samples(self) -> Iterable[tuple[tuple, object]]:
+        return list(self._series.items())
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make(self) -> Counter:
+        return Counter()
+
+    def _attach(self, aggregate: Counter) -> Counter:
+        return Counter(sink=aggregate)
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make(self) -> Gauge:
+        return Gauge()
+
+    def _attach(self, aggregate: Gauge) -> Gauge:
+        return Gauge(sink=aggregate)
+
+    def set(self, value: int | float, **labels) -> None:
+        self.labels(**labels).set(value)
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help=help, unit=unit, labelnames=labelnames)
+        self.buckets = tuple(sorted(buckets))
+
+    def _make(self) -> Histogram:
+        return Histogram(bounds=self.buckets)
+
+    def _attach(self, aggregate: Histogram) -> Histogram:
+        return Histogram(bounds=self.buckets, sink=aggregate)
+
+    def observe(self, value: float, **labels) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """Process-wide (or injected) collection of metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory: Callable[[], _Family]) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = factory()
+                self._families[name] = family
+            return family
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labelnames: tuple[str, ...] = (),
+    ) -> CounterFamily:
+        family = self._get_or_create(
+            name, lambda: CounterFamily(name, help, unit, tuple(labelnames))
+        )
+        if family.kind != "counter":
+            raise ValueError(f"{name} already registered as {family.kind}")
+        return family  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labelnames: tuple[str, ...] = (),
+    ) -> GaugeFamily:
+        family = self._get_or_create(
+            name, lambda: GaugeFamily(name, help, unit, tuple(labelnames))
+        )
+        if family.kind != "gauge":
+            raise ValueError(f"{name} already registered as {family.kind}")
+        return family  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> HistogramFamily:
+        family = self._get_or_create(
+            name,
+            lambda: HistogramFamily(name, help, unit, tuple(labelnames), buckets),
+        )
+        if family.kind != "histogram":
+            raise ValueError(f"{name} already registered as {family.kind}")
+        return family  # type: ignore[return-value]
+
+    def collect(self) -> list[_Family]:
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Flat ``name{labels}`` → value map (histograms as ``_count``/``_sum``)."""
+        flat: dict[str, int | float] = {}
+        for family in self.collect():
+            for key, series in family.samples():
+                suffix = _label_suffix(family.labelnames, key)
+                if family.kind == "histogram":
+                    flat[f"{family.name}_count{suffix}"] = series.count
+                    flat[f"{family.name}_sum{suffix}"] = series.sum
+                else:
+                    flat[f"{family.name}{suffix}"] = series.value
+        return flat
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(labelnames: tuple[str, ...], values: tuple, extra: str = "") -> str:
+    pairs = [f'{n}="{_escape(v)}"' for n, v in zip(labelnames, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, series in family.samples():
+            if family.kind == "histogram":
+                cumulative = 0
+                counts = series.bucket_counts()
+                bounds = [*series.bounds, float("inf")]
+                for bound, count in zip(bounds, counts):
+                    cumulative += count
+                    le = "+Inf" if bound == float("inf") else _format_value(bound)
+                    suffix = _label_suffix(
+                        family.labelnames, key, extra=f'le="{le}"'
+                    )
+                    lines.append(f"{family.name}_bucket{suffix} {cumulative}")
+                suffix = _label_suffix(family.labelnames, key)
+                lines.append(f"{family.name}_sum{suffix} {_format_value(series.sum)}")
+                lines.append(f"{family.name}_count{suffix} {series.count}")
+            else:
+                suffix = _label_suffix(family.labelnames, key)
+                lines.append(f"{family.name}{suffix} {_format_value(series.value)}")
+    return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry that `/metrics` scrapes.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT_REGISTRY

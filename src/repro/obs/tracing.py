@@ -1,0 +1,292 @@
+"""Trace spans on the monotonic clock, exportable as Chrome ``trace_event``.
+
+A :class:`Tracer` hands out context-manager spans; finished spans land in
+an in-memory buffer as plain dicts (JSON-safe, journal-friendly).  Parent
+links come from a per-thread span stack, so nested ``with`` blocks produce
+a proper tree; manual :meth:`Tracer.begin`/:meth:`Span finish` spans cover
+overlapping lifecycles (e.g. many in-flight worker tasks) that do not
+nest.
+
+Timing is ``time.perf_counter()`` (monotonic); each tracer anchors its
+monotonic origin to one wall-clock reading so events from different
+processes line up on a shared timeline when merged — that is what lets
+``python -m repro trace`` lay a multi-worker sweep out in Perfetto with
+real concurrency visible.
+
+The disabled path is :data:`NULL_TRACER`: ``span()`` returns one
+preallocated null span, ``event()`` is a constant no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "chrome_trace_from_summaries",
+    "validate_chrome_trace",
+]
+
+
+class _NullSpan:
+    """Reusable do-nothing span; also the null manual-span handle."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> "_NullSpan":
+        return self
+
+    def finish(self, **args) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op recorder: every method returns a preallocated constant."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **args) -> None:
+        return None
+
+    def begin(self, name: str, **args) -> _NullSpan:
+        return NULL_SPAN
+
+    def drain(self) -> list[dict]:
+        return []
+
+    @property
+    def span_count(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """A live span; closed via ``with`` or an explicit :meth:`finish`."""
+
+    __slots__ = ("_tracer", "name", "args", "span_id", "parent_id", "_start", "_stacked")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        args: dict,
+        parent_id: int | None,
+        stacked: bool,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self._stacked = stacked
+        self._start = time.perf_counter()
+
+    def set(self, **args) -> "Span":
+        """Attach attributes discovered mid-span (e.g. block counts)."""
+        self.args.update(args)
+        return self
+
+    def finish(self, **args) -> None:
+        if args:
+            self.args.update(args)
+        self._tracer._finish(self, time.perf_counter())
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.finish()
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events as Chrome-compatible dicts."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        # One wall-clock anchor per tracer: monotonic offsets become
+        # absolute microseconds, comparable across processes.
+        self._wall_origin = time.time() - time.perf_counter()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._id = 0
+        self._id_lock = threading.Lock()
+
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._id += 1
+            return self._id
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _ts_us(self, perf_time: float) -> float:
+        return (self._wall_origin + perf_time) * 1e6
+
+    def span(self, name: str, **args) -> Span:
+        """Open a nested span (parented on the enclosing span, per thread)."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(self, name, args, parent_id, stacked=True)
+        stack.append(span)
+        return span
+
+    def begin(self, name: str, **args) -> Span:
+        """Open a free span (no stack participation; for overlapping work)."""
+        return Span(self, name, args, parent_id=None, stacked=False)
+
+    def _finish(self, span: Span, end: float) -> None:
+        if span._stacked:
+            stack = self._stack()
+            if stack and stack[-1] is span:
+                stack.pop()
+            elif span in stack:  # out-of-order exit; keep the tree sane
+                stack.remove(span)
+        record = {
+            "name": span.name,
+            "ph": "X",
+            "ts": self._ts_us(span._start),
+            "dur": self._ts_us(end) - self._ts_us(span._start),
+            "tid": threading.get_ident() & 0xFFFF,
+            "id": span.span_id,
+            "args": span.args,
+        }
+        if span.parent_id is not None:
+            record["parent"] = span.parent_id
+        with self._lock:
+            self._events.append(record)
+
+    def event(self, name: str, **args) -> None:
+        """Record an instant event (zero duration)."""
+        stack = self._stack()
+        record = {
+            "name": name,
+            "ph": "i",
+            "ts": self._ts_us(time.perf_counter()),
+            "tid": threading.get_ident() & 0xFFFF,
+            "id": self._next_id(),
+            "args": args,
+        }
+        if stack:
+            record["parent"] = stack[-1].span_id
+        with self._lock:
+            self._events.append(record)
+
+    def drain(self) -> list[dict]:
+        """Return buffered events (start-ordered) and clear the buffer."""
+        with self._lock:
+            events, self._events = self._events, []
+        events.sort(key=lambda e: e["ts"])
+        return events
+
+    @property
+    def span_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0] if "." in name else "repro"
+
+
+def chrome_trace_from_summaries(summaries: list[dict]) -> dict:
+    """Render per-task telemetry summaries as a Chrome ``trace_event`` doc.
+
+    Each summary is one journal telemetry record payload: ``{"worker",
+    "index", "spec_hash", "kind", "wall_s", "span_count", "events"}``.
+    Worker id becomes the Chrome ``pid`` lane, so a multi-worker sweep
+    shows its real overlap.  Timestamps are rebased to the earliest event
+    so the trace starts at t=0.
+    """
+    trace_events: list[dict] = []
+    metadata: list[dict] = []
+    seen_pids: set[int] = set()
+    for summary in summaries:
+        pid = int(summary.get("worker", 0))
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"worker {pid}"},
+                }
+            )
+        for event in summary.get("events", ()):
+            args = dict(event.get("args", {}))
+            if "parent" in event:
+                args["parent_span"] = event["parent"]
+            record = {
+                "name": event["name"],
+                "cat": _category(event["name"]),
+                "ph": event.get("ph", "X"),
+                "ts": float(event["ts"]),
+                "pid": pid,
+                "tid": int(event.get("tid", 0)),
+                "args": args,
+            }
+            if record["ph"] == "X":
+                record["dur"] = float(event.get("dur", 0.0))
+            if record["ph"] == "i":
+                record["s"] = "t"  # instant scope: thread
+            trace_events.append(record)
+    if trace_events:
+        origin = min(event["ts"] for event in trace_events)
+        for event in trace_events:
+            event["ts"] -= origin
+    trace_events.sort(key=lambda e: (e["pid"], e["ts"]))
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema check for an exported trace; returns a list of problems."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["missing traceEvents key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = event.get("ph")
+        if ph in ("X", "i") and "ts" not in event:
+            problems.append(f"event {i}: missing ts")
+        if ph == "X" and "dur" not in event:
+            problems.append(f"event {i}: complete event missing dur")
+        ts = event.get("ts")
+        if ts is not None and not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: ts not numeric")
+    return problems

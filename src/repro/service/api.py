@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.kernels import use_backend, use_threads
+from repro.obs import Telemetry
 from repro.parallel.pool import resolve_workers
 from repro.service.journal import SweepJournal
 from repro.service.tasks import (
@@ -33,7 +34,6 @@ from repro.service.tasks import (
     compile_run_specs,
     compile_sum_tasks,
     decode_result,
-    encode_result,
     instance_builder,
     instance_size,
     shard_tasks,
@@ -85,6 +85,15 @@ class ServiceConfig:
     :class:`~repro.service.tasks.AffinityTaskQueue`; ``steal=False`` pins
     every group to its static shard.  Rows are bit-identical either way —
     only the makespan moves.
+
+    ``telemetry=True`` runs every task under trace spans (engine rounds,
+    best responses, view refreshes, kernel calls) and journals one
+    additive ``kind="telemetry"`` summary record per executed task next
+    to its result record — exportable as a Chrome trace via ``python -m
+    repro trace``.  Rows and journaled result payloads stay bit-identical
+    to a telemetry-off run except for the wall-clock
+    :data:`~repro.service.tasks.TELEMETRY_SUMMARY_FIELDS`, which every
+    row-comparison path already strips with the other timing fields.
     """
 
     workers: int | None = 1
@@ -98,6 +107,7 @@ class ServiceConfig:
     kernel_backend: str | None = None
     kernel_threads: int | None = None
     steal: bool = True
+    telemetry: bool = False
 
 
 def _export_shared_instances(
@@ -170,6 +180,12 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                 for member in by_hash[spec_hash]:
                     decoded[member.index] = decode_result(kind, payload)
 
+            def on_telemetry(summary: dict) -> None:
+                if journal is not None:
+                    journal.append_telemetry(
+                        summary["spec_hash"], summary["index"], summary
+                    )
+
             workers = resolve_workers(config.workers)
             if workers == 1 or len(pending) == 1 or config.in_process:
                 shards = shard_tasks(
@@ -186,15 +202,20 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                         # One fresh runtime per shard mirrors one worker per
                         # shard: the same cache boundaries, deterministically.
                         runtime = WorkerRuntime(
-                            session_cache_size=config.session_cache_size
+                            session_cache_size=config.session_cache_size,
+                            telemetry=(
+                                Telemetry(tracing=True)
+                                if config.telemetry
+                                else None
+                            ),
                         )
                         for task in shard:
+                            payload, summary = runtime.execute_traced(task)
                             on_result(
-                                task.index,
-                                task.spec_hash,
-                                task.kind,
-                                encode_result(task, runtime.execute(task)),
+                                task.index, task.spec_hash, task.kind, payload
                             )
+                            if summary is not None:
+                                on_telemetry(summary)
             else:
                 shared = _export_shared_instances(pending, config.min_shared_nodes)
                 try:
@@ -207,7 +228,8 @@ def orchestrate(tasks: list[SweepTask], config: ServiceConfig) -> list[Any]:
                         kernel_threads=config.kernel_threads,
                         steal=config.steal,
                         order_seed=config.shard_seed,
-                    ).run(on_result)
+                        telemetry=config.telemetry,
+                    ).run(on_result, on_telemetry=on_telemetry)
                 finally:
                     shared.release()
     finally:

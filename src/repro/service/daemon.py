@@ -14,6 +14,7 @@ Endpoints (all JSON; one request per connection)::
 
     GET    /healthz              liveness probe
     GET    /stats                cache / queue / execution counters
+    GET    /metrics              Prometheus text exposition (same registry)
     POST   /jobs                 submit a job description (201; 429 full)
     GET    /jobs                 list all known jobs
     GET    /jobs/<id>            one job's status document
@@ -40,6 +41,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.kernels import use_backend, use_threads
+from repro.obs import Telemetry
+from repro.obs.metrics import default_registry, render_prometheus
 from repro.service.jobs import (
     TERMINAL_STATUSES,
     Job,
@@ -47,7 +50,6 @@ from repro.service.jobs import (
     JobQueueFull,
     UnknownJob,
 )
-from repro.service.tasks import encode_result
 from repro.service.workers import (
     SESSION_CACHE_SIZE,
     PersistentWorkerPool,
@@ -70,6 +72,9 @@ class DaemonConfig:
     tests use; results are bit-identical either way.
     ``steal=False`` pins the pool's dispatch to static affinity shards
     (rows are bit-identical either way; only the makespan moves).
+    ``telemetry=True`` traces every executed task and journals one
+    additive telemetry summary record per result (``python -m repro
+    trace`` renders them); rows stay bit-identical.
     """
 
     store_dir: str | Path
@@ -82,6 +87,7 @@ class DaemonConfig:
     kernel_backend: str | None = None
     kernel_threads: int | None = None
     steal: bool = True
+    telemetry: bool = False
 
 
 class InProcessExecutor:
@@ -97,21 +103,27 @@ class InProcessExecutor:
         session_cache_size: int = SESSION_CACHE_SIZE,
         kernel_backend: str | None = None,
         kernel_threads: int | None = None,
+        telemetry: bool = False,
     ) -> None:
-        self.runtime = WorkerRuntime(session_cache_size=session_cache_size)
+        self.runtime = WorkerRuntime(
+            session_cache_size=session_cache_size,
+            telemetry=Telemetry(tracing=True) if telemetry else None,
+        )
         self.kernel_backend = kernel_backend
         self.kernel_threads = kernel_threads
 
     def start(self) -> None:
         pass
 
-    def run_tasks(self, tasks, on_result, should_abort=None) -> None:
+    def run_tasks(self, tasks, on_result, should_abort=None, on_telemetry=None) -> None:
         with use_backend(self.kernel_backend), use_threads(self.kernel_threads):
             for task in tasks:
                 if should_abort is not None and should_abort():
                     return
-                payload = encode_result(task, self.runtime.execute(task))
+                payload, summary = self.runtime.execute_traced(task)
                 on_result(task.index, task.spec_hash, task.kind, payload)
+                if summary is not None and on_telemetry is not None:
+                    on_telemetry(summary)
 
     def stop(self) -> None:
         pass
@@ -140,6 +152,7 @@ class ServiceDaemon:
                 session_cache_size=config.session_cache_size,
                 kernel_backend=config.kernel_backend,
                 kernel_threads=config.kernel_threads,
+                telemetry=config.telemetry,
             )
         else:
             self.executor = PersistentWorkerPool(
@@ -148,6 +161,7 @@ class ServiceDaemon:
                 kernel_backend=config.kernel_backend,
                 kernel_threads=config.kernel_threads,
                 steal=config.steal,
+                telemetry=config.telemetry,
             )
         self.port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -274,9 +288,16 @@ class ServiceDaemon:
         if method == "GET" and segments == ["healthz"]:
             await self._respond(writer, 200, {"status": "ok"})
         elif method == "GET" and segments == ["stats"]:
+            # Built per request from the live registry-backed counters —
+            # never a snapshot captured when the handler (or executor)
+            # was constructed.
             stats = self.manager.stats()
             stats["workers"] = getattr(self.executor, "workers", 1)
             await self._respond(writer, 200, stats)
+        elif method == "GET" and segments == ["metrics"]:
+            await self._respond_text(
+                writer, 200, render_prometheus(default_registry())
+            )
         elif method == "POST" and segments == ["jobs"]:
             await self._submit(body, writer)
         elif method == "GET" and segments == ["jobs"]:
@@ -439,6 +460,17 @@ class ServiceDaemon:
     async def _write_chunk(self, writer, event: dict) -> None:
         data = _json_bytes(event)
         writer.write(f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+        await writer.drain()
+
+    async def _respond_text(self, writer, status: int, text: str) -> None:
+        data = text.encode("utf-8")
+        writer.write(
+            f"HTTP/1.1 {status} OK\r\n"
+            f"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii")
+            + data
+        )
         await writer.drain()
 
     async def _respond(self, writer, status: int, payload: Any) -> None:

@@ -37,9 +37,11 @@ from pathlib import Path
 from typing import Any
 
 from repro.experiments.store import ExperimentStore
+from repro.obs import get_telemetry
 from repro.service.journal import (
     SweepJournal,
     atomic_write_json,
+    iter_result_records,
     load_jsonl_records,
     repair_torn_tail,
 )
@@ -195,7 +197,7 @@ class ResultCache:
         self.path = self.directory / self.FILE_NAME
         repair_torn_tail(self.path)
         self._entries: dict[str, tuple[str, Any]] = {}
-        for record in load_jsonl_records(self.path):
+        for record in iter_result_records(load_jsonl_records(self.path)):
             self._entries.setdefault(
                 record["spec_hash"], (record["kind"], record["payload"])
             )
@@ -312,11 +314,47 @@ class JobManager:
         self.running = True
         self._loop: asyncio.AbstractEventLoop | None = None
         self._next_seq = 1
-        #: Daemon-lifetime counters (also see :meth:`stats`).
-        self.jobs_submitted = 0
-        self.cache_hits = 0
-        self.journal_hits = 0
-        self.engine_executions = 0
+        #: Daemon-lifetime counters — registry-backed so ``/stats`` and
+        #: ``/metrics`` read the same live values (the read-through
+        #: properties below keep the historical attribute names).
+        registry = get_telemetry().registry
+        self._m_jobs_submitted = registry.counter(
+            "repro_daemon_jobs_submitted_total",
+            "Jobs accepted by the daemon.",
+        ).child()
+        sources = registry.counter(
+            "repro_daemon_task_sources_total",
+            "Unique task hashes served, by source.",
+            labelnames=("source",),
+        )
+        self._m_cache_hits = sources.child(source="cache")
+        self._m_journal_hits = sources.child(source="journal")
+        self._m_engine_executions = sources.child(source="engine")
+        # Live reads at collection time; a later manager on the same
+        # registry simply takes over the series (latest daemon wins).
+        registry.gauge(
+            "repro_daemon_queue_depth", "Jobs waiting in the daemon queue."
+        ).labels().set_function(self.queue.qsize)
+        registry.gauge(
+            "repro_daemon_cache_entries",
+            "Entries in the content-addressed result cache.",
+        ).labels().set_function(lambda: len(self.cache))
+
+    @property
+    def jobs_submitted(self) -> int:
+        return self._m_jobs_submitted.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._m_cache_hits.value
+
+    @property
+    def journal_hits(self) -> int:
+        return self._m_journal_hits.value
+
+    @property
+    def engine_executions(self) -> int:
+        return self._m_engine_executions.value
 
     def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
         self._loop = loop
@@ -347,7 +385,7 @@ class JobManager:
         self.jobs[job.id] = job
         self._persist(job)
         self.queue.put_nowait(job.id)
-        self.jobs_submitted += 1
+        self._m_jobs_submitted.inc()
         self._publish(job, {"type": "status", "job_id": job.id, "status": "queued"})
         return job
 
@@ -491,11 +529,11 @@ class JobManager:
                         if spec_hash not in self.cache:
                             self.cache.put(spec_hash, kind, completed[spec_hash])
                         job.from_journal += 1
-                        self.journal_hits += 1
+                        self._m_journal_hits.inc()
                         self._task_event(job, members, "journal")
                     elif spec_hash in self.cache:
                         job.from_cache += 1
-                        self.cache_hits += 1
+                        self._m_cache_hits.inc()
                         self._task_event(job, members, "cache")
                     else:
                         pending.append(members[0])
@@ -504,13 +542,19 @@ class JobManager:
                     journal.append(spec_hash, index, kind, payload)
                     self.cache.put(spec_hash, kind, payload)
                     job.executed += 1
-                    self.engine_executions += 1
+                    self._m_engine_executions.inc()
                     self._task_event(job, by_hash[spec_hash], "engine")
+
+                def on_telemetry(summary: dict) -> None:
+                    journal.append_telemetry(
+                        summary["spec_hash"], summary["index"], summary
+                    )
 
                 executor.run_tasks(
                     pending,
                     on_result,
                     should_abort=lambda: job.cancel_requested or not self.running,
+                    on_telemetry=on_telemetry,
                 )
             finally:
                 journal.close()
@@ -577,9 +621,11 @@ class JobManager:
                 if journal_payloads is None:
                     journal_payloads = {
                         record["spec_hash"]: (record["kind"], record["payload"])
-                        for record in load_jsonl_records(
-                            self.store.experiment_dir(job.experiment)
-                            / SweepJournal.LOG_NAME
+                        for record in iter_result_records(
+                            load_jsonl_records(
+                                self.store.experiment_dir(job.experiment)
+                                / SweepJournal.LOG_NAME
+                            )
                         )
                     }
                 entry = journal_payloads.get(task.spec_hash)

@@ -33,10 +33,30 @@ from typing import Any
 
 __all__ = [
     "SweepJournal",
+    "TELEMETRY_KIND",
     "atomic_write_json",
+    "iter_result_records",
+    "iter_telemetry_records",
     "load_jsonl_records",
     "repair_torn_tail",
 ]
+
+#: ``kind`` marker of the additive per-task telemetry record type.  Result
+#: records keep their original shape (kind = task kind); telemetry records
+#: ride the same append-only log but are skipped by every resume/collect
+#: path, so journals written with telemetry on resume exactly like the old
+#: format — and old journals (which simply contain none) stay valid.
+TELEMETRY_KIND = "telemetry"
+
+
+def iter_result_records(records: list[dict]) -> list[dict]:
+    """The task-result records of a journal (telemetry records skipped)."""
+    return [r for r in records if r.get("kind") != TELEMETRY_KIND]
+
+
+def iter_telemetry_records(records: list[dict]) -> list[dict]:
+    """The per-task telemetry summary records of a journal."""
+    return [r for r in records if r.get("kind") == TELEMETRY_KIND]
 
 
 def atomic_write_json(path: str | Path, payload: dict) -> None:
@@ -200,11 +220,30 @@ class SweepJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    def append_telemetry(self, spec_hash: str, index: int, summary: Any) -> None:
+        """Record one task's telemetry summary (additive record type).
+
+        Telemetry records are advisory: they share the log's durability
+        but are invisible to :meth:`_load_completed`, so they never count
+        as (or overwrite) a completed result on ``--resume``.
+        """
+        if self._handle is None:
+            raise RuntimeError("journal is not open")
+        record = {
+            "spec_hash": spec_hash,
+            "index": index,
+            "kind": TELEMETRY_KIND,
+            "payload": summary,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
     def _load_completed(self) -> dict[str, Any]:
         """Parse the journal, skipping a torn trailing line (crash artefact)."""
         return {
             record["spec_hash"]: record["payload"]
-            for record in load_jsonl_records(self.log_path)
+            for record in iter_result_records(load_jsonl_records(self.log_path))
         }
 
     def completed_count(self) -> int:

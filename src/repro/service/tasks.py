@@ -42,9 +42,11 @@ from typing import Any
 
 from repro.core.metrics import ProfileMetrics
 from repro.experiments.runner import RunResult, RunSpec
+from repro.obs import Telemetry, get_telemetry
 
 __all__ = [
     "SweepTask",
+    "TELEMETRY_SUMMARY_FIELDS",
     "TIMING_FIELDS",
     "compile_run_specs",
     "compile_sum_tasks",
@@ -59,12 +61,24 @@ __all__ = [
     "instance_size",
     "encode_result",
     "decode_result",
+    "stamp_telemetry_fields",
 ]
+
+#: Telemetry summary fields stamped onto row-shaped results when a sweep
+#: runs with tracing enabled (absent otherwise).  Wall-clock valued — and
+#: present only on telemetry-on rows — so bit-identity comparisons and
+#: ``--resume`` equality checks must treat them exactly like the timing
+#: fields below.
+TELEMETRY_SUMMARY_FIELDS: frozenset[str] = frozenset(
+    {"telemetry_wall_s", "telemetry_span_count"}
+)
 
 #: Wall-clock row fields — the only sweep outputs that legitimately differ
 #: between two runs of the same spec (they differ between two *serial* runs
 #: just the same).  Everything else must be bit-identical.
-TIMING_FIELDS: frozenset[str] = frozenset({"warm_s", "cold_s", "warm_speedup"})
+TIMING_FIELDS: frozenset[str] = (
+    frozenset({"warm_s", "cold_s", "warm_speedup"}) | TELEMETRY_SUMMARY_FIELDS
+)
 
 
 def content_hash(*parts: Any) -> str:
@@ -315,6 +329,7 @@ class AffinityTaskQueue:
         num_workers: int,
         steal: bool = True,
         order_seed: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -332,9 +347,24 @@ class AffinityTaskQueue:
             loads[target] += group_weight(groups[key])
         self._cursor: dict[str, int] = {key: 0 for key in keys}
         self._active: list[str | None] = [None] * num_workers
-        #: Instrumentation (read by tests and the steal benchmark).
-        self.steals = 0
-        self.dispatched = 0
+        # Instrumentation (read by tests and the steal benchmark) — private
+        # registry children behind read-through properties, so dispatch
+        # counts also aggregate into the process-wide metrics.
+        dispatch = (telemetry or get_telemetry()).registry.counter(
+            "repro_dispatch_total",
+            help="Task-queue dispatch decisions",
+            labelnames=("op",),
+        )
+        self._m_steals = dispatch.child(op="steal")
+        self._m_dispatched = dispatch.child(op="dispatch")
+
+    @property
+    def steals(self) -> int:
+        return self._m_steals.value
+
+    @property
+    def dispatched(self) -> int:
+        return self._m_dispatched.value
 
     def _pending_load(self, worker: int) -> int:
         return sum(group_weight(self._groups[key]) for key in self._pending[worker])
@@ -350,7 +380,7 @@ class AffinityTaskQueue:
         task = group[self._cursor[key]]
         self._cursor[key] += 1
         self._active[worker] = key if self._cursor[key] < len(group) else None
-        self.dispatched += 1
+        self._m_dispatched.inc()
         return task
 
     def next_task(self, worker: int) -> SweepTask | None:
@@ -376,7 +406,7 @@ class AffinityTaskQueue:
         )
         if victim is None:
             return None
-        self.steals += 1
+        self._m_steals.inc()
         return self._next_from_group(worker, self._pending[victim].pop(0))
 
 
@@ -544,6 +574,30 @@ def encode_result(task: SweepTask, result) -> Any:
         rows, base_document = result
         return {"rows": [_jsonify_row(row) for row in rows], "base": base_document}
     raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def stamp_telemetry_fields(
+    kind: str, payload: Any, wall_s: float, span_count: int
+) -> Any:
+    """Stamp :data:`TELEMETRY_SUMMARY_FIELDS` onto row-shaped payloads.
+
+    Only the row-dict payload kinds gain fields (``run_spec`` payloads
+    decode through a fixed dataclass, whose codec ignores extras); the
+    stamped fields are wall-clock valued and therefore stripped by
+    :func:`strip_timing_fields` wherever rows are compared bit-for-bit.
+    """
+    fields = {
+        "telemetry_wall_s": wall_s,
+        "telemetry_span_count": span_count,
+    }
+    if kind == "sum":
+        return {**payload, **fields}
+    if kind == "robustness":
+        return {
+            **payload,
+            "rows": [{**row, **fields} for row in payload["rows"]],
+        }
+    return payload
 
 
 def decode_result(kind: str, payload: Any):

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -46,11 +47,13 @@ import numpy as np
 
 from repro.core.strategies import StrategyProfile
 from repro.engine.views import ViewStore
+from repro.obs import Telemetry, get_telemetry, set_telemetry
 from repro.service.tasks import (
     AffinityTaskQueue,
     SweepTask,
     encode_result,
     instance_builder,
+    stamp_telemetry_fields,
 )
 
 __all__ = [
@@ -185,36 +188,73 @@ class WorkerRuntime:
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         session_cache_size: int = SESSION_CACHE_SIZE,
         view_store: ViewStore | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._shared_refs = dict(shared_refs or {})
         self._instances: OrderedDict[str, object] = OrderedDict()
         self._sessions: OrderedDict[str, object] = OrderedDict()
         self._session_cache_size = max(1, session_cache_size)
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         #: Cross-session view store shared by every engine this runtime
         #: builds: an α-grid's sessions over one instance adopt each other's
         #: refreshed BFS views instead of re-sweeping (keyed by full state
         #: content, so distinct instances never collide).  Bit-identical.
-        self.view_store = view_store if view_store is not None else ViewStore()
-        #: Instrumentation (read by tests and the benchmark harness).
-        self.sessions_built = 0
-        self.sessions_reused = 0
-        self.instances_built = 0
-        self.instances_reused = 0
-        self.shared_attached = 0
+        self.view_store = (
+            view_store
+            if view_store is not None
+            else ViewStore(telemetry=self.telemetry)
+        )
+        #: Instrumentation (read by tests and the benchmark harness) —
+        #: registry-backed, so /metrics aggregates every runtime's caches
+        #: while the read-through properties keep per-runtime counts.
+        cache_ops = self.telemetry.registry.counter(
+            "repro_worker_cache_total",
+            "Worker runtime cache activity by cache and event.",
+            labelnames=("cache", "event"),
+        )
+        self._m_sessions_built = cache_ops.child(cache="session", event="built")
+        self._m_sessions_reused = cache_ops.child(cache="session", event="reused")
+        self._m_instances_built = cache_ops.child(cache="instance", event="built")
+        self._m_instances_reused = cache_ops.child(
+            cache="instance", event="reused"
+        )
+        self._m_shared_attached = cache_ops.child(
+            cache="instance", event="attached"
+        )
+
+    @property
+    def sessions_built(self) -> int:
+        return self._m_sessions_built.value
+
+    @property
+    def sessions_reused(self) -> int:
+        return self._m_sessions_reused.value
+
+    @property
+    def instances_built(self) -> int:
+        return self._m_instances_built.value
+
+    @property
+    def instances_reused(self) -> int:
+        return self._m_instances_reused.value
+
+    @property
+    def shared_attached(self) -> int:
+        return self._m_shared_attached.value
 
     # -- caches --------------------------------------------------------
     def _instance(self, task: SweepTask):
         key = task.instance_key
         if key in self._instances:
             self._instances.move_to_end(key)
-            self.instances_reused += 1
+            self._m_instances_reused.inc()
             return self._instances[key]
         if key in self._shared_refs:
             instance = attach_shared_profile(self._shared_refs[key])
-            self.shared_attached += 1
+            self._m_shared_attached.inc()
         else:
             instance = instance_builder(task)()
-            self.instances_built += 1
+            self._m_instances_built.inc()
         self._instances[key] = instance
         while len(self._instances) > INSTANCE_CACHE_SIZE:
             self._instances.popitem(last=False)
@@ -224,10 +264,10 @@ class WorkerRuntime:
         key = task.session_key
         if key in self._sessions:
             self._sessions.move_to_end(key)
-            self.sessions_reused += 1
+            self._m_sessions_reused.inc()
             return self._sessions[key]
         session = build()
-        self.sessions_built += 1
+        self._m_sessions_built.inc()
         self._sessions[key] = session
         while len(self._sessions) > self._session_cache_size:
             self._sessions.popitem(last=False)
@@ -241,7 +281,10 @@ class WorkerRuntime:
 
             (spec,) = task.payload
             return run_spec_on_instance(
-                spec, self._instance(task), view_store=self.view_store
+                spec,
+                self._instance(task),
+                view_store=self.view_store,
+                telemetry=self.telemetry,
             )
         if task.kind == "sum":
             from repro.experiments.extensions.sum_dynamics import run_sum_task
@@ -309,6 +352,53 @@ class WorkerRuntime:
             base_document = dynamics_result_to_dict(session.result)
         return (rows, base_document)
 
+    def execute_traced(self, task: SweepTask):
+        """Run one task; return ``(encoded payload, telemetry summary)``.
+
+        With tracing off the summary is ``None`` and the call is exactly
+        :meth:`execute` plus the result codec.  With tracing on the task
+        runs under a root ``task.execute`` span with the runtime's
+        telemetry installed process-globally for the duration — so sum
+        and robustness engines (built deep inside their extension
+        modules) and the kernel dispatch wrappers pick it up without any
+        parameter threading — then the tracer is drained into a summary
+        dict and the wall-clock :data:`~repro.service.tasks.
+        TELEMETRY_SUMMARY_FIELDS` are stamped onto row-shaped payloads.
+        """
+        telemetry = self.telemetry
+        if not telemetry.tracing:
+            return encode_result(task, self.execute(task)), None
+        previous = set_telemetry(telemetry)
+        start = time.perf_counter()
+        try:
+            with telemetry.span(
+                "task.execute",
+                kind=task.kind,
+                index=task.index,
+                spec_hash=task.spec_hash,
+            ):
+                result = self.execute(task)
+        except BaseException:
+            telemetry.drain_events()  # a failed task must not leak spans
+            raise
+        finally:
+            set_telemetry(previous)
+        wall_s = time.perf_counter() - start
+        events = telemetry.drain_events()
+        payload = stamp_telemetry_fields(
+            task.kind, encode_result(task, result), wall_s, len(events)
+        )
+        summary = {
+            "worker": os.getpid(),
+            "index": task.index,
+            "spec_hash": task.spec_hash,
+            "kind": task.kind,
+            "wall_s": wall_s,
+            "span_count": len(events),
+            "events": events,
+        }
+        return payload, summary
+
 
 # ----------------------------------------------------------------------
 # One-shot orchestration pool
@@ -333,6 +423,7 @@ class WorkerPool:
         kernel_threads: int | None = None,
         steal: bool = True,
         order_seed: int | None = None,
+        telemetry: bool = False,
     ) -> None:
         self.tasks = list(tasks)
         self.workers = workers
@@ -342,11 +433,14 @@ class WorkerPool:
         self.kernel_threads = kernel_threads
         self.steal = steal
         self.order_seed = order_seed
+        self.telemetry = telemetry
 
-    def run(self, on_result) -> None:
+    def run(self, on_result, on_telemetry=None) -> None:
         """Execute every task; ``on_result(index, spec_hash, kind, payload)``
         fires in completion order (the caller journals and reassembles by
-        index, so completion order carries no meaning)."""
+        index, so completion order carries no meaning).  With
+        ``telemetry=True``, ``on_telemetry(summary)`` fires once per
+        completed task with the worker-side trace summary."""
         if not self.tasks:
             return
         pool = PersistentWorkerPool(
@@ -356,10 +450,16 @@ class WorkerPool:
             kernel_threads=self.kernel_threads,
             shared_refs=self.shared_refs,
             steal=self.steal,
+            telemetry=self.telemetry,
         )
         pool.start()
         try:
-            pool.run_tasks(self.tasks, on_result, order_seed=self.order_seed)
+            pool.run_tasks(
+                self.tasks,
+                on_result,
+                order_seed=self.order_seed,
+                on_telemetry=on_telemetry,
+            )
         finally:
             pool.stop()
 
@@ -376,6 +476,7 @@ def _service_worker_main(
     kernel_backend: str | None,
     kernel_threads: int | None,
     shared_refs: dict[str, SharedInstanceRef] | None = None,
+    telemetry: bool = False,
 ) -> None:
     """Long-lived process body of one :class:`PersistentWorkerPool` slot.
 
@@ -397,7 +498,11 @@ def _service_worker_main(
         from repro.kernels import set_default_threads
 
         set_default_threads(kernel_threads)
-    runtime = WorkerRuntime(shared_refs, session_cache_size)
+    runtime = WorkerRuntime(
+        shared_refs,
+        session_cache_size,
+        telemetry=Telemetry(tracing=True) if telemetry else None,
+    )
     while True:
         try:
             item = inbox.get(timeout=1.0)
@@ -409,7 +514,7 @@ def _service_worker_main(
             return
         task: SweepTask = item
         try:
-            payload = encode_result(task, runtime.execute(task))
+            payload, summary = runtime.execute_traced(task)
         except BaseException:
             outbox.put(
                 (
@@ -419,10 +524,13 @@ def _service_worker_main(
                     task.spec_hash,
                     task.kind,
                     traceback.format_exc(),
+                    None,
                 )
             )
             continue
-        outbox.put((worker_id, "ok", task.index, task.spec_hash, task.kind, payload))
+        outbox.put(
+            (worker_id, "ok", task.index, task.spec_hash, task.kind, payload, summary)
+        )
 
 
 class PersistentWorkerPool:
@@ -446,6 +554,7 @@ class PersistentWorkerPool:
         kernel_threads: int | None = None,
         shared_refs: dict[str, SharedInstanceRef] | None = None,
         steal: bool = True,
+        telemetry: bool = False,
     ) -> None:
         from repro.parallel.pool import resolve_workers
 
@@ -458,6 +567,10 @@ class PersistentWorkerPool:
         #: affinity shards (the pre-stealing behaviour, and the CLI's
         #: ``--no-steal``); rows are bit-identical either way.
         self.steal = steal
+        #: When True every worker traces its tasks and streams back a
+        #: telemetry summary per result (rows stay bit-identical; only the
+        #: :data:`~repro.service.tasks.TIMING_FIELDS`-masked fields differ).
+        self.telemetry = telemetry
         self._context = mp.get_context()
         self._outbox = self._context.Queue()
         self._inboxes: list = [None] * self.workers
@@ -488,6 +601,7 @@ class PersistentWorkerPool:
                 self.kernel_backend,
                 self.kernel_threads,
                 self.shared_refs,
+                self.telemetry,
             ),
             daemon=True,
         )
@@ -519,7 +633,14 @@ class PersistentWorkerPool:
         self._started = False
 
     # -- execution -----------------------------------------------------
-    def run_tasks(self, tasks, on_result, should_abort=None, order_seed=None) -> None:
+    def run_tasks(
+        self,
+        tasks,
+        on_result,
+        should_abort=None,
+        order_seed=None,
+        on_telemetry=None,
+    ) -> None:
         """Execute ``tasks``; ``on_result(index, spec_hash, kind, payload)``
         fires in completion order (the caller journals and reassembles by
         index).  Dispatch goes through an :class:`~repro.service.tasks.
@@ -537,6 +658,13 @@ class PersistentWorkerPool:
         never discarded).  A task error aborts dispatch the same way and is
         re-raised after the in-flight tasks drain; the pool itself survives
         for the next job.
+
+        ``on_telemetry(summary)`` (optional) fires with each worker-side
+        telemetry summary when the pool runs with ``telemetry=True``.
+        When the *orchestrator's* telemetry has tracing enabled, dispatch
+        lifecycle spans (``task.dispatch``: queued-to-done per task, with
+        worker slot) are additionally recorded on that tracer, alongside
+        the queue's steal/dispatch counters.
         """
         if not tasks:
             return
@@ -544,12 +672,22 @@ class PersistentWorkerPool:
         queue = AffinityTaskQueue(
             list(tasks), self.workers, steal=self.steal, order_seed=order_seed
         )
+        tracer = get_telemetry().tracer
+        inflight_spans: dict[int, object] = {}
+
+        def _dispatch(slot: int, task: SweepTask) -> None:
+            self._inboxes[slot].put(task)
+            if tracer.enabled:
+                inflight_spans[slot] = tracer.begin(
+                    "task.dispatch", worker=slot, index=task.index, kind=task.kind
+                )
+
         busy = [False] * self.workers
         outstanding = 0
         for slot in range(self.workers):
             task = queue.next_task(slot)
             if task is not None:
-                self._inboxes[slot].put(task)
+                _dispatch(slot, task)
                 busy[slot] = True
                 outstanding += 1
         aborted = False
@@ -575,21 +713,26 @@ class PersistentWorkerPool:
                         ) from None
                 else:
                     continue
-            worker_id, status, index, spec_hash, kind, payload = message
+            worker_id, status, index, spec_hash, kind, payload, summary = message
             outstanding -= 1
             busy[worker_id] = False
+            span = inflight_spans.pop(worker_id, None)
+            if span is not None:
+                span.finish(status=status)
             if status == "error":
                 if error is None:
                     error = f"sweep task {index} failed in a worker:\n{payload}"
                 aborted = True
             else:
                 on_result(index, spec_hash, kind, payload)
+                if summary is not None and on_telemetry is not None:
+                    on_telemetry(summary)
             if not aborted and should_abort is not None and should_abort():
                 aborted = True
             if not aborted:
                 task = queue.next_task(worker_id)
                 if task is not None:
-                    self._inboxes[worker_id].put(task)
+                    _dispatch(worker_id, task)
                     busy[worker_id] = True
                     outstanding += 1
         if error is not None:
